@@ -1,0 +1,101 @@
+"""Ablation benches for the two design choices DESIGN.md calls out.
+
+A1 — *sharing*: the only difference between the naive evaluator and the
+context-value-table evaluator is that the latter deduplicates frontiers and
+memoises (sub-expression, context) pairs.  The ablation runs both on the
+same realistic query over the auction document.
+
+A2 — *set-at-a-time axes*: the Core XPath evaluator applies an axis to a
+whole node set in one O(|D|) sweep, whereas the DP evaluator applies
+:func:`repro.xmlmodel.axes.axis_step` per frontier node.  The ablation runs
+both engines on the same descendant-heavy Core query over growing
+documents; the gap is the cost of per-node recursive-axis application.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench import caterpillar_workload
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator, NaiveEvaluator
+from repro.xmlmodel import auction_document, complete_tree_document
+
+AUCTION = auction_document(sellers=6, items_per_seller=5, seed=21)
+
+#: A nested-condition query whose sub-conditions repeat across context nodes,
+#: i.e. exactly the situation sharing pays off in.
+SHARING_QUERY = (
+    "/descendant::open_auction[child::bidder[child::increase] and "
+    "child::item[child::description]]/child::seller"
+)
+
+DESCENDANT_QUERY = "/descendant::open_auction[descendant::increase]/descendant::description"
+
+TREE_DEPTHS = (6, 8, 10)
+
+
+class TestSharingAblation:
+    def test_with_sharing(self, benchmark):
+        benchmark(ContextValueTableEvaluator(AUCTION).evaluate_nodes, SHARING_QUERY)
+
+    def test_without_sharing(self, benchmark):
+        benchmark(NaiveEvaluator(AUCTION).evaluate_nodes, SHARING_QUERY)
+
+    def test_operation_count_gap(self, benchmark):
+        def measure():
+            with_sharing = ContextValueTableEvaluator(AUCTION)
+            without_sharing = NaiveEvaluator(AUCTION)
+            shared_result = with_sharing.evaluate_nodes(SHARING_QUERY)
+            unshared_result = without_sharing.evaluate_nodes(SHARING_QUERY)
+            assert [n.order for n in shared_result] == [n.order for n in unshared_result]
+            return with_sharing.operations, without_sharing.operations
+
+        shared_ops, unshared_ops = benchmark(measure)
+        assert shared_ops <= unshared_ops
+        document, query = caterpillar_workload(10, length=22)
+        cvt = ContextValueTableEvaluator(document)
+        naive = NaiveEvaluator(document)
+        cvt.evaluate_nodes(query)
+        naive.evaluate_nodes(query)
+        body = [
+            "workload                         with sharing   without sharing",
+            f"auction nested conditions        {shared_ops:>12}   {unshared_ops:>15}",
+            f"caterpillar, 10 steps            {cvt.operations:>12}   {naive.operations:>15}",
+            "(operation counts; identical answers)",
+        ]
+        report("A1 — ablation: context-value-table sharing", "\n".join(body))
+
+
+class TestAxisStrategyAblation:
+    @pytest.mark.parametrize("depth", TREE_DEPTHS)
+    def test_set_at_a_time_axes(self, benchmark, depth):
+        document = complete_tree_document(2, depth)
+        benchmark(CoreXPathEvaluator(document).evaluate_nodes, DESCENDANT_QUERY_FOR_TREE)
+
+    @pytest.mark.parametrize("depth", TREE_DEPTHS)
+    def test_per_node_axes(self, benchmark, depth):
+        document = complete_tree_document(2, depth)
+        benchmark(ContextValueTableEvaluator(document).evaluate_nodes, DESCENDANT_QUERY_FOR_TREE)
+
+    def test_answers_agree(self, benchmark):
+        def measure():
+            rows = []
+            for depth in TREE_DEPTHS:
+                document = complete_tree_document(2, depth)
+                core = CoreXPathEvaluator(document)
+                cvt = ContextValueTableEvaluator(document)
+                core_result = core.evaluate_nodes(DESCENDANT_QUERY_FOR_TREE)
+                cvt_result = cvt.evaluate_nodes(DESCENDANT_QUERY_FOR_TREE)
+                assert [n.order for n in core_result] == [n.order for n in cvt_result]
+                rows.append((document.size, core.axis_applications, cvt.operations))
+            return rows
+
+        rows = benchmark(measure)
+        body = ["  |D|   set-at-a-time axis applications   per-node operations"]
+        for size, applications, operations in rows:
+            body.append(f"{size:>5}   {applications:>33}   {operations:>19}")
+        report("A2 — ablation: set-at-a-time vs per-node axis application", "\n".join(body))
+
+
+#: Core query used by the axis-strategy ablation on the complete binary trees
+#: (tags cycle a/b/c by level, so descendant steps fan out over many nodes).
+DESCENDANT_QUERY_FOR_TREE = "/descendant-or-self::a[descendant::c]/descendant::b[child::c]"

@@ -1,0 +1,67 @@
+"""E9 — Proposition 2.7 (second part): Core XPath evaluates in O(|D| · |Q|).
+
+Sweeps the document size and the query size independently and fits scaling
+exponents to both the wall-clock timings (via pytest-benchmark) and the
+implementation-independent axis-application counts.  Linear behaviour in
+each dimension separately is exactly the O(|D| · |Q|) claim.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench import descendant_chain_query
+from repro.complexity import ScalingSeries
+from repro.evaluation import CoreXPathEvaluator
+from repro.xmlmodel import complete_tree_document
+
+TREE_DEPTHS = (5, 7, 9, 11)
+QUERY_STEPS = (4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("depth", TREE_DEPTHS)
+def test_scaling_in_document_size(benchmark, depth):
+    """Fixed query, growing document (documents double in size per depth level)."""
+    document = complete_tree_document(2, depth)
+    query = descendant_chain_query(6)
+    benchmark(CoreXPathEvaluator(document).evaluate_nodes, query)
+
+
+@pytest.mark.parametrize("steps", QUERY_STEPS)
+def test_scaling_in_query_size(benchmark, steps):
+    """Fixed document, growing query."""
+    document = complete_tree_document(2, 8)
+    query = descendant_chain_query(steps)
+    benchmark(CoreXPathEvaluator(document).evaluate_nodes, query)
+
+
+def test_fitted_scaling_exponents(benchmark):
+    """Fit |D| and |Q| exponents from the axis-application counts."""
+
+    def measure():
+        by_document = ScalingSeries("axis work vs |D| (query fixed)", "|D|", "node visits")
+        for depth in TREE_DEPTHS:
+            document = complete_tree_document(2, depth)
+            evaluator = CoreXPathEvaluator(document)
+            evaluator.evaluate_nodes(descendant_chain_query(6))
+            # Each axis application costs O(|D|); count node visits.
+            by_document.add(document.size, evaluator.axis_applications * document.size)
+        by_query = ScalingSeries("axis applications vs |Q| (document fixed)", "steps", "axis applications")
+        for steps in QUERY_STEPS:
+            document = complete_tree_document(2, 8)
+            evaluator = CoreXPathEvaluator(document)
+            evaluator.evaluate_nodes(descendant_chain_query(steps))
+            by_query.add(steps, evaluator.axis_applications)
+        return by_document, by_query
+
+    by_document, by_query = benchmark(measure)
+    document_exponent = by_document.power_law_exponent()
+    query_exponent = by_query.power_law_exponent()
+    assert document_exponent < 1.3, "work must stay linear in |D|"
+    assert query_exponent < 1.3, "axis applications must stay linear in |Q|"
+    report(
+        "E9 — Core XPath O(|D|·|Q|) scaling",
+        by_document.format_table()
+        + "\n"
+        + by_query.format_table()
+        + f"\nfitted exponents: |D|^{document_exponent:.2f}, |Q|^{query_exponent:.2f} (both ≈ 1)",
+    )

@@ -1,0 +1,63 @@
+"""E11 — Theorem 7.2: the data complexity of XPath is low.
+
+With the query fixed, the context-value-table evaluator's work and memory
+(table entries) must grow polynomially — in practice near-linearly — with
+the document size, including for queries that use negation, arithmetic and
+string functions (full XPath).  That is the empirical face of "XPath is in
+L w.r.t. data complexity": the per-expression tables are small and there
+are only |Q| (a constant, here) of them.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.complexity import ScalingSeries
+from repro.evaluation import ContextValueTableEvaluator
+from repro.xmlmodel import auction_document
+
+SELLER_COUNTS = (2, 4, 8, 16)
+
+#: A fixed full-XPath query (negation, arithmetic, string manipulation).
+FIXED_QUERY = (
+    "/descendant::open_auction[not(child::bidder) or "
+    "count(child::bidder) * 2 >= 4][contains(child::item/child::description, 'item')]"
+)
+
+
+def _document(sellers: int):
+    return auction_document(sellers=sellers, items_per_seller=5, seed=13)
+
+
+@pytest.mark.parametrize("sellers", SELLER_COUNTS)
+def test_fixed_query_growing_document(benchmark, sellers):
+    """Wall-clock time of the fixed query as the document grows."""
+    document = _document(sellers)
+    benchmark(ContextValueTableEvaluator(document).evaluate_nodes, FIXED_QUERY)
+
+
+def test_data_complexity_series(benchmark):
+    """Operation counts and table sizes for the fixed query over growing documents."""
+
+    def measure():
+        operations = ScalingSeries("operations vs |D| (query fixed)", "|D|", "operations")
+        tables = ScalingSeries("table entries vs |D| (query fixed)", "|D|", "entries")
+        for sellers in SELLER_COUNTS:
+            document = _document(sellers)
+            evaluator = ContextValueTableEvaluator(document)
+            evaluator.evaluate_nodes(FIXED_QUERY)
+            operations.add(document.size, evaluator.operations)
+            tables.add(document.size, evaluator.table_entries())
+        return operations, tables
+
+    operations, tables = benchmark(measure)
+    assert operations.power_law_exponent() < 2.0
+    assert tables.power_law_exponent() < 1.5
+    report(
+        "E11 / Theorem 7.2 — data complexity",
+        operations.format_table()
+        + "\n"
+        + tables.format_table()
+        + f"\nfitted growth: {operations.summary()}; {tables.summary()}"
+        + "\n(table count is fixed by the query: "
+        f"{ContextValueTableEvaluator(_document(2)).table_count()} after construction)",
+    )

@@ -1,0 +1,95 @@
+"""E8 — the introduction's claim: naive engines are exponential, the DP is not.
+
+The paper's introduction (and the experiments of its companion paper [3])
+observes that functional-style XPath engines take time exponential in the
+query size.  This bench reproduces the *shape* of that experiment with the
+engines built here:
+
+* the naive functional evaluator blows up exponentially in the number of
+  steps of a sibling-hopping query over a caterpillar document,
+* the context-value-table DP and the Core XPath linear algorithm stay
+  polynomial on exactly the same workload,
+* ElementTree's ElementPath engine is timed on a child-chain workload of
+  the same size as an external reference point.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench import caterpillar_workload, elementtree_count
+from repro.complexity import ScalingSeries
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator, NaiveEvaluator
+from repro.xmlmodel import chain_document
+
+NAIVE_STEPS = (4, 6, 8, 10, 12)
+DP_STEPS = (4, 8, 12, 16, 20)
+
+
+@pytest.mark.parametrize("steps", NAIVE_STEPS)
+def test_naive_functional_evaluator(benchmark, steps):
+    """Exponential: the per-node functional semantics without sharing."""
+    document, query = caterpillar_workload(steps, length=2 * max(NAIVE_STEPS) + 2)
+    benchmark(NaiveEvaluator(document).evaluate_nodes, query)
+
+
+@pytest.mark.parametrize("steps", DP_STEPS)
+def test_context_value_table_evaluator(benchmark, steps):
+    """Polynomial: the context-value-table dynamic program on the same workload."""
+    document, query = caterpillar_workload(steps, length=2 * max(DP_STEPS) + 2)
+    benchmark(ContextValueTableEvaluator(document).evaluate_nodes, query)
+
+
+@pytest.mark.parametrize("steps", DP_STEPS)
+def test_core_linear_evaluator(benchmark, steps):
+    """Linear: the Core XPath set-at-a-time algorithm on the same workload."""
+    document, query = caterpillar_workload(steps, length=2 * max(DP_STEPS) + 2)
+    benchmark(CoreXPathEvaluator(document).evaluate_nodes, query)
+
+
+@pytest.mark.parametrize("steps", DP_STEPS)
+def test_elementtree_reference_engine(benchmark, steps):
+    """External reference: ElementTree on a child-chain query of the same length."""
+    document = chain_document(max(DP_STEPS) + 2, tag="a")
+    element_path = "./" + "/".join(["a"] * steps)
+    benchmark(elementtree_count, document, element_path)
+
+
+def test_operation_count_series(benchmark):
+    """The paper-shaped series: operations per engine as the query grows."""
+
+    def measure():
+        naive_series = ScalingSeries("naive functional evaluator", "steps", "operations")
+        cvt_series = ScalingSeries("context-value-table DP", "steps", "operations")
+        core_series = ScalingSeries("Core XPath linear algorithm", "steps", "axis applications")
+        for steps in NAIVE_STEPS:
+            document, query = caterpillar_workload(steps, length=2 * max(NAIVE_STEPS) + 2)
+            naive = NaiveEvaluator(document)
+            cvt = ContextValueTableEvaluator(document)
+            core = CoreXPathEvaluator(document)
+            naive_result = naive.evaluate_nodes(query)
+            cvt_result = cvt.evaluate_nodes(query)
+            core_result = core.evaluate_nodes(query)
+            assert (
+                [n.order for n in naive_result]
+                == [n.order for n in cvt_result]
+                == [n.order for n in core_result]
+            )
+            naive_series.add(steps, naive.operations)
+            cvt_series.add(steps, cvt.operations)
+            core_series.add(steps, core.axis_applications)
+        return naive_series, cvt_series, core_series
+
+    naive_series, cvt_series, core_series = benchmark(measure)
+    assert naive_series.exponential_base() > 1.5
+    assert cvt_series.power_law_exponent() < 2.5
+    body = (
+        naive_series.format_table()
+        + "\n"
+        + cvt_series.format_table()
+        + "\n"
+        + core_series.format_table()
+        + f"\nnaive growth per step  : x{naive_series.exponential_base():.2f} (exponential)"
+        + f"\nDP growth              : steps^{cvt_series.power_law_exponent():.2f} (polynomial)"
+        + f"\nCore XPath growth      : steps^{core_series.power_law_exponent():.2f} (linear)"
+    )
+    report("E8 — exponential naive evaluation vs. polynomial DP", body)

@@ -1,0 +1,75 @@
+"""E1 — Figure 1: fragment classification and per-fragment evaluation cost.
+
+The paper's Figure 1 assigns a combined-complexity class to every fragment.
+This bench (a) classifies a representative query workload and checks the
+assignment, and (b) times evaluation of a representative query of each
+fragment with the engine the paper's upper bound suggests, so the relative
+cost ordering (PF ≤ positive Core ≤ Core ≤ pWF/pXPath ≤ full XPath) is
+visible in the timings.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench import representative_queries
+from repro.complexity import figure1_assignment, render_figure1
+from repro.evaluation import evaluate
+from repro.fragments import classify
+from repro.xmlmodel import auction_document
+
+DOCUMENT = auction_document(sellers=8, items_per_seller=6, seed=2)
+
+#: fragment → (query, engine used for the timing)
+TIMED_QUERIES = {
+    "PF": ("/descendant::open_auction/child::bidder", "core"),
+    "positive Core XPath": (
+        "/descendant::open_auction[child::bidder and descendant::increase]",
+        "core",
+    ),
+    "Core XPath": ("/descendant::open_auction[not(child::bidder)]", "core"),
+    "pWF": ("/descendant::bidder[position() + 1 = last()]", "cvt"),
+    "pXPath": ("/descendant::item[attribute::region = 'europe']", "cvt"),
+    "XPath": ("/descendant::open_auction[count(child::bidder) > 2]", "cvt"),
+}
+
+
+def _build_classification_table() -> list[str]:
+    lines = [f"{'query':<62} {'fragment':<22} {'combined complexity':<18}"]
+    for expected_fragment, queries in representative_queries().items():
+        for query in queries:
+            classification = classify(query)
+            assert classification.most_specific == expected_fragment
+            assert (
+                classification.combined_complexity
+                == figure1_assignment(expected_fragment).label
+            )
+            lines.append(
+                f"{query:<62} {classification.most_specific:<22} "
+                f"{classification.combined_complexity:<18}"
+            )
+    return lines
+
+
+def test_figure1_classification_table(benchmark):
+    """Regenerate Figure 1 as a classification table over the workload queries."""
+    lines = benchmark(_build_classification_table)
+    report(
+        "E1 / Figure 1 — fragment classification",
+        "\n".join(lines) + "\n\n" + render_figure1(),
+    )
+
+
+@pytest.mark.parametrize("fragment", sorted(TIMED_QUERIES))
+def test_fragment_query_evaluation(benchmark, fragment):
+    """Time a representative query of each fragment on the auction workload."""
+    query, engine = TIMED_QUERIES[fragment]
+    result = benchmark(evaluate, query, DOCUMENT, engine)
+    assert result is not None
+
+
+@pytest.mark.parametrize("fragment", sorted(TIMED_QUERIES))
+def test_fragment_classification_cost(benchmark, fragment):
+    """Classification itself is cheap (syntactic) — time it per fragment."""
+    query, _ = TIMED_QUERIES[fragment]
+    classification = benchmark(classify, query)
+    assert classification.most_specific == fragment

@@ -1,0 +1,74 @@
+"""E10 — Theorems 4.1/5.5/6.2, Remark 5.6: positive fragments are parallelizable.
+
+Positive queries compile to semi-unbounded monotone circuits; the circuit
+depth is the idealised parallel running time and the size is the total
+work.  The bench shows that as the document grows, work grows roughly
+linearly while depth stays flat — the hallmark of an NC algorithm — and
+times both the compiled-circuit evaluation and the sequential engines.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench import positive_condition_query
+from repro.complexity import ScalingSeries
+from repro.evaluation import CoreXPathEvaluator
+from repro.parallel import compile_positive_query, evaluate_in_layers, parallel_evaluate
+from repro.xmlmodel import complete_tree_document
+
+# Start at depth 8 so the nested condition of the query is satisfiable on
+# every document in the sweep (shallower trees collapse the circuit to
+# constants, which would make the depth comparison vacuous).
+TREE_DEPTHS = (8, 9, 10, 11)
+QUERY = positive_condition_query(3)
+
+
+@pytest.mark.parametrize("depth", TREE_DEPTHS)
+def test_parallel_circuit_evaluation(benchmark, depth):
+    """Compile + layer-evaluate the positive query on growing documents."""
+    document = complete_tree_document(2, depth)
+    benchmark(parallel_evaluate, QUERY, document)
+
+
+@pytest.mark.parametrize("depth", TREE_DEPTHS)
+def test_sequential_reference_evaluation(benchmark, depth):
+    """The sequential linear-time evaluator on the same workload (reference)."""
+    document = complete_tree_document(2, depth)
+    benchmark(CoreXPathEvaluator(document).evaluate_nodes, QUERY)
+
+
+def test_depth_vs_work_series(benchmark):
+    """Report circuit depth (parallel time) and size (work) as |D| grows."""
+
+    def measure():
+        rows = []
+        for depth in TREE_DEPTHS:
+            document = complete_tree_document(2, depth)
+            compiled = compile_positive_query(QUERY, document)
+            run = evaluate_in_layers(compiled)
+            sequential = CoreXPathEvaluator(document)
+            expected = sequential.evaluate_nodes(QUERY)
+            assert [n.order for n in run.selected] == [n.order for n in expected]
+            rows.append(
+                (document.size, len(run.selected), run.depth, run.size, run.max_width, run.speedup_bound)
+            )
+        return rows
+
+    rows = benchmark(measure)
+    depth_series = ScalingSeries("circuit depth vs |D|", "|D|", "depth")
+    work_series = ScalingSeries("circuit size vs |D|", "|D|", "gates")
+    body = ["   |D|  selected  depth   gates   width  work/depth"]
+    for document_size, selected, depth, size, width, speedup in rows:
+        depth_series.add(document_size, depth)
+        work_series.add(document_size, size)
+        body.append(
+            f"{document_size:>6} {selected:>9} {depth:>6} {size:>7} {width:>7} {speedup:>11.1f}"
+        )
+    # Work grows with the document; parallel time (depth) is essentially flat.
+    assert work_series.power_law_exponent() > 0.6
+    assert depth_series.power_law_exponent() < 0.25
+    body.append(
+        f"fitted growth: work ~ |D|^{work_series.power_law_exponent():.2f}, "
+        f"depth ~ |D|^{depth_series.power_law_exponent():.2f}"
+    )
+    report("E10 — parallelizability of positive queries (Remark 5.6)", "\n".join(body))

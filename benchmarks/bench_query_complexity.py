@@ -1,0 +1,61 @@
+"""E12 — Theorem 7.3: the query complexity of XPath (without * / concat) is low.
+
+With the document fixed, growing the query (avoiding multiplication and
+``concat``, the two constructs Theorem 7.3 excludes because they let values
+grow with the query) must increase the DP evaluator's work only
+polynomially — in practice near-linearly, one context-value table per added
+sub-expression.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench import descendant_chain_query, positive_condition_query
+from repro.complexity import ScalingSeries
+from repro.evaluation import ContextValueTableEvaluator
+from repro.xmlmodel import complete_tree_document
+
+DOCUMENT = complete_tree_document(2, 8)
+QUERY_SIZES = (2, 4, 8, 16)
+
+
+@pytest.mark.parametrize("steps", QUERY_SIZES)
+def test_growing_core_query_fixed_document(benchmark, steps):
+    """Growing navigational query on the fixed document."""
+    query = descendant_chain_query(steps)
+    benchmark(ContextValueTableEvaluator(DOCUMENT).evaluate_nodes, query)
+
+
+@pytest.mark.parametrize("depth", (1, 2, 4, 8))
+def test_growing_condition_nesting_fixed_document(benchmark, depth):
+    """Growing predicate-nesting depth on the fixed document."""
+    query = positive_condition_query(depth)
+    benchmark(ContextValueTableEvaluator(DOCUMENT).evaluate_nodes, query)
+
+
+def test_query_complexity_series(benchmark):
+    """Operation counts and table counts as the query grows (document fixed)."""
+
+    def measure():
+        operations = ScalingSeries("operations vs |Q| (document fixed)", "|Q|", "operations")
+        tables = ScalingSeries("tables vs |Q| (document fixed)", "|Q|", "tables")
+        for steps in QUERY_SIZES:
+            from repro.xpath import parse
+
+            query = parse(descendant_chain_query(steps))
+            evaluator = ContextValueTableEvaluator(DOCUMENT)
+            evaluator.evaluate_nodes(query)
+            operations.add(query.size(), evaluator.operations)
+            tables.add(query.size(), evaluator.table_count())
+        return operations, tables
+
+    operations, tables = benchmark(measure)
+    assert operations.power_law_exponent() < 1.6
+    assert tables.power_law_exponent() < 1.2
+    report(
+        "E12 / Theorem 7.3 — query complexity",
+        operations.format_table()
+        + "\n"
+        + tables.format_table()
+        + f"\nfitted growth: {operations.summary()}; {tables.summary()}",
+    )

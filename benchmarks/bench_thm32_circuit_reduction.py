@@ -1,0 +1,97 @@
+"""E2/E3 — Theorem 3.2 (and Figure 2/3): monotone circuit value via Core XPath.
+
+Regenerates two artefacts:
+
+* the Figure 2 carry-bit circuit evaluated through the reduction for all 16
+  input combinations (E2), and
+* a size sweep over random monotone circuits measuring reduction output
+  size and evaluation time (E3) — both must stay polynomial, which is what
+  "membership in P" (Proposition 2.7) looks like empirically, while the
+  existence of the reduction itself is the P-hardness statement.
+"""
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.circuits import (
+    carry_assignment,
+    carry_circuit,
+    expected_carry,
+    random_assignment,
+    random_monotone_circuit,
+)
+from repro.complexity import ScalingSeries
+from repro.evaluation import CoreXPathEvaluator
+from repro.reductions import reduce_circuit_to_core_xpath
+
+GATE_COUNTS = (4, 8, 16, 32)
+
+
+def _carry_truth_table() -> list[tuple[tuple[bool, ...], bool, bool]]:
+    circuit = carry_circuit()
+    rows = []
+    for bits in itertools.product([False, True], repeat=4):
+        instance = reduce_circuit_to_core_xpath(circuit, carry_assignment(*bits))
+        via_xpath = bool(
+            CoreXPathEvaluator(instance.document).evaluate_nodes(instance.query)
+        )
+        rows.append((bits, via_xpath, expected_carry(*bits)))
+    return rows
+
+
+def test_carry_circuit_truth_table(benchmark):
+    """E2: all 16 rows of the Figure 2 carry-bit truth table via XPath."""
+    rows = benchmark(_carry_truth_table)
+    assert all(via_xpath == truth for _, via_xpath, truth in rows)
+    body = ["a1 a0 b1 b0 | XPath | adder"]
+    for (a1, a0, b1, b0), via_xpath, truth in rows:
+        body.append(
+            f" {int(a1)}  {int(a0)}  {int(b1)}  {int(b0)} | {str(via_xpath):<5} | {truth}"
+        )
+    report("E2 / Figure 2+3 — carry-bit circuit via Theorem 3.2", "\n".join(body))
+
+
+def _evaluate_reduction(num_gates: int, seed: int = 1) -> bool:
+    circuit = random_monotone_circuit(num_inputs=6, num_gates=num_gates, seed=seed)
+    assignment = random_assignment(circuit, seed=seed)
+    instance = reduce_circuit_to_core_xpath(circuit, assignment)
+    result = bool(CoreXPathEvaluator(instance.document).evaluate_nodes(instance.query))
+    assert result == circuit.value(assignment)
+    return result
+
+
+@pytest.mark.parametrize("num_gates", GATE_COUNTS)
+def test_reduction_evaluation_scaling(benchmark, num_gates):
+    """E3: end-to-end reduction + Core XPath evaluation for growing circuits."""
+    benchmark(_evaluate_reduction, num_gates)
+
+
+def test_reduction_output_sizes(benchmark):
+    """E3: document and query sizes grow linearly with the circuit (log-space reduction)."""
+
+    def measure():
+        document_series = ScalingSeries("|D| vs circuit size", "gates", "|D|")
+        query_series = ScalingSeries("|Q| vs circuit size", "gates", "|Q|")
+        for num_gates in GATE_COUNTS:
+            circuit = random_monotone_circuit(6, num_gates, seed=3)
+            instance = reduce_circuit_to_core_xpath(
+                circuit, random_assignment(circuit, seed=3)
+            )
+            document_series.add(circuit.size(), instance.document_size)
+            query_series.add(circuit.size(), instance.query_size)
+        return document_series, query_series
+
+    document_series, query_series = benchmark(measure)
+    # Polynomial (indeed close to linear in gates for |Q|; |D| gains the
+    # quadratically many layer labels on ports, still polynomial).
+    assert document_series.power_law_exponent() < 2.5
+    assert query_series.power_law_exponent() < 1.5
+    report(
+        "E3 / Theorem 3.2 — reduction output sizes",
+        document_series.format_table()
+        + "\n"
+        + query_series.format_table()
+        + f"\nfitted growth: {document_series.summary()}; {query_series.summary()}",
+    )

@@ -1,0 +1,84 @@
+"""E5 — Theorem 4.3 / Figure 5: directed reachability via a PF query.
+
+Reproduces the Figure 5 example (the 4-vertex graph, its transposed
+adjacency matrix and the tree encoding) and sweeps random digraphs of
+growing size, measuring document size, query size and evaluation time of
+the predicate-free query.  Correctness is asserted against BFS on every
+instance.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.complexity import ScalingSeries
+from repro.evaluation import CoreXPathEvaluator
+from repro.fragments import is_pf
+from repro.graphs import figure5_graph, is_reachable, random_digraph
+from repro.reductions import reduce_reachability_to_pf
+
+VERTEX_COUNTS = (3, 4, 6, 8)
+
+
+def _figure5_matrix() -> list[list[bool]]:
+    graph = figure5_graph()
+    matrix = []
+    for source in range(graph.num_vertices):
+        row = []
+        for target in range(graph.num_vertices):
+            instance = reduce_reachability_to_pf(graph, source, target)
+            via_xpath = bool(
+                CoreXPathEvaluator(instance.document).evaluate_nodes(instance.query)
+            )
+            assert via_xpath == is_reachable(graph, source, target)
+            row.append(via_xpath)
+        matrix.append(row)
+    return matrix
+
+
+def test_figure5_reachability_matrix(benchmark):
+    """The full reachability matrix of the Figure 5 graph, via PF queries."""
+    matrix = benchmark(_figure5_matrix)
+    body = ["      " + "  ".join(f"v{j + 1}" for j in range(len(matrix)))]
+    for index, row in enumerate(matrix):
+        body.append(f"v{index + 1}:   " + "   ".join("1" if bit else "." for bit in row))
+    report("E5 / Figure 5 — reachability via the Theorem 4.3 PF query", "\n".join(body))
+
+
+def _evaluate_instance(num_vertices: int, seed: int = 2) -> bool:
+    graph = random_digraph(num_vertices, edge_probability=0.3, seed=seed)
+    instance = reduce_reachability_to_pf(graph, 0, num_vertices - 1)
+    assert is_pf(instance.query)
+    result = bool(CoreXPathEvaluator(instance.document).evaluate_nodes(instance.query))
+    assert result == is_reachable(graph, 0, num_vertices - 1)
+    return result
+
+
+@pytest.mark.parametrize("num_vertices", VERTEX_COUNTS)
+def test_reachability_query_evaluation(benchmark, num_vertices):
+    """Evaluation time of the PF query as the graph grows."""
+    benchmark(_evaluate_instance, num_vertices)
+
+
+def test_reduction_sizes_are_polynomial(benchmark):
+    """|D| and |Q| of the Theorem 4.3 instances as the graph grows."""
+
+    def measure():
+        document_series = ScalingSeries("|D| vs |V|", "|V|", "|D|")
+        query_series = ScalingSeries("|Q| vs |V|", "|V|", "steps")
+        for num_vertices in VERTEX_COUNTS:
+            graph = random_digraph(num_vertices, edge_probability=0.3, seed=7)
+            instance = reduce_reachability_to_pf(graph, 0, num_vertices - 1)
+            document_series.add(num_vertices, instance.document_size)
+            query_series.add(num_vertices, instance.query_size)
+        return document_series, query_series
+
+    document_series, query_series = benchmark(measure)
+    assert document_series.power_law_exponent() < 3.5  # O(|V|^3) spine × side chains
+    assert query_series.power_law_exponent() < 2.5  # O(|V|^2) gadget steps
+    report(
+        "E5 / Theorem 4.3 — reduction sizes",
+        document_series.format_table()
+        + "\n"
+        + query_series.format_table()
+        + f"\nfitted growth: {document_series.summary()}; {query_series.summary()}",
+    )

@@ -1,0 +1,76 @@
+"""E7 — Theorem 5.7 / Corollary 5.8: iterated predicates restore P-hardness.
+
+The bench runs the same circuit workload as E3 through the *negation-free*
+Theorem 5.7 reduction (which encodes ``not`` via ``last()`` over an
+iterated predicate sequence of length 2) and checks that the two reductions
+agree with the circuit value.  Reported sizes show the modest constant
+overhead of the Theorem 5.7 document (the extra ``w`` children) and query.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.circuits import (
+    carry_assignment,
+    carry_circuit,
+    random_assignment,
+    random_monotone_circuit,
+)
+from repro.evaluation import ContextValueTableEvaluator
+from repro.fragments import violations_pwf
+from repro.reductions import reduce_circuit_to_core_xpath, reduce_circuit_to_pwf_iterated
+
+GATE_COUNTS = (3, 6, 9)
+
+
+def _evaluate(num_gates: int, seed: int = 4) -> bool:
+    circuit = random_monotone_circuit(num_inputs=4, num_gates=num_gates, seed=seed)
+    assignment = random_assignment(circuit, seed=seed)
+    instance = reduce_circuit_to_pwf_iterated(circuit, assignment)
+    result = bool(
+        ContextValueTableEvaluator(instance.document).evaluate_nodes(instance.query)
+    )
+    assert result == circuit.value(assignment)
+    return result
+
+
+@pytest.mark.parametrize("num_gates", GATE_COUNTS)
+def test_pwf_iterated_reduction_evaluation(benchmark, num_gates):
+    """End-to-end Theorem 5.7 reduction + DP evaluation for growing circuits."""
+    benchmark(_evaluate, num_gates)
+
+
+def test_carry_circuit_via_both_reductions(benchmark):
+    """The Figure 2 circuit through Theorem 3.2 and Theorem 5.7 must agree."""
+    circuit = carry_circuit()
+    assignment = carry_assignment(True, False, True, True)
+
+    def run():
+        with_negation = reduce_circuit_to_core_xpath(circuit, assignment)
+        without_negation = reduce_circuit_to_pwf_iterated(circuit, assignment)
+        first = bool(
+            ContextValueTableEvaluator(with_negation.document).evaluate_nodes(
+                with_negation.query
+            )
+        )
+        second = bool(
+            ContextValueTableEvaluator(without_negation.document).evaluate_nodes(
+                without_negation.query
+            )
+        )
+        return first, second, with_negation, without_negation
+
+    first, second, with_negation, without_negation = benchmark(run)
+    assert first == second == circuit.value(assignment)
+    only_iterated = [
+        violation
+        for violation in violations_pwf(without_negation.query)
+        if "iterated" in violation
+    ]
+    assert only_iterated, "the Theorem 5.7 query must rely on iterated predicates"
+    body = [
+        "reduction        |D|   |Q|   uses not()  iterated predicates",
+        f"Theorem 3.2    {with_negation.document_size:>5} {with_negation.query_size:>5}   yes         no",
+        f"Theorem 5.7    {without_negation.document_size:>5} {without_negation.query_size:>5}   no          yes (length 2, Cor 5.8)",
+    ]
+    report("E7 / Theorem 5.7 — negation encoded by iterated predicates", "\n".join(body))

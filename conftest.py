@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the in-tree ``src`` layout importable.
+
+The offline environment for this reproduction has no ``wheel`` package, so
+``pip install -e .`` cannot build the PEP 660 editable wheel.  Adding the
+``src`` directory to ``sys.path`` here gives tests, benchmarks and examples
+the same import behaviour an editable install would provide.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

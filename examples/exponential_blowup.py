@@ -1,0 +1,51 @@
+"""The exponential-versus-polynomial contrast from the paper's introduction.
+
+"All publicly available XPath engines take time exponential in the size of
+the query" — because they follow the functional semantics literally.  This
+example runs the naive (functional) evaluator and the context-value-table
+dynamic program on the same caterpillar workload and prints how their
+operation counts grow as the query gains steps.
+
+Run with ``python examples/exponential_blowup.py``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import caterpillar_workload  # noqa: E402
+from repro.complexity import ScalingSeries  # noqa: E402
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator, NaiveEvaluator  # noqa: E402
+
+
+def main() -> None:
+    naive_series = ScalingSeries("naive functional evaluator", "query steps", "operations")
+    cvt_series = ScalingSeries("context-value-table DP", "query steps", "operations")
+    print(f"{'steps':>6} {'|D|':>5} {'naive ops':>12} {'CVT ops':>10} {'core axis apps':>15} {'agree':>6}")
+    for steps in range(2, 13):
+        document, query = caterpillar_workload(steps)
+        naive = NaiveEvaluator(document)
+        cvt = ContextValueTableEvaluator(document)
+        core = CoreXPathEvaluator(document)
+        naive_result = naive.evaluate_nodes(query)
+        cvt_result = cvt.evaluate_nodes(query)
+        core_result = core.evaluate_nodes(query)
+        agree = (
+            [n.order for n in naive_result]
+            == [n.order for n in cvt_result]
+            == [n.order for n in core_result]
+        )
+        naive_series.add(steps, naive.operations)
+        cvt_series.add(steps, cvt.operations)
+        print(
+            f"{steps:>6} {document.size:>5} {naive.operations:>12} {cvt.operations:>10} "
+            f"{core.axis_applications:>15} {str(agree):>6}"
+        )
+    print()
+    print(f"naive growth per added step : ~x{naive_series.exponential_base():.2f} (exponential)")
+    print(f"DP growth exponent          : size^{cvt_series.power_law_exponent():.2f} (polynomial)")
+
+
+if __name__ == "__main__":
+    main()

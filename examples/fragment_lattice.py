@@ -1,0 +1,44 @@
+"""Figure 1 reproduced: classify realistic queries into the paper's fragments.
+
+For a collection of auction-site queries (the kind of workload XMark made
+standard), the example reports the most specific fragment each query falls
+into and the combined complexity Figure 1 assigns to that fragment, then
+prints the fragment/complexity lattice itself.
+
+Run with ``python examples/fragment_lattice.py``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import representative_queries  # noqa: E402
+from repro.complexity import render_figure1  # noqa: E402
+from repro.evaluation import evaluate  # noqa: E402
+from repro.fragments import classify  # noqa: E402
+from repro.xmlmodel import auction_document  # noqa: E402
+
+
+def main() -> None:
+    document = auction_document(sellers=6, items_per_seller=5)
+    print(f"workload document: auction site with {document.size} nodes\n")
+
+    print(f"{'query':<62} {'fragment':<22} combined complexity")
+    print("-" * 110)
+    for expected_fragment, queries in representative_queries().items():
+        for query in queries:
+            classification = classify(query)
+            result = evaluate(query, document)
+            count = len(result) if isinstance(result, list) else result
+            print(
+                f"{query:<62} {classification.most_specific:<22} "
+                f"{classification.combined_complexity}   (result: {count})"
+            )
+            assert classification.most_specific == expected_fragment
+    print()
+    print(render_figure1())
+
+
+if __name__ == "__main__":
+    main()

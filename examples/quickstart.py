@@ -1,0 +1,57 @@
+"""Quickstart: parse a document, evaluate queries with every engine, classify them.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import classify, evaluate, evaluate_nodes, parse_xml  # noqa: E402
+
+LIBRARY_XML = """
+<library city="Vienna">
+  <shelf topic="databases">
+    <book year="2003"><title>The Complexity of XPath Query Evaluation</title></book>
+    <book year="2002"><title>Efficient Algorithms for Processing XPath Queries</title></book>
+  </shelf>
+  <shelf topic="logic">
+    <book year="1994"><title>Computational Complexity</title></book>
+  </shelf>
+</library>
+"""
+
+
+def main() -> None:
+    document = parse_xml(LIBRARY_XML)
+    print(f"Parsed document with {document.size} nodes\n")
+
+    queries = [
+        "/descendant::book[child::title]",
+        "//shelf[not(child::book[attribute::year = '1994'])]",
+        "count(//book)",
+        "/child::library/child::shelf[position() = last()]/child::book",
+    ]
+    for query in queries:
+        result = evaluate(query, document)
+        if isinstance(result, list):
+            rendered = [node.name() or node.node_type.value for node in result]
+        else:
+            rendered = result
+        classification = classify(query)
+        print(f"query     : {query}")
+        print(f"fragment  : {classification.most_specific} "
+              f"({classification.combined_complexity} combined complexity)")
+        print(f"result    : {rendered}\n")
+
+    # The same node-set query evaluated by each engine that accepts it.
+    core_query = "/descendant::book[child::title]"
+    for engine in ("cvt", "naive", "core", "singleton"):
+        nodes = evaluate_nodes(core_query, document, engine=engine)
+        years = [node.get_attribute("year") for node in nodes]
+        print(f"{engine:<10} engine selects books from years {years}")
+
+
+if __name__ == "__main__":
+    main()

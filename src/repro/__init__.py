@@ -1,0 +1,57 @@
+"""repro — a reproduction of "The Complexity of XPath Query Evaluation" (PODS 2003).
+
+The package provides a complete XPath 1.0 engine built from scratch (XML
+data model, parser, four evaluators with different complexity profiles),
+the fragment classifiers of the paper (Core XPath, positive Core XPath,
+PF, WF, pWF, pXPath), the complexity reductions behind its hardness
+results, and a benchmark harness regenerating every figure/claim.
+
+Quickstart::
+
+    from repro import parse_xml, evaluate_nodes
+
+    document = parse_xml("<a><b/><b><c/></b></a>")
+    nodes = evaluate_nodes("/descendant::b[child::c]", document)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every reproduced figure and claim.
+"""
+
+from repro.evaluation import (
+    Context,
+    ContextValueTableEvaluator,
+    CoreXPathEvaluator,
+    NaiveEvaluator,
+    SingletonSuccessChecker,
+    evaluate,
+    evaluate_nodes,
+    make_evaluator,
+    query_selects,
+)
+from repro.fragments import Classification, classify
+from repro.xmlmodel import Document, DocumentBuilder, build_tree, parse_xml, serialize
+from repro.xpath import parse, unparse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Classification",
+    "Context",
+    "ContextValueTableEvaluator",
+    "CoreXPathEvaluator",
+    "Document",
+    "DocumentBuilder",
+    "NaiveEvaluator",
+    "SingletonSuccessChecker",
+    "build_tree",
+    "classify",
+    "evaluate",
+    "evaluate_nodes",
+    "make_evaluator",
+    "parse",
+    "parse_xml",
+    "query_selects",
+    "serialize",
+    "unparse",
+    "__version__",
+]

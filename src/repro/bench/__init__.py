@@ -1,0 +1,35 @@
+"""Workload generators and external-engine helpers for the benchmark harness."""
+
+from repro.bench.etree import (
+    child_chain_elementpath,
+    elementtree_count,
+    elementtree_find_all,
+    supports_child_chain,
+    to_elementtree,
+)
+from repro.bench.workloads import (
+    caterpillar_query,
+    caterpillar_workload,
+    core_scaling_workload,
+    descendant_chain_query,
+    negation_query,
+    positive_condition_query,
+    pwf_positional_query,
+    representative_queries,
+)
+
+__all__ = [
+    "caterpillar_query",
+    "caterpillar_workload",
+    "child_chain_elementpath",
+    "core_scaling_workload",
+    "descendant_chain_query",
+    "elementtree_count",
+    "elementtree_find_all",
+    "negation_query",
+    "positive_condition_query",
+    "pwf_positional_query",
+    "representative_queries",
+    "supports_child_chain",
+    "to_elementtree",
+]

@@ -1,0 +1,49 @@
+"""Cross-checking against :mod:`xml.etree.ElementTree` (the stand-in external engine).
+
+The paper's introduction appeals to measurements of fielded XPath engines;
+in this offline reproduction the independently implemented engine available
+is the ElementPath mini-language of Python's standard library.  It supports
+only a subset of abbreviated XPath (``a/b``, ``.//a``, ``*``, ``[tag]``,
+``[@attr='v']``, ``[position]``), so the helpers here both translate a
+document for it and say whether a given query falls into the supported
+subset.  The E8 bench and the integration tests use it as an agreement
+oracle wherever possible.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.serialize import serialize
+
+
+def to_elementtree(document: Document) -> ElementTree.Element:
+    """Convert one of our documents into an ElementTree element tree."""
+    return ElementTree.fromstring(serialize(document))
+
+
+def elementtree_find_all(document: Document, element_path: str) -> list[ElementTree.Element]:
+    """Run an ElementPath query (ElementTree ``findall`` syntax) on ``document``."""
+    return to_elementtree(document).findall(element_path)
+
+
+def elementtree_count(document: Document, element_path: str) -> int:
+    """Number of elements selected by an ElementPath query."""
+    return len(elementtree_find_all(document, element_path))
+
+
+def child_chain_elementpath(tags: list[str]) -> str:
+    """The ElementPath form of a child-axis chain starting below the document element.
+
+    ``child_chain_elementpath(["b", "c"])`` is ``"./b/c"``, the ElementPath
+    counterpart of our ``/child::root/child::b/child::c`` once the leading
+    document-element step is dropped (``findall`` is rooted at the document
+    element already).
+    """
+    return "./" + "/".join(tags)
+
+
+def supports_child_chain(tags: list[str]) -> bool:
+    """True if the chain contains only plain tags (no wildcards ElementPath mishandles)."""
+    return all(tag.isidentifier() or tag == "*" for tag in tags)

@@ -1,0 +1,131 @@
+"""Query and document workloads shared by the benchmarks, examples and tests.
+
+Each generator documents which experiment (see DESIGN.md's per-experiment
+index) it feeds.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.generators import caterpillar_document, complete_tree_document
+
+# ---------------------------------------------------------------------------
+# E8 — exponential naive evaluation vs. polynomial DP
+# ---------------------------------------------------------------------------
+
+
+def caterpillar_query(steps: int, tags: tuple[str, str] = ("a", "b")) -> str:
+    """A query with ``steps`` sibling-hopping steps over a caterpillar document.
+
+    On :func:`~repro.xmlmodel.generators.caterpillar_document` every step
+    has many continuations, so an evaluator that re-evaluates the tail per
+    context node explores exponentially many navigation paths.
+    """
+    if steps < 1:
+        raise ValueError("steps must be at least 1")
+    parts = [f"/child::doc/child::{tags[0]}"]
+    for index in range(1, steps):
+        parts.append(f"following-sibling::{tags[index % 2]}")
+    return "/".join(parts)
+
+
+def caterpillar_workload(steps: int, length: int | None = None) -> tuple[Document, str]:
+    """Document + query pair for the E8 experiment."""
+    if length is None:
+        length = 2 * steps + 2
+    return caterpillar_document(length), caterpillar_query(steps)
+
+
+# ---------------------------------------------------------------------------
+# E9 — linear-time Core XPath scaling
+# ---------------------------------------------------------------------------
+
+
+def descendant_chain_query(steps: int) -> str:
+    """A Core XPath query with ``steps`` axis alternations and non-trivial conditions.
+
+    The query bounces up and down the tree (descendant-or-self /
+    ancestor-or-self) with an "is an internal node" condition on every step,
+    so the intermediate node sets stay large and the measured cost reflects
+    the O(|D|·|Q|) behaviour rather than early empty-set short-circuits.
+    """
+    parts = ["/descendant-or-self::a[descendant::b or child::c]"]
+    for index in range(steps):
+        axis = "descendant-or-self" if index % 2 == 0 else "ancestor-or-self"
+        tag = "abc"[index % 3]
+        parts.append(f"{axis}::{tag}[child::a or child::b or child::c]")
+    return "/".join(parts)
+
+
+def core_scaling_workload(tree_depth: int, query_steps: int) -> tuple[Document, str]:
+    """Document + Core XPath query for the E9 scaling experiment."""
+    return complete_tree_document(2, tree_depth), descendant_chain_query(query_steps)
+
+
+# ---------------------------------------------------------------------------
+# E6 / E10 / E12 — pWF and positive queries
+# ---------------------------------------------------------------------------
+
+
+def pwf_positional_query(depth: int) -> str:
+    """A pWF query nesting ``depth`` positional comparisons (Table 1 workload)."""
+    query = "child::a[position() + 1 <= last()]"
+    for _ in range(depth):
+        query = f"child::a[child::b or {query}]"
+    return "/" + query
+
+
+def positive_condition_query(depth: int) -> str:
+    """A positive Core XPath query with ``depth`` nested conditions (E10 workload)."""
+    condition = "child::c"
+    for index in range(depth):
+        tag = "abc"[index % 3]
+        condition = f"descendant::{tag}[{condition} or child::b]"
+    return f"/descendant-or-self::node()/child::a[{condition}]"
+
+
+def negation_query(depth: int) -> str:
+    """A Core XPath query with ``depth`` nested negations (bounded-negation tests)."""
+    condition = "child::c"
+    for _ in range(depth):
+        condition = f"not(descendant::b[{condition}])"
+    return f"//a[{condition}]"
+
+
+# ---------------------------------------------------------------------------
+# E1 — representative queries per fragment (Figure 1)
+# ---------------------------------------------------------------------------
+
+
+def representative_queries() -> dict[str, list[str]]:
+    """Example queries whose most-specific fragment is the dictionary key."""
+    return {
+        "PF": [
+            "/descendant::open_auction/child::bidder",
+            "/child::site/descendant::item/parent::*",
+        ],
+        "positive Core XPath": [
+            "/descendant::open_auction[child::bidder and descendant::increase]",
+            "//person[descendant::name or following-sibling::person]",
+        ],
+        "Core XPath": [
+            "/descendant::open_auction[child::bidder and not(child::seller)]",
+            "//item[not(descendant::description)]",
+        ],
+        "pWF": [
+            "/descendant::bidder[position() + 1 = last()]",
+            "//open_auction[child::bidder and position() <= 3]",
+        ],
+        "WF": [
+            "/descendant::open_auction[child::bidder][position() = last()]",
+            "//item[not(position() = 1)]",
+        ],
+        "pXPath": [
+            "/descendant::item[attribute::region = 'europe']",
+            "//open_auction[child::initial > 100]",
+        ],
+        "XPath": [
+            "/descendant::open_auction[count(child::bidder) > 2]",
+            "//person[not(starts-with(child::name, 'Seller'))]",
+        ],
+    }

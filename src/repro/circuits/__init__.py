@@ -1,0 +1,47 @@
+"""Monotone Boolean circuits: the substrate of the paper's hardness reductions."""
+
+from repro.circuits.circuit import (
+    GATE_AND,
+    GATE_INPUT,
+    GATE_OR,
+    Circuit,
+    Gate,
+    circuit_from_spec,
+)
+from repro.circuits.generators import (
+    random_assignment,
+    random_monotone_circuit,
+    random_sac1_circuit,
+)
+from repro.circuits.layering import Layer, layered_serialization, render_layering
+from repro.circuits.library import (
+    CARRY_INPUT_BITS,
+    and_chain,
+    carry_assignment,
+    carry_circuit,
+    expected_carry,
+    majority3,
+    or_of_ands,
+)
+
+__all__ = [
+    "CARRY_INPUT_BITS",
+    "Circuit",
+    "GATE_AND",
+    "GATE_INPUT",
+    "GATE_OR",
+    "Gate",
+    "Layer",
+    "and_chain",
+    "carry_assignment",
+    "carry_circuit",
+    "circuit_from_spec",
+    "expected_carry",
+    "layered_serialization",
+    "majority3",
+    "or_of_ands",
+    "random_assignment",
+    "random_monotone_circuit",
+    "random_sac1_circuit",
+    "render_layering",
+]

@@ -1,0 +1,210 @@
+"""Monotone Boolean circuits (the substrate of Theorems 3.2, 4.2 and 5.7).
+
+A *monotone* circuit uses only ∧- and ∨-gates (no negation).  The monotone
+circuit value problem — given a circuit and an input assignment, does the
+output gate evaluate to true? — is P-complete, and is the problem the
+paper reduces to Core XPath evaluation in Theorem 3.2.
+
+Gates are named; the class enforces the paper's normal form: gates can be
+renumbered ``G1 … G(M+N)`` such that the M input gates come first and no
+gate depends on a gate with a higher number (the proof of Theorem 3.2
+assumes exactly this ordering and notes it is computable in logarithmic
+space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import CircuitError
+
+GATE_INPUT = "input"
+GATE_AND = "and"
+GATE_OR = "or"
+
+_VALID_KINDS = (GATE_INPUT, GATE_AND, GATE_OR)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate of a monotone circuit.
+
+    ``inputs`` names the gates feeding this gate; input gates have none.
+    Fan-in is unbounded (the Theorem 3.2 construction explicitly permits
+    this), including fan-in one ("dummy" propagation gates).
+    """
+
+    name: str
+    kind: str
+    inputs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise CircuitError(f"unknown gate kind {self.kind!r}")
+        if self.kind == GATE_INPUT and self.inputs:
+            raise CircuitError(f"input gate {self.name!r} cannot have inputs")
+        if self.kind != GATE_INPUT and not self.inputs:
+            raise CircuitError(f"{self.kind}-gate {self.name!r} must have at least one input")
+
+
+class Circuit:
+    """A monotone Boolean circuit with a distinguished output gate."""
+
+    def __init__(self, gates: Iterable[Gate], output: str) -> None:
+        self.gates: dict[str, Gate] = {}
+        for gate in gates:
+            if gate.name in self.gates:
+                raise CircuitError(f"duplicate gate name {gate.name!r}")
+            self.gates[gate.name] = gate
+        if output not in self.gates:
+            raise CircuitError(f"output gate {output!r} is not defined")
+        self.output = output
+        self._validate()
+        self._topological: list[str] = self._topological_sort()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _validate(self) -> None:
+        for gate in self.gates.values():
+            for input_name in gate.inputs:
+                if input_name not in self.gates:
+                    raise CircuitError(
+                        f"gate {gate.name!r} references undefined gate {input_name!r}"
+                    )
+
+    def _topological_sort(self) -> list[str]:
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+        def visit(name: str, stack: list[str]) -> None:
+            status = state.get(name, 0)
+            if status == 2:
+                return
+            if status == 1:
+                cycle = " -> ".join(stack + [name])
+                raise CircuitError(f"circuit contains a cycle: {cycle}")
+            state[name] = 1
+            for input_name in self.gates[name].inputs:
+                visit(input_name, stack + [name])
+            state[name] = 2
+            order.append(name)
+
+        for name in self.gates:
+            visit(name, [])
+        return order
+
+    # -- structural queries ----------------------------------------------------------
+
+    @property
+    def input_names(self) -> list[str]:
+        """Names of the input gates, in topological (hence numbering) order."""
+        return [name for name in self._topological if self.gates[name].kind == GATE_INPUT]
+
+    @property
+    def internal_names(self) -> list[str]:
+        """Names of the non-input gates in topological order."""
+        return [name for name in self._topological if self.gates[name].kind != GATE_INPUT]
+
+    def topological_order(self) -> list[str]:
+        """All gate names in an order where every gate follows its inputs."""
+        return list(self._topological)
+
+    def numbering(self) -> dict[str, int]:
+        """Return the paper's 1-based numbering: inputs first, then internal gates.
+
+        The numbering satisfies the requirement of Theorem 3.2 that no gate
+        ``Gi`` depends on a gate ``Gj`` with ``j > i``.
+        """
+        ordered = self.input_names + self.internal_names
+        return {name: index for index, name in enumerate(ordered, start=1)}
+
+    def size(self) -> int:
+        """Total number of gates (M + N in the paper's notation)."""
+        return len(self.gates)
+
+    def num_inputs(self) -> int:
+        """Number of input gates (M)."""
+        return len(self.input_names)
+
+    def num_internal(self) -> int:
+        """Number of non-input gates (N)."""
+        return len(self.gates) - self.num_inputs()
+
+    def depth(self) -> int:
+        """Length of the longest input-to-output path, counting non-input gates."""
+        depths: dict[str, int] = {}
+        for name in self._topological:
+            gate = self.gates[name]
+            if gate.kind == GATE_INPUT:
+                depths[name] = 0
+            else:
+                depths[name] = 1 + max(depths[input_name] for input_name in gate.inputs)
+        return depths[self.output]
+
+    def max_fanin(self, kind: str | None = None) -> int:
+        """Largest fan-in among gates (optionally restricted to one gate kind)."""
+        fanins = [
+            len(gate.inputs)
+            for gate in self.gates.values()
+            if gate.kind != GATE_INPUT and (kind is None or gate.kind == kind)
+        ]
+        return max(fanins, default=0)
+
+    def is_semi_unbounded(self, and_fanin_bound: int = 2) -> bool:
+        """True if every ∧-gate has fan-in at most ``and_fanin_bound`` (SAC¹ shape)."""
+        return self.max_fanin(GATE_AND) <= and_fanin_bound
+
+    def wires(self) -> list[tuple[str, str]]:
+        """All (source, target) wires of the circuit."""
+        return [
+            (input_name, gate.name)
+            for gate in self.gates.values()
+            for input_name in gate.inputs
+        ]
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Return the truth value of every gate under ``assignment`` for the inputs."""
+        values: dict[str, bool] = {}
+        for name in self._topological:
+            gate = self.gates[name]
+            if gate.kind == GATE_INPUT:
+                try:
+                    values[name] = bool(assignment[name])
+                except KeyError:
+                    raise CircuitError(f"no value supplied for input gate {name!r}") from None
+            elif gate.kind == GATE_AND:
+                values[name] = all(values[input_name] for input_name in gate.inputs)
+            else:
+                values[name] = any(values[input_name] for input_name in gate.inputs)
+        return values
+
+    def value(self, assignment: Mapping[str, bool]) -> bool:
+        """Return the value of the output gate under ``assignment``."""
+        return self.evaluate(assignment)[self.output]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Circuit inputs={self.num_inputs()} gates={self.num_internal()} "
+            f"depth={self.depth()} output={self.output!r}>"
+        )
+
+
+def circuit_from_spec(
+    inputs: Sequence[str], gates: Sequence[tuple[str, str, Sequence[str]]], output: str
+) -> Circuit:
+    """Build a circuit from a compact specification.
+
+    ``gates`` is a sequence of ``(name, kind, input_names)`` triples, e.g.::
+
+        circuit_from_spec(
+            inputs=["x", "y"],
+            gates=[("g", "and", ["x", "y"])],
+            output="g",
+        )
+    """
+    all_gates = [Gate(name, GATE_INPUT) for name in inputs]
+    all_gates.extend(Gate(name, kind, tuple(input_names)) for name, kind, input_names in gates)
+    return Circuit(all_gates, output)

@@ -1,0 +1,97 @@
+"""Random circuit generators for property tests and reduction benchmarks.
+
+Two families are provided:
+
+* :func:`random_monotone_circuit` — arbitrary monotone circuits with a
+  configurable fan-in distribution; workload of the Theorem 3.2 / 5.7
+  benches (the monotone circuit value problem is P-complete);
+* :func:`random_sac1_circuit` — layered semi-unbounded circuits
+  (∧ fan-in 2, ∨ fan-in unbounded) of logarithmic depth; workload of the
+  Theorem 4.2 bench (SAC¹ circuit value is LOGCFL-complete,
+  Proposition 2.2).
+
+Both are deterministic in their ``seed`` so failing cases can be replayed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.circuits.circuit import GATE_AND, GATE_INPUT, GATE_OR, Circuit, Gate
+
+
+def random_assignment(circuit: Circuit, seed: int = 0, true_probability: float = 0.5) -> dict[str, bool]:
+    """A random input assignment for ``circuit`` (deterministic per seed)."""
+    rng = random.Random(seed)
+    return {name: rng.random() < true_probability for name in circuit.input_names}
+
+
+def random_monotone_circuit(
+    num_inputs: int,
+    num_gates: int,
+    seed: int = 0,
+    max_fanin: int = 3,
+    and_probability: float = 0.5,
+) -> Circuit:
+    """Generate a random monotone circuit with ``num_inputs`` inputs and ``num_gates`` gates.
+
+    Gate ``i`` draws its inputs uniformly from all earlier gates, so the
+    numbering requirement of Theorem 3.2 holds by construction.  The last
+    gate is the output.
+    """
+    if num_inputs < 1 or num_gates < 1:
+        raise ValueError("need at least one input and one internal gate")
+    rng = random.Random(seed)
+    gates: list[Gate] = [Gate(f"G{i}", GATE_INPUT) for i in range(1, num_inputs + 1)]
+    for index in range(num_inputs + 1, num_inputs + num_gates + 1):
+        available = [f"G{i}" for i in range(1, index)]
+        fanin = rng.randint(1, min(max_fanin, len(available)))
+        inputs = tuple(rng.sample(available, fanin))
+        kind = GATE_AND if rng.random() < and_probability else GATE_OR
+        gates.append(Gate(f"G{index}", kind, inputs))
+    return Circuit(gates, f"G{num_inputs + num_gates}")
+
+
+def random_sac1_circuit(
+    num_inputs: int,
+    depth: int | None = None,
+    seed: int = 0,
+    or_fanin: int = 4,
+) -> Circuit:
+    """Generate a layered semi-unbounded (SAC¹-shaped) circuit.
+
+    The circuit alternates ∨-layers (unbounded fan-in, here up to
+    ``or_fanin``) and ∧-layers (fan-in exactly 2).  ``depth`` defaults to
+    ``ceil(log2(num_inputs)) + 1``, matching the logarithmic-depth
+    requirement of SAC¹; the generator enforces
+    ``circuit.is_semi_unbounded()``.
+    """
+    if num_inputs < 2:
+        raise ValueError("need at least two inputs")
+    if depth is None:
+        depth = int(math.ceil(math.log2(num_inputs))) + 1
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    rng = random.Random(seed)
+    gates: list[Gate] = [Gate(f"x{i}", GATE_INPUT) for i in range(num_inputs)]
+    previous_layer = [gate.name for gate in gates]
+    counter = 0
+    for level in range(depth):
+        is_and_layer = level % 2 == 1
+        layer_width = max(2, len(previous_layer) // 2) if level < depth - 1 else 1
+        current_layer: list[str] = []
+        for _ in range(layer_width):
+            counter += 1
+            name = f"g{counter}"
+            if is_and_layer:
+                inputs = tuple(rng.sample(previous_layer, min(2, len(previous_layer))))
+                gates.append(Gate(name, GATE_AND, inputs))
+            else:
+                fanin = rng.randint(1, min(or_fanin, len(previous_layer)))
+                inputs = tuple(rng.sample(previous_layer, fanin))
+                gates.append(Gate(name, GATE_OR, inputs))
+            current_layer.append(name)
+        previous_layer = current_layer
+    return Circuit(gates, previous_layer[-1])

@@ -1,0 +1,89 @@
+"""The layered serialisation of a circuit used by the hardness proofs (Figure 3).
+
+The proof of Theorem 3.2 treats the circuit "as if layered": the non-input
+gates are processed one per layer in ascending numbering order, and every
+layer additionally contains "dummy" fan-in-one gates that simply propagate
+the values of all earlier gates upwards so they stay available.  Figure 3
+shows this view for the carry-bit circuit of Figure 2.
+
+:func:`layered_serialization` computes that view explicitly.  It is used by
+the ``circuit_reduction`` example to print a textual Figure 3, and by the
+tests that validate the reduction's label assignment (the ``Ik``/``Ok``
+labels of the document are exactly the input/output wires of layer k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import GATE_INPUT, Circuit
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of the serialised circuit.
+
+    Attributes
+    ----------
+    index:
+        The 1-based layer number ``k``; the layer computes gate ``G(M+k)``.
+    gate_name:
+        Name of the single fan-in->1-capable gate computed at this layer.
+    gate_kind:
+        ``"and"`` or ``"or"`` — the type all gates of the layer share.
+    gate_inputs:
+        The gate numbers feeding ``gate_name`` (these receive label ``Ik``).
+    dummy_gates:
+        Gate numbers whose values are propagated unchanged through this
+        layer (every gate numbered below ``M + k``).
+    """
+
+    index: int
+    gate_name: str
+    gate_kind: str
+    gate_inputs: tuple[int, ...]
+    dummy_gates: tuple[int, ...]
+
+
+def layered_serialization(circuit: Circuit) -> list[Layer]:
+    """Return the Figure 3 style layering of ``circuit``.
+
+    Layer ``k`` (1-based) computes the internal gate numbered ``M + k`` and
+    propagates gates ``1 … M + k − 1`` through dummy gates.
+    """
+    numbering = circuit.numbering()
+    by_number = {number: name for name, number in numbering.items()}
+    num_inputs = circuit.num_inputs()
+    layers: list[Layer] = []
+    for k in range(1, circuit.num_internal() + 1):
+        gate_name = by_number[num_inputs + k]
+        gate = circuit.gates[gate_name]
+        layers.append(
+            Layer(
+                index=k,
+                gate_name=gate_name,
+                gate_kind=gate.kind,
+                gate_inputs=tuple(sorted(numbering[name] for name in gate.inputs)),
+                dummy_gates=tuple(range(1, num_inputs + k)),
+            )
+        )
+    return layers
+
+
+def render_layering(circuit: Circuit) -> str:
+    """Render the layered view as text (the textual analogue of Figure 3)."""
+    numbering = circuit.numbering()
+    lines = [
+        f"Layered serialisation ({circuit.num_inputs()} inputs, "
+        f"{circuit.num_internal()} layers):"
+    ]
+    for layer in layered_serialization(circuit):
+        inputs = ", ".join(f"G{number}" for number in layer.gate_inputs)
+        lines.append(
+            f"  L{layer.index}: computes {layer.gate_name} = "
+            f"{layer.gate_kind.upper()}({inputs}); propagates "
+            f"{len(layer.dummy_gates)} earlier gate value(s)"
+        )
+    output_number = numbering[circuit.output]
+    lines.append(f"  output gate: G{output_number} ({circuit.output})")
+    return "\n".join(lines)

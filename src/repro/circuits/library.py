@@ -1,0 +1,90 @@
+"""Concrete circuits used by the paper and by the test-suite.
+
+The centrepiece is :func:`carry_circuit`, the 2-bit full-adder carry-bit
+circuit of Figure 2: it computes whether adding the two-bit numbers
+``a1 a0`` and ``b1 b0`` overflows, via ``c1 = (a1∧b1) ∨ (a1∧c0) ∨ (b1∧c0)``
+with ``c0 = a0∧b0``.  The gate names follow the paper exactly
+(inputs G1–G4, internal gates G5–G9, output G9).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import GATE_AND, GATE_OR, Circuit, Gate, circuit_from_spec
+
+#: Mapping from the paper's input-gate names to the adder bits they carry.
+CARRY_INPUT_BITS = {"G1": "a1", "G2": "b1", "G3": "a0", "G4": "b0"}
+
+
+def carry_circuit() -> Circuit:
+    """The 2-bit full-adder carry-bit circuit of Figure 2.
+
+    * G1 = a1, G2 = b1, G3 = a0, G4 = b0 (inputs)
+    * G5 = G3 ∧ G4                    (c0, the lower carry)
+    * G6 = G1 ∧ G2
+    * G7 = G1 ∧ G5
+    * G8 = G2 ∧ G5
+    * G9 = G6 ∨ G7 ∨ G8               (c1, the output)
+    """
+    return circuit_from_spec(
+        inputs=["G1", "G2", "G3", "G4"],
+        gates=[
+            ("G5", GATE_AND, ["G3", "G4"]),
+            ("G6", GATE_AND, ["G1", "G2"]),
+            ("G7", GATE_AND, ["G1", "G5"]),
+            ("G8", GATE_AND, ["G2", "G5"]),
+            ("G9", GATE_OR, ["G6", "G7", "G8"]),
+        ],
+        output="G9",
+    )
+
+
+def carry_assignment(a1: bool, a0: bool, b1: bool, b0: bool) -> dict[str, bool]:
+    """Input assignment for :func:`carry_circuit` from the four adder bits."""
+    return {"G1": a1, "G2": b1, "G3": a0, "G4": b0}
+
+
+def expected_carry(a1: bool, a0: bool, b1: bool, b0: bool) -> bool:
+    """Ground truth: does ``a1a0 + b1b0`` overflow two bits?"""
+    return (2 * a1 + a0) + (2 * b1 + b0) >= 4
+
+
+def and_chain(width: int) -> Circuit:
+    """A chain of ∧-gates over ``width`` inputs (depth ``width - 1``)."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    inputs = [f"x{i}" for i in range(width)]
+    gates = []
+    previous = inputs[0]
+    for index in range(1, width):
+        name = f"a{index}"
+        gates.append((name, GATE_AND, [previous, inputs[index]]))
+        previous = name
+    return circuit_from_spec(inputs, gates, previous)
+
+
+def or_of_ands(groups: int, group_size: int) -> Circuit:
+    """A DNF-shaped circuit: an ∨ of ``groups`` ∧-gates over disjoint inputs."""
+    if groups < 1 or group_size < 1:
+        raise ValueError("groups and group_size must be at least 1")
+    inputs = [f"x{g}_{i}" for g in range(groups) for i in range(group_size)]
+    gates = []
+    for g in range(groups):
+        gates.append(
+            (f"and{g}", GATE_AND, [f"x{g}_{i}" for i in range(group_size)])
+        )
+    gates.append(("out", GATE_OR, [f"and{g}" for g in range(groups)]))
+    return circuit_from_spec(inputs, gates, "out")
+
+
+def majority3() -> Circuit:
+    """Monotone majority of three inputs: (x∧y) ∨ (x∧z) ∨ (y∧z)."""
+    return circuit_from_spec(
+        inputs=["x", "y", "z"],
+        gates=[
+            ("xy", GATE_AND, ["x", "y"]),
+            ("xz", GATE_AND, ["x", "z"]),
+            ("yz", GATE_AND, ["y", "z"]),
+            ("out", GATE_OR, ["xy", "xz", "yz"]),
+        ],
+        output="out",
+    )

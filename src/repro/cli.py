@@ -1,0 +1,124 @@
+"""Command-line interface: evaluate XPath queries and classify them.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro eval "//book[child::title]" catalogue.xml --engine core
+    python -m repro classify "//a[not(b)]"
+    python -m repro figure1
+
+``eval`` prints the result of the query (node names / scalar value), the
+engine used, and basic cost counters; ``classify`` prints the Figure 1
+fragment and combined complexity of a query together with the reasons it
+falls outside smaller fragments; ``figure1`` prints the fragment lattice.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.complexity import render_figure1
+from repro.errors import ReproError
+from repro.evaluation import ENGINES, evaluate, make_evaluator
+from repro.evaluation.values import NodeSet
+from repro.fragments import classify
+from repro.xmlmodel import parse_xml
+from repro.xmlmodel.nodes import XMLNode
+
+
+def _describe_node(node: XMLNode) -> str:
+    name = node.name()
+    if name:
+        return f"{node.node_type.value}({name})@{node.order}"
+    return f"{node.node_type.value}@{node.order}"
+
+
+def _command_eval(args: argparse.Namespace) -> int:
+    with open(args.document, "r", encoding="utf-8") as handle:
+        document = parse_xml(handle.read())
+    result = evaluate(args.query, document, engine=args.engine)
+    print(f"document : {args.document} ({document.size} nodes)")
+    print(f"engine   : {args.engine}")
+    print(f"query    : {args.query}")
+    if isinstance(result, list):
+        print(f"result   : node-set of {len(result)} node(s)")
+        limit = args.limit if args.limit > 0 else len(result)
+        for node in result[:limit]:
+            print(f"  - {_describe_node(node)}")
+        if len(result) > limit:
+            print(f"  … and {len(result) - limit} more")
+    else:
+        print(f"result   : {result!r}")
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    classification = classify(args.query)
+    print(f"query               : {classification.query}")
+    print(f"most specific       : {classification.most_specific}")
+    print(f"combined complexity : {classification.combined_complexity}")
+    print(f"member of           : {', '.join(classification.fragments)}")
+    if args.verbose and classification.violations:
+        print("excluded from:")
+        for fragment, reasons in classification.violations.items():
+            print(f"  {fragment}:")
+            for reason in reasons:
+                print(f"    - {reason}")
+    return 0
+
+
+def _command_figure1(args: argparse.Namespace) -> int:
+    print(render_figure1())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XPath 1.0 evaluation and fragment classification "
+        "(reproduction of Gottlob/Koch/Pichler, PODS 2003)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    eval_parser = subparsers.add_parser("eval", help="evaluate a query on an XML file")
+    eval_parser.add_argument("query", help="the XPath 1.0 query")
+    eval_parser.add_argument("document", help="path to the XML document")
+    eval_parser.add_argument(
+        "--engine", choices=ENGINES, default="cvt", help="evaluation engine (default: cvt)"
+    )
+    eval_parser.add_argument(
+        "--limit", type=int, default=20, help="maximum number of result nodes to print"
+    )
+    eval_parser.set_defaults(func=_command_eval)
+
+    classify_parser = subparsers.add_parser("classify", help="classify a query (Figure 1)")
+    classify_parser.add_argument("query", help="the XPath 1.0 query")
+    classify_parser.add_argument(
+        "--verbose", action="store_true", help="also print why smaller fragments exclude it"
+    )
+    classify_parser.set_defaults(func=_command_classify)
+
+    figure1_parser = subparsers.add_parser("figure1", help="print the Figure 1 lattice")
+    figure1_parser.set_defaults(func=_command_figure1)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

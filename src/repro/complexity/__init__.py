@@ -1,0 +1,45 @@
+"""Complexity-class modelling (Figure 1) and empirical scaling measurement."""
+
+from repro.complexity.classes import (
+    CLASS_CHAIN,
+    CLASS_DESCRIPTIONS,
+    DATA_COMPLEXITY,
+    FIGURE1_ASSIGNMENTS,
+    FIGURE1_INCLUSIONS,
+    PARALLELIZABLE_CLASSES,
+    QUERY_COMPLEXITY,
+    ComplexityAssignment,
+    class_index,
+    figure1_assignment,
+    is_contained_in,
+    is_parallelizable,
+    render_figure1,
+)
+from repro.complexity.measures import (
+    ScalingSeries,
+    doubling_ratios,
+    fit_exponential,
+    fit_power_law,
+    operations_per_input,
+)
+
+__all__ = [
+    "CLASS_CHAIN",
+    "CLASS_DESCRIPTIONS",
+    "ComplexityAssignment",
+    "DATA_COMPLEXITY",
+    "FIGURE1_ASSIGNMENTS",
+    "FIGURE1_INCLUSIONS",
+    "PARALLELIZABLE_CLASSES",
+    "QUERY_COMPLEXITY",
+    "ScalingSeries",
+    "class_index",
+    "doubling_ratios",
+    "figure1_assignment",
+    "fit_exponential",
+    "fit_power_law",
+    "is_contained_in",
+    "is_parallelizable",
+    "operations_per_input",
+    "render_figure1",
+]

@@ -1,0 +1,126 @@
+"""The complexity-class landscape of the paper (Section 2.1 and Figure 1).
+
+This module models the chain NC¹ ⊆ L ⊆ NL ⊆ LOGCFL ⊆ NC² ⊆ NC ⊆ P used
+throughout the paper, the notion of a completeness result, and the
+fragment-to-complexity assignment of Figure 1 together with the fragment
+inclusion arrows.  The benchmark ``bench_figure1_fragments`` renders these
+structures as the textual analogue of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The inclusion chain of Section 2.1, from smallest to largest.
+CLASS_CHAIN = ("NC1", "L", "NL", "LOGCFL", "NC2", "NC", "P")
+
+#: Human-readable definitions, used by documentation and the Figure 1 bench.
+CLASS_DESCRIPTIONS = {
+    "NC1": "logarithmic-depth bounded fan-in circuits",
+    "L": "deterministic logarithmic space",
+    "NL": "nondeterministic logarithmic space",
+    "LOGCFL": "problems L-reducible to a context-free language (= SAC1)",
+    "NC2": "log^2-depth bounded fan-in circuits",
+    "NC": "polylog time on polynomially many processors",
+    "P": "deterministic polynomial time",
+}
+
+#: Classes the paper treats as "highly parallelizable" (inside NC).
+PARALLELIZABLE_CLASSES = frozenset({"NC1", "L", "NL", "LOGCFL", "NC2", "NC"})
+
+
+def class_index(name: str) -> int:
+    """Return the position of ``name`` in the inclusion chain."""
+    try:
+        return CLASS_CHAIN.index(name)
+    except ValueError:
+        raise ValueError(f"unknown complexity class {name!r}") from None
+
+
+def is_contained_in(smaller: str, larger: str) -> bool:
+    """Return True if ``smaller`` ⊆ ``larger`` in the chain of Section 2.1."""
+    return class_index(smaller) <= class_index(larger)
+
+
+def is_parallelizable(name: str) -> bool:
+    """Return True if the class is within NC (the paper's parallelizability notion)."""
+    return name in PARALLELIZABLE_CLASSES
+
+
+@dataclass(frozen=True)
+class ComplexityAssignment:
+    """One row of Figure 1: a fragment, its class, and whether hardness is known."""
+
+    fragment: str
+    complexity_class: str
+    complete: bool
+    theorem: str
+
+    @property
+    def label(self) -> str:
+        """The label used in Figure 1 (e.g. ``"LOGCFL-complete"``)."""
+        suffix = "-complete" if self.complete else ""
+        return f"{self.complexity_class}{suffix}"
+
+    @property
+    def parallelizable(self) -> bool:
+        """True if membership places the fragment inside NC."""
+        return is_parallelizable(self.complexity_class)
+
+
+#: The combined-complexity results of Figure 1, with their theorems.
+FIGURE1_ASSIGNMENTS = (
+    ComplexityAssignment("PF", "NL", True, "Theorem 4.3"),
+    ComplexityAssignment("positive Core XPath", "LOGCFL", True, "Theorems 4.1 and 4.2"),
+    ComplexityAssignment("pWF", "LOGCFL", False, "Theorem 5.5"),
+    ComplexityAssignment("pXPath", "LOGCFL", True, "Theorem 6.2 (hardness from Thm 4.2)"),
+    ComplexityAssignment("Core XPath", "P", True, "Theorem 3.2"),
+    ComplexityAssignment("WF", "P", True, "Theorem 3.2 (membership from Prop. 2.7)"),
+    ComplexityAssignment("XPath", "P", True, "Theorem 3.2 (membership from Prop. 2.7)"),
+)
+
+#: Fragment inclusion arrows of Figure 1 (an arrow L1 → L2 means L1 ⊆ L2).
+FIGURE1_INCLUSIONS = (
+    ("PF", "positive Core XPath"),
+    ("positive Core XPath", "pWF"),
+    ("positive Core XPath", "Core XPath"),
+    ("pWF", "WF"),
+    ("pWF", "pXPath"),
+    ("Core XPath", "WF"),
+    ("WF", "XPath"),
+    ("pXPath", "XPath"),
+)
+
+#: The other complexity measures of Section 7.
+DATA_COMPLEXITY = {
+    "XPath": ComplexityAssignment("XPath (data complexity)", "L", False, "Theorem 7.2"),
+    "PF": ComplexityAssignment("PF (data complexity)", "L", True, "Theorems 7.1 and 7.2"),
+}
+QUERY_COMPLEXITY = {
+    "XPath without * and concat": ComplexityAssignment(
+        "XPath w/o multiplication and concat (query complexity)", "L", False, "Theorem 7.3"
+    ),
+}
+
+
+def figure1_assignment(fragment: str) -> ComplexityAssignment:
+    """Return the Figure 1 assignment for ``fragment``."""
+    for assignment in FIGURE1_ASSIGNMENTS:
+        if assignment.fragment == fragment:
+            return assignment
+    raise ValueError(f"unknown fragment {fragment!r}")
+
+
+def render_figure1() -> str:
+    """Render Figure 1 as text: one line per fragment plus the inclusion arrows."""
+    lines = ["Combined complexity of XPath fragments (Figure 1):", ""]
+    for assignment in FIGURE1_ASSIGNMENTS:
+        marker = "parallelizable" if assignment.parallelizable else "inherently sequential (unless P ⊆ NC)"
+        lines.append(
+            f"  {assignment.fragment:<22} {assignment.label:<18} {marker}  [{assignment.theorem}]"
+        )
+    lines.append("")
+    lines.append("Fragment inclusions (L1 -> L2 means L1 is a fragment of L2):")
+    for smaller, larger in FIGURE1_INCLUSIONS:
+        lines.append(f"  {smaller} -> {larger}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Empirical complexity measurement helpers.
+
+The paper makes asymptotic claims (linear, polynomial, exponential);
+this module provides the small statistical toolbox the benchmarks use to
+turn measured (size, cost) series into those judgements:
+
+* :func:`fit_power_law` — least-squares fit of ``cost ≈ c · size^k`` on a
+  log-log scale, returning the exponent ``k`` (≈1 for the Core XPath
+  linear-time claim, ≈ constant-degree polynomial for the DP evaluator);
+* :func:`fit_exponential` — least-squares fit of ``cost ≈ c · b^size``
+  returning the base ``b`` (> 1 indicates exponential blow-up, the naive
+  evaluator's signature);
+* :func:`doubling_ratios` — successive cost ratios, the most readable
+  evidence of exponential behaviour;
+* :class:`ScalingSeries` — a labelled (size, cost) series with pretty
+  printing used by every benchmark's textual output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def fit_power_law(sizes: Sequence[float], costs: Sequence[float]) -> tuple[float, float]:
+    """Fit ``cost = c * size**k`` by linear regression in log-log space.
+
+    Returns ``(k, c)``.  Zero or negative observations are ignored (they
+    carry no information about the asymptotic growth).
+    """
+    points = [
+        (math.log(size), math.log(cost))
+        for size, cost in zip(sizes, costs)
+        if size > 0 and cost > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two positive observations to fit a power law")
+    slope, intercept = _linear_regression(points)
+    return slope, math.exp(intercept)
+
+
+def fit_exponential(sizes: Sequence[float], costs: Sequence[float]) -> tuple[float, float]:
+    """Fit ``cost = c * b**size`` by linear regression in semi-log space.
+
+    Returns ``(b, c)``; ``b`` noticeably above 1 indicates exponential growth.
+    """
+    points = [
+        (float(size), math.log(cost)) for size, cost in zip(sizes, costs) if cost > 0
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two positive observations to fit an exponential")
+    slope, intercept = _linear_regression(points)
+    return math.exp(slope), math.exp(intercept)
+
+
+def _linear_regression(points: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    count = len(points)
+    mean_x = sum(x for x, _ in points) / count
+    mean_y = sum(y for _, y in points) / count
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    if denominator == 0:
+        raise ValueError("all x values identical; cannot fit a slope")
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in points) / denominator
+    intercept = mean_y - slope * mean_x
+    return slope, intercept
+
+
+def doubling_ratios(costs: Sequence[float]) -> list[float]:
+    """Return successive ratios cost[i+1] / cost[i] (0 entries are skipped)."""
+    ratios = []
+    for previous, current in zip(costs, costs[1:]):
+        if previous > 0:
+            ratios.append(current / previous)
+    return ratios
+
+
+@dataclass
+class ScalingSeries:
+    """A labelled series of (size, cost) measurements with analysis helpers."""
+
+    label: str
+    size_label: str = "size"
+    cost_label: str = "cost"
+    sizes: list[float] = field(default_factory=list)
+    costs: list[float] = field(default_factory=list)
+
+    def add(self, size: float, cost: float) -> None:
+        """Record one measurement."""
+        self.sizes.append(float(size))
+        self.costs.append(float(cost))
+
+    def power_law_exponent(self) -> float:
+        """Fitted exponent k of cost ≈ c·size^k."""
+        return fit_power_law(self.sizes, self.costs)[0]
+
+    def exponential_base(self) -> float:
+        """Fitted base b of cost ≈ c·b^size."""
+        return fit_exponential(self.sizes, self.costs)[0]
+
+    def ratios(self) -> list[float]:
+        """Successive cost ratios."""
+        return doubling_ratios(self.costs)
+
+    def format_table(self) -> str:
+        """Render the series as an aligned text table."""
+        lines = [f"{self.label}", f"  {self.size_label:>12}  {self.cost_label:>16}"]
+        for size, cost in zip(self.sizes, self.costs):
+            size_text = f"{int(size)}" if float(size).is_integer() else f"{size:.3g}"
+            lines.append(f"  {size_text:>12}  {cost:>16.6g}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """One-line growth summary (power-law exponent and, if sensible, ratios)."""
+        try:
+            exponent = self.power_law_exponent()
+            return f"{self.label}: cost ~ size^{exponent:.2f}"
+        except ValueError:
+            return f"{self.label}: insufficient data"
+
+
+def operations_per_input(series: ScalingSeries) -> list[float]:
+    """Return cost/size for each observation (flat ⇒ linear scaling)."""
+    return [cost / size if size else math.nan for size, cost in zip(series.sizes, series.costs)]

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without also catching unrelated Python
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class XMLParseError(ReproError):
+    """Raised when the XML parser encounters malformed input.
+
+    Attributes
+    ----------
+    position:
+        Character offset in the input at which the error was detected, or
+        ``None`` if the offset is unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath expression cannot be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class XPathTypeError(ReproError):
+    """Raised when an XPath expression is applied to a value of the wrong type.
+
+    XPath 1.0 has very permissive implicit conversions, so this error only
+    occurs for genuinely meaningless operations (for instance using a
+    node-set where a location path is syntactically required).
+    """
+
+
+class XPathEvaluationError(ReproError):
+    """Raised when evaluation fails for a reason other than a type error."""
+
+
+class FragmentViolationError(ReproError):
+    """Raised when a query is passed to an evaluator for a fragment it is not in.
+
+    The message lists the specific syntactic features that place the query
+    outside the fragment, mirroring the definitions in the paper
+    (Definitions 2.5, 2.6, 5.1 and 6.1).
+    """
+
+    def __init__(self, fragment: str, violations: list[str]) -> None:
+        self.fragment = fragment
+        self.violations = list(violations)
+        details = "; ".join(self.violations) if self.violations else "unknown reason"
+        super().__init__(f"query is not in fragment {fragment}: {details}")
+
+
+class CircuitError(ReproError):
+    """Raised for malformed Boolean circuits (cycles, missing gates, bad arity)."""
+
+
+class ReductionError(ReproError):
+    """Raised when a complexity reduction is applied to an unsupported instance."""

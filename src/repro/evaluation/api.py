@@ -1,0 +1,113 @@
+"""Convenience entry points: evaluate a query with a chosen engine.
+
+Four engines are available, matching the paper's algorithmic landscape:
+
+``"cvt"`` (default)
+    The context-value-table dynamic program — polynomial combined
+    complexity for full XPath 1.0 (Proposition 2.7).
+``"naive"``
+    The literal functional-semantics evaluator — worst-case exponential in
+    the query size (the behaviour of fielded engines the introduction
+    describes).
+``"core"``
+    The O(|D|·|Q|) Core XPath evaluator — only accepts Core XPath.
+``"singleton"``
+    The Singleton-Success checker of Lemma 5.4 — only accepts pWF/pXPath
+    (optionally with bounded negation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import XPathEvaluationError
+from repro.evaluation.context import Context
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.cvt import ContextValueTableEvaluator
+from repro.evaluation.naive import NaiveEvaluator
+from repro.evaluation.singleton import SingletonSuccessChecker
+from repro.evaluation.values import NodeSet, XPathValue
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode
+from repro.xpath.ast import XPathExpr
+from repro.xpath.functions import NODESET, static_type
+from repro.xpath.parser import parse
+
+ENGINES = ("cvt", "naive", "core", "singleton")
+
+
+def make_evaluator(
+    document: Document,
+    engine: str = "cvt",
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    max_negation_depth: int = 0,
+):
+    """Instantiate the evaluator object for ``engine`` on ``document``."""
+    if engine == "cvt":
+        return ContextValueTableEvaluator(document, variables)
+    if engine == "naive":
+        return NaiveEvaluator(document, variables)
+    if engine == "core":
+        return CoreXPathEvaluator(document)
+    if engine == "singleton":
+        return SingletonSuccessChecker(document, max_negation_depth=max_negation_depth)
+    raise XPathEvaluationError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+
+
+def evaluate(
+    query: XPathExpr | str,
+    document: Document,
+    engine: str = "cvt",
+    context: Optional[Context] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+) -> XPathValue | list[XMLNode] | bool:
+    """Evaluate ``query`` on ``document`` with the chosen engine.
+
+    Node-set results are returned as a plain list of nodes in document
+    order; other results as Python ``float`` / ``str`` / ``bool``.
+    """
+    expr = parse(query) if isinstance(query, str) else query
+    if engine in ("cvt", "naive"):
+        evaluator = make_evaluator(document, engine, variables)
+        value = evaluator.evaluate(expr, context)
+        return list(value.nodes) if isinstance(value, NodeSet) else value
+    if engine == "core":
+        evaluator = CoreXPathEvaluator(document)
+        context_nodes = [context.node] if context is not None else None
+        return evaluator.evaluate_nodes(expr, context_nodes)
+    if engine == "singleton":
+        checker = SingletonSuccessChecker(document, max_negation_depth=64)
+        if static_type(expr) == NODESET:
+            return checker.evaluate_nodes(expr, context)
+        if static_type(expr) == "boolean":
+            return checker.evaluate_boolean(expr, context)
+        return checker.evaluate_number(expr, context)
+    raise XPathEvaluationError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+
+
+def evaluate_nodes(
+    query: XPathExpr | str,
+    document: Document,
+    engine: str = "cvt",
+    context: Optional[Context] = None,
+) -> list[XMLNode]:
+    """Evaluate a node-set query and return its nodes in document order."""
+    result = evaluate(query, document, engine=engine, context=context)
+    if not isinstance(result, list):
+        raise XPathEvaluationError(
+            f"query produced a {type(result).__name__}, not a node-set"
+        )
+    return result
+
+
+def query_selects(
+    query: XPathExpr | str,
+    document: Document,
+    engine: str = "cvt",
+) -> bool:
+    """Return True if the (node-set) query selects at least one node.
+
+    This "is the result non-empty" form is the decision problem all of the
+    paper's hardness reductions target.
+    """
+    return bool(evaluate_nodes(query, document, engine=engine))

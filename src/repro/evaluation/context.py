@@ -1,0 +1,80 @@
+"""Evaluation contexts.
+
+XPath expressions are evaluated relative to a *context*: a context node, a
+context position and a context size (the triple the paper writes as
+``(v, i, j)``), plus — for full XPath — a set of variable bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional
+
+from repro.errors import XPathEvaluationError
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode
+
+
+@dataclass(frozen=True)
+class Context:
+    """An XPath evaluation context (the paper's context-triple).
+
+    Attributes
+    ----------
+    node:
+        The context node.
+    position:
+        The context position (1-based).
+    size:
+        The context size.
+    """
+
+    node: XMLNode
+    position: int = 1
+    size: int = 1
+
+    def with_node(self, node: XMLNode, position: int = 1, size: int = 1) -> "Context":
+        """Return a new context focused on ``node`` with the given position/size."""
+        return Context(node, position, size)
+
+    def key(self) -> tuple[int, int, int]:
+        """Return a hashable key identifying this context (used by memo tables)."""
+        return (self.node.uid, self.position, self.size)
+
+    def node_key(self) -> int:
+        """Return a key identifying only the context node."""
+        return self.node.uid
+
+
+def initial_context(document: Document, node: Optional[XMLNode] = None) -> Context:
+    """Return the conventional initial context for evaluating a query on ``document``.
+
+    By default the context node is the conceptual root node with position
+    and size 1, which is how absolute queries are evaluated.
+    """
+    return Context(node if node is not None else document.root, 1, 1)
+
+
+@dataclass
+class Environment:
+    """Evaluation environment shared by all contexts of one query run.
+
+    Bundles the document, the variable bindings and an operation counter.
+    The counter gives an implementation-independent cost measure used by
+    the scaling benchmarks (wall-clock is noisy at small sizes).
+    """
+
+    document: Document
+    variables: Mapping[str, object] = field(default_factory=dict)
+    operations: int = 0
+
+    def tick(self, amount: int = 1) -> None:
+        """Record ``amount`` units of evaluation work."""
+        self.operations += amount
+
+    def variable(self, name: str):
+        """Look up variable ``$name`` or raise if unbound."""
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise XPathEvaluationError(f"unbound variable ${name}") from None

@@ -1,0 +1,284 @@
+"""Run-time implementations of the XPath 1.0 core function library.
+
+The functions operate on already-evaluated argument values (see
+:mod:`repro.evaluation.values`); functions whose arguments are optional
+default to the context node, as the recommendation prescribes.  The same
+implementations are shared by the naive and the context-value-table
+evaluators so that any disagreement between the two is attributable to
+their evaluation strategies rather than to library semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import XPathEvaluationError, XPathTypeError
+from repro.evaluation.context import Context, Environment
+from repro.evaluation.values import (
+    NodeSet,
+    XPathValue,
+    format_number,
+    to_boolean,
+    to_number,
+    to_string,
+    xpath_round,
+)
+from repro.xmlmodel.nodes import ElementNode
+
+
+def call_function(
+    name: str, args: Sequence[XPathValue], context: Context, env: Environment
+) -> XPathValue:
+    """Evaluate core-library function ``name`` on evaluated arguments ``args``."""
+    try:
+        implementation = _FUNCTIONS[name]
+    except KeyError:
+        raise XPathTypeError(f"unknown function {name}()") from None
+    return implementation(args, context, env)
+
+
+def _context_node_set(context: Context) -> NodeSet:
+    return NodeSet([context.node])
+
+
+def _arg_or_context_string(args: Sequence[XPathValue], context: Context) -> str:
+    if args:
+        return to_string(args[0])
+    return context.node.string_value()
+
+
+def _arg_or_context_node_set(args: Sequence[XPathValue], context: Context) -> NodeSet:
+    if not args:
+        return _context_node_set(context)
+    value = args[0]
+    if not isinstance(value, NodeSet):
+        raise XPathTypeError("argument must be a node-set")
+    return value
+
+
+# -- node-set functions ------------------------------------------------------
+
+
+def _fn_last(args, context, env):
+    return float(context.size)
+
+
+def _fn_position(args, context, env):
+    return float(context.position)
+
+
+def _fn_count(args, context, env):
+    value = args[0]
+    if not isinstance(value, NodeSet):
+        raise XPathTypeError("count() requires a node-set")
+    return float(len(value))
+
+
+def _fn_id(args, context, env):
+    tokens = to_string(args[0]).split() if not isinstance(args[0], NodeSet) else [
+        value for node in args[0] for value in node.string_value().split()
+    ]
+    wanted = set(tokens)
+    matches = [
+        element
+        for element in env.document.elements
+        if element.get_attribute("id") in wanted
+    ]
+    return NodeSet(matches)
+
+
+def _fn_local_name(args, context, env):
+    node_set = _arg_or_context_node_set(args, context)
+    first = node_set.first()
+    if first is None:
+        return ""
+    name = first.name()
+    return name.split(":", 1)[-1] if ":" in name else name
+
+
+def _fn_namespace_uri(args, context, env):
+    # Namespace handling is out of scope (see DESIGN.md); prefixed names
+    # report an empty URI, exactly like documents with no namespace nodes.
+    return ""
+
+
+def _fn_name(args, context, env):
+    node_set = _arg_or_context_node_set(args, context)
+    first = node_set.first()
+    return first.name() if first is not None else ""
+
+
+def _fn_sum(args, context, env):
+    value = args[0]
+    if not isinstance(value, NodeSet):
+        raise XPathTypeError("sum() requires a node-set")
+    return float(sum(to_number(sv) for sv in value.string_values())) if len(value) else 0.0
+
+
+# -- string functions ----------------------------------------------------------
+
+
+def _fn_string(args, context, env):
+    if args:
+        return to_string(args[0])
+    return context.node.string_value()
+
+
+def _fn_concat(args, context, env):
+    return "".join(to_string(arg) for arg in args)
+
+
+def _fn_starts_with(args, context, env):
+    return to_string(args[0]).startswith(to_string(args[1]))
+
+
+def _fn_contains(args, context, env):
+    return to_string(args[1]) in to_string(args[0])
+
+
+def _fn_substring_before(args, context, env):
+    haystack, needle = to_string(args[0]), to_string(args[1])
+    index = haystack.find(needle)
+    return haystack[:index] if index >= 0 else ""
+
+
+def _fn_substring_after(args, context, env):
+    haystack, needle = to_string(args[0]), to_string(args[1])
+    index = haystack.find(needle)
+    return haystack[index + len(needle) :] if index >= 0 else ""
+
+
+def _fn_substring(args, context, env):
+    text = to_string(args[0])
+    start = xpath_round(to_number(args[1]))
+    if math.isnan(start):
+        return ""
+    if len(args) >= 3:
+        length = xpath_round(to_number(args[2]))
+        if math.isnan(length):
+            return ""
+        end = start + length
+    else:
+        end = math.inf
+    # XPath positions are 1-based; characters at positions p with
+    # start <= p < end are kept.
+    result_chars = [
+        char for offset, char in enumerate(text, start=1) if start <= offset < end
+    ]
+    return "".join(result_chars)
+
+
+def _fn_string_length(args, context, env):
+    return float(len(_arg_or_context_string(args, context)))
+
+
+def _fn_normalize_space(args, context, env):
+    return " ".join(_arg_or_context_string(args, context).split())
+
+
+def _fn_translate(args, context, env):
+    text, source, target = (to_string(arg) for arg in args[:3])
+    mapping: dict[str, str | None] = {}
+    for index, char in enumerate(source):
+        if char in mapping:
+            continue
+        mapping[char] = target[index] if index < len(target) else None
+    out = []
+    for char in text:
+        if char in mapping:
+            replacement = mapping[char]
+            if replacement is not None:
+                out.append(replacement)
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+# -- boolean functions ----------------------------------------------------------
+
+
+def _fn_boolean(args, context, env):
+    return to_boolean(args[0])
+
+
+def _fn_not(args, context, env):
+    return not to_boolean(args[0])
+
+
+def _fn_true(args, context, env):
+    return True
+
+
+def _fn_false(args, context, env):
+    return False
+
+
+def _fn_lang(args, context, env):
+    wanted = to_string(args[0]).lower()
+    node = context.node
+    while node is not None:
+        if isinstance(node, ElementNode):
+            lang = node.get_attribute("xml:lang")
+            if lang is not None:
+                lang = lang.lower()
+                return lang == wanted or lang.startswith(wanted + "-")
+        node = node.parent
+    return False
+
+
+# -- number functions -------------------------------------------------------------
+
+
+def _fn_number(args, context, env):
+    if args:
+        return to_number(args[0])
+    return to_number(context.node.string_value())
+
+
+def _fn_floor(args, context, env):
+    value = to_number(args[0])
+    return value if math.isnan(value) or math.isinf(value) else float(math.floor(value))
+
+
+def _fn_ceiling(args, context, env):
+    value = to_number(args[0])
+    return value if math.isnan(value) or math.isinf(value) else float(math.ceil(value))
+
+
+def _fn_round(args, context, env):
+    return xpath_round(to_number(args[0]))
+
+
+_FUNCTIONS = {
+    "last": _fn_last,
+    "position": _fn_position,
+    "count": _fn_count,
+    "id": _fn_id,
+    "local-name": _fn_local_name,
+    "namespace-uri": _fn_namespace_uri,
+    "name": _fn_name,
+    "string": _fn_string,
+    "concat": _fn_concat,
+    "starts-with": _fn_starts_with,
+    "contains": _fn_contains,
+    "substring-before": _fn_substring_before,
+    "substring-after": _fn_substring_after,
+    "substring": _fn_substring,
+    "string-length": _fn_string_length,
+    "normalize-space": _fn_normalize_space,
+    "translate": _fn_translate,
+    "boolean": _fn_boolean,
+    "not": _fn_not,
+    "true": _fn_true,
+    "false": _fn_false,
+    "lang": _fn_lang,
+    "number": _fn_number,
+    "sum": _fn_sum,
+    "floor": _fn_floor,
+    "ceiling": _fn_ceiling,
+    "round": _fn_round,
+}
+
+#: Names of all implemented core-library functions.
+IMPLEMENTED_FUNCTIONS = frozenset(_FUNCTIONS)

@@ -1,0 +1,50 @@
+"""The naive, functional-style XPath evaluator (the paper's negative baseline).
+
+The introduction of the paper observes that "all publicly available XPath
+engines … take time exponential in the sizes of the XPath expressions in
+the input", because an "immediate functional implementation of the
+standards documents" evaluates the remainder of a location path once for
+*every* node selected by the current step, without ever merging duplicate
+intermediate results.
+
+:class:`NaiveEvaluator` is exactly that immediate functional
+implementation.  Its answers are correct (duplicates are removed when the
+final node-set is built), but on documents such as
+:func:`repro.xmlmodel.generators.caterpillar_document` the number of
+explored navigation paths doubles with every added step, which experiment
+E8 measures against the polynomial evaluators.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.base import BaseEvaluator
+from repro.evaluation.context import Context
+from repro.evaluation.values import NodeSet
+from repro.xmlmodel.nodes import XMLNode
+from repro.xpath.ast import LocationPath, Step
+
+
+class NaiveEvaluator(BaseEvaluator):
+    """Literal recursive-descent evaluation with no sharing of intermediate results."""
+
+    def evaluate_location_path(self, expr: LocationPath, context: Context) -> NodeSet:
+        start = self.document.root if expr.absolute else context.node
+        collected = self._evaluate_steps(list(expr.steps), start)
+        return NodeSet(collected)
+
+    def _evaluate_steps(self, steps: list[Step], node: XMLNode) -> list[XMLNode]:
+        """Evaluate the remaining ``steps`` starting from ``node``.
+
+        This is the exponential core: the recursion is re-entered once per
+        selected node and nothing is deduplicated or memoised, so a path
+        expression with k steps over a document in which every step has two
+        continuations explores 2^k navigation paths.
+        """
+        if not steps:
+            return [node]
+        head, *tail = steps
+        selected = self.apply_step_to_node(head, node)
+        results: list[XMLNode] = []
+        for next_node in selected:
+            results.extend(self._evaluate_steps(tail, next_node))
+        return results

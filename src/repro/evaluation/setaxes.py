@@ -1,0 +1,135 @@
+"""Set-at-a-time axis application in time O(|D|) per application.
+
+The linear-time Core XPath algorithm repeatedly maps a *set* of nodes
+through an axis.  Doing this by iterating :func:`repro.xmlmodel.axes.axis_nodes`
+per member would cost O(|S| · |D|) for the recursive axes, so this module
+provides dedicated set-level implementations: each runs in time linear in
+the document size by exploiting the fact that document order is a
+pre-order traversal (parents precede children) and that sibling lists can
+be swept with a carry flag.
+
+All functions take and return Python sets of nodes; node tests are applied
+by the caller (:mod:`repro.evaluation.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.errors import XPathEvaluationError
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode
+
+NodeSetType = Set[XMLNode]
+
+
+def apply_axis_set(document: Document, axis: str, nodes: NodeSetType) -> NodeSetType:
+    """Return the set of nodes reachable from ``nodes`` via ``axis``."""
+    try:
+        function = _AXIS_SET_FUNCTIONS[axis]
+    except KeyError:
+        raise XPathEvaluationError(f"axis {axis!r} is not a navigational axis") from None
+    return function(document, nodes)
+
+
+def _self_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    return set(nodes)
+
+
+def _child_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    result: set[XMLNode] = set()
+    for node in nodes:
+        result.update(node.children)
+    return result
+
+
+def _parent_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    return {node.parent for node in nodes if node.parent is not None}
+
+
+def _descendant_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    """One pre-order sweep: a node is a descendant of S if its parent is in S
+    or is itself such a descendant."""
+    result: set[XMLNode] = set()
+    for node in document.nodes:
+        parent = node.parent
+        if parent is not None and (parent in nodes or parent in result):
+            result.add(node)
+    return result
+
+
+def _descendant_or_self_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    return set(nodes) | _descendant_set(document, nodes)
+
+
+def _ancestor_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    """One reverse pre-order sweep computing "subtree contains an S member"."""
+    subtree_hits: set[XMLNode] = set()
+    for node in reversed(document.nodes):
+        if node in nodes or any(child in subtree_hits for child in node.children):
+            subtree_hits.add(node)
+    return {
+        node
+        for node in document.nodes
+        if any(child in subtree_hits for child in node.children)
+    }
+
+
+def _ancestor_or_self_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    return set(nodes) | _ancestor_set(document, nodes)
+
+
+def _following_sibling_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    """Left-to-right sweep over every sibling list with a carry flag."""
+    result: set[XMLNode] = set()
+    for parent in document.nodes:
+        seen_member = False
+        for child in parent.children:
+            if seen_member:
+                result.add(child)
+            if child in nodes:
+                seen_member = True
+    return result
+
+
+def _preceding_sibling_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    result: set[XMLNode] = set()
+    for parent in document.nodes:
+        seen_member = False
+        for child in reversed(parent.children):
+            if seen_member:
+                result.add(child)
+            if child in nodes:
+                seen_member = True
+    return result
+
+
+def _following_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    """following = descendant-or-self ∘ following-sibling ∘ ancestor-or-self."""
+    ancestors_or_self = _ancestor_or_self_set(document, nodes)
+    siblings = _following_sibling_set(document, ancestors_or_self)
+    return _descendant_or_self_set(document, siblings)
+
+
+def _preceding_set(document: Document, nodes: NodeSetType) -> NodeSetType:
+    ancestors_or_self = _ancestor_or_self_set(document, nodes)
+    siblings = _preceding_sibling_set(document, ancestors_or_self)
+    return _descendant_or_self_set(document, siblings)
+
+
+_AXIS_SET_FUNCTIONS = {
+    "self": _self_set,
+    "child": _child_set,
+    "parent": _parent_set,
+    "descendant": _descendant_set,
+    "descendant-or-self": _descendant_or_self_set,
+    "ancestor": _ancestor_set,
+    "ancestor-or-self": _ancestor_or_self_set,
+    "following": _following_set,
+    "following-sibling": _following_sibling_set,
+    "preceding": _preceding_set,
+    "preceding-sibling": _preceding_sibling_set,
+}
+
+#: Axes supported by the set-at-a-time machinery (the navigational axes).
+NAVIGATIONAL_AXES = frozenset(_AXIS_SET_FUNCTIONS)

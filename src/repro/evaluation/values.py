@@ -1,0 +1,249 @@
+"""XPath 1.0 value types, conversions, comparisons and arithmetic.
+
+XPath 1.0 expressions evaluate to one of four types: node-set, number
+(an IEEE double), string, or boolean.  This module implements those types
+and the conversion, comparison and arithmetic rules of the recommendation
+(sections 3.4, 3.5 and 4).  Every evaluator in the package shares these
+semantics, which is what makes the cross-evaluator agreement tests
+meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import XPathTypeError
+from repro.xmlmodel.nodes import XMLNode, sort_document_order
+
+
+class NodeSet:
+    """An XPath node-set: a duplicate-free collection ordered in document order."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Iterable[XMLNode] = ()) -> None:
+        self.nodes: list[XMLNode] = sort_document_order(nodes)
+
+    @classmethod
+    def from_ordered(cls, nodes: Sequence[XMLNode]) -> "NodeSet":
+        """Build a node-set from nodes already known to be sorted and unique."""
+        node_set = cls.__new__(cls)
+        node_set.nodes = list(nodes)
+        return node_set
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+    def __contains__(self, node: XMLNode) -> bool:
+        return any(candidate is node for candidate in self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeSet):
+            return NotImplemented
+        return self.nodes == other.nodes
+
+    def __hash__(self) -> int:
+        return hash(tuple(node.uid for node in self.nodes))
+
+    def first(self) -> XMLNode | None:
+        """Return the first node in document order, or None if empty."""
+        return self.nodes[0] if self.nodes else None
+
+    def union(self, other: "NodeSet") -> "NodeSet":
+        """Return the union of two node-sets (document order preserved)."""
+        return NodeSet(list(self.nodes) + list(other.nodes))
+
+    def string_values(self) -> list[str]:
+        """Return the string-value of every member, in document order."""
+        return [node.string_value() for node in self.nodes]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeSet({self.nodes!r})"
+
+
+#: The Python-level union of XPath value types.
+XPathValue = NodeSet | float | str | bool
+
+
+# ---------------------------------------------------------------------------
+# Conversions (XPath 1.0 section 4)
+# ---------------------------------------------------------------------------
+
+
+def to_boolean(value: XPathValue) -> bool:
+    """Convert ``value`` to boolean with the rules of the ``boolean()`` function."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, NodeSet):
+        return len(value) > 0
+    if isinstance(value, float):
+        return value != 0.0 and not math.isnan(value)
+    if isinstance(value, str):
+        return len(value) > 0
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to boolean")
+
+
+def to_number(value: XPathValue) -> float:
+    """Convert ``value`` to a number with the rules of the ``number()`` function."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        return _string_to_number(value)
+    if isinstance(value, NodeSet):
+        return _string_to_number(to_string(value))
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to number")
+
+
+def to_string(value: XPathValue) -> str:
+    """Convert ``value`` to a string with the rules of the ``string()`` function."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return format_number(value)
+    if isinstance(value, NodeSet):
+        first = value.first()
+        return first.string_value() if first is not None else ""
+    raise XPathTypeError(f"cannot convert {type(value).__name__} to string")
+
+
+def _string_to_number(text: str) -> float:
+    stripped = text.strip()
+    if not stripped:
+        return float("nan")
+    try:
+        return float(stripped)
+    except ValueError:
+        return float("nan")
+
+
+def format_number(value: float) -> str:
+    """Format a number the way XPath's ``string()`` does."""
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "Infinity"
+    if value == -math.inf:
+        return "-Infinity"
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# Comparisons (XPath 1.0 section 3.4)
+# ---------------------------------------------------------------------------
+
+_NUMERIC_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def compare(op: str, left: XPathValue, right: XPathValue) -> bool:
+    """Evaluate ``left op right`` with XPath 1.0's existential comparison rules."""
+    if op not in _NUMERIC_COMPARATORS:
+        raise XPathTypeError(f"unknown comparison operator {op!r}")
+    left_is_set = isinstance(left, NodeSet)
+    right_is_set = isinstance(right, NodeSet)
+    if left_is_set and right_is_set:
+        return _compare_two_node_sets(op, left, right)
+    if left_is_set:
+        return _compare_node_set_to_value(op, left, right, flipped=False)
+    if right_is_set:
+        return _compare_node_set_to_value(_flip(op), right, left, flipped=False)
+    return _compare_scalars(op, left, right)
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}[op]
+
+
+def _compare_two_node_sets(op: str, left: NodeSet, right: NodeSet) -> bool:
+    left_values = left.string_values()
+    right_values = right.string_values()
+    if op in ("=", "!="):
+        return any(
+            _NUMERIC_COMPARATORS[op](lv, rv) for lv in left_values for rv in right_values
+        )
+    return any(
+        _NUMERIC_COMPARATORS[op](_string_to_number(lv), _string_to_number(rv))
+        for lv in left_values
+        for rv in right_values
+    )
+
+
+def _compare_node_set_to_value(op: str, node_set: NodeSet, value: XPathValue, flipped: bool) -> bool:
+    comparator = _NUMERIC_COMPARATORS[op]
+    if isinstance(value, bool):
+        return comparator(to_number(to_boolean(node_set)), to_number(value)) if op not in ("=", "!=") else comparator(to_boolean(node_set), value)
+    if isinstance(value, float) or op not in ("=", "!="):
+        target = to_number(value)
+        return any(comparator(_string_to_number(sv), target) for sv in node_set.string_values())
+    # string compared with = or !=
+    return any(comparator(sv, value) for sv in node_set.string_values())
+
+
+def _compare_scalars(op: str, left: XPathValue, right: XPathValue) -> bool:
+    comparator = _NUMERIC_COMPARATORS[op]
+    if op in ("=", "!="):
+        if isinstance(left, bool) or isinstance(right, bool):
+            return comparator(to_boolean(left), to_boolean(right))
+        if isinstance(left, float) or isinstance(right, float):
+            return comparator(to_number(left), to_number(right))
+        return comparator(to_string(left), to_string(right))
+    return comparator(to_number(left), to_number(right))
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic (XPath 1.0 section 3.5)
+# ---------------------------------------------------------------------------
+
+
+def arithmetic(op: str, left: XPathValue, right: XPathValue) -> float:
+    """Evaluate the arithmetic operator ``op`` on two values."""
+    a = to_number(left)
+    b = to_number(right)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "div":
+        if b == 0.0:
+            if math.isnan(a) or a == 0.0:
+                return float("nan")
+            return math.inf * math.copysign(1.0, a) * math.copysign(1.0, b)
+        return a / b
+    if op == "mod":
+        if b == 0.0 or math.isnan(a) or math.isnan(b) or math.isinf(a):
+            return float("nan")
+        return math.fmod(a, b)
+    raise XPathTypeError(f"unknown arithmetic operator {op!r}")
+
+
+def negate(value: XPathValue) -> float:
+    """Evaluate unary minus."""
+    return -to_number(value)
+
+
+def xpath_round(value: float) -> float:
+    """Round to the nearest integer, ties towards positive infinity (XPath rule)."""
+    if math.isnan(value) or math.isinf(value):
+        return value
+    return math.floor(value + 0.5)

@@ -1,0 +1,399 @@
+"""Syntactic membership tests for the paper's XPath fragments.
+
+The paper studies six fragments, ordered by inclusion as in Figure 1:
+
+* **PF** — location paths without conditions (Section 4);
+* **positive Core XPath** — Core XPath without ``not`` (Section 4);
+* **Core XPath** — Definition 2.5;
+* **pWF** — the "positive"/"parallel" Wadler fragment, Definition 5.1;
+* **WF** — the Wadler fragment, Definition 2.6;
+* **pXPath** — positive/parallel XPath, Definition 6.1;
+* **XPath** — the full language (everything this engine parses).
+
+Each ``violations_*`` function returns a human-readable list of reasons a
+query falls outside the fragment (empty list = member), and ``is_*`` are
+the corresponding booleans.  :func:`classify` returns every fragment a
+query belongs to together with the most specific one and its combined
+complexity from Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.xpath.analysis import (
+    arithmetic_nesting_depth,
+    axes_used,
+    concat_arity_and_nesting,
+    functions_used,
+    max_predicates_per_step,
+)
+from repro.xpath.ast import (
+    ARITHMETIC_OPERATORS,
+    BinaryOp,
+    COMPARISON_OPERATORS,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Negate,
+    Number,
+    PathExpr,
+    Step,
+    VariableReference,
+    XPathExpr,
+)
+from repro.xpath.functions import BOOLEAN, OBJECT, PXPATH_FORBIDDEN_FUNCTIONS, static_type
+from repro.xpath.parser import parse
+
+#: The navigational axes admitted by Definition 2.5.
+CORE_AXES = frozenset(
+    {
+        "self",
+        "child",
+        "parent",
+        "descendant",
+        "descendant-or-self",
+        "ancestor",
+        "ancestor-or-self",
+        "following",
+        "following-sibling",
+        "preceding",
+        "preceding-sibling",
+    }
+)
+
+#: Default bound on arithmetic/concat nesting (the constant k of Definitions
+#: 5.1(3) and 6.1(4)).  Any constant works for the theory; the classifiers
+#: take it as a parameter with this default.
+DEFAULT_NESTING_BOUND = 3
+
+FRAGMENT_COMPLEXITY = {
+    "PF": "NL-complete",
+    "positive Core XPath": "LOGCFL-complete",
+    "Core XPath": "P-complete",
+    "pWF": "LOGCFL",
+    "WF": "P-complete",
+    "pXPath": "LOGCFL-complete",
+    "XPath": "P-complete",
+}
+
+#: Fragment inclusion order used to pick the most specific fragment; earlier
+#: entries are more specific (Figure 1).
+FRAGMENT_ORDER = (
+    "PF",
+    "positive Core XPath",
+    "Core XPath",
+    "pWF",
+    "WF",
+    "pXPath",
+    "XPath",
+)
+
+
+def _as_expr(query: XPathExpr | str) -> XPathExpr:
+    return parse(query) if isinstance(query, str) else query
+
+
+# ---------------------------------------------------------------------------
+# Core XPath (Definition 2.5)
+# ---------------------------------------------------------------------------
+
+
+def violations_core_xpath(query: XPathExpr | str, allow_negation: bool = True) -> list[str]:
+    """Return the reasons ``query`` is not a Core XPath query (empty = member)."""
+    expr = _as_expr(query)
+    violations: list[str] = []
+    if not _is_union_of_location_paths(expr):
+        violations.append("top-level expression must be a location path (or union of them)")
+        return violations
+    _collect_core_violations(expr, violations, allow_negation, toplevel=True)
+    return violations
+
+
+def _is_union_of_location_paths(expr: XPathExpr) -> bool:
+    if isinstance(expr, LocationPath):
+        return True
+    if isinstance(expr, BinaryOp) and expr.op == "|":
+        return _is_union_of_location_paths(expr.left) and _is_union_of_location_paths(expr.right)
+    return False
+
+
+def _collect_core_violations(
+    expr: XPathExpr, violations: list[str], allow_negation: bool, toplevel: bool
+) -> None:
+    if isinstance(expr, BinaryOp) and expr.op == "|":
+        _collect_core_violations(expr.left, violations, allow_negation, toplevel)
+        _collect_core_violations(expr.right, violations, allow_negation, toplevel)
+        return
+    if isinstance(expr, LocationPath):
+        for location_step in expr.steps:
+            _collect_core_step_violations(location_step, violations, allow_negation)
+        return
+    violations.append(f"unexpected {type(expr).__name__} in a location-path position")
+
+
+def _collect_core_step_violations(
+    location_step: Step, violations: list[str], allow_negation: bool
+) -> None:
+    if location_step.axis not in CORE_AXES:
+        violations.append(f"axis {location_step.axis!r} is outside Core XPath")
+    for predicate in location_step.predicates:
+        _collect_core_condition_violations(predicate, violations, allow_negation)
+
+
+def _collect_core_condition_violations(
+    expr: XPathExpr, violations: list[str], allow_negation: bool
+) -> None:
+    if isinstance(expr, BinaryOp) and expr.op in ("and", "or"):
+        _collect_core_condition_violations(expr.left, violations, allow_negation)
+        _collect_core_condition_violations(expr.right, violations, allow_negation)
+        return
+    if isinstance(expr, FunctionCall) and expr.name == "not" and len(expr.args) == 1:
+        if not allow_negation:
+            violations.append("the not() function is excluded (positive fragment)")
+        _collect_core_condition_violations(expr.args[0], violations, allow_negation)
+        return
+    if isinstance(expr, LocationPath):
+        for location_step in expr.steps:
+            _collect_core_step_violations(location_step, violations, allow_negation)
+        return
+    violations.append(
+        f"condition {expr} is not built from and/or/not and location paths"
+    )
+
+
+def is_core_xpath(query: XPathExpr | str) -> bool:
+    """Definition 2.5 membership."""
+    return not violations_core_xpath(query)
+
+
+def is_positive_core_xpath(query: XPathExpr | str) -> bool:
+    """Core XPath without negation (Theorem 4.1/4.2's fragment)."""
+    return not violations_core_xpath(query, allow_negation=False)
+
+
+# ---------------------------------------------------------------------------
+# PF (Section 4)
+# ---------------------------------------------------------------------------
+
+
+def violations_pf(query: XPathExpr | str) -> list[str]:
+    """PF: Core XPath location paths with no conditions at all."""
+    expr = _as_expr(query)
+    violations = violations_core_xpath(expr)
+    if violations:
+        return violations
+    if max_predicates_per_step(expr) > 0:
+        violations.append("PF forbids conditions (bracketed predicates)")
+    return violations
+
+
+def is_pf(query: XPathExpr | str) -> bool:
+    """Membership in the path-expressions fragment PF."""
+    return not violations_pf(query)
+
+
+# ---------------------------------------------------------------------------
+# WF (Definition 2.6)
+# ---------------------------------------------------------------------------
+
+
+def violations_wf(query: XPathExpr | str) -> list[str]:
+    """Return the reasons ``query`` is not in the Wadler fragment WF."""
+    expr = _as_expr(query)
+    violations: list[str] = []
+    expr_type = static_type(expr)
+    if expr_type == OBJECT:
+        violations.append("variables are outside WF")
+    _collect_wf_violations(expr, violations, role="expr")
+    return violations
+
+
+def _collect_wf_violations(expr: XPathExpr, violations: list[str], role: str) -> None:
+    """Check the WF grammar; ``role`` is one of expr/bexpr/nexpr/locpath."""
+    if isinstance(expr, LocationPath):
+        if role == "nexpr":
+            violations.append(
+                "WF comparisons only relate numeric expressions, not location paths"
+            )
+        for location_step in expr.steps:
+            if location_step.axis not in CORE_AXES:
+                violations.append(f"axis {location_step.axis!r} is outside WF")
+            for predicate in location_step.predicates:
+                _collect_wf_violations(predicate, violations, role="bexpr")
+        return
+    if isinstance(expr, BinaryOp):
+        if expr.op == "|":
+            _collect_wf_violations(expr.left, violations, role="locpath")
+            _collect_wf_violations(expr.right, violations, role="locpath")
+            return
+        if expr.op in ("and", "or"):
+            _collect_wf_violations(expr.left, violations, role="bexpr")
+            _collect_wf_violations(expr.right, violations, role="bexpr")
+            return
+        if expr.op in COMPARISON_OPERATORS:
+            _collect_wf_violations(expr.left, violations, role="nexpr")
+            _collect_wf_violations(expr.right, violations, role="nexpr")
+            return
+        if expr.op in ARITHMETIC_OPERATORS:
+            if role not in ("nexpr", "expr"):
+                violations.append(f"arithmetic {expr} used where a {role} is required")
+            _collect_wf_violations(expr.left, violations, role="nexpr")
+            _collect_wf_violations(expr.right, violations, role="nexpr")
+            return
+    if isinstance(expr, Negate):
+        _collect_wf_violations(expr.operand, violations, role="nexpr")
+        return
+    if isinstance(expr, FunctionCall):
+        if expr.name == "not" and len(expr.args) == 1:
+            _collect_wf_violations(expr.args[0], violations, role="bexpr")
+            return
+        if expr.name in ("position", "last") and not expr.args:
+            if role not in ("nexpr", "expr"):
+                violations.append(f"{expr.name}() used where a {role} is required")
+            return
+        violations.append(f"function {expr.name}() is outside WF")
+        return
+    if isinstance(expr, Number):
+        return
+    if isinstance(expr, Literal):
+        violations.append("string literals are outside WF")
+        return
+    if isinstance(expr, (FilterExpr, PathExpr)):
+        violations.append(f"{type(expr).__name__} expressions are outside WF")
+        return
+    if isinstance(expr, VariableReference):
+        violations.append("variables are outside WF")
+        return
+    if isinstance(expr, Step):
+        _collect_wf_violations(LocationPath(False, (expr,)), violations, role)
+        return
+    violations.append(f"unsupported construct {type(expr).__name__} in WF")
+
+
+def is_wf(query: XPathExpr | str) -> bool:
+    """Definition 2.6 membership."""
+    return not violations_wf(query)
+
+
+# ---------------------------------------------------------------------------
+# pWF (Definition 5.1)
+# ---------------------------------------------------------------------------
+
+
+def violations_pwf(
+    query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND
+) -> list[str]:
+    """Return the reasons ``query`` is not in pWF."""
+    expr = _as_expr(query)
+    violations = violations_wf(expr)
+    if max_predicates_per_step(expr) >= 2:
+        violations.append(
+            "iterated predicates χ::t[e1]…[ek] with k ≥ 2 are excluded (Definition 5.1(1))"
+        )
+    if "not" in functions_used(expr):
+        violations.append("the not() function is excluded (Definition 5.1(2))")
+    depth = arithmetic_nesting_depth(expr)
+    if depth > nesting_bound:
+        violations.append(
+            f"arithmetic nesting depth {depth} exceeds the bound {nesting_bound} "
+            "(Definition 5.1(3))"
+        )
+    return violations
+
+
+def is_pwf(query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND) -> bool:
+    """Definition 5.1 membership."""
+    return not violations_pwf(query, nesting_bound)
+
+
+# ---------------------------------------------------------------------------
+# pXPath (Definition 6.1)
+# ---------------------------------------------------------------------------
+
+
+def violations_pxpath(
+    query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND
+) -> list[str]:
+    """Return the reasons ``query`` is not in pXPath."""
+    expr = _as_expr(query)
+    violations: list[str] = []
+    if max_predicates_per_step(expr) >= 2:
+        violations.append(
+            "iterated predicates χ::t[e1]…[ek] with k ≥ 2 are excluded (Definition 6.1(1))"
+        )
+    forbidden = functions_used(expr) & PXPATH_FORBIDDEN_FUNCTIONS
+    if forbidden:
+        violations.append(
+            f"forbidden function(s) {', '.join(sorted(forbidden))} (Definition 6.1(2))"
+        )
+    for node in expr.walk():
+        if isinstance(node, BinaryOp) and node.op in COMPARISON_OPERATORS:
+            if BOOLEAN in (static_type(node.left), static_type(node.right)):
+                violations.append(
+                    f"comparison {node} has a boolean operand (Definition 6.1(3))"
+                )
+    depth = arithmetic_nesting_depth(expr)
+    if depth > nesting_bound:
+        violations.append(
+            f"arithmetic nesting depth {depth} exceeds the bound {nesting_bound} "
+            "(Definition 6.1(4))"
+        )
+    concat_arity, concat_nesting = concat_arity_and_nesting(expr)
+    if concat_arity > max(nesting_bound, 2):
+        violations.append(
+            f"concat() arity {concat_arity} exceeds the bound (Definition 6.1(4))"
+        )
+    if concat_nesting > nesting_bound:
+        violations.append(
+            f"concat() nesting depth {concat_nesting} exceeds the bound (Definition 6.1(4))"
+        )
+    return violations
+
+
+def is_pxpath(query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND) -> bool:
+    """Definition 6.1 membership."""
+    return not violations_pxpath(query, nesting_bound)
+
+
+# ---------------------------------------------------------------------------
+# Classification (Figure 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Result of classifying a query against every fragment of Figure 1."""
+
+    query: str
+    fragments: tuple[str, ...]
+    most_specific: str
+    combined_complexity: str
+    violations: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __contains__(self, fragment: str) -> bool:
+        return fragment in self.fragments
+
+
+def classify(query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND) -> Classification:
+    """Classify ``query`` against every fragment and report Figure 1's complexity."""
+    expr = _as_expr(query)
+    membership: dict[str, list[str]] = {
+        "PF": violations_pf(expr),
+        "positive Core XPath": violations_core_xpath(expr, allow_negation=False),
+        "Core XPath": violations_core_xpath(expr),
+        "pWF": violations_pwf(expr, nesting_bound),
+        "WF": violations_wf(expr),
+        "pXPath": violations_pxpath(expr, nesting_bound),
+        "XPath": [],
+    }
+    fragments = tuple(name for name in FRAGMENT_ORDER if not membership[name])
+    most_specific = fragments[0]
+    return Classification(
+        query=expr.unparse(),
+        fragments=fragments,
+        most_specific=most_specific,
+        combined_complexity=FRAGMENT_COMPLEXITY[most_specific],
+        violations={name: reasons for name, reasons in membership.items() if reasons},
+    )

@@ -1,0 +1,32 @@
+"""Directed-graph substrate for the NL-completeness result of Theorem 4.3."""
+
+from repro.graphs.digraph import DiGraph, from_adjacency_matrix
+from repro.graphs.generators import (
+    FIGURE5_TRANSPOSED_MATRIX,
+    cycle_graph,
+    figure5_graph,
+    layered_dag,
+    path_graph,
+    random_digraph,
+)
+from repro.graphs.reachability import (
+    is_reachable,
+    reachable_set,
+    reachable_within,
+    shortest_path_length,
+)
+
+__all__ = [
+    "DiGraph",
+    "FIGURE5_TRANSPOSED_MATRIX",
+    "cycle_graph",
+    "figure5_graph",
+    "from_adjacency_matrix",
+    "is_reachable",
+    "layered_dag",
+    "path_graph",
+    "random_digraph",
+    "reachable_set",
+    "reachable_within",
+    "shortest_path_length",
+]

@@ -1,0 +1,108 @@
+"""Directed graphs: the substrate of the NL-hardness result (Theorem 4.3).
+
+Graph reachability is the canonical NL-complete problem; Theorem 4.3
+reduces it to evaluating a PF (predicate-free) XPath query.  The class here
+is intentionally small — adjacency sets over integer-indexed vertices plus
+the adjacency-matrix view shown in Figure 5(b).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+
+
+class DiGraph:
+    """A directed graph over vertices ``0 … n-1``."""
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if num_vertices < 1:
+            raise ReproError("a graph needs at least one vertex")
+        self.num_vertices = num_vertices
+        self._successors: list[set[int]] = [set() for _ in range(num_vertices)]
+        for source, target in edges:
+            self.add_edge(source, target)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add the edge ``source → target`` (idempotent)."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        self._successors[source].add(target)
+
+    def add_self_loops(self) -> "DiGraph":
+        """Return a copy with a self-loop on every vertex.
+
+        The Theorem 4.3 reduction adds self-loops so that "reachable within
+        exactly m steps" coincides with plain reachability.
+        """
+        graph = DiGraph(self.num_vertices, self.edges())
+        for vertex in range(self.num_vertices):
+            graph.add_edge(vertex, vertex)
+        return graph
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise ReproError(
+                f"vertex {vertex} out of range 0..{self.num_vertices - 1}"
+            )
+
+    # -- queries ------------------------------------------------------------------
+
+    def successors(self, vertex: int) -> set[int]:
+        """Vertices directly reachable from ``vertex``."""
+        self._check_vertex(vertex)
+        return set(self._successors[vertex])
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All edges as (source, target) pairs, sorted."""
+        return sorted(
+            (source, target)
+            for source, targets in enumerate(self._successors)
+            for target in targets
+        )
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return sum(len(targets) for targets in self._successors)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """True if the edge ``source → target`` exists."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        return target in self._successors[source]
+
+    def adjacency_matrix(self, transposed: bool = False) -> list[list[int]]:
+        """The 0/1 adjacency matrix; ``transposed=True`` gives Figure 5(b)'s view."""
+        matrix = [[0] * self.num_vertices for _ in range(self.num_vertices)]
+        for source, targets in enumerate(self._successors):
+            for target in targets:
+                if transposed:
+                    matrix[target][source] = 1
+                else:
+                    matrix[source][target] = 1
+        return matrix
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_vertices))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiGraph |V|={self.num_vertices} |E|={self.num_edges()}>"
+
+
+def from_adjacency_matrix(matrix: Sequence[Sequence[int]], transposed: bool = False) -> DiGraph:
+    """Build a graph from a 0/1 adjacency matrix (optionally the transposed form)."""
+    size = len(matrix)
+    if any(len(row) != size for row in matrix):
+        raise ReproError("adjacency matrix must be square")
+    graph = DiGraph(size)
+    for row_index, row in enumerate(matrix):
+        for column_index, bit in enumerate(row):
+            if bit:
+                if transposed:
+                    graph.add_edge(column_index, row_index)
+                else:
+                    graph.add_edge(row_index, column_index)
+    return graph

@@ -1,0 +1,59 @@
+"""Graph generators, including the example graph of Figure 5."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.digraph import DiGraph, from_adjacency_matrix
+
+#: The (transposed) adjacency matrix printed in Figure 5(b).
+FIGURE5_TRANSPOSED_MATRIX = (
+    (0, 1, 0, 1),
+    (1, 0, 0, 0),
+    (1, 1, 0, 1),
+    (0, 0, 1, 0),
+)
+
+
+def figure5_graph() -> DiGraph:
+    """The four-vertex directed graph of Figure 5(a).
+
+    The paper prints its *transposed* adjacency matrix (Figure 5(b)); the
+    edges here are obtained by reading that matrix as
+    ``matrix[target][source]``.
+    """
+    return from_adjacency_matrix(FIGURE5_TRANSPOSED_MATRIX, transposed=True)
+
+
+def random_digraph(num_vertices: int, edge_probability: float = 0.25, seed: int = 0) -> DiGraph:
+    """A G(n, p) style random directed graph (deterministic per seed)."""
+    rng = random.Random(seed)
+    graph = DiGraph(num_vertices)
+    for source in range(num_vertices):
+        for target in range(num_vertices):
+            if source != target and rng.random() < edge_probability:
+                graph.add_edge(source, target)
+    return graph
+
+
+def path_graph(num_vertices: int) -> DiGraph:
+    """The directed path 0 → 1 → … → n−1 (worst case for reachability depth)."""
+    return DiGraph(num_vertices, [(i, i + 1) for i in range(num_vertices - 1)])
+
+
+def cycle_graph(num_vertices: int) -> DiGraph:
+    """The directed cycle on ``num_vertices`` vertices."""
+    edges = [(i, (i + 1) % num_vertices) for i in range(num_vertices)]
+    return DiGraph(num_vertices, edges)
+
+
+def layered_dag(layers: int, width: int, seed: int = 0, edge_probability: float = 0.5) -> DiGraph:
+    """A layered DAG with ``layers`` layers of ``width`` vertices each."""
+    rng = random.Random(seed)
+    graph = DiGraph(layers * width)
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                if rng.random() < edge_probability:
+                    graph.add_edge(layer * width + i, (layer + 1) * width + j)
+    return graph

@@ -1,0 +1,60 @@
+"""Directed reachability — the NL-complete oracle for the Theorem 4.3 bench.
+
+A plain breadth-first search; it provides both plain reachability and the
+"within k steps" variant that the reduction's correctness argument uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.digraph import DiGraph
+
+
+def reachable_set(graph: DiGraph, source: int) -> set[int]:
+    """All vertices reachable from ``source`` (including ``source`` itself)."""
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        vertex = frontier.popleft()
+        for successor in graph.successors(vertex):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+def is_reachable(graph: DiGraph, source: int, target: int) -> bool:
+    """True if ``target`` is reachable from ``source`` (0 or more edges)."""
+    return target in reachable_set(graph, source)
+
+
+def reachable_within(graph: DiGraph, source: int, target: int, steps: int) -> bool:
+    """True if ``target`` is reachable from ``source`` using at most ``steps`` edges."""
+    frontier = {source}
+    if target in frontier:
+        return True
+    for _ in range(steps):
+        frontier = {
+            successor for vertex in frontier for successor in graph.successors(vertex)
+        } | frontier
+        if target in frontier:
+            return True
+    return False
+
+
+def shortest_path_length(graph: DiGraph, source: int, target: int) -> int | None:
+    """Length of a shortest path from ``source`` to ``target`` (None if unreachable)."""
+    if source == target:
+        return 0
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        vertex = frontier.popleft()
+        for successor in graph.successors(vertex):
+            if successor not in distances:
+                distances[successor] = distances[vertex] + 1
+                if successor == target:
+                    return distances[successor]
+                frontier.append(successor)
+    return None

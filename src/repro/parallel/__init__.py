@@ -1,0 +1,25 @@
+"""Parallel evaluation of positive queries via compilation to monotone circuits."""
+
+from repro.parallel.compiler import (
+    FALSE_GATE,
+    TRUE_GATE,
+    CompiledQuery,
+    compile_positive_query,
+)
+from repro.parallel.evaluator import (
+    ParallelRunReport,
+    evaluate_in_layers,
+    gate_levels,
+    parallel_evaluate,
+)
+
+__all__ = [
+    "CompiledQuery",
+    "FALSE_GATE",
+    "ParallelRunReport",
+    "TRUE_GATE",
+    "compile_positive_query",
+    "evaluate_in_layers",
+    "gate_levels",
+    "parallel_evaluate",
+]

@@ -1,0 +1,225 @@
+"""Compile positive Core XPath queries into monotone Boolean circuits.
+
+The LOGCFL upper bounds of the paper (Theorems 4.1, 5.5, 6.2) mean that
+evaluating a positive query is — up to logspace reductions — the same
+problem as evaluating a shallow semi-unbounded circuit (Proposition 2.2:
+LOGCFL = SAC¹).  This module makes that correspondence concrete: given a
+*positive Core XPath* query and a document, it emits a monotone circuit
+with one gate per (sub-expression, node) pair whose output gates say which
+document nodes the query selects.
+
+Gate structure (mirroring the set-at-a-time algebra of the linear-time
+evaluator):
+
+* ``C[e, x]`` — condition gates: node ``x`` satisfies condition ``e``;
+  ``and``/``or`` become fan-in-2 ∧/∨ gates, a location path used as a
+  condition becomes a chain of unbounded fan-in ∨-gates over the witness
+  candidates of each step (evaluated back to front);
+* ``F[i, y]`` — main-path gates: node ``y`` is reachable from the start
+  context through the first ``i`` steps of the query;
+* the output gates are ``F[k, y]`` for every node ``y``.
+
+∧-gates have fan-in ≤ 2 and ∨-gates are unbounded, so the produced circuit
+is semi-unbounded, exactly the SAC¹ shape; its depth is reported by the
+parallel evaluator as the idealised parallel running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import GATE_AND, GATE_INPUT, GATE_OR, Circuit, Gate
+from repro.errors import FragmentViolationError
+from repro.xmlmodel.axes import axis_step, node_test_matches
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode
+from repro.xpath.ast import BinaryOp, FunctionCall, LocationPath, Step, XPathExpr
+from repro.xpath.parser import parse
+
+TRUE_GATE = "CONST_TRUE"
+FALSE_GATE = "CONST_FALSE"
+
+
+@dataclass
+class CompiledQuery:
+    """A query compiled to a monotone circuit.
+
+    ``output_gates`` maps each candidate result node to the gate whose
+    value says whether that node is selected.
+    """
+
+    document: Document
+    query: XPathExpr
+    circuit: Circuit
+    output_gates: dict[XMLNode, str]
+
+    def constant_assignment(self) -> dict[str, bool]:
+        """The input assignment for the two constant gates."""
+        return {TRUE_GATE: True, FALSE_GATE: False}
+
+    def selected_nodes(self) -> list[XMLNode]:
+        """Evaluate the circuit (sequentially) and return the selected nodes."""
+        values = self.circuit.evaluate(self.constant_assignment())
+        return [node for node, gate in self.output_gates.items() if values[gate]]
+
+
+class _CircuitBuilder:
+    """Accumulates gates, giving each (role, expression, node) pair a unique name."""
+
+    def __init__(self) -> None:
+        self.gates: list[Gate] = [Gate(TRUE_GATE, GATE_INPUT), Gate(FALSE_GATE, GATE_INPUT)]
+        self._names: set[str] = {TRUE_GATE, FALSE_GATE}
+        self._memo: dict[tuple, str] = {}
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    def add(self, prefix: str, kind: str, inputs: list[str]) -> str:
+        """Add a gate; empty input lists collapse to the appropriate constant."""
+        if not inputs:
+            return FALSE_GATE if kind == GATE_OR else TRUE_GATE
+        if len(inputs) == 1:
+            return inputs[0]
+        name = self.fresh(prefix)
+        self.gates.append(Gate(name, kind, tuple(inputs)))
+        return name
+
+    def memoised(self, key: tuple) -> str | None:
+        return self._memo.get(key)
+
+    def remember(self, key: tuple, gate: str) -> str:
+        self._memo[key] = gate
+        return gate
+
+
+def compile_positive_query(query: XPathExpr | str, document: Document) -> CompiledQuery:
+    """Compile a positive Core XPath query over ``document`` into a circuit."""
+    expr = parse(query) if isinstance(query, str) else query
+    builder = _CircuitBuilder()
+    outputs = _compile_top_level(expr, document, builder)
+    # Ensure the circuit has a single well-defined output gate (an OR over
+    # all per-node outputs: "the query selects at least one node").
+    any_gate = builder.add("ANY", GATE_OR, sorted(set(outputs.values())))
+    circuit = Circuit(builder.gates, any_gate)
+    return CompiledQuery(document, expr, circuit, outputs)
+
+
+def _compile_top_level(
+    expr: XPathExpr, document: Document, builder: _CircuitBuilder
+) -> dict[XMLNode, str]:
+    if isinstance(expr, BinaryOp) and expr.op == "|":
+        left = _compile_top_level(expr.left, document, builder)
+        right = _compile_top_level(expr.right, document, builder)
+        merged: dict[XMLNode, str] = {}
+        for node in document.nodes:
+            inputs = [table[node] for table in (left, right) if node in table]
+            inputs = [gate for gate in inputs if gate != FALSE_GATE]
+            merged[node] = builder.add("UNION", GATE_OR, inputs) if inputs else FALSE_GATE
+        return merged
+    if isinstance(expr, LocationPath):
+        return _compile_main_path(expr, document, builder)
+    raise FragmentViolationError(
+        "positive Core XPath",
+        [f"cannot compile {type(expr).__name__} to a circuit (expected a location path)"],
+    )
+
+
+def _compile_main_path(
+    path: LocationPath, document: Document, builder: _CircuitBuilder
+) -> dict[XMLNode, str]:
+    """Forward sweep: F[i, y] = y reachable through the first i steps."""
+    start = document.root if path.absolute else document.root
+    frontier: dict[XMLNode, str] = {start: TRUE_GATE}
+    for step_expr in path.steps:
+        next_frontier: dict[XMLNode, list[str]] = {}
+        for source, source_gate in frontier.items():
+            if source_gate == FALSE_GATE:
+                continue
+            for target in axis_step(source, step_expr.axis, step_expr.node_test.text()):
+                next_frontier.setdefault(target, []).append(source_gate)
+        frontier = {}
+        for target, incoming in next_frontier.items():
+            reach_gate = builder.add("REACH", GATE_OR, sorted(set(incoming)))
+            predicate_gate = _compile_predicates(step_expr, target, document, builder)
+            frontier[target] = builder.add("STEP", GATE_AND, [reach_gate, predicate_gate])
+    return frontier
+
+
+def _compile_predicates(
+    step_expr: Step, node: XMLNode, document: Document, builder: _CircuitBuilder
+) -> str:
+    gates = [
+        _compile_condition(predicate, node, document, builder)
+        for predicate in step_expr.predicates
+    ]
+    gates = [gate for gate in gates if gate != TRUE_GATE]
+    if any(gate == FALSE_GATE for gate in gates):
+        return FALSE_GATE
+    return builder.add("PREDS", GATE_AND, gates) if gates else TRUE_GATE
+
+
+def _compile_condition(
+    expr: XPathExpr, node: XMLNode, document: Document, builder: _CircuitBuilder
+) -> str:
+    """C[e, x]: the gate that is true iff condition ``e`` holds at ``x``."""
+    key = (id(expr), node.uid)
+    cached = builder.memoised(key)
+    if cached is not None:
+        return cached
+    if isinstance(expr, BinaryOp) and expr.op in ("and", "or"):
+        left = _compile_condition(expr.left, node, document, builder)
+        right = _compile_condition(expr.right, node, document, builder)
+        kind = GATE_AND if expr.op == "and" else GATE_OR
+        if expr.op == "and" and FALSE_GATE in (left, right):
+            gate = FALSE_GATE
+        elif expr.op == "or" and TRUE_GATE in (left, right):
+            gate = TRUE_GATE
+        else:
+            inputs = [g for g in (left, right) if g not in (TRUE_GATE if expr.op == "and" else FALSE_GATE,)]
+            gate = builder.add("BOOL", kind, inputs)
+        return builder.remember(key, gate)
+    if isinstance(expr, FunctionCall) and expr.name in ("true", "false") and not expr.args:
+        return builder.remember(key, TRUE_GATE if expr.name == "true" else FALSE_GATE)
+    if isinstance(expr, LocationPath):
+        gate = _compile_condition_path(expr, node, document, builder)
+        return builder.remember(key, gate)
+    if isinstance(expr, FunctionCall) and expr.name == "not":
+        raise FragmentViolationError(
+            "positive Core XPath", ["negation cannot be compiled to a monotone circuit"]
+        )
+    raise FragmentViolationError(
+        "positive Core XPath", [f"condition {expr} is outside positive Core XPath"]
+    )
+
+
+def _compile_condition_path(
+    path: LocationPath, node: XMLNode, document: Document, builder: _CircuitBuilder
+) -> str:
+    """C[π, x]: does the location path π select at least one node from x?"""
+    start = document.root if path.absolute else node
+    return _compile_steps_exist(tuple(path.steps), start, document, builder)
+
+
+def _compile_steps_exist(
+    steps: tuple[Step, ...], start: XMLNode, document: Document, builder: _CircuitBuilder
+) -> str:
+    if not steps:
+        return TRUE_GATE
+    key = (tuple(id(s) for s in steps), start.uid, "exists")
+    cached = builder.memoised(key)
+    if cached is not None:
+        return cached
+    head, rest = steps[0], steps[1:]
+    witnesses = []
+    for candidate in axis_step(start, head.axis, head.node_test.text()):
+        predicate_gate = _compile_predicates(head, candidate, document, builder)
+        if predicate_gate == FALSE_GATE:
+            continue
+        continuation = _compile_steps_exist(rest, candidate, document, builder)
+        if continuation == FALSE_GATE:
+            continue
+        witnesses.append(builder.add("WITNESS", GATE_AND, [predicate_gate, continuation]))
+    gate = builder.add("EXISTS", GATE_OR, sorted(set(witnesses)))
+    return builder.remember(key, gate)

@@ -1,0 +1,77 @@
+"""The paper's complexity reductions (Theorems 3.2, 4.2, 4.3, 5.7)."""
+
+from repro.reductions.base import ReductionInstance
+from repro.reductions.circuit_document import (
+    GATE_TAG,
+    PORT_TAG,
+    ROOT_TAG,
+    STRUCTURAL_TAGS,
+    W_TAG,
+    CircuitDocument,
+    build_circuit_document,
+    input_label,
+    output_label,
+)
+from repro.reductions.circuit_to_core import (
+    build_phi,
+    build_query,
+    reduce_circuit_to_core_xpath,
+)
+from repro.reductions.circuit_to_pwf import (
+    build_pwf_phi,
+    build_pwf_query,
+    reduce_circuit_to_pwf_iterated,
+)
+from repro.reductions.labels import (
+    FALSE_LABEL,
+    TRUE_LABEL,
+    LabelledNodeBuilder,
+    label_test,
+    node_labels,
+    truth_label,
+)
+from repro.reductions.reachability_to_pf import (
+    build_reachability_document,
+    build_reachability_query,
+    edge_side_position,
+    reduce_reachability_to_pf,
+    vertex_tag,
+)
+from repro.reductions.sac1_to_positive import (
+    build_positive_phi,
+    build_positive_query,
+    reduce_sac1_to_positive_core_xpath,
+)
+
+__all__ = [
+    "CircuitDocument",
+    "FALSE_LABEL",
+    "GATE_TAG",
+    "LabelledNodeBuilder",
+    "PORT_TAG",
+    "ROOT_TAG",
+    "ReductionInstance",
+    "STRUCTURAL_TAGS",
+    "TRUE_LABEL",
+    "W_TAG",
+    "build_circuit_document",
+    "build_phi",
+    "build_positive_phi",
+    "build_positive_query",
+    "build_pwf_phi",
+    "build_pwf_query",
+    "build_query",
+    "build_reachability_document",
+    "build_reachability_query",
+    "edge_side_position",
+    "input_label",
+    "label_test",
+    "node_labels",
+    "output_label",
+    "reduce_circuit_to_core_xpath",
+    "reduce_circuit_to_pwf_iterated",
+    "reduce_reachability_to_pf",
+    "reduce_sac1_to_positive_core_xpath",
+    "truth_label",
+    "vertex_tag",
+]

@@ -1,0 +1,53 @@
+"""Common infrastructure for the paper's complexity reductions.
+
+Every reduction produces a :class:`ReductionInstance`: an XML document, an
+XPath query (as an AST), the ground-truth answer of the source problem
+(circuit value / reachability), and bookkeeping metadata.  The tests and
+benchmarks then assert the reduction's defining property — *the query
+selects at least one node if and only if the source instance is a
+yes-instance* — using the polynomial evaluators as the right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.evaluation.api import query_selects
+from repro.xmlmodel.document import Document
+from repro.xpath.ast import XPathExpr
+
+
+@dataclass
+class ReductionInstance:
+    """The output of one hardness reduction applied to one source instance."""
+
+    name: str
+    document: Document
+    query: XPathExpr
+    expected: bool
+    metadata: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def document_size(self) -> int:
+        """|D| of the produced document."""
+        return self.document.size
+
+    @property
+    def query_size(self) -> int:
+        """|Q| of the produced query (AST node count)."""
+        return self.query.size()
+
+    def query_text(self) -> str:
+        """The produced query in XPath syntax."""
+        return self.query.unparse()
+
+    def holds(self, engine: str = "cvt") -> bool:
+        """Evaluate the query and report whether it matches ``expected``."""
+        return query_selects(self.query, self.document, engine=engine) == self.expected
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReductionInstance {self.name} |D|={self.document_size} "
+            f"|Q|={self.query_size} expected={self.expected}>"
+        )

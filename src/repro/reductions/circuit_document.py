@@ -1,0 +1,164 @@
+"""The circuit-encoding document shared by Theorems 3.2, 4.2 and 5.7.
+
+All three hardness reductions use the same document skeleton (proof of
+Theorem 3.2): a root ``v0`` with children ``v1 … v(M+N)`` — one per gate —
+each of which has exactly one child ``v'i``.  Node labels (Remark 3.1,
+encoded as label children) record, for every layer ``k`` of the serialised
+circuit (Figure 3), which nodes are inputs (``Ik``) and outputs (``Ok``) of
+that layer, the gate marker ``G``, the result marker ``R`` and the input
+truth values.
+
+The variations needed by the later theorems are switches on the same
+builder:
+
+* ``split_and_inputs`` (Theorem 4.2): ∧-layers use two labels ``Ik_1`` /
+  ``Ik_2`` — one per input wire of the fan-in-2 ∧-gate — and dummy-gate
+  ports carry both;
+* ``add_w_nodes`` (Theorem 5.7): every node ``v0 … v(M+N)`` receives an
+  extra right-most child ``wi`` labelled ``W``, and ``v0`` is labelled ``A``.
+
+Structural tags ("circuit", "gate", "port", "w") are disjoint from all
+label names, so ``T(l)`` tests never match structural children by accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import GATE_AND, Circuit
+from repro.errors import ReductionError
+from repro.reductions.labels import truth_label
+from repro.xmlmodel.document import Document, DocumentBuilder
+
+#: Tag of the root element standing for the paper's node v0.
+ROOT_TAG = "circuit"
+#: Tag of the elements standing for v1 … v(M+N).
+GATE_TAG = "gate"
+#: Tag of the elements standing for v'1 … v'(M+N).
+PORT_TAG = "port"
+#: Tag of the Theorem 5.7 extra children w0 … w(M+N).
+W_TAG = "w"
+
+#: Structural tags, excluded when reading back Remark 3.1 labels.
+STRUCTURAL_TAGS = frozenset({ROOT_TAG, GATE_TAG, PORT_TAG, W_TAG})
+
+
+def input_label(layer: int, position: int | None = None) -> str:
+    """The ``Ik`` label of layer ``layer`` (or ``Ik_1``/``Ik_2`` when ``position`` given)."""
+    if position is None:
+        return f"I{layer}"
+    return f"I{layer}_{position}"
+
+
+def output_label(layer: int) -> str:
+    """The ``Ok`` label of layer ``layer``."""
+    return f"O{layer}"
+
+
+@dataclass
+class CircuitDocument:
+    """The document produced for a circuit instance, plus its label assignment."""
+
+    document: Document
+    labels_of_gate_node: dict[int, set[str]]
+    labels_of_port_node: dict[int, set[str]]
+    numbering: dict[str, int]
+
+    @property
+    def num_inputs(self) -> int:
+        """M — number of circuit input gates."""
+        return sum(
+            1 for labels in self.labels_of_gate_node.values() if truth_label(True) in labels or truth_label(False) in labels
+        )
+
+
+def build_circuit_document(
+    circuit: Circuit,
+    assignment: dict[str, bool],
+    split_and_inputs: bool = False,
+    add_w_nodes: bool = False,
+) -> CircuitDocument:
+    """Build the Theorem 3.2 document for ``circuit`` under ``assignment``.
+
+    See the module docstring for the ``split_and_inputs`` and
+    ``add_w_nodes`` switches.
+    """
+    numbering = circuit.numbering()
+    by_number = {number: name for name, number in numbering.items()}
+    num_inputs = circuit.num_inputs()
+    num_internal = circuit.num_internal()
+    total = num_inputs + num_internal
+
+    gate_labels: dict[int, set[str]] = {i: set() for i in range(1, total + 1)}
+    port_labels: dict[int, set[str]] = {i: set() for i in range(1, total + 1)}
+
+    # G on every gate node, R on the output gate node, truth values on inputs.
+    for i in range(1, total + 1):
+        gate_labels[i].add("G")
+    gate_labels[total].add("R")
+    for i in range(1, num_inputs + 1):
+        name = by_number[i]
+        if name not in assignment:
+            raise ReductionError(f"assignment misses input gate {name!r}")
+        gate_labels[i].add(truth_label(assignment[name]))
+
+    # Layer labels: layer k computes gate G(M+k).
+    and_layers: set[int] = set()
+    for k in range(1, num_internal + 1):
+        gate_name = by_number[num_inputs + k]
+        gate = circuit.gates[gate_name]
+        gate_labels[num_inputs + k].add(output_label(k))
+        is_and = gate.kind == GATE_AND
+        if is_and:
+            and_layers.add(k)
+        if split_and_inputs and is_and:
+            if len(gate.inputs) > 2:
+                raise ReductionError(
+                    "Theorem 4.2 requires ∧-gates of fan-in at most 2 (SAC¹ circuits)"
+                )
+            for position, input_name in enumerate(gate.inputs, start=1):
+                gate_labels[numbering[input_name]].add(input_label(k, position))
+            if len(gate.inputs) == 1:
+                # A fan-in-one ∧-gate behaves like a dummy: its single input
+                # carries both labels so both conjuncts of ψk see it.
+                gate_labels[numbering[gate.inputs[0]]].add(input_label(k, 2))
+        else:
+            for input_name in gate.inputs:
+                gate_labels[numbering[input_name]].add(input_label(k))
+
+    # Port labels: v'i carries the layer labels of every layer that merely
+    # propagates gate Gi (plus Ok for bookkeeping), per the proof of Thm 3.2.
+    for i in range(1, total + 1):
+        first_layer = 1 if i <= num_inputs else i - num_inputs
+        for k in range(first_layer, num_internal + 1):
+            port_labels[i].add(output_label(k))
+            if split_and_inputs and k in and_layers:
+                port_labels[i].add(input_label(k, 1))
+                port_labels[i].add(input_label(k, 2))
+            else:
+                port_labels[i].add(input_label(k))
+
+    builder = DocumentBuilder()
+    builder.start_element(ROOT_TAG)
+    if add_w_nodes:
+        builder.add_element("A")
+    for i in range(1, total + 1):
+        builder.start_element(GATE_TAG)
+        for label in sorted(gate_labels[i]):
+            builder.add_element(label)
+        builder.start_element(PORT_TAG)
+        for label in sorted(port_labels[i]):
+            builder.add_element(label)
+        builder.end_element()  # port
+        if add_w_nodes:
+            builder.start_element(W_TAG)
+            builder.add_element("W")
+            builder.end_element()
+        builder.end_element()  # gate
+    if add_w_nodes:
+        builder.start_element(W_TAG)
+        builder.add_element("W")
+        builder.end_element()
+    builder.end_element()  # circuit
+    document = builder.finish()
+    return CircuitDocument(document, gate_labels, port_labels, numbering)

@@ -1,0 +1,129 @@
+"""Theorem 3.2: monotone circuit value ≤ Core XPath evaluation (P-hardness).
+
+Given a monotone Boolean circuit and an input assignment, the reduction
+produces a depth-three document (via :mod:`repro.reductions.circuit_document`)
+and a Core XPath query
+
+    ``/descendant-or-self::*[T(R) and φN]``
+
+such that the query selects a node if and only if the circuit's output gate
+evaluates to true.  The condition expressions follow the proof verbatim:
+
+    φk := descendant-or-self::*[T(Ok) and parent::*[ψk]]
+    ψk := not(child::*[T(Ik) and not(πk)])     if gate G(M+k) is an ∧-gate
+    ψk := child::*[T(Ik) and πk]               otherwise
+    πk := ancestor-or-self::*[T(G) and φ(k−1)]
+    φ0 := T(1)   (the truth label; ``T`` in our label alphabet)
+
+Corollary 3.3 (``corollary_3_3=True``) replaces ``ancestor-or-self::*`` in
+πk by ``descendant-or-self::*/parent::*``, so that only the axes child,
+parent and descendant-or-self occur.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import GATE_AND, Circuit
+from repro.reductions.base import ReductionInstance
+from repro.reductions.circuit_document import (
+    build_circuit_document,
+    input_label,
+    output_label,
+)
+from repro.reductions.labels import TRUE_LABEL, label_test
+from repro.xpath.ast import (
+    LocationPath,
+    NodeTest,
+    Step,
+    XPathExpr,
+    conjunction,
+    not_,
+)
+
+_STAR = NodeTest("name", "*")
+
+
+def _condition_step(axis: str, condition: XPathExpr) -> Step:
+    return Step(axis, _STAR, (condition,))
+
+
+def build_phi(circuit: Circuit, corollary_3_3: bool = False) -> XPathExpr:
+    """Build the condition φN for ``circuit`` (the heart of the reduction)."""
+    phi: XPathExpr = label_test(TRUE_LABEL)  # φ0 := T(1)
+    numbering = circuit.numbering()
+    by_number = {number: name for name, number in numbering.items()}
+    num_inputs = circuit.num_inputs()
+    for k in range(1, circuit.num_internal() + 1):
+        gate = circuit.gates[by_number[num_inputs + k]]
+        pi_condition = conjunction(label_test("G"), phi)
+        if corollary_3_3:
+            # Corollary 3.3: ancestor-or-self::* ≡ descendant-or-self::*/parent::*
+            # when read as a condition (the extra match on the root is harmless
+            # because the root carries no Ik label).
+            pi = LocationPath(
+                False,
+                (
+                    Step("descendant-or-self", _STAR, ()),
+                    _condition_step("parent", pi_condition),
+                ),
+            )
+        else:
+            pi = LocationPath(False, (_condition_step("ancestor-or-self", pi_condition),))
+        if gate.kind == GATE_AND:
+            psi: XPathExpr = not_(
+                LocationPath(
+                    False,
+                    (
+                        _condition_step(
+                            "child", conjunction(label_test(input_label(k)), not_(pi))
+                        ),
+                    ),
+                )
+            )
+        else:
+            psi = LocationPath(
+                False,
+                (_condition_step("child", conjunction(label_test(input_label(k)), pi)),),
+            )
+        parent_check = LocationPath(False, (_condition_step("parent", psi),))
+        phi = LocationPath(
+            False,
+            (
+                _condition_step(
+                    "descendant-or-self",
+                    conjunction(label_test(output_label(k)), parent_check),
+                ),
+            ),
+        )
+    return phi
+
+
+def build_query(circuit: Circuit, corollary_3_3: bool = False) -> LocationPath:
+    """The full Theorem 3.2 query ``/descendant-or-self::*[T(R) and φN]``."""
+    phi = build_phi(circuit, corollary_3_3)
+    return LocationPath(
+        True,
+        (_condition_step("descendant-or-self", conjunction(label_test("R"), phi)),),
+    )
+
+
+def reduce_circuit_to_core_xpath(
+    circuit: Circuit,
+    assignment: dict[str, bool],
+    corollary_3_3: bool = False,
+) -> ReductionInstance:
+    """Apply the Theorem 3.2 reduction to ``(circuit, assignment)``."""
+    encoded = build_circuit_document(circuit, assignment)
+    query = build_query(circuit, corollary_3_3)
+    expected = circuit.value(assignment)
+    return ReductionInstance(
+        name="Theorem 3.2" if not corollary_3_3 else "Corollary 3.3",
+        document=encoded.document,
+        query=query,
+        expected=expected,
+        metadata={
+            "inputs": circuit.num_inputs(),
+            "gates": circuit.num_internal(),
+            "circuit_depth": circuit.depth(),
+            "corollary_3_3": corollary_3_3,
+        },
+    )

@@ -1,0 +1,147 @@
+"""Theorem 5.7: monotone circuit value ≤ pWF + iterated predicates (P-hardness).
+
+pWF bans both negation and iterated predicates; Theorem 5.7 shows that
+adding iterated predicates back (even just two per step, Corollary 5.8)
+restores P-hardness, because ``not`` can be *encoded* with ``last()`` over
+a predicate sequence.
+
+The reduction modifies the Theorem 3.2 construction (proof sketch of
+Theorem 5.7):
+
+* the document gains an extra right-most child ``wi`` (labelled ``W``) under
+  every node ``v0 … v(M+N)``, and ``v0`` gains the auxiliary label ``A``;
+* the query replaces negation by ``last()`` tests over iterated predicates:
+
+      φ'k := descendant-or-self::*[T(Ok) and parent::*[ψ'k]]
+      ψ'k := child::*[(T(Ik) and π'k[last()=1]) or T(W)][last()=1]   (∧-gate)
+      ψ'k := child::*[T(Ik) and π'k[last() > 1]]                      (∨-gate)
+      π'k := ancestor-or-self::*[(T(G) and φ'(k−1)) or T(A)]
+      φ'0 := T(1)
+
+  The disjunct ``T(A)`` guarantees that π'k always selects at least the
+  root, so ``π'k[last()=1]`` holds exactly when πk of Theorem 3.2 would be
+  *empty* — i.e. it encodes ``not(πk)`` — while ``π'k[last()>1]`` encodes
+  πk itself (equivalences (1)–(3) in the proof).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import GATE_AND, Circuit
+from repro.reductions.base import ReductionInstance
+from repro.reductions.circuit_document import (
+    build_circuit_document,
+    input_label,
+    output_label,
+)
+from repro.reductions.labels import TRUE_LABEL, label_test
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    Number,
+    Step,
+    XPathExpr,
+    conjunction,
+    disjunction,
+)
+
+_STAR = NodeTest("name", "*")
+
+_LAST_EQ_ONE = BinaryOp("=", FunctionCall("last", ()), Number(1.0))
+_LAST_GT_ONE = BinaryOp(">", FunctionCall("last", ()), Number(1.0))
+
+
+def _with_extra_predicate(path: LocationPath, predicate: XPathExpr) -> LocationPath:
+    """Append ``predicate`` as an *iterated* predicate on the path's last step."""
+    *front, last_step = path.steps
+    extended = Step(last_step.axis, last_step.node_test, last_step.predicates + (predicate,))
+    return LocationPath(path.absolute, tuple(front) + (extended,))
+
+
+def build_pwf_phi(circuit: Circuit) -> XPathExpr:
+    """Build the condition φ'N of the Theorem 5.7 query."""
+    phi: XPathExpr = label_test(TRUE_LABEL)
+    numbering = circuit.numbering()
+    by_number = {number: name for name, number in numbering.items()}
+    num_inputs = circuit.num_inputs()
+    for k in range(1, circuit.num_internal() + 1):
+        gate = circuit.gates[by_number[num_inputs + k]]
+        pi = LocationPath(
+            False,
+            (
+                Step(
+                    "ancestor-or-self",
+                    _STAR,
+                    (
+                        disjunction(
+                            conjunction(label_test("G"), phi), label_test("A")
+                        ),
+                    ),
+                ),
+            ),
+        )
+        if gate.kind == GATE_AND:
+            inner = disjunction(
+                conjunction(
+                    label_test(input_label(k)), _with_extra_predicate(pi, _LAST_EQ_ONE)
+                ),
+                label_test("W"),
+            )
+            psi: XPathExpr = LocationPath(
+                False, (Step("child", _STAR, (inner, _LAST_EQ_ONE)),)
+            )
+        else:
+            inner = conjunction(
+                label_test(input_label(k)), _with_extra_predicate(pi, _LAST_GT_ONE)
+            )
+            psi = LocationPath(False, (Step("child", _STAR, (inner,)),))
+        parent_check = LocationPath(False, (Step("parent", _STAR, (psi,)),))
+        phi = LocationPath(
+            False,
+            (
+                Step(
+                    "descendant-or-self",
+                    _STAR,
+                    (conjunction(label_test(output_label(k)), parent_check),),
+                ),
+            ),
+        )
+    return phi
+
+
+def build_pwf_query(circuit: Circuit) -> LocationPath:
+    """The Theorem 5.7 query ``/descendant-or-self::*[T(R) and φ'N]``."""
+    phi = build_pwf_phi(circuit)
+    return LocationPath(
+        True,
+        (
+            Step(
+                "descendant-or-self",
+                _STAR,
+                (conjunction(label_test("R"), phi),),
+            ),
+        ),
+    )
+
+
+def reduce_circuit_to_pwf_iterated(
+    circuit: Circuit, assignment: dict[str, bool]
+) -> ReductionInstance:
+    """Apply the Theorem 5.7 reduction to ``(circuit, assignment)``."""
+    encoded = build_circuit_document(circuit, assignment, add_w_nodes=True)
+    query = build_pwf_query(circuit)
+    expected = circuit.value(assignment)
+    return ReductionInstance(
+        name="Theorem 5.7",
+        document=encoded.document,
+        query=query,
+        expected=expected,
+        metadata={
+            "inputs": circuit.num_inputs(),
+            "gates": circuit.num_internal(),
+            "circuit_depth": circuit.depth(),
+            "uses_negation": False,
+            "max_iterated_predicates": 2,
+        },
+    )

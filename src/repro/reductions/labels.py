@@ -1,0 +1,78 @@
+"""The multi-label encoding of Remark 3.1.
+
+The hardness constructions assign *sets* of labels to document nodes, but
+an XML element has only one tag.  Remark 3.1 resolves this by realising a
+label ``l`` as an additional child, so that the condition ``T(l)`` becomes
+the Core XPath condition ``child::l``.  This module provides that encoding:
+
+* :func:`label_test` — the AST for ``T(l)``;
+* :class:`LabelledNodeBuilder` — a thin wrapper over
+  :class:`~repro.xmlmodel.document.DocumentBuilder` that attaches label
+  children to the node being built.
+
+Because the original truth-value labels ``0`` and ``1`` are not legal XML
+names, true is encoded as label ``T`` and false as label ``F``; the
+reductions use :data:`TRUE_LABEL` / :data:`FALSE_LABEL` so the choice is
+made in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.xmlmodel.document import DocumentBuilder
+from repro.xmlmodel.nodes import ElementNode
+from repro.xpath.ast import LocationPath, NodeTest, Step
+
+#: Label standing for the paper's truth-value label "1".
+TRUE_LABEL = "T"
+#: Label standing for the paper's truth-value label "0".
+FALSE_LABEL = "F"
+
+
+def label_test(label: str) -> LocationPath:
+    """The Core XPath condition ``T(label)``, realised as ``child::label``."""
+    return LocationPath(False, (Step("child", NodeTest("name", label)),))
+
+
+def truth_label(value: bool) -> str:
+    """The label encoding the truth value ``value`` (Remark 3.1 / Theorem 3.2)."""
+    return TRUE_LABEL if value else FALSE_LABEL
+
+
+class LabelledNodeBuilder:
+    """Build elements that carry Remark 3.1 label children.
+
+    The builder wraps a :class:`DocumentBuilder`; ``start_labelled`` /
+    ``end`` mirror ``start_element`` / ``end_element`` but immediately
+    attach one child element per label.
+    """
+
+    def __init__(self, builder: DocumentBuilder) -> None:
+        self.builder = builder
+
+    def start_labelled(self, tag: str, labels: Iterable[str]) -> ElementNode:
+        """Open an element with the given tag and attach its label children."""
+        element = self.builder.start_element(tag)
+        for label in labels:
+            self.builder.add_element(label)
+        return element
+
+    def add_labelled(self, tag: str, labels: Iterable[str]) -> ElementNode:
+        """Add a labelled element with no further (non-label) children."""
+        element = self.start_labelled(tag, labels)
+        self.end()
+        return element
+
+    def end(self) -> None:
+        """Close the currently open labelled element."""
+        self.builder.end_element()
+
+
+def node_labels(element: ElementNode) -> set[str]:
+    """Return the Remark 3.1 labels carried by ``element`` (its label children's tags).
+
+    Used by tests to validate the label assignment of the reductions
+    against the paper's tables.
+    """
+    return {child.tag for child in element.element_children()}

@@ -1,0 +1,131 @@
+"""Theorem 4.3: directed reachability ≤ PF query evaluation (NL-hardness).
+
+PF is the fragment of Core XPath with no conditions at all, so the
+reduction has to encode the graph purely in the *shape* of the document and
+walk it with a fixed per-edge navigation gadget.  The query is exactly the
+one in the proof of Theorem 4.3 / Figure 5:
+
+    /descendant::v_i / φ_m            with
+    φ_k := child::c / descendant::e / parent^(2n)::* / child^(n)::c /
+           parent::* / φ_(k−1)
+    φ_0 := self::v_j
+
+where ``χ^n::c`` abbreviates ``(χ::*/)^(n−1) χ::c`` (the paper's notation),
+``n = |V|`` and the graph has been closed under self-loops so that plain
+reachability coincides with "reachable in at most m steps".
+
+Document encoding
+-----------------
+The paper presents the encoding only through the drawing in Figure 5(c);
+we use the following concrete layout, which makes the query above provably
+correct (see DESIGN.md for the full argument):
+
+* a single *spine* of ``(m+1)·n`` marker elements, child below child, whose
+  tags cycle ``v1, v2, …, vn, v1, …``;
+* each marker ``v_a`` carries a *side chain* — a child tagged ``c`` followed
+  by ``n−1`` descendants tagged ``d`` — giving side positions ``1 … n``;
+* an edge ``a → b`` is recorded by attaching an ``e`` child at side
+  position ``j = ((b − a − 1) mod n) + 1`` of every copy of ``v_a``.
+
+One φ-iteration starting on a marker copy of ``v_a`` at depth ``δ``
+deterministically lands on the spine marker at depth ``δ + j − n``, whose
+tag is ``v_b`` precisely because of the cyclic spine layout; side chains
+use the tag ``d`` after the first element so stray descents die instead of
+producing false witnesses.  The spine is long enough that every walk of at
+most ``m`` edges is witnessed by a sufficiently deep starting copy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReductionError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.reachability import is_reachable
+from repro.reductions.base import ReductionInstance
+from repro.xmlmodel.document import Document, DocumentBuilder
+from repro.xpath.ast import LocationPath, NodeTest, Step
+
+_STAR = NodeTest("name", "*")
+
+
+def vertex_tag(vertex: int) -> str:
+    """The marker tag used for graph vertex ``vertex`` (0-based) — ``v1``, ``v2``, …"""
+    return f"v{vertex + 1}"
+
+
+def edge_side_position(source: int, target: int, num_vertices: int) -> int:
+    """Side-chain position (1-based) encoding the edge ``source → target``."""
+    return ((target - source - 1) % num_vertices) + 1
+
+
+def build_reachability_document(graph: DiGraph, steps: int) -> Document:
+    """Encode ``graph`` for walks of up to ``steps`` edges (the spine has steps+1 blocks)."""
+    n = graph.num_vertices
+    builder = DocumentBuilder()
+    builder.start_element("graph")
+    total_markers = (steps + 1) * n
+    for index in range(total_markers):
+        vertex = index % n
+        builder.start_element(vertex_tag(vertex))
+        # Side chain: position 1 is tagged 'c', positions 2..n are tagged 'd'.
+        positions_with_edges = {
+            edge_side_position(vertex, target, n)
+            for target in graph.successors(vertex)
+        }
+        for position in range(1, n + 1):
+            builder.start_element("c" if position == 1 else "d")
+            if position in positions_with_edges:
+                builder.add_element("e")
+        for _ in range(n):
+            builder.end_element()
+    for _ in range(total_markers):
+        builder.end_element()
+    builder.end_element()  # graph
+    return builder.finish()
+
+
+def build_reachability_query(source: int, target: int, num_vertices: int, steps: int) -> LocationPath:
+    """The Theorem 4.3 query /descendant::v_source/φ_steps with φ_0 = self::v_target."""
+    query_steps: list[Step] = [Step("descendant", NodeTest("name", vertex_tag(source)), ())]
+    gadget: list[Step] = []
+    gadget.append(Step("child", NodeTest("name", "c"), ()))
+    gadget.append(Step("descendant", NodeTest("name", "e"), ()))
+    gadget.extend(Step("parent", _STAR, ()) for _ in range(2 * num_vertices))
+    gadget.extend(Step("child", _STAR, ()) for _ in range(num_vertices - 1))
+    gadget.append(Step("child", NodeTest("name", "c"), ()))
+    gadget.append(Step("parent", _STAR, ()))
+    for _ in range(steps):
+        query_steps.extend(gadget)
+    query_steps.append(Step("self", NodeTest("name", vertex_tag(target)), ()))
+    return LocationPath(True, tuple(query_steps))
+
+
+def reduce_reachability_to_pf(
+    graph: DiGraph, source: int, target: int, steps: int | None = None
+) -> ReductionInstance:
+    """Apply the Theorem 4.3 reduction to the reachability instance ``(graph, source, target)``.
+
+    ``steps`` defaults to ``|V|``, which (after the self-loop closure the
+    reduction performs) suffices for plain reachability; the paper uses
+    ``|E|``, and any value ≥ the shortest-path length works.
+    """
+    if not 0 <= source < graph.num_vertices or not 0 <= target < graph.num_vertices:
+        raise ReductionError("source/target vertex out of range")
+    if steps is None:
+        steps = graph.num_vertices
+    looped = graph.add_self_loops()
+    document = build_reachability_document(looped, steps)
+    query = build_reachability_query(source, target, graph.num_vertices, steps)
+    expected = is_reachable(graph, source, target)
+    return ReductionInstance(
+        name="Theorem 4.3",
+        document=document,
+        query=query,
+        expected=expected,
+        metadata={
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges(),
+            "source": source,
+            "target": target,
+            "steps": steps,
+        },
+    )

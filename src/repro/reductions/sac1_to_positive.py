@@ -1,0 +1,130 @@
+"""Theorem 4.2: SAC¹ circuit value ≤ positive Core XPath (LOGCFL-hardness).
+
+The reduction reuses the Theorem 3.2 construction with two changes (proof
+sketch of Theorem 4.2):
+
+* in the document, every ∧-layer ``k`` has *two* input labels ``Ik_1`` and
+  ``Ik_2`` — one per input wire of the fan-in-2 ∧-gate; a dummy gate's
+  single input port carries both;
+* in the query, negation is eliminated: for an ∧-layer,
+
+      ψk := child::*[T(Ik_1) and πk] and child::*[T(Ik_2) and πk]
+
+  so the sub-expression πk (and with it φ(k−1)) is inserted twice.
+
+As the paper notes, the query therefore grows exponentially with the
+number of ∧-layers it passes through; this is why the source problem must
+be a *SAC¹* circuit, whose depth — and hence the size of the sub-expression
+being copied — is only logarithmic.  The bench for this reduction reports
+the measured query sizes alongside correctness.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import GATE_AND, Circuit
+from repro.errors import ReductionError
+from repro.reductions.base import ReductionInstance
+from repro.reductions.circuit_document import (
+    build_circuit_document,
+    input_label,
+    output_label,
+)
+from repro.reductions.labels import TRUE_LABEL, label_test
+from repro.xpath.ast import (
+    LocationPath,
+    NodeTest,
+    Step,
+    XPathExpr,
+    conjunction,
+)
+
+_STAR = NodeTest("name", "*")
+
+
+def _condition_step(axis: str, condition: XPathExpr) -> Step:
+    return Step(axis, _STAR, (condition,))
+
+
+def build_positive_phi(circuit: Circuit) -> XPathExpr:
+    """Build the negation-free condition φN of the Theorem 4.2 query."""
+    phi: XPathExpr = label_test(TRUE_LABEL)
+    numbering = circuit.numbering()
+    by_number = {number: name for name, number in numbering.items()}
+    num_inputs = circuit.num_inputs()
+    for k in range(1, circuit.num_internal() + 1):
+        gate = circuit.gates[by_number[num_inputs + k]]
+        pi = LocationPath(
+            False,
+            (_condition_step("ancestor-or-self", conjunction(label_test("G"), phi)),),
+        )
+        if gate.kind == GATE_AND:
+            first = LocationPath(
+                False,
+                (
+                    _condition_step(
+                        "child", conjunction(label_test(input_label(k, 1)), pi)
+                    ),
+                ),
+            )
+            second = LocationPath(
+                False,
+                (
+                    _condition_step(
+                        "child", conjunction(label_test(input_label(k, 2)), pi)
+                    ),
+                ),
+            )
+            psi: XPathExpr = conjunction(first, second)
+        else:
+            psi = LocationPath(
+                False,
+                (_condition_step("child", conjunction(label_test(input_label(k)), pi)),),
+            )
+        parent_check = LocationPath(False, (_condition_step("parent", psi),))
+        phi = LocationPath(
+            False,
+            (
+                _condition_step(
+                    "descendant-or-self",
+                    conjunction(label_test(output_label(k)), parent_check),
+                ),
+            ),
+        )
+    return phi
+
+
+def build_positive_query(circuit: Circuit) -> LocationPath:
+    """The Theorem 4.2 query — a *positive* Core XPath query."""
+    phi = build_positive_phi(circuit)
+    return LocationPath(
+        True,
+        (_condition_step("descendant-or-self", conjunction(label_test("R"), phi)),),
+    )
+
+
+def reduce_sac1_to_positive_core_xpath(
+    circuit: Circuit, assignment: dict[str, bool]
+) -> ReductionInstance:
+    """Apply the Theorem 4.2 reduction to a semi-unbounded circuit instance."""
+    if not circuit.is_semi_unbounded():
+        raise ReductionError(
+            "Theorem 4.2 applies to semi-unbounded (SAC¹) circuits: "
+            f"found an ∧-gate of fan-in {circuit.max_fanin('and')}"
+        )
+    encoded = build_circuit_document(circuit, assignment, split_and_inputs=True)
+    query = build_positive_query(circuit)
+    expected = circuit.value(assignment)
+    return ReductionInstance(
+        name="Theorem 4.2",
+        document=encoded.document,
+        query=query,
+        expected=expected,
+        metadata={
+            "inputs": circuit.num_inputs(),
+            "gates": circuit.num_internal(),
+            "circuit_depth": circuit.depth(),
+            "and_gates": sum(
+                1 for gate in circuit.gates.values() if gate.kind == GATE_AND
+            ),
+        },
+    )

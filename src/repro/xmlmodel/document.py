@@ -1,0 +1,256 @@
+"""The :class:`Document` wrapper over a node tree.
+
+A ``Document`` owns a frozen node tree: document-order positions have been
+assigned, per-tag indexes built, and the node population ("dom" in the
+paper's terminology) fixed.  All evaluators operate on documents rather
+than on bare nodes so that they can rely on these precomputed structures —
+the linear-time Core XPath algorithm, in particular, depends on being able
+to enumerate ``dom`` and to compare document order in constant time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.xmlmodel.nodes import (
+    AttributeNode,
+    CommentNode,
+    ElementNode,
+    NodeType,
+    ProcessingInstructionNode,
+    RootNode,
+    TextNode,
+    XMLNode,
+)
+
+
+class Document:
+    """A frozen XML document tree with document-order and tag indexes.
+
+    Parameters
+    ----------
+    root:
+        The :class:`RootNode` of the tree.  The constructor freezes the
+        tree: it assigns ``order`` to every node (root, elements, text,
+        comments, processing instructions and attributes) and builds the
+        indexes used by the evaluators.
+    """
+
+    def __init__(self, root: RootNode) -> None:
+        if not isinstance(root, RootNode):
+            raise TypeError("Document requires a RootNode")
+        self.root = root
+        self._nodes: list[XMLNode] = []
+        self._attributes: list[AttributeNode] = []
+        self._elements_by_tag: dict[str, list[ElementNode]] = {}
+        self._freeze()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _freeze(self) -> None:
+        """Assign document order and build indexes.
+
+        Attribute nodes are ordered directly after their owning element and
+        before that element's children, following the XPath data model.
+        """
+        counter = 0
+        stack: list[XMLNode] = [self.root]
+        ordered: list[XMLNode] = []
+        attributes: list[AttributeNode] = []
+        while stack:
+            node = stack.pop()
+            node.order = counter
+            counter += 1
+            node.document = self
+            ordered.append(node)
+            if isinstance(node, ElementNode):
+                for attribute in node.attributes:
+                    attribute.order = counter
+                    counter += 1
+                    attribute.document = self
+                    attributes.append(attribute)
+                self._elements_by_tag.setdefault(node.tag, []).append(node)
+            stack.extend(reversed(node.children))
+        self._nodes = ordered
+        self._attributes = attributes
+
+    # -- node populations ------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[XMLNode]:
+        """All tree nodes (root, elements, text, comments, PIs) in document order.
+
+        Attribute nodes are excluded, matching the paper's ``dom`` which
+        ranges over tree nodes; they remain reachable via the attribute axis.
+        """
+        return self._nodes
+
+    @property
+    def attributes(self) -> list[AttributeNode]:
+        """All attribute nodes in document order."""
+        return self._attributes
+
+    @property
+    def elements(self) -> list[ElementNode]:
+        """All element nodes in document order."""
+        return [node for node in self._nodes if isinstance(node, ElementNode)]
+
+    def dom(self) -> list[XMLNode]:
+        """Return the paper's ``dom``: the root plus all element nodes.
+
+        The hardness constructions and the Singleton-Success checker range
+        over this set.  Text/comment/PI nodes are still part of the document
+        and reachable by axes, but the complexity accounting in the paper is
+        in terms of elements.
+        """
+        return [
+            node
+            for node in self._nodes
+            if node.node_type in (NodeType.ROOT, NodeType.ELEMENT)
+        ]
+
+    def elements_with_tag(self, tag: str) -> list[ElementNode]:
+        """Return all elements with the given tag, in document order."""
+        return list(self._elements_by_tag.get(tag, []))
+
+    @property
+    def size(self) -> int:
+        """The number of nodes in the document (|D| in the paper)."""
+        return len(self._nodes) + len(self._attributes)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[XMLNode]:
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        doc_elem = self.root.document_element()
+        tag = doc_elem.tag if doc_elem is not None else None
+        return f"<Document root_tag={tag!r} size={self.size}>"
+
+
+class DocumentBuilder:
+    """Imperative builder producing a :class:`Document`.
+
+    The builder exposes the small push/pop interface used by the XML parser
+    and by the synthetic document generators::
+
+        builder = DocumentBuilder()
+        builder.start_element("library", {"city": "Vienna"})
+        builder.start_element("book")
+        builder.text("PODS 2003")
+        builder.end_element()
+        builder.end_element()
+        document = builder.finish()
+    """
+
+    def __init__(self) -> None:
+        self._root = RootNode()
+        self._stack: list[XMLNode] = [self._root]
+        self._finished = False
+
+    @property
+    def current(self) -> XMLNode:
+        """The node new children are currently appended to."""
+        return self._stack[-1]
+
+    def start_element(
+        self, tag: str, attributes: Optional[dict[str, str]] = None
+    ) -> ElementNode:
+        """Open a new element and make it the current node."""
+        self._check_open()
+        element = ElementNode(tag, attributes)
+        self.current.append_child(element)
+        self._stack.append(element)
+        return element
+
+    def end_element(self) -> None:
+        """Close the current element."""
+        self._check_open()
+        if len(self._stack) == 1:
+            raise ValueError("end_element() without matching start_element()")
+        self._stack.pop()
+
+    def add_element(
+        self, tag: str, attributes: Optional[dict[str, str]] = None
+    ) -> ElementNode:
+        """Add an empty element without descending into it."""
+        element = self.start_element(tag, attributes)
+        self.end_element()
+        return element
+
+    def text(self, data: str) -> TextNode:
+        """Append a text node to the current element."""
+        self._check_open()
+        node = TextNode(data)
+        self.current.append_child(node)
+        return node
+
+    def comment(self, data: str) -> CommentNode:
+        """Append a comment node to the current element."""
+        self._check_open()
+        node = CommentNode(data)
+        self.current.append_child(node)
+        return node
+
+    def processing_instruction(self, target: str, data: str = "") -> ProcessingInstructionNode:
+        """Append a processing-instruction node to the current element."""
+        self._check_open()
+        node = ProcessingInstructionNode(target, data)
+        self.current.append_child(node)
+        return node
+
+    def finish(self) -> Document:
+        """Close the builder and return the frozen :class:`Document`."""
+        self._check_open()
+        if len(self._stack) != 1:
+            raise ValueError(
+                f"{len(self._stack) - 1} element(s) left unclosed at finish()"
+            )
+        self._finished = True
+        return Document(self._root)
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise ValueError("builder already finished")
+
+
+def build_tree(spec, builder: Optional[DocumentBuilder] = None) -> Document:
+    """Build a document from a nested-tuple specification.
+
+    The specification format is ``(tag, attributes_dict, children_list)``
+    where ``attributes_dict`` and ``children_list`` may be omitted, and a
+    bare string is a text node.  This compact form is used heavily in tests::
+
+        build_tree(("a", [("b", {"id": "1"}, ["hello"]), ("b",)]))
+    """
+    own_builder = builder is None
+    if builder is None:
+        builder = DocumentBuilder()
+    _build_tree_node(spec, builder)
+    if own_builder:
+        return builder.finish()
+    return None  # type: ignore[return-value]
+
+
+def _build_tree_node(spec, builder: DocumentBuilder) -> None:
+    if isinstance(spec, str):
+        builder.text(spec)
+        return
+    if not isinstance(spec, tuple) or not spec:
+        raise TypeError(f"invalid tree spec: {spec!r}")
+    tag = spec[0]
+    attributes: dict[str, str] = {}
+    children: list = []
+    for part in spec[1:]:
+        if isinstance(part, dict):
+            attributes = part
+        elif isinstance(part, list):
+            children = part
+        else:
+            raise TypeError(f"invalid tree spec component: {part!r}")
+    builder.start_element(tag, attributes)
+    for child in children:
+        _build_tree_node(child, builder)
+    builder.end_element()

@@ -1,0 +1,203 @@
+"""Synthetic document generators used by tests, examples and benchmarks.
+
+The generators cover the document shapes that the paper's complexity
+arguments care about:
+
+* deep chains (worst case for ancestor/descendant axes),
+* wide flat trees (the shape used by the hardness reductions),
+* complete k-ary trees (balanced workloads),
+* "caterpillar" sibling chains (the shape on which naive, functional-style
+  evaluation of multi-step queries explodes exponentially — experiment E8),
+* seeded random trees (property-based testing), and
+* a small auction-style document modelled on the XMark benchmark schema
+  (realistic mixed-content workloads for the examples).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Sequence
+
+from repro.xmlmodel.document import Document, DocumentBuilder
+
+
+def chain_document(depth: int, tag: str = "a") -> Document:
+    """Return a document that is a single chain of ``depth`` nested elements."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    builder = DocumentBuilder()
+    for _ in range(depth):
+        builder.start_element(tag)
+    for _ in range(depth):
+        builder.end_element()
+    return builder.finish()
+
+
+def wide_document(width: int, tag: str = "item", root_tag: str = "root") -> Document:
+    """Return a document with one root element and ``width`` leaf children."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    builder = DocumentBuilder()
+    builder.start_element(root_tag)
+    for index in range(width):
+        builder.add_element(tag, {"index": str(index)})
+    builder.end_element()
+    return builder.finish()
+
+
+def complete_tree_document(
+    branching: int, depth: int, tags: Sequence[str] = ("a", "b", "c")
+) -> Document:
+    """Return a complete ``branching``-ary tree of the given depth.
+
+    Levels cycle through ``tags`` so that tag-based node tests select
+    specific levels.
+    """
+    if branching < 1 or depth < 1:
+        raise ValueError("branching and depth must be at least 1")
+    builder = DocumentBuilder()
+
+    def build(level: int) -> None:
+        builder.start_element(tags[level % len(tags)])
+        if level + 1 < depth:
+            for _ in range(branching):
+                build(level + 1)
+        builder.end_element()
+
+    build(0)
+    return builder.finish()
+
+
+def caterpillar_document(length: int, tags: Sequence[str] = ("a", "b")) -> Document:
+    """Return the caterpillar document used for the exponential-blowup bench.
+
+    The document is a root with ``length`` children whose tags alternate
+    through ``tags`` (``a b a b …``).  A query of the form
+    ``//a/following-sibling::b/following-sibling::a/…`` admits exponentially
+    many navigation paths through this document, so an evaluator that does
+    not deduplicate intermediate node sets takes exponential time while the
+    dynamic-programming evaluators stay polynomial (experiment E8).
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    builder = DocumentBuilder()
+    builder.start_element("doc")
+    for index in range(length):
+        builder.add_element(tags[index % len(tags)])
+    builder.end_element()
+    return builder.finish()
+
+
+def random_document(
+    node_budget: int,
+    seed: int = 0,
+    tags: Sequence[str] = ("a", "b", "c", "d"),
+    max_children: int = 4,
+    attribute_probability: float = 0.3,
+    text_probability: float = 0.2,
+) -> Document:
+    """Return a pseudo-random document with roughly ``node_budget`` elements.
+
+    The construction is deterministic for a fixed ``seed``, which lets
+    hypothesis-style property tests shrink reliably.
+    """
+    if node_budget < 1:
+        raise ValueError("node_budget must be at least 1")
+    rng = random.Random(seed)
+    builder = DocumentBuilder()
+    remaining = node_budget - 1
+    builder.start_element(rng.choice(tags))
+
+    def grow() -> None:
+        nonlocal remaining
+        if rng.random() < attribute_probability:
+            builder.current.set_attribute(
+                rng.choice(("id", "kind", "lang")),
+                "".join(rng.choices(string.ascii_lowercase, k=3)),
+            )
+        if rng.random() < text_probability:
+            builder.text("".join(rng.choices(string.ascii_lowercase + " ", k=8)))
+        children = rng.randint(0, max_children)
+        for _ in range(children):
+            if remaining <= 0:
+                return
+            remaining -= 1
+            builder.start_element(rng.choice(tags))
+            grow()
+            builder.end_element()
+
+    grow()
+    builder.end_element()
+    return builder.finish()
+
+
+def labelled_list_document(labels_per_node: Sequence[Sequence[str]]) -> Document:
+    """Return a depth-two document with one child per entry of ``labels_per_node``.
+
+    Each child carries its labels as ``<label name="…"/>`` grandchildren —
+    the multi-label encoding of Remark 3.1 that the hardness reductions use.
+    """
+    builder = DocumentBuilder()
+    builder.start_element("root")
+    for index, labels in enumerate(labels_per_node):
+        builder.start_element("node", {"index": str(index)})
+        for label in labels:
+            builder.add_element("label", {"name": label})
+        builder.end_element()
+    builder.end_element()
+    return builder.finish()
+
+
+def auction_document(sellers: int = 5, items_per_seller: int = 4, seed: int = 7) -> Document:
+    """Return a small auction-site document in the spirit of XMark.
+
+    The document has regions, sellers, items with descriptions and bids,
+    which exercises nested predicates, attribute tests, arithmetic on bid
+    amounts and positional predicates in the examples.
+    """
+    rng = random.Random(seed)
+    regions = ("europe", "namerica", "asia")
+    builder = DocumentBuilder()
+    builder.start_element("site")
+    builder.start_element("regions")
+    for region in regions:
+        builder.start_element(region)
+        builder.end_element()
+    builder.end_element()
+    builder.start_element("people")
+    for seller_id in range(sellers):
+        builder.start_element("person", {"id": f"person{seller_id}"})
+        builder.start_element("name")
+        builder.text(f"Seller {seller_id}")
+        builder.end_element()
+        builder.end_element()
+    builder.end_element()
+    builder.start_element("open_auctions")
+    item_counter = 0
+    for seller_id in range(sellers):
+        for _ in range(items_per_seller):
+            builder.start_element("open_auction", {"id": f"auction{item_counter}"})
+            builder.start_element("seller")
+            builder.current.set_attribute("person", f"person{seller_id}")
+            builder.end_element()
+            builder.start_element("initial")
+            builder.text(f"{rng.randint(1, 200)}")
+            builder.end_element()
+            bid_count = rng.randint(0, 5)
+            for bid_index in range(bid_count):
+                builder.start_element("bidder")
+                builder.start_element("increase")
+                builder.text(f"{rng.randint(1, 50)}")
+                builder.end_element()
+                builder.end_element()
+            builder.start_element("item", {"region": rng.choice(regions)})
+            builder.start_element("description")
+            builder.text(f"item number {item_counter}")
+            builder.end_element()
+            builder.end_element()
+            builder.end_element()
+            item_counter += 1
+    builder.end_element()
+    builder.end_element()
+    return builder.finish()

@@ -1,0 +1,296 @@
+"""Node classes of the XPath 1.0 data model.
+
+The XPath data model views an XML document as a tree of seven node kinds;
+this module implements the five that matter for query evaluation (root,
+element, attribute, text and comment nodes) plus processing instructions.
+Namespace nodes are intentionally omitted — the paper never uses them and
+they do not interact with any of its complexity results.
+
+Nodes are plain Python objects linked by ``parent`` / ``children``
+references.  Document order is represented by an integer ``order`` assigned
+by :class:`repro.xmlmodel.document.Document` when the tree is frozen;
+comparing two nodes' ``order`` attributes compares their document positions.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable, Iterator, Optional
+
+
+class NodeType(enum.Enum):
+    """The node kinds of the XPath 1.0 data model (minus namespace nodes)."""
+
+    ROOT = "root"
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    COMMENT = "comment"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+
+
+_node_counter = itertools.count()
+
+
+class XMLNode:
+    """Common behaviour of every node in the data model.
+
+    Parameters
+    ----------
+    node_type:
+        The :class:`NodeType` of this node.
+
+    Notes
+    -----
+    ``order`` is ``-1`` until the owning :class:`Document` freezes the tree
+    and assigns document-order positions.  ``uid`` is a process-unique id
+    used for hashing before the order is assigned.
+    """
+
+    __slots__ = ("node_type", "parent", "children", "order", "uid", "document")
+
+    def __init__(self, node_type: NodeType) -> None:
+        self.node_type = node_type
+        self.parent: Optional[XMLNode] = None
+        self.children: list[XMLNode] = []
+        self.order: int = -1
+        self.uid: int = next(_node_counter)
+        self.document = None  # set by Document.freeze()
+
+    # -- tree construction -------------------------------------------------
+
+    def append_child(self, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` as the last child of this node and return it."""
+        if child.parent is not None:
+            raise ValueError("node already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- structural queries -------------------------------------------------
+
+    def is_element(self) -> bool:
+        """Return True if this is an element node."""
+        return self.node_type is NodeType.ELEMENT
+
+    def is_root(self) -> bool:
+        """Return True if this is the conceptual root node of a document."""
+        return self.node_type is NodeType.ROOT
+
+    def iter_descendants(self) -> Iterator["XMLNode"]:
+        """Yield every descendant (not including self) in document order."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants_or_self(self) -> Iterator["XMLNode"]:
+        """Yield this node and every descendant in document order."""
+        yield self
+        yield from self.iter_descendants()
+
+    def iter_ancestors(self) -> Iterator["XMLNode"]:
+        """Yield every ancestor of this node, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "XMLNode":
+        """Return the root of the tree containing this node."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def child_index(self) -> int:
+        """Return this node's index among its parent's children (0-based).
+
+        The root node has no parent and returns ``0``.
+        """
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self)
+
+    # -- XPath string value -------------------------------------------------
+
+    def string_value(self) -> str:
+        """Return the XPath string-value of this node.
+
+        For root and element nodes this is the concatenation of the
+        string-values of all descendant text nodes, in document order.
+        """
+        parts = [
+            node.text
+            for node in self.iter_descendants_or_self()
+            if isinstance(node, TextNode)
+        ]
+        return "".join(parts)
+
+    # -- naming --------------------------------------------------------------
+
+    def name(self) -> str:
+        """Return the expanded-name of the node ('' for unnamed node kinds)."""
+        return ""
+
+    # -- dunder helpers -------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __lt__(self, other: "XMLNode") -> bool:
+        if self.order < 0 or other.order < 0:
+            raise ValueError("document order not assigned; freeze the document first")
+        return self.order < other.order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} order={self.order}>"
+
+
+class RootNode(XMLNode):
+    """The conceptual root node that sits above the document element."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(NodeType.ROOT)
+
+    def document_element(self) -> Optional["ElementNode"]:
+        """Return the single element child of the root, if any."""
+        for child in self.children:
+            if isinstance(child, ElementNode):
+                return child
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RootNode order={self.order}>"
+
+
+class ElementNode(XMLNode):
+    """An element node with a tag name and attribute nodes."""
+
+    __slots__ = ("tag", "attributes")
+
+    def __init__(self, tag: str, attributes: Optional[dict[str, str]] = None) -> None:
+        super().__init__(NodeType.ELEMENT)
+        self.tag = tag
+        self.attributes: list[AttributeNode] = []
+        if attributes:
+            for attr_name, attr_value in attributes.items():
+                self.set_attribute(attr_name, attr_value)
+
+    def name(self) -> str:
+        return self.tag
+
+    def set_attribute(self, attr_name: str, attr_value: str) -> "AttributeNode":
+        """Set attribute ``attr_name`` to ``attr_value``, replacing any old value."""
+        for attribute in self.attributes:
+            if attribute.attr_name == attr_name:
+                attribute.value = attr_value
+                return attribute
+        attribute = AttributeNode(attr_name, attr_value)
+        attribute.parent = self
+        self.attributes.append(attribute)
+        return attribute
+
+    def get_attribute(self, attr_name: str) -> Optional[str]:
+        """Return the value of attribute ``attr_name`` or None if absent."""
+        for attribute in self.attributes:
+            if attribute.attr_name == attr_name:
+                return attribute.value
+        return None
+
+    def element_children(self) -> list["ElementNode"]:
+        """Return the element children in document order."""
+        return [child for child in self.children if isinstance(child, ElementNode)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ElementNode {self.tag!r} order={self.order}>"
+
+
+class AttributeNode(XMLNode):
+    """An attribute node.
+
+    Attribute nodes have an element parent but are *not* children of that
+    element; they are only reachable through the ``attribute`` axis, exactly
+    as prescribed by the XPath data model.
+    """
+
+    __slots__ = ("attr_name", "value")
+
+    def __init__(self, attr_name: str, value: str) -> None:
+        super().__init__(NodeType.ATTRIBUTE)
+        self.attr_name = attr_name
+        self.value = value
+
+    def name(self) -> str:
+        return self.attr_name
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AttributeNode {self.attr_name}={self.value!r} order={self.order}>"
+
+
+class TextNode(XMLNode):
+    """A text node holding character data."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__(NodeType.TEXT)
+        self.text = text
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TextNode {self.text!r} order={self.order}>"
+
+
+class CommentNode(XMLNode):
+    """A comment node."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        super().__init__(NodeType.COMMENT)
+        self.text = text
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CommentNode {self.text!r} order={self.order}>"
+
+
+class ProcessingInstructionNode(XMLNode):
+    """A processing-instruction node with a target and data string."""
+
+    __slots__ = ("target", "data")
+
+    def __init__(self, target: str, data: str = "") -> None:
+        super().__init__(NodeType.PROCESSING_INSTRUCTION)
+        self.target = target
+        self.data = data
+
+    def name(self) -> str:
+        return self.target
+
+    def string_value(self) -> str:
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PINode {self.target!r} order={self.order}>"
+
+
+def sort_document_order(nodes: Iterable[XMLNode]) -> list[XMLNode]:
+    """Return ``nodes`` as a list sorted into document order (duplicates removed)."""
+    unique = {node.uid: node for node in nodes}
+    return sorted(unique.values(), key=lambda node: node.order)

@@ -1,0 +1,95 @@
+"""Serialisation of documents back to XML text.
+
+The serializer is the inverse of :func:`repro.xmlmodel.parser.parse_xml`
+(up to whitespace).  It is used by the benchmark harness to hand documents
+to the :mod:`xml.etree.ElementTree` cross-check engine and by the examples
+to show the documents produced by the hardness reductions.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import (
+    CommentNode,
+    ElementNode,
+    ProcessingInstructionNode,
+    RootNode,
+    TextNode,
+    XMLNode,
+)
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion in element content."""
+    for char, replacement in _ESCAPES_TEXT.items():
+        value = value.replace(char, replacement)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for inclusion in a double-quoted attribute value."""
+    for char, replacement in _ESCAPES_ATTR.items():
+        value = value.replace(char, replacement)
+    return value
+
+
+def serialize(document: Document, indent: str | None = None) -> str:
+    """Serialise ``document`` to an XML string.
+
+    Parameters
+    ----------
+    document:
+        The document to serialise.
+    indent:
+        If given (e.g. ``"  "``), pretty-print with one level of that
+        indentation per tree depth.  Text nodes suppress pretty-printing of
+        their parent to keep mixed content intact.
+    """
+    parts: list[str] = []
+    for child in document.root.children:
+        _serialize_node(child, parts, indent, 0)
+    text = "".join(parts)
+    return text if indent is None else text.rstrip("\n") + "\n"
+
+
+def _serialize_node(node: XMLNode, parts: list[str], indent: str | None, depth: int) -> None:
+    prefix = "" if indent is None else indent * depth
+    newline = "" if indent is None else "\n"
+    if isinstance(node, TextNode):
+        parts.append(escape_text(node.text))
+        return
+    if isinstance(node, CommentNode):
+        parts.append(f"{prefix}<!--{node.text}-->{newline}")
+        return
+    if isinstance(node, ProcessingInstructionNode):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"{prefix}<?{node.target}{data}?>{newline}")
+        return
+    if isinstance(node, ElementNode):
+        attrs = "".join(
+            f' {attribute.attr_name}="{escape_attribute(attribute.value)}"'
+            for attribute in node.attributes
+        )
+        if not node.children:
+            parts.append(f"{prefix}<{node.tag}{attrs}/>{newline}")
+            return
+        has_text = any(isinstance(child, TextNode) for child in node.children)
+        if has_text or indent is None:
+            parts.append(f"{prefix}<{node.tag}{attrs}>")
+            for child in node.children:
+                _serialize_node(child, parts, None, 0)
+            parts.append(f"</{node.tag}>{newline}")
+        else:
+            parts.append(f"{prefix}<{node.tag}{attrs}>{newline}")
+            for child in node.children:
+                _serialize_node(child, parts, indent, depth + 1)
+            parts.append(f"{prefix}</{node.tag}>{newline}")
+        return
+    if isinstance(node, RootNode):
+        for child in node.children:
+            _serialize_node(child, parts, indent, depth)
+        return
+    raise TypeError(f"cannot serialise node of type {type(node).__name__}")

@@ -1,0 +1,255 @@
+"""Typed abstract syntax tree for XPath 1.0 expressions.
+
+The AST mirrors the grammar of the W3C recommendation (and of
+Definitions 2.5 / 2.6 in the paper): location paths made of steps with
+predicates, filter and path expressions, unions, boolean / relational /
+arithmetic operators, function calls, literals, numbers and variable
+references.
+
+Every node supports
+
+* ``children()`` — the direct sub-expressions, used by the fragment
+  classifiers, the evaluators' memo tables and the query-size metrics;
+* ``walk()`` — pre-order traversal of the whole expression tree;
+* structural equality and hashing, so expressions can be used as
+  dictionary keys in the context-value tables;
+* ``unparse()`` (via :mod:`repro.xpath.unparse`) back to XPath syntax.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Tuple
+
+# Operator categories used across the package.
+BOOLEAN_OPERATORS = ("and", "or")
+EQUALITY_OPERATORS = ("=", "!=")
+RELATIONAL_OPERATORS = ("<", "<=", ">", ">=")
+ARITHMETIC_OPERATORS = ("+", "-", "*", "div", "mod")
+COMPARISON_OPERATORS = EQUALITY_OPERATORS + RELATIONAL_OPERATORS
+
+
+class XPathExpr:
+    """Base class of all AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["XPathExpr", ...]:
+        """Return the direct sub-expressions of this node."""
+        return ()
+
+    def walk(self) -> Iterator["XPathExpr"]:
+        """Yield this node and every descendant expression, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Return the number of AST nodes in this expression (|Q| in the paper)."""
+        return sum(1 for _ in self.walk())
+
+    def unparse(self) -> str:
+        """Return XPath 1.0 syntax for this expression."""
+        from repro.xpath.unparse import unparse
+
+        return unparse(self)
+
+    def __str__(self) -> str:
+        return self.unparse()
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    """A node test: a name, ``*``, or a node-type test like ``text()``.
+
+    ``kind`` is ``"name"`` for name tests (including ``*``) and
+    ``"type"`` for node-type tests; ``value`` holds the name or the full
+    node-type test text (e.g. ``"node()"``).
+    """
+
+    kind: str
+    value: str
+
+    def text(self) -> str:
+        """Return the node test as it appears in XPath syntax."""
+        return self.value
+
+    def is_wildcard(self) -> bool:
+        """Return True for the ``*`` name test."""
+        return self.kind == "name" and self.value == "*"
+
+
+NAME_WILDCARD = NodeTest("name", "*")
+NODE_TYPE_NODE = NodeTest("type", "node()")
+NODE_TYPE_TEXT = NodeTest("type", "text()")
+
+
+@dataclass(frozen=True)
+class Step(XPathExpr):
+    """A location step ``axis::node-test[pred1]…[predk]``."""
+
+    axis: str
+    node_test: NodeTest
+    predicates: Tuple[XPathExpr, ...] = ()
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return self.predicates
+
+    def with_predicates(self, predicates: Sequence[XPathExpr]) -> "Step":
+        """Return a copy of this step with ``predicates`` replacing the old ones."""
+        return Step(self.axis, self.node_test, tuple(predicates))
+
+
+@dataclass(frozen=True)
+class LocationPath(XPathExpr):
+    """A location path: an optional leading ``/`` and a sequence of steps."""
+
+    absolute: bool
+    steps: Tuple[Step, ...]
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return self.steps
+
+    def is_condition_free(self) -> bool:
+        """Return True if no step carries a predicate (the PF fragment shape)."""
+        return all(not step.predicates for step in self.steps)
+
+
+@dataclass(frozen=True)
+class PathExpr(XPathExpr):
+    """A path expression ``filter-expr / relative-location-path``.
+
+    Produced by queries such as ``id('x')/child::a`` where the first step
+    is a general expression rather than a location step.
+    """
+
+    start: XPathExpr
+    tail: LocationPath
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return (self.start, self.tail)
+
+
+@dataclass(frozen=True)
+class FilterExpr(XPathExpr):
+    """A primary expression followed by one or more predicates, e.g. ``(//a)[1]``."""
+
+    primary: XPathExpr
+    predicates: Tuple[XPathExpr, ...]
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return (self.primary,) + self.predicates
+
+
+@dataclass(frozen=True)
+class BinaryOp(XPathExpr):
+    """A binary operator application: boolean, comparison, arithmetic or union."""
+
+    op: str
+    left: XPathExpr
+    right: XPathExpr
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return (self.left, self.right)
+
+    def is_boolean(self) -> bool:
+        return self.op in BOOLEAN_OPERATORS
+
+    def is_comparison(self) -> bool:
+        return self.op in COMPARISON_OPERATORS
+
+    def is_arithmetic(self) -> bool:
+        return self.op in ARITHMETIC_OPERATORS
+
+    def is_union(self) -> bool:
+        return self.op == "|"
+
+
+@dataclass(frozen=True)
+class Negate(XPathExpr):
+    """Unary minus."""
+
+    operand: XPathExpr
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class FunctionCall(XPathExpr):
+    """A call to a core-library function, e.g. ``not(…)`` or ``position()``."""
+
+    name: str
+    args: Tuple[XPathExpr, ...] = ()
+
+    def children(self) -> Tuple[XPathExpr, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Literal(XPathExpr):
+    """A string literal."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Number(XPathExpr):
+    """A numeric literal (XPath numbers are IEEE doubles)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class VariableReference(XPathExpr):
+    """A variable reference ``$name``."""
+
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors used throughout the reductions and tests
+# ---------------------------------------------------------------------------
+
+
+def step(axis: str, node_test: str, *predicates: XPathExpr) -> Step:
+    """Build a :class:`Step` from plain strings.
+
+    ``node_test`` may be a name, ``*``, or a node-type test such as
+    ``node()``.
+    """
+    if node_test.endswith(")"):
+        test = NodeTest("type", node_test)
+    else:
+        test = NodeTest("name", node_test)
+    return Step(axis, test, tuple(predicates))
+
+
+def path(*steps: Step, absolute: bool = False) -> LocationPath:
+    """Build a :class:`LocationPath` from steps."""
+    return LocationPath(absolute, tuple(steps))
+
+
+def conjunction(*operands: XPathExpr) -> XPathExpr:
+    """Combine ``operands`` with ``and`` (left-associative)."""
+    if not operands:
+        raise ValueError("conjunction of zero operands")
+    result = operands[0]
+    for operand in operands[1:]:
+        result = BinaryOp("and", result, operand)
+    return result
+
+
+def disjunction(*operands: XPathExpr) -> XPathExpr:
+    """Combine ``operands`` with ``or`` (left-associative)."""
+    if not operands:
+        raise ValueError("disjunction of zero operands")
+    result = operands[0]
+    for operand in operands[1:]:
+        result = BinaryOp("or", result, operand)
+    return result
+
+
+def not_(operand: XPathExpr) -> FunctionCall:
+    """Build ``not(operand)``."""
+    return FunctionCall("not", (operand,))

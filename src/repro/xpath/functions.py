@@ -1,0 +1,177 @@
+"""The XPath 1.0 core function library: signatures and static typing.
+
+This module holds the *signatures* (name, arity, result type) of the core
+function library and a static result-type analysis for expressions.  The
+actual run-time implementations live with the evaluators in
+:mod:`repro.evaluation.values`; keeping the signatures separate lets the
+fragment classifiers (Definitions 5.1 and 6.1 forbid particular functions
+and particular result types) reason about queries without evaluating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XPathTypeError
+from repro.xpath.ast import (
+    BinaryOp,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Negate,
+    Number,
+    PathExpr,
+    Step,
+    VariableReference,
+    XPathExpr,
+)
+
+# Result type names.
+NODESET = "node-set"
+NUMBER = "number"
+STRING = "string"
+BOOLEAN = "boolean"
+OBJECT = "object"  # statically unknown (variables)
+
+
+@dataclass(frozen=True)
+class FunctionSignature:
+    """Signature of a core-library function."""
+
+    name: str
+    min_args: int
+    max_args: int | None  # None means unbounded (concat)
+    result_type: str
+    arg_types: tuple[str, ...] = ()
+
+    def accepts_arity(self, count: int) -> bool:
+        """Return True if a call with ``count`` arguments is well-formed."""
+        if count < self.min_args:
+            return False
+        return self.max_args is None or count <= self.max_args
+
+
+_SIGNATURES = [
+    FunctionSignature("last", 0, 0, NUMBER),
+    FunctionSignature("position", 0, 0, NUMBER),
+    FunctionSignature("count", 1, 1, NUMBER, (NODESET,)),
+    FunctionSignature("id", 1, 1, NODESET, (OBJECT,)),
+    FunctionSignature("local-name", 0, 1, STRING, (NODESET,)),
+    FunctionSignature("namespace-uri", 0, 1, STRING, (NODESET,)),
+    FunctionSignature("name", 0, 1, STRING, (NODESET,)),
+    FunctionSignature("string", 0, 1, STRING, (OBJECT,)),
+    FunctionSignature("concat", 2, None, STRING),
+    FunctionSignature("starts-with", 2, 2, BOOLEAN, (STRING, STRING)),
+    FunctionSignature("contains", 2, 2, BOOLEAN, (STRING, STRING)),
+    FunctionSignature("substring-before", 2, 2, STRING, (STRING, STRING)),
+    FunctionSignature("substring-after", 2, 2, STRING, (STRING, STRING)),
+    FunctionSignature("substring", 2, 3, STRING, (STRING, NUMBER, NUMBER)),
+    FunctionSignature("string-length", 0, 1, NUMBER, (STRING,)),
+    FunctionSignature("normalize-space", 0, 1, STRING, (STRING,)),
+    FunctionSignature("translate", 3, 3, STRING, (STRING, STRING, STRING)),
+    FunctionSignature("boolean", 1, 1, BOOLEAN, (OBJECT,)),
+    FunctionSignature("not", 1, 1, BOOLEAN, (BOOLEAN,)),
+    FunctionSignature("true", 0, 0, BOOLEAN),
+    FunctionSignature("false", 0, 0, BOOLEAN),
+    FunctionSignature("lang", 1, 1, BOOLEAN, (STRING,)),
+    FunctionSignature("number", 0, 1, NUMBER, (OBJECT,)),
+    FunctionSignature("sum", 1, 1, NUMBER, (NODESET,)),
+    FunctionSignature("floor", 1, 1, NUMBER, (NUMBER,)),
+    FunctionSignature("ceiling", 1, 1, NUMBER, (NUMBER,)),
+    FunctionSignature("round", 1, 1, NUMBER, (NUMBER,)),
+]
+
+#: Name → signature map of the core function library.
+CORE_FUNCTIONS: dict[str, FunctionSignature] = {sig.name: sig for sig in _SIGNATURES}
+
+#: Functions banned by pXPath (Definition 6.1, restriction 2).
+PXPATH_FORBIDDEN_FUNCTIONS = frozenset(
+    {
+        "not",
+        "count",
+        "sum",
+        "string",
+        "number",
+        "local-name",
+        "namespace-uri",
+        "name",
+        "string-length",
+        "normalize-space",
+    }
+)
+
+#: String-manipulation functions excluded from the Wadler fragment.
+STRING_FUNCTIONS = frozenset(
+    {
+        "string",
+        "concat",
+        "starts-with",
+        "contains",
+        "substring-before",
+        "substring-after",
+        "substring",
+        "string-length",
+        "normalize-space",
+        "translate",
+        "local-name",
+        "namespace-uri",
+        "name",
+        "lang",
+        "id",
+    }
+)
+
+
+def signature(name: str) -> FunctionSignature:
+    """Return the signature of core function ``name``.
+
+    Raises :class:`XPathTypeError` for unknown functions — XPath 1.0 has no
+    user-defined functions, so an unknown name is a static error.
+    """
+    try:
+        return CORE_FUNCTIONS[name]
+    except KeyError:
+        raise XPathTypeError(f"unknown function {name}()") from None
+
+
+def validate_call(call: FunctionCall) -> FunctionSignature:
+    """Check arity of ``call`` against the core library and return its signature."""
+    sig = signature(call.name)
+    if not sig.accepts_arity(len(call.args)):
+        raise XPathTypeError(
+            f"function {call.name}() called with {len(call.args)} argument(s); "
+            f"expected between {sig.min_args} and {sig.max_args if sig.max_args is not None else 'any'}"
+        )
+    return sig
+
+
+def static_type(expr: XPathExpr) -> str:
+    """Return the static result type of ``expr``.
+
+    The analysis is exact for every expression XPath 1.0 can form except
+    variable references, which are reported as :data:`OBJECT`.
+    """
+    if isinstance(expr, (LocationPath, PathExpr, Step)):
+        return NODESET
+    if isinstance(expr, FilterExpr):
+        return static_type(expr.primary)
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("and", "or"):
+            return BOOLEAN
+        if expr.op in ("=", "!=", "<", "<=", ">", ">="):
+            return BOOLEAN
+        if expr.op == "|":
+            return NODESET
+        return NUMBER
+    if isinstance(expr, Negate):
+        return NUMBER
+    if isinstance(expr, FunctionCall):
+        return signature(expr.name).result_type
+    if isinstance(expr, Literal):
+        return STRING
+    if isinstance(expr, Number):
+        return NUMBER
+    if isinstance(expr, VariableReference):
+        return OBJECT
+    raise XPathTypeError(f"cannot type {type(expr).__name__}")

@@ -1,0 +1,150 @@
+"""AST transformations used by the fragment results of the paper.
+
+* :func:`push_negations` — the de Morgan rewriting used in the proof of
+  Theorem 5.9: after the transformation, ``not`` only occurs immediately in
+  front of location paths (comparisons have their operator flipped
+  instead).
+* :func:`merge_iterated_predicates` — Remark 5.2: when ``position()`` and
+  ``last()`` are not used, ``χ::t[e1]…[ek]`` is equivalent to
+  ``χ::t[e1 and … and ek]``, which moves a query from "pWF extended by
+  iterated predicates" back into pWF.
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import (
+    BinaryOp,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    PathExpr,
+    Step,
+    XPathExpr,
+    not_,
+)
+
+_FLIPPED_COMPARISON = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def push_negations(expr: XPathExpr) -> XPathExpr:
+    """Push every ``not(…)`` down to comparisons and location paths.
+
+    The result is logically equivalent to ``expr`` for boolean-valued
+    sub-expressions: ``not(a and b)`` becomes ``not(a) or not(b)``,
+    ``not(a or b)`` becomes ``not(a) and not(b)``, double negations cancel,
+    and ``not(x RelOp y)`` becomes ``x FlippedRelOp y`` when both operands
+    are non-node-set expressions (the flip is only valid when no
+    existential node-set semantics are involved).
+    """
+    return _push(expr, negated=False)
+
+
+def _push(expr: XPathExpr, negated: bool) -> XPathExpr:
+    if isinstance(expr, FunctionCall) and expr.name == "not" and len(expr.args) == 1:
+        return _push(expr.args[0], not negated)
+    if isinstance(expr, BinaryOp) and expr.op in ("and", "or"):
+        op = expr.op
+        if negated:
+            op = "or" if op == "and" else "and"
+        return BinaryOp(op, _push(expr.left, negated), _push(expr.right, negated))
+    if isinstance(expr, BinaryOp) and expr.op in _FLIPPED_COMPARISON and negated:
+        if _is_scalar(expr.left) and _is_scalar(expr.right):
+            return BinaryOp(_FLIPPED_COMPARISON[expr.op], _rebuild(expr.left), _rebuild(expr.right))
+        return not_(_rebuild(expr))
+    rebuilt = _rebuild(expr)
+    return not_(rebuilt) if negated else rebuilt
+
+
+def _rebuild(expr: XPathExpr) -> XPathExpr:
+    """Rebuild ``expr`` with negations pushed inside nested predicates."""
+    if isinstance(expr, Step):
+        return Step(
+            expr.axis,
+            expr.node_test,
+            tuple(push_negations(pred) for pred in expr.predicates),
+        )
+    if isinstance(expr, LocationPath):
+        return LocationPath(
+            expr.absolute, tuple(_rebuild(step) for step in expr.steps)
+        )
+    if isinstance(expr, PathExpr):
+        return PathExpr(_rebuild(expr.start), _rebuild(expr.tail))
+    if isinstance(expr, FilterExpr):
+        return FilterExpr(
+            _rebuild(expr.primary),
+            tuple(push_negations(pred) for pred in expr.predicates),
+        )
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _rebuild(expr.left), _rebuild(expr.right))
+    if isinstance(expr, FunctionCall):
+        if expr.name == "not" and len(expr.args) == 1:
+            return _push(expr.args[0], negated=True)
+        return FunctionCall(expr.name, tuple(_rebuild(arg) for arg in expr.args))
+    if isinstance(expr, Negate):
+        return Negate(_rebuild(expr.operand))
+    return expr
+
+
+def _is_scalar(expr: XPathExpr) -> bool:
+    """True if ``expr`` is certainly not node-set-valued (safe to flip comparisons)."""
+    from repro.xpath.functions import NODESET, OBJECT, static_type
+
+    return static_type(expr) not in (NODESET, OBJECT)
+
+
+def merge_iterated_predicates(expr: XPathExpr) -> XPathExpr:
+    """Rewrite ``χ::t[e1]…[ek]`` into ``χ::t[e1 and … and ek]`` where sound.
+
+    The rewrite is applied only to steps whose predicates contain neither
+    ``position()`` nor ``last()`` at their own context level (Remark 5.2's
+    proviso); other steps are left untouched.
+    """
+    if isinstance(expr, Step):
+        predicates = tuple(merge_iterated_predicates(p) for p in expr.predicates)
+        if len(predicates) >= 2 and not any(_uses_position(p) for p in predicates):
+            merged = predicates[0]
+            for predicate in predicates[1:]:
+                merged = BinaryOp("and", merged, predicate)
+            predicates = (merged,)
+        return Step(expr.axis, expr.node_test, predicates)
+    if isinstance(expr, LocationPath):
+        return LocationPath(
+            expr.absolute, tuple(merge_iterated_predicates(s) for s in expr.steps)
+        )
+    if isinstance(expr, PathExpr):
+        return PathExpr(
+            merge_iterated_predicates(expr.start), merge_iterated_predicates(expr.tail)
+        )
+    if isinstance(expr, FilterExpr):
+        return FilterExpr(
+            merge_iterated_predicates(expr.primary),
+            tuple(merge_iterated_predicates(p) for p in expr.predicates),
+        )
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            merge_iterated_predicates(expr.left),
+            merge_iterated_predicates(expr.right),
+        )
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name, tuple(merge_iterated_predicates(a) for a in expr.args)
+        )
+    if isinstance(expr, Negate):
+        return Negate(merge_iterated_predicates(expr.operand))
+    return expr
+
+
+def _uses_position(expr: XPathExpr) -> bool:
+    """True if ``expr`` uses position()/last() at its own context level."""
+    from repro.xpath.analysis import is_position_sensitive
+
+    return is_position_sensitive(expr)

@@ -1,0 +1,127 @@
+"""Serialise XPath ASTs back to XPath 1.0 syntax.
+
+``parse(unparse(ast)) == ast`` holds for every AST the parser produces
+(the property is enforced by a hypothesis test), which lets the hardness
+reductions build queries as ASTs and still hand textual XPath to external
+engines such as :mod:`xml.etree.ElementTree`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathTypeError
+from repro.xpath.ast import (
+    BinaryOp,
+    FilterExpr,
+    FunctionCall,
+    Literal,
+    LocationPath,
+    Negate,
+    Number,
+    PathExpr,
+    Step,
+    VariableReference,
+    XPathExpr,
+)
+
+#: Binding strength of each binary operator; higher binds tighter.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "div": 6,
+    "mod": 6,
+    "|": 8,
+}
+
+_UNARY_PRECEDENCE = 7
+_LEAF_PRECEDENCE = 10
+
+
+def unparse(expr: XPathExpr) -> str:
+    """Return XPath 1.0 syntax for ``expr``."""
+    text, _ = _unparse(expr)
+    return text
+
+
+def _unparse(expr: XPathExpr) -> tuple[str, int]:
+    """Return ``(text, precedence)`` for ``expr``."""
+    if isinstance(expr, LocationPath):
+        return _unparse_location_path(expr), _LEAF_PRECEDENCE
+    if isinstance(expr, Step):
+        return _unparse_step(expr), _LEAF_PRECEDENCE
+    if isinstance(expr, PathExpr):
+        start_text = _parenthesise(expr.start, _LEAF_PRECEDENCE)
+        tail_text = _unparse_location_path(expr.tail)
+        return f"{start_text}/{tail_text}", _LEAF_PRECEDENCE
+    if isinstance(expr, FilterExpr):
+        primary = _parenthesise(expr.primary, _LEAF_PRECEDENCE)
+        if isinstance(expr.primary, (LocationPath, PathExpr)):
+            # Without parentheses the predicates would re-attach to the last
+            # step of the path, which has different (per-sibling) semantics.
+            primary = f"({primary})"
+        predicates = "".join(f"[{unparse(pred)}]" for pred in expr.predicates)
+        return f"{primary}{predicates}", _LEAF_PRECEDENCE
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        left = _parenthesise(expr.left, precedence)
+        right = _parenthesise(expr.right, precedence + 1)
+        separator = f" {expr.op} " if expr.op.isalpha() or expr.op in ("and", "or") else f" {expr.op} "
+        return f"{left}{separator}{right}", precedence
+    if isinstance(expr, Negate):
+        operand = _parenthesise(expr.operand, _UNARY_PRECEDENCE)
+        return f"-{operand}", _UNARY_PRECEDENCE
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(unparse(arg) for arg in expr.args)
+        return f"{expr.name}({args})", _LEAF_PRECEDENCE
+    if isinstance(expr, Literal):
+        return _quote_literal(expr.value), _LEAF_PRECEDENCE
+    if isinstance(expr, Number):
+        return _format_number(expr.value), _LEAF_PRECEDENCE
+    if isinstance(expr, VariableReference):
+        return f"${expr.name}", _LEAF_PRECEDENCE
+    raise XPathTypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def _parenthesise(expr: XPathExpr, minimum_precedence: int) -> str:
+    text, precedence = _unparse(expr)
+    if precedence < minimum_precedence:
+        return f"({text})"
+    return text
+
+
+def _unparse_location_path(location_path: LocationPath) -> str:
+    steps_text = "/".join(_unparse_step(step) for step in location_path.steps)
+    if location_path.absolute:
+        return "/" + steps_text
+    return steps_text
+
+
+def _unparse_step(step: Step) -> str:
+    predicates = "".join(f"[{unparse(pred)}]" for pred in step.predicates)
+    return f"{step.axis}::{step.node_test.text()}{predicates}"
+
+
+def _quote_literal(value: str) -> str:
+    if '"' not in value:
+        return f'"{value}"'
+    if "'" not in value:
+        return f"'{value}'"
+    raise XPathTypeError(
+        "XPath 1.0 cannot represent a literal containing both quote characters"
+    )
+
+
+def _format_number(value: float) -> str:
+    if value != value:  # NaN
+        return "number('nan')"
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,138 @@
+"""Unit tests for the monotone Boolean circuit substrate."""
+
+import pytest
+
+from repro.circuits import (
+    GATE_AND,
+    GATE_INPUT,
+    GATE_OR,
+    Circuit,
+    Gate,
+    circuit_from_spec,
+)
+from repro.errors import CircuitError
+
+
+def simple_circuit():
+    return circuit_from_spec(
+        inputs=["x", "y", "z"],
+        gates=[
+            ("g1", GATE_AND, ["x", "y"]),
+            ("g2", GATE_OR, ["g1", "z"]),
+        ],
+        output="g2",
+    )
+
+
+class TestGate:
+    def test_kind_validation(self):
+        with pytest.raises(CircuitError):
+            Gate("g", "xor", ("a", "b"))
+
+    def test_input_gates_have_no_inputs(self):
+        with pytest.raises(CircuitError):
+            Gate("g", GATE_INPUT, ("a",))
+        with pytest.raises(CircuitError):
+            Gate("g", GATE_AND, ())
+
+
+class TestCircuitStructure:
+    def test_counts_and_names(self):
+        circuit = simple_circuit()
+        assert circuit.size() == 5
+        assert circuit.num_inputs() == 3
+        assert circuit.num_internal() == 2
+        assert circuit.input_names == ["x", "y", "z"]
+        assert circuit.internal_names == ["g1", "g2"]
+
+    def test_numbering_respects_dependencies(self):
+        circuit = simple_circuit()
+        numbering = circuit.numbering()
+        assert sorted(numbering.values()) == [1, 2, 3, 4, 5]
+        for gate in circuit.gates.values():
+            for input_name in gate.inputs:
+                assert numbering[input_name] < numbering[gate.name]
+
+    def test_depth_and_fanin(self):
+        circuit = simple_circuit()
+        assert circuit.depth() == 2
+        assert circuit.max_fanin() == 2
+        assert circuit.max_fanin(GATE_AND) == 2
+        assert circuit.is_semi_unbounded()
+
+    def test_wide_and_gate_not_semi_unbounded(self):
+        circuit = circuit_from_spec(
+            inputs=["a", "b", "c"],
+            gates=[("g", GATE_AND, ["a", "b", "c"])],
+            output="g",
+        )
+        assert not circuit.is_semi_unbounded()
+        assert circuit.is_semi_unbounded(and_fanin_bound=3)
+
+    def test_wires(self):
+        assert set(simple_circuit().wires()) == {
+            ("x", "g1"),
+            ("y", "g1"),
+            ("g1", "g2"),
+            ("z", "g2"),
+        }
+
+    def test_topological_order(self):
+        order = simple_circuit().topological_order()
+        assert order.index("g1") < order.index("g2")
+        assert all(order.index("x") < order.index(name) for name in ("g1", "g2"))
+
+
+class TestCircuitValidation:
+    def test_duplicate_gate_names(self):
+        with pytest.raises(CircuitError):
+            Circuit([Gate("x", GATE_INPUT), Gate("x", GATE_INPUT)], "x")
+
+    def test_missing_output(self):
+        with pytest.raises(CircuitError):
+            Circuit([Gate("x", GATE_INPUT)], "y")
+
+    def test_undefined_input_reference(self):
+        with pytest.raises(CircuitError):
+            Circuit([Gate("g", GATE_AND, ("missing", "also"))], "g")
+
+    def test_cycle_detection(self):
+        with pytest.raises(CircuitError):
+            Circuit(
+                [
+                    Gate("a", GATE_AND, ("b",)),
+                    Gate("b", GATE_OR, ("a",)),
+                ],
+                "a",
+            )
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "assignment,expected",
+        [
+            ({"x": True, "y": True, "z": False}, True),
+            ({"x": True, "y": False, "z": False}, False),
+            ({"x": False, "y": False, "z": True}, True),
+            ({"x": False, "y": False, "z": False}, False),
+        ],
+    )
+    def test_value(self, assignment, expected):
+        assert simple_circuit().value(assignment) is expected
+
+    def test_evaluate_returns_all_gate_values(self):
+        values = simple_circuit().evaluate({"x": True, "y": True, "z": False})
+        assert values == {"x": True, "y": True, "z": False, "g1": True, "g2": True}
+
+    def test_missing_input_value_raises(self):
+        with pytest.raises(CircuitError):
+            simple_circuit().value({"x": True})
+
+    def test_unbounded_fanin_or(self):
+        circuit = circuit_from_spec(
+            inputs=[f"x{i}" for i in range(6)],
+            gates=[("big", GATE_OR, [f"x{i}" for i in range(6)])],
+            output="big",
+        )
+        assert circuit.value({f"x{i}": i == 5 for i in range(6)}) is True
+        assert circuit.value({f"x{i}": False for i in range(6)}) is False

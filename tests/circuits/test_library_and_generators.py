@@ -1,0 +1,128 @@
+"""Unit tests for the circuit library (Figure 2), generators and layering (Figure 3)."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    GATE_AND,
+    GATE_OR,
+    and_chain,
+    carry_assignment,
+    carry_circuit,
+    expected_carry,
+    layered_serialization,
+    majority3,
+    or_of_ands,
+    random_assignment,
+    random_monotone_circuit,
+    random_sac1_circuit,
+    render_layering,
+)
+
+
+class TestCarryCircuit:
+    def test_structure_matches_figure2(self):
+        circuit = carry_circuit()
+        assert circuit.num_inputs() == 4
+        assert circuit.num_internal() == 5
+        assert circuit.output == "G9"
+        assert circuit.gates["G9"].kind == GATE_OR
+        assert all(circuit.gates[name].kind == GATE_AND for name in ("G5", "G6", "G7", "G8"))
+        assert circuit.gates["G5"].inputs == ("G3", "G4")
+
+    def test_all_sixteen_truth_table_rows(self):
+        circuit = carry_circuit()
+        for a1, a0, b1, b0 in itertools.product([False, True], repeat=4):
+            assignment = carry_assignment(a1, a0, b1, b0)
+            assert circuit.value(assignment) is expected_carry(a1, a0, b1, b0)
+
+    def test_numbering_matches_paper(self):
+        numbering = carry_circuit().numbering()
+        assert numbering == {f"G{i}": i for i in range(1, 10)}
+
+
+class TestSmallLibraryCircuits:
+    def test_and_chain(self):
+        circuit = and_chain(4)
+        assert circuit.value({f"x{i}": True for i in range(4)}) is True
+        assert circuit.value({"x0": True, "x1": True, "x2": False, "x3": True}) is False
+        assert circuit.depth() == 3
+
+    def test_or_of_ands(self):
+        circuit = or_of_ands(2, 2)
+        assignment = {"x0_0": True, "x0_1": True, "x1_0": False, "x1_1": True}
+        assert circuit.value(assignment) is True
+        assignment["x0_1"] = False
+        assert circuit.value(assignment) is False
+
+    def test_majority3(self):
+        circuit = majority3()
+        assert circuit.value({"x": True, "y": True, "z": False}) is True
+        assert circuit.value({"x": True, "y": False, "z": False}) is False
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            and_chain(1)
+        with pytest.raises(ValueError):
+            or_of_ands(0, 2)
+
+
+class TestGenerators:
+    def test_random_monotone_circuit_is_deterministic(self):
+        first = random_monotone_circuit(4, 6, seed=5)
+        second = random_monotone_circuit(4, 6, seed=5)
+        assert first.wires() == second.wires()
+        assert [g.kind for g in first.gates.values()] == [g.kind for g in second.gates.values()]
+
+    def test_random_monotone_circuit_numbering_requirement(self):
+        circuit = random_monotone_circuit(5, 12, seed=1)
+        numbering = circuit.numbering()
+        for gate in circuit.gates.values():
+            for input_name in gate.inputs:
+                assert numbering[input_name] < numbering[gate.name]
+
+    def test_random_assignment_deterministic(self):
+        circuit = random_monotone_circuit(6, 4, seed=2)
+        assert random_assignment(circuit, seed=3) == random_assignment(circuit, seed=3)
+        assert set(random_assignment(circuit, seed=3)) == set(circuit.input_names)
+
+    def test_random_sac1_circuit_is_semi_unbounded(self):
+        for seed in range(5):
+            circuit = random_sac1_circuit(8, seed=seed)
+            assert circuit.is_semi_unbounded()
+            assert circuit.depth() >= 1
+
+    def test_random_sac1_depth_parameter(self):
+        circuit = random_sac1_circuit(8, depth=5, seed=0)
+        assert circuit.depth() <= 5
+
+    def test_generator_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_monotone_circuit(0, 3)
+        with pytest.raises(ValueError):
+            random_sac1_circuit(1)
+
+
+class TestLayering:
+    def test_one_layer_per_internal_gate(self):
+        circuit = carry_circuit()
+        layers = layered_serialization(circuit)
+        assert len(layers) == circuit.num_internal()
+        assert [layer.gate_name for layer in layers] == ["G5", "G6", "G7", "G8", "G9"]
+
+    def test_layer_inputs_match_gates(self):
+        layers = layered_serialization(carry_circuit())
+        assert layers[0].gate_inputs == (3, 4)  # G5 = G3 ∧ G4
+        assert layers[4].gate_inputs == (6, 7, 8)  # G9 = G6 ∨ G7 ∨ G8
+        assert layers[4].gate_kind == GATE_OR
+
+    def test_dummy_gates_cover_all_earlier_gates(self):
+        layers = layered_serialization(carry_circuit())
+        assert layers[0].dummy_gates == tuple(range(1, 5))
+        assert layers[4].dummy_gates == tuple(range(1, 9))
+
+    def test_render_layering_mentions_every_layer(self):
+        text = render_layering(carry_circuit())
+        for label in ("L1", "L2", "L3", "L4", "L5", "output gate: G9"):
+            assert label in text

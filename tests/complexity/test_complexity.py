@@ -1,0 +1,122 @@
+"""Unit tests for the complexity-class lattice (Figure 1) and scaling measures."""
+
+import math
+
+import pytest
+
+from repro.complexity import (
+    CLASS_CHAIN,
+    FIGURE1_ASSIGNMENTS,
+    FIGURE1_INCLUSIONS,
+    ScalingSeries,
+    class_index,
+    doubling_ratios,
+    figure1_assignment,
+    fit_exponential,
+    fit_power_law,
+    is_contained_in,
+    is_parallelizable,
+    operations_per_input,
+    render_figure1,
+)
+from repro.fragments import FRAGMENT_COMPLEXITY
+
+
+class TestClassLattice:
+    def test_chain_order(self):
+        assert CLASS_CHAIN.index("NL") < CLASS_CHAIN.index("LOGCFL") < CLASS_CHAIN.index("P")
+
+    def test_containment(self):
+        assert is_contained_in("NL", "LOGCFL")
+        assert is_contained_in("LOGCFL", "NC2")
+        assert is_contained_in("L", "P")
+        assert not is_contained_in("P", "LOGCFL")
+
+    def test_unknown_class(self):
+        with pytest.raises(ValueError):
+            class_index("EXPTIME")
+
+    def test_parallelizable_classes(self):
+        assert is_parallelizable("LOGCFL")
+        assert is_parallelizable("NL")
+        assert not is_parallelizable("P")
+
+
+class TestFigure1Data:
+    def test_every_fragment_has_an_assignment(self):
+        fragments = {assignment.fragment for assignment in FIGURE1_ASSIGNMENTS}
+        assert fragments == set(FRAGMENT_COMPLEXITY)
+
+    def test_labels_match_classifier_table(self):
+        for assignment in FIGURE1_ASSIGNMENTS:
+            assert FRAGMENT_COMPLEXITY[assignment.fragment] == assignment.label
+
+    def test_inclusions_connect_known_fragments(self):
+        fragments = {assignment.fragment for assignment in FIGURE1_ASSIGNMENTS}
+        for smaller, larger in FIGURE1_INCLUSIONS:
+            assert smaller in fragments and larger in fragments
+
+    def test_inclusions_never_decrease_complexity(self):
+        for smaller, larger in FIGURE1_INCLUSIONS:
+            assert is_contained_in(
+                figure1_assignment(smaller).complexity_class,
+                figure1_assignment(larger).complexity_class,
+            )
+
+    def test_figure1_parallelizability_split(self):
+        assert figure1_assignment("positive Core XPath").parallelizable
+        assert figure1_assignment("pXPath").parallelizable
+        assert not figure1_assignment("Core XPath").parallelizable
+        assert not figure1_assignment("XPath").parallelizable
+
+    def test_render_mentions_every_fragment_and_arrow(self):
+        text = render_figure1()
+        for assignment in FIGURE1_ASSIGNMENTS:
+            assert assignment.fragment in text
+            assert assignment.label in text
+        assert "PF -> positive Core XPath" in text
+
+    def test_lookup_unknown_fragment(self):
+        with pytest.raises(ValueError):
+            figure1_assignment("XQuery")
+
+
+class TestScalingMeasures:
+    def test_fit_power_law_recovers_exponent(self):
+        sizes = [10, 20, 40, 80, 160]
+        costs = [3 * size**2 for size in sizes]
+        exponent, constant = fit_power_law(sizes, costs)
+        assert exponent == pytest.approx(2.0, rel=1e-6)
+        assert constant == pytest.approx(3.0, rel=1e-6)
+
+    def test_fit_exponential_recovers_base(self):
+        sizes = [1, 2, 3, 4, 5, 6]
+        costs = [5 * 2**size for size in sizes]
+        base, constant = fit_exponential(sizes, costs)
+        assert base == pytest.approx(2.0, rel=1e-6)
+        assert constant == pytest.approx(5.0, rel=1e-6)
+
+    def test_fits_require_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_exponential([2, 2], [1, 1]) and fit_power_law([1, 1], [2, 3])
+
+    def test_doubling_ratios(self):
+        assert doubling_ratios([1, 2, 8]) == [2.0, 4.0]
+        assert doubling_ratios([0, 5]) == []
+
+    def test_scaling_series_helpers(self):
+        series = ScalingSeries("test", "n", "ops")
+        for size in (8, 16, 32, 64):
+            series.add(size, 2.5 * size)
+        assert series.power_law_exponent() == pytest.approx(1.0, rel=1e-6)
+        assert series.ratios() == [2.0, 2.0, 2.0]
+        assert all(value == pytest.approx(2.5) for value in operations_per_input(series))
+        table = series.format_table()
+        assert "test" in table and "64" in table
+        assert "size^1.00" in series.summary()
+
+    def test_linear_regression_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_exponential([3, 3, 3], [1, 2, 3])

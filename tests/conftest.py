@@ -1,0 +1,50 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide a small set of documents that the tests reuse:
+
+* ``book_document`` — a hand-written mixed-content document with attributes;
+* ``paper_example_document`` — the shape used in the paper's examples
+  (nodes labelled a/b/c/d with sibling structure);
+* ``auction`` — the XMark-flavoured synthetic workload;
+* ``carry`` — the Figure 2 circuit.
+"""
+
+import pytest
+
+from repro.circuits import carry_circuit
+from repro.xmlmodel import auction_document, parse_xml
+
+BOOK_XML = """
+<library city="Vienna">
+  <shelf topic="databases">
+    <book year="2003" id="b1"><title>XPath Complexity</title><author>Gottlob</author></book>
+    <book year="2002" id="b2"><title>Efficient XPath</title><author>Koch</author></book>
+  </shelf>
+  <shelf topic="logic">
+    <book year="1994" id="b3"><title>Computational Complexity</title></book>
+  </shelf>
+  <!-- catalogue ends here -->
+</library>
+"""
+
+PAPER_XML = "<a><b><c/></b><b/><d><b><c/>text</b><e/></d><b><f/></b></a>"
+
+
+@pytest.fixture
+def book_document():
+    return parse_xml(BOOK_XML)
+
+
+@pytest.fixture
+def paper_example_document():
+    return parse_xml(PAPER_XML)
+
+
+@pytest.fixture
+def auction():
+    return auction_document(sellers=4, items_per_seller=3, seed=11)
+
+
+@pytest.fixture
+def carry():
+    return carry_circuit()

@@ -1,0 +1,68 @@
+"""Unit tests for the top-level evaluate()/make_evaluator() convenience API."""
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.evaluation import (
+    ENGINES,
+    Context,
+    evaluate,
+    evaluate_nodes,
+    make_evaluator,
+    query_selects,
+)
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.cvt import ContextValueTableEvaluator
+from repro.evaluation.naive import NaiveEvaluator
+from repro.evaluation.singleton import SingletonSuccessChecker
+from repro.xmlmodel.parser import parse_xml
+
+DOC = parse_xml("<r><a><b/></a><a/><c>5</c></r>")
+
+
+class TestMakeEvaluator:
+    def test_engine_classes(self):
+        assert isinstance(make_evaluator(DOC, "cvt"), ContextValueTableEvaluator)
+        assert isinstance(make_evaluator(DOC, "naive"), NaiveEvaluator)
+        assert isinstance(make_evaluator(DOC, "core"), CoreXPathEvaluator)
+        assert isinstance(make_evaluator(DOC, "singleton"), SingletonSuccessChecker)
+
+    def test_unknown_engine(self):
+        with pytest.raises(XPathEvaluationError):
+            make_evaluator(DOC, "quantum")
+
+    def test_engines_constant_is_complete(self):
+        assert set(ENGINES) == {"cvt", "naive", "core", "singleton"}
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_node_set_queries_across_engines(self, engine):
+        nodes = evaluate("/child::r/child::a[child::b]", DOC, engine=engine)
+        assert [n.tag for n in nodes] == ["a"]
+
+    def test_scalar_results(self):
+        assert evaluate("count(//a)", DOC) == 2.0
+        assert evaluate("string(//c)", DOC) == "5"
+        assert evaluate("//c = 5", DOC) is True
+
+    def test_scalar_results_via_singleton_engine(self):
+        assert evaluate("descendant::c = 5", DOC, engine="singleton") is True
+        assert evaluate("1 + 2", DOC, engine="singleton") == 3.0
+
+    def test_explicit_context(self):
+        a1 = DOC.elements_with_tag("a")[0]
+        assert len(evaluate("child::b", DOC, context=Context(a1))) == 1
+        assert evaluate("child::b", DOC, engine="core", context=Context(a1))
+
+    def test_variables(self):
+        assert evaluate("$x * 2", DOC, variables={"x": 21.0}) == 42.0
+
+    def test_evaluate_nodes_rejects_scalars(self):
+        with pytest.raises(XPathEvaluationError):
+            evaluate_nodes("1 + 1", DOC)
+
+    def test_query_selects(self):
+        assert query_selects("//b", DOC)
+        assert not query_selects("//zzz", DOC)
+        assert query_selects("//b", DOC, engine="core")

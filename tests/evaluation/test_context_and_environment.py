@@ -1,0 +1,87 @@
+"""Unit tests for Context, Environment and the evaluator base-class plumbing."""
+
+import pytest
+
+from repro.errors import XPathEvaluationError, XPathTypeError
+from repro.evaluation import Context, ContextValueTableEvaluator, initial_context
+from repro.evaluation.context import Environment
+from repro.xmlmodel import build_tree
+from repro.xpath import parse, step
+
+DOC = build_tree(("a", [("b", [("c",)]), ("b",)]))
+
+
+class TestContext:
+    def test_defaults(self):
+        context = Context(DOC.root)
+        assert context.position == 1 and context.size == 1
+
+    def test_with_node(self):
+        b = DOC.elements_with_tag("b")[0]
+        context = Context(DOC.root).with_node(b, 2, 5)
+        assert context.node is b and context.position == 2 and context.size == 5
+
+    def test_keys(self):
+        b = DOC.elements_with_tag("b")[0]
+        context = Context(b, 2, 3)
+        assert context.key() == (b.uid, 2, 3)
+        assert context.node_key() == b.uid
+
+    def test_initial_context_defaults_to_root(self):
+        context = initial_context(DOC)
+        assert context.node is DOC.root
+        other = DOC.elements_with_tag("c")[0]
+        assert initial_context(DOC, other).node is other
+
+    def test_contexts_are_hashable_values(self):
+        b = DOC.elements_with_tag("b")[0]
+        assert Context(b, 1, 2) == Context(b, 1, 2)
+        assert Context(b, 1, 2) != Context(b, 2, 2)
+        assert len({Context(b, 1, 2), Context(b, 1, 2)}) == 1
+
+
+class TestEnvironment:
+    def test_tick_accumulates(self):
+        environment = Environment(DOC)
+        environment.tick()
+        environment.tick(4)
+        assert environment.operations == 5
+
+    def test_variable_lookup(self):
+        environment = Environment(DOC, {"x": 1.0})
+        assert environment.variable("x") == 1.0
+        with pytest.raises(XPathEvaluationError):
+            environment.variable("missing")
+
+
+class TestBaseEvaluatorPlumbing:
+    def test_bare_step_evaluates_as_single_step_path(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        bare = step("descendant", "c")
+        nodes = evaluator.evaluate_nodes(bare, Context(DOC.root))
+        assert [node.tag for node in nodes] == ["c"]
+
+    def test_string_queries_are_parsed(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        assert evaluator.evaluate("count(//b)") == 2.0
+
+    def test_pre_parsed_queries_are_accepted(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        assert len(evaluator.evaluate_nodes(parse("//b"))) == 2
+
+    def test_path_expr_requires_node_set_start(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        with pytest.raises(XPathTypeError):
+            evaluator.evaluate("string(//b)/child::c")
+
+    def test_filter_expr_requires_node_set(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        with pytest.raises(XPathTypeError):
+            evaluator.evaluate("(1 + 2)[1]")
+
+    def test_operations_counter_monotone(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        evaluator.evaluate("//b")
+        first = evaluator.operations
+        evaluator.evaluate("//c")
+        assert evaluator.operations > first

@@ -1,0 +1,150 @@
+"""Unit tests for the linear-time Core XPath evaluator."""
+
+import pytest
+
+from repro.errors import FragmentViolationError
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator
+from repro.xmlmodel.generators import complete_tree_document
+from repro.xmlmodel.parser import parse_xml
+
+DOC = parse_xml(
+    """
+    <site>
+      <a id="1"><b><c/></b><b/></a>
+      <a id="2"><d/><b><c/><c/></b></a>
+      <a id="3"><e><b/></e></a>
+    </site>
+    """
+)
+
+
+def ids(nodes):
+    return [node.get_attribute("id") or node.tag for node in nodes]
+
+
+class TestMainPaths:
+    def test_absolute_path(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("/child::site/child::a")
+        assert ids(nodes) == ["1", "2", "3"]
+
+    def test_descendant_or_self_abbreviation(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("//b")
+        assert len(nodes) == 4
+
+    def test_union(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("//d | //e")
+        assert [n.tag for n in nodes] == ["d", "e"]
+
+    def test_relative_with_context_nodes(self):
+        a_nodes = DOC.elements_with_tag("a")
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("child::b", context_nodes=a_nodes[:2])
+        assert len(nodes) == 3
+
+    def test_all_navigational_axes_accepted(self):
+        evaluator = CoreXPathEvaluator(DOC)
+        for axis in (
+            "self",
+            "child",
+            "parent",
+            "descendant",
+            "descendant-or-self",
+            "ancestor",
+            "ancestor-or-self",
+            "following",
+            "following-sibling",
+            "preceding",
+            "preceding-sibling",
+        ):
+            evaluator.evaluate_nodes(f"//c/{axis}::*")
+
+    def test_empty_frontier_short_circuits(self):
+        evaluator = CoreXPathEvaluator(DOC)
+        assert evaluator.evaluate_nodes("//zzz/child::a/child::b") == []
+
+
+class TestConditions:
+    def test_condition_path(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("//a[child::b[child::c]]")
+        assert ids(nodes) == ["1", "2"]
+
+    def test_negation(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("//a[not(descendant::c)]")
+        assert ids(nodes) == ["3"]
+
+    def test_conjunction_and_disjunction(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes(
+            "//a[child::d or child::e][not(child::d and child::e)]"
+        )
+        assert ids(nodes) == ["2", "3"]
+
+    def test_absolute_condition_path(self):
+        everything = CoreXPathEvaluator(DOC).evaluate_nodes("//a[/child::site]")
+        assert ids(everything) == ["1", "2", "3"]
+        nothing = CoreXPathEvaluator(DOC).evaluate_nodes("//a[/child::zzz]")
+        assert nothing == []
+
+    def test_condition_with_reverse_axes(self):
+        nodes = CoreXPathEvaluator(DOC).evaluate_nodes("//b[ancestor::a[following-sibling::a]]")
+        assert len(nodes) == 3  # the b nodes under a1/a2, not the one under a3
+
+    def test_condition_nodes_api(self):
+        evaluator = CoreXPathEvaluator(DOC)
+        holds_at = evaluator.condition_nodes("child::c")
+        assert [n.tag for n in holds_at] == ["b", "b"]
+
+    def test_true_false_and_boolean_wrappers(self):
+        evaluator = CoreXPathEvaluator(DOC)
+        assert len(evaluator.evaluate_nodes("//a[true()]")) == 3
+        assert evaluator.evaluate_nodes("//a[false()]") == []
+        assert ids(evaluator.evaluate_nodes("//a[boolean(child::d)]")) == ["2"]
+
+
+class TestAgreementWithCvt:
+    QUERIES = [
+        "/descendant::b[child::c]",
+        "//a[not(child::b)] | //e",
+        "//c/ancestor::*[parent::site]",
+        "//b[preceding-sibling::b or following-sibling::b]",
+        "//*[child::b and not(child::d)]",
+        "/child::site/child::a/descendant-or-self::*[self::c or self::e]",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_answers_as_cvt(self, query):
+        core = CoreXPathEvaluator(DOC).evaluate_nodes(query)
+        cvt = ContextValueTableEvaluator(DOC).evaluate_nodes(query)
+        assert [n.order for n in core] == [n.order for n in cvt]
+
+
+class TestFragmentEnforcement:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//a[position() = 1]",
+            "count(//a)",
+            "//a[@id = '1']",
+            "//a[child::b = 'x']",
+            "1 + 2",
+        ],
+    )
+    def test_non_core_queries_rejected(self, query):
+        with pytest.raises(FragmentViolationError):
+            CoreXPathEvaluator(DOC).evaluate_nodes(query)
+
+    def test_attribute_axis_rejected(self):
+        with pytest.raises(FragmentViolationError):
+            CoreXPathEvaluator(DOC).evaluate_nodes("//a/attribute::id")
+
+
+class TestLinearScaling:
+    def test_axis_applications_linear_in_query(self):
+        document = complete_tree_document(2, 6)
+        counts = []
+        for steps in (2, 4, 8):
+            query = "/descendant-or-self::a" + "/descendant-or-self::*[child::b]" * steps
+            evaluator = CoreXPathEvaluator(document)
+            evaluator.evaluate_nodes(query)
+            counts.append(evaluator.axis_applications)
+        # Doubling the number of extra steps doubles the extra axis work.
+        assert counts[2] - counts[1] == 2 * (counts[1] - counts[0])
+        assert counts[2] > counts[1] > counts[0]

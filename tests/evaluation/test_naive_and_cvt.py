@@ -1,0 +1,193 @@
+"""Unit tests for the naive evaluator and the context-value-table DP evaluator.
+
+The two share their semantics layer, so most behavioural tests are run
+against both; the complexity-contrast tests at the end check the defining
+difference (sharing) via operation counts.
+"""
+
+import pytest
+
+from repro.errors import XPathEvaluationError, XPathTypeError
+from repro.evaluation import ContextValueTableEvaluator, NaiveEvaluator
+from repro.evaluation.context import Context
+from repro.evaluation.cvt import is_position_sensitive
+from repro.bench import caterpillar_workload
+from repro.xmlmodel.parser import parse_xml
+from repro.xpath.parser import parse
+
+DOC = parse_xml(
+    """
+    <site>
+      <a id="1"><b><c/></b><b/></a>
+      <a id="2"><d>text</d><b><c/><c/></b></a>
+      <a id="3"/>
+    </site>
+    """
+)
+
+EVALUATORS = [NaiveEvaluator, ContextValueTableEvaluator]
+
+
+def ids(nodes):
+    return [node.get_attribute("id") or node.tag for node in nodes]
+
+
+@pytest.mark.parametrize("engine_class", EVALUATORS)
+class TestLocationPaths:
+    def test_absolute_child_chain(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("/child::site/child::a")
+        assert ids(nodes) == ["1", "2", "3"]
+
+    def test_descendant_with_condition(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("/descendant::a[descendant::c]")
+        assert ids(nodes) == ["1", "2"]
+
+    def test_relative_path_uses_context_node(self, engine_class):
+        evaluator = engine_class(DOC)
+        a2 = DOC.elements_with_tag("a")[1]
+        nodes = evaluator.evaluate_nodes("child::b/child::c", Context(a2))
+        assert len(nodes) == 2
+
+    def test_union_in_document_order(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("//d | //c | //b")
+        assert [node.tag for node in nodes] == ["b", "c", "b", "d", "b", "c", "c"]
+
+    def test_result_deduplication(self, engine_class):
+        # Both //b and descendant paths reach the same nodes; the node-set
+        # must not contain duplicates.
+        nodes = engine_class(DOC).evaluate_nodes("//a/descendant::c | //b/child::c")
+        assert len(nodes) == 3
+
+    def test_parent_and_ancestor(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("//c/ancestor::a")
+        assert ids(nodes) == ["1", "2"]
+
+    def test_attribute_axis(self, engine_class):
+        evaluator = engine_class(DOC)
+        values = [node.value for node in evaluator.evaluate_nodes("//a/attribute::id")]
+        assert values == ["1", "2", "3"]
+
+    def test_empty_result(self, engine_class):
+        assert engine_class(DOC).evaluate_nodes("//nonexistent") == []
+
+
+@pytest.mark.parametrize("engine_class", EVALUATORS)
+class TestPredicates:
+    def test_positional_predicates_renumber_iteratively(self, engine_class):
+        evaluator = engine_class(DOC)
+        # [position() > 1][1] selects the second node: after the first
+        # predicate the survivors are renumbered.
+        nodes = evaluator.evaluate_nodes("/child::site/child::a[position() > 1][1]")
+        assert ids(nodes) == ["2"]
+
+    def test_last_on_reverse_axis_counts_in_axis_order(self, engine_class):
+        evaluator = engine_class(DOC)
+        c_node = DOC.elements_with_tag("c")[0]
+        nodes = evaluator.evaluate_nodes("ancestor::*[last()]", Context(c_node))
+        assert nodes[0].tag == "site"
+
+    def test_position_on_reverse_axis(self, engine_class):
+        evaluator = engine_class(DOC)
+        c_node = DOC.elements_with_tag("c")[0]
+        nodes = evaluator.evaluate_nodes("ancestor::*[position() = 1]", Context(c_node))
+        assert nodes[0].tag == "b"
+
+    def test_boolean_predicate_with_comparison(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("//a[attribute::id = '2']")
+        assert ids(nodes) == ["2"]
+
+    def test_nested_predicates(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("//a[child::b[child::c]]")
+        assert ids(nodes) == ["1", "2"]
+
+    def test_filter_expression_predicate(self, engine_class):
+        nodes = engine_class(DOC).evaluate_nodes("(//c)[2]")
+        assert len(nodes) == 1
+        assert nodes[0] is DOC.elements_with_tag("c")[1]
+
+
+@pytest.mark.parametrize("engine_class", EVALUATORS)
+class TestScalarResults:
+    def test_arithmetic(self, engine_class):
+        assert engine_class(DOC).evaluate("(1 + 2) * 4 - 6 div 2") == 9.0
+
+    def test_boolean_connectives_short_circuit(self, engine_class):
+        evaluator = engine_class(DOC)
+        assert evaluator.evaluate("true() or 1 div 0 = 0") is True
+        assert evaluator.evaluate("false() and 1 div 0 = 0") is False
+
+    def test_string_result(self, engine_class):
+        assert engine_class(DOC).evaluate("string(//d)") == "text"
+
+    def test_variables(self, engine_class):
+        evaluator = engine_class(DOC, variables={"threshold": 2.0})
+        assert evaluator.evaluate("$threshold + 1") == 3.0
+
+    def test_unbound_variable_raises(self, engine_class):
+        with pytest.raises(XPathEvaluationError):
+            engine_class(DOC).evaluate("$missing")
+
+    def test_evaluate_nodes_rejects_scalar_queries(self, engine_class):
+        with pytest.raises(XPathTypeError):
+            engine_class(DOC).evaluate_nodes("1 + 1")
+
+    def test_union_of_non_node_sets_raises(self, engine_class):
+        with pytest.raises(XPathTypeError):
+            engine_class(DOC).evaluate("1 | 2")
+
+
+class TestSharingContrast:
+    def test_cvt_never_does_more_work_than_naive_on_caterpillar(self):
+        document, query = caterpillar_workload(8)
+        naive = NaiveEvaluator(document)
+        cvt = ContextValueTableEvaluator(document)
+        assert ids(naive.evaluate_nodes(query)) == ids(cvt.evaluate_nodes(query))
+        assert cvt.operations < naive.operations
+
+    def test_naive_operations_grow_exponentially(self):
+        counts = []
+        for steps in (4, 6, 8, 10):
+            document, query = caterpillar_workload(steps, length=24)
+            naive = NaiveEvaluator(document)
+            naive.evaluate_nodes(query)
+            counts.append(naive.operations)
+        ratios = [b / a for a, b in zip(counts, counts[1:])]
+        assert all(ratio > 2.0 for ratio in ratios)
+
+    def test_cvt_operations_grow_polynomially(self):
+        counts = []
+        for steps in (4, 6, 8, 10):
+            document, query = caterpillar_workload(steps, length=24)
+            cvt = ContextValueTableEvaluator(document)
+            cvt.evaluate_nodes(query)
+            counts.append(cvt.operations)
+        ratios = [b / a for a, b in zip(counts, counts[1:])]
+        # With the document fixed, added steps add roughly constant work.
+        assert all(ratio < 2.0 for ratio in ratios)
+
+    def test_table_introspection(self):
+        document, query = caterpillar_workload(5)
+        cvt = ContextValueTableEvaluator(document)
+        cvt.evaluate_nodes(query)
+        assert cvt.table_count() >= 1
+        assert cvt.table_entries() >= cvt.table_count()
+
+    def test_memoisation_reuses_results(self):
+        evaluator = ContextValueTableEvaluator(DOC)
+        query = parse("//a[child::b[child::c] or child::b[child::c]]")
+        evaluator.evaluate_nodes(query)
+        first = evaluator.operations
+        evaluator.evaluate_nodes(query)
+        # The second evaluation hits the tables; only the top-level dispatch
+        # adds operations.
+        assert evaluator.operations - first < first
+
+
+class TestPositionSensitivityAnalysis:
+    def test_sensitive_cases(self):
+        assert is_position_sensitive(parse("position()"))
+        assert is_position_sensitive(parse("last() - 1"))
+
+    def test_insensitive_cases(self):
+        assert not is_position_sensitive(parse("//a[position() = 1]"))
+        assert not is_position_sensitive(parse("count(//a)"))

@@ -1,0 +1,145 @@
+"""Unit tests for the Singleton-Success checker (Lemma 5.4, Table 1)."""
+
+import pytest
+
+from repro.errors import FragmentViolationError
+from repro.evaluation import Context, ContextValueTableEvaluator, SingletonSuccessChecker
+from repro.xmlmodel.parser import parse_xml
+
+DOC = parse_xml(
+    """
+    <site>
+      <a id="1"><b><c/></b><b/></a>
+      <a id="2"><d>7</d><b><c/><c/></b></a>
+      <a id="3"/>
+    </site>
+    """
+)
+
+
+def ids(nodes):
+    return [node.get_attribute("id") or getattr(node, "tag", node.node_type.value) for node in nodes]
+
+
+class TestSingletonSuccessDecision:
+    def test_node_membership_check(self):
+        checker = SingletonSuccessChecker(DOC)
+        a_nodes = DOC.elements_with_tag("a")
+        query = "/child::site/child::a[child::b]"
+        assert checker.singleton_success(query, a_nodes[0])
+        assert checker.singleton_success(query, a_nodes[1])
+        assert not checker.singleton_success(query, a_nodes[2])
+
+    def test_boolean_query(self):
+        checker = SingletonSuccessChecker(DOC)
+        assert checker.evaluate_boolean("child::site and descendant::c") is True
+        assert checker.evaluate_boolean("child::zzz or descendant::zzz") is False
+
+    def test_number_query(self):
+        checker = SingletonSuccessChecker(DOC)
+        assert checker.evaluate_number("2 + 3 * 4") == 14.0
+        assert checker.singleton_success("2 + 3 * 4", 14.0)
+        assert not checker.singleton_success("2 + 3 * 4", 15.0)
+
+    def test_positional_rows_of_table1(self):
+        checker = SingletonSuccessChecker(DOC)
+        # position() and last() relative to the witness set of a step.
+        assert checker.evaluate_boolean("boolean(/child::site/child::a[position() = last() - 1])")
+        nodes = checker.evaluate_nodes("/child::site/child::a[position() + 1 = last()]")
+        assert ids(nodes) == ["2"]
+
+    def test_comparison_with_node_set_operand(self):
+        checker = SingletonSuccessChecker(DOC)
+        assert checker.evaluate_boolean("descendant::d = 7") is True
+        assert checker.evaluate_boolean("descendant::d = 8") is False
+        assert checker.evaluate_boolean("descendant::d < 10") is True
+
+    def test_union_of_paths(self):
+        checker = SingletonSuccessChecker(DOC)
+        nodes = checker.evaluate_nodes("descendant::d | descendant::c")
+        assert [n.tag for n in nodes] == ["c", "d", "c", "c"]
+
+    def test_attribute_axis_supported(self):
+        checker = SingletonSuccessChecker(DOC)
+        nodes = checker.evaluate_nodes("descendant::a/attribute::id")
+        assert [n.value for n in nodes] == ["1", "2", "3"]
+
+    def test_explicit_context(self):
+        checker = SingletonSuccessChecker(DOC)
+        a2 = DOC.elements_with_tag("a")[1]
+        nodes = checker.evaluate_nodes("child::b/child::c", Context(a2))
+        assert len(nodes) == 2
+
+
+class TestAgreementWithCvt:
+    QUERIES = [
+        "/descendant-or-self::node()/child::b[child::c]",
+        "/child::site/child::a[child::b and descendant::c]",
+        "/child::site/child::a[child::d or child::b]",
+        "/descendant::b[position() = last()]",
+        "/descendant::a[descendant::d = 7]",
+        "/descendant::c/ancestor::a",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_same_node_sets_as_cvt(self, query):
+        checker = SingletonSuccessChecker(DOC)
+        cvt = ContextValueTableEvaluator(DOC)
+        assert [n.order for n in checker.evaluate_nodes(query)] == [
+            n.order for n in cvt.evaluate_nodes(query)
+        ]
+
+
+class TestBoundedNegation:
+    def test_negation_rejected_by_default(self):
+        checker = SingletonSuccessChecker(DOC)
+        with pytest.raises(FragmentViolationError):
+            checker.evaluate_nodes("//a[not(child::b)]")
+
+    def test_negation_allowed_with_bound(self):
+        checker = SingletonSuccessChecker(DOC, max_negation_depth=2)
+        nodes = checker.evaluate_nodes("/descendant::a[not(child::b)]")
+        assert ids(nodes) == ["3"]
+
+    def test_nested_negation_within_bound(self):
+        checker = SingletonSuccessChecker(DOC, max_negation_depth=2)
+        nodes = checker.evaluate_nodes("/descendant::a[not(child::b[not(child::c)])]")
+        assert ids(nodes) == ["2", "3"]
+
+    def test_negation_depth_exceeding_bound_rejected(self):
+        checker = SingletonSuccessChecker(DOC, max_negation_depth=1)
+        with pytest.raises(FragmentViolationError):
+            checker.evaluate_nodes("/descendant::a[not(child::b[not(child::c)])]")
+
+    def test_agreement_with_cvt_under_negation(self):
+        checker = SingletonSuccessChecker(DOC, max_negation_depth=3)
+        cvt = ContextValueTableEvaluator(DOC)
+        for query in (
+            "/descendant::a[not(descendant::c)]",
+            "/descendant::b[not(preceding-sibling::b)]",
+        ):
+            assert [n.order for n in checker.evaluate_nodes(query)] == [
+                n.order for n in cvt.evaluate_nodes(query)
+            ]
+
+
+class TestFragmentEnforcement:
+    def test_iterated_predicates_rejected(self):
+        checker = SingletonSuccessChecker(DOC)
+        with pytest.raises(FragmentViolationError):
+            checker.evaluate_nodes("/descendant::a[child::b][child::d]")
+
+    def test_forbidden_functions_rejected(self):
+        checker = SingletonSuccessChecker(DOC)
+        with pytest.raises(FragmentViolationError):
+            checker.evaluate_boolean("count(//a) > 2")
+
+    def test_boolean_comparison_operand_rejected(self):
+        checker = SingletonSuccessChecker(DOC)
+        with pytest.raises(FragmentViolationError):
+            checker.evaluate_boolean("true() = (child::a and child::b)")
+
+    def test_checks_counter_increases(self):
+        checker = SingletonSuccessChecker(DOC)
+        checker.evaluate_nodes("/descendant::b[child::c]")
+        assert checker.checks > 0

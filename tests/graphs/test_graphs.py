@@ -1,0 +1,119 @@
+"""Unit tests for the directed-graph substrate and reachability."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graphs import (
+    DiGraph,
+    FIGURE5_TRANSPOSED_MATRIX,
+    cycle_graph,
+    figure5_graph,
+    from_adjacency_matrix,
+    is_reachable,
+    layered_dag,
+    path_graph,
+    random_digraph,
+    reachable_set,
+    reachable_within,
+    shortest_path_length,
+)
+
+
+class TestDiGraph:
+    def test_add_edge_and_successors(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        assert graph.successors(0) == {1}
+        assert graph.num_edges() == 2
+        graph.add_edge(0, 1)  # idempotent
+        assert graph.num_edges() == 2
+
+    def test_vertex_range_checked(self):
+        graph = DiGraph(2)
+        with pytest.raises(ReproError):
+            graph.add_edge(0, 5)
+        with pytest.raises(ReproError):
+            graph.successors(-1)
+        with pytest.raises(ReproError):
+            DiGraph(0)
+
+    def test_adjacency_matrix_and_transpose(self):
+        graph = DiGraph(3, [(0, 1), (2, 0)])
+        assert graph.adjacency_matrix() == [[0, 1, 0], [0, 0, 0], [1, 0, 0]]
+        assert graph.adjacency_matrix(transposed=True) == [[0, 0, 1], [1, 0, 0], [0, 0, 0]]
+
+    def test_from_adjacency_matrix_roundtrip(self):
+        matrix = [[0, 1], [1, 0]]
+        graph = from_adjacency_matrix(matrix)
+        assert graph.adjacency_matrix() == matrix
+        transposed = from_adjacency_matrix(matrix, transposed=True)
+        assert transposed.adjacency_matrix(transposed=True) == matrix
+
+    def test_from_adjacency_matrix_requires_square(self):
+        with pytest.raises(ReproError):
+            from_adjacency_matrix([[0, 1]])
+
+    def test_add_self_loops_copies(self):
+        graph = DiGraph(2, [(0, 1)])
+        looped = graph.add_self_loops()
+        assert looped.has_edge(0, 0) and looped.has_edge(1, 1)
+        assert not graph.has_edge(0, 0)
+
+    def test_edges_sorted(self):
+        graph = DiGraph(3, [(2, 1), (0, 2), (0, 1)])
+        assert graph.edges() == [(0, 1), (0, 2), (2, 1)]
+
+
+class TestReachability:
+    def test_reachable_set_includes_source(self):
+        graph = path_graph(4)
+        assert reachable_set(graph, 0) == {0, 1, 2, 3}
+        assert reachable_set(graph, 2) == {2, 3}
+
+    def test_is_reachable(self):
+        graph = path_graph(4)
+        assert is_reachable(graph, 0, 3)
+        assert not is_reachable(graph, 3, 0)
+        assert is_reachable(graph, 2, 2)
+
+    def test_reachable_within_counts_steps(self):
+        graph = path_graph(5)
+        assert reachable_within(graph, 0, 3, 3)
+        assert not reachable_within(graph, 0, 3, 2)
+        assert reachable_within(graph, 0, 0, 0)
+
+    def test_shortest_path_length(self):
+        graph = cycle_graph(5)
+        assert shortest_path_length(graph, 0, 3) == 3
+        assert shortest_path_length(graph, 0, 0) == 0
+        no_path = DiGraph(2, [])
+        assert shortest_path_length(no_path, 0, 1) is None
+
+    def test_cycle_reaches_everything(self):
+        graph = cycle_graph(6)
+        assert reachable_set(graph, 3) == set(range(6))
+
+
+class TestGenerators:
+    def test_figure5_graph_matches_matrix(self):
+        graph = figure5_graph()
+        assert graph.num_vertices == 4
+        assert graph.adjacency_matrix(transposed=True) == [
+            list(row) for row in FIGURE5_TRANSPOSED_MATRIX
+        ]
+
+    def test_random_digraph_deterministic(self):
+        assert random_digraph(6, 0.3, seed=1).edges() == random_digraph(6, 0.3, seed=1).edges()
+        assert random_digraph(6, 0.3, seed=1).edges() != random_digraph(6, 0.3, seed=2).edges()
+
+    def test_random_digraph_no_self_loops(self):
+        graph = random_digraph(8, 0.5, seed=4)
+        assert all(source != target for source, target in graph.edges())
+
+    def test_layered_dag_edges_go_forward(self):
+        graph = layered_dag(3, 2, seed=0, edge_probability=1.0)
+        for source, target in graph.edges():
+            assert target // 2 == source // 2 + 1
+
+    def test_path_graph_shape(self):
+        graph = path_graph(4)
+        assert graph.edges() == [(0, 1), (1, 2), (2, 3)]

@@ -1,0 +1,101 @@
+"""Integration tests: the four engines (and ElementTree) agree on shared workloads.
+
+Any systematic disagreement between evaluation strategies would undermine
+every complexity measurement in the benchmark harness, so this module
+cross-checks them on realistic documents: the auction workload, the
+generated random documents, and the book catalogue fixture.
+"""
+
+import pytest
+
+from repro.bench import elementtree_count
+from repro.evaluation import (
+    ContextValueTableEvaluator,
+    CoreXPathEvaluator,
+    NaiveEvaluator,
+    SingletonSuccessChecker,
+)
+from repro.fragments import is_core_xpath, is_pwf, is_pxpath
+from repro.xmlmodel import auction_document, random_document
+
+CORE_QUERIES = [
+    "/descendant::open_auction[child::bidder]",
+    "/descendant::open_auction[not(child::bidder)]",
+    "//person[following-sibling::person]",
+    "//item[parent::open_auction[child::bidder and child::initial]]",
+    "//bidder/following-sibling::bidder",
+    "/child::site/child::open_auctions/child::open_auction/child::item",
+    "//increase/ancestor::open_auction",
+    "//open_auction[descendant::increase or not(child::bidder)]",
+]
+
+PWF_QUERIES = [
+    "/descendant::open_auction[child::bidder and position() <= last()]",
+    "/descendant::bidder[position() = last()]",
+    "/descendant::open_auction[child::initial > 50]",
+    "/descendant::item[attribute::region = 'europe']",
+]
+
+
+@pytest.fixture(scope="module")
+def document():
+    return auction_document(sellers=4, items_per_seller=4, seed=3)
+
+
+class TestCoreQueriesAcrossEngines:
+    @pytest.mark.parametrize("query", CORE_QUERIES)
+    def test_naive_cvt_core_agree(self, document, query):
+        assert is_core_xpath(query)
+        cvt = ContextValueTableEvaluator(document).evaluate_nodes(query)
+        core = CoreXPathEvaluator(document).evaluate_nodes(query)
+        naive = NaiveEvaluator(document).evaluate_nodes(query)
+        assert [n.order for n in cvt] == [n.order for n in core] == [n.order for n in naive]
+
+
+class TestPwfQueriesAcrossEngines:
+    @pytest.mark.parametrize("query", PWF_QUERIES)
+    def test_cvt_and_singleton_agree(self, document, query):
+        assert is_pwf(query) or is_pxpath(query)
+        cvt = ContextValueTableEvaluator(document).evaluate_nodes(query)
+        singleton = SingletonSuccessChecker(document).evaluate_nodes(query)
+        assert [n.order for n in cvt] == [n.order for n in singleton]
+
+
+class TestAgreementOnRandomDocuments:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_core_engines_on_random_documents(self, seed):
+        document = random_document(60, seed=seed)
+        queries = [
+            "//a[child::b]",
+            "//b[ancestor::a and not(child::c)]",
+            "//c/parent::*[following-sibling::*]",
+            "//d | //a[descendant::d]",
+        ]
+        for query in queries:
+            cvt = ContextValueTableEvaluator(document).evaluate_nodes(query)
+            core = CoreXPathEvaluator(document).evaluate_nodes(query)
+            assert [n.order for n in cvt] == [n.order for n in core], (seed, query)
+
+
+class TestAgreementWithElementTree:
+    """Cross-check against the independently implemented ElementPath engine."""
+
+    @pytest.mark.parametrize(
+        "our_query,element_path",
+        [
+            ("/child::site/child::people/child::person", "./people/person"),
+            ("/child::site/child::open_auctions/child::open_auction", "./open_auctions/open_auction"),
+            ("/descendant::bidder", ".//bidder"),
+            ("/descendant::open_auction/child::item", ".//open_auction/item"),
+            ("/descendant::open_auction[child::bidder]", ".//open_auction[bidder]"),
+            ("/descendant::item[attribute::region='europe']", ".//item[@region='europe']"),
+        ],
+    )
+    def test_counts_match(self, document, our_query, element_path):
+        ours = len(ContextValueTableEvaluator(document).evaluate_nodes(our_query))
+        theirs = elementtree_count(document, element_path)
+        assert ours == theirs
+
+    def test_book_catalogue(self, book_document):
+        ours = len(ContextValueTableEvaluator(book_document).evaluate_nodes("/descendant::book"))
+        assert ours == elementtree_count(book_document, ".//book") == 3

@@ -1,0 +1,55 @@
+"""End-to-end integration tests of the reduction → serialisation → evaluation pipeline."""
+
+import itertools
+
+import xml.etree.ElementTree as ElementTree
+
+from repro.circuits import carry_assignment, carry_circuit, expected_carry
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator
+from repro.graphs import figure5_graph, is_reachable
+from repro.reductions import (
+    reduce_circuit_to_core_xpath,
+    reduce_reachability_to_pf,
+)
+from repro.xmlmodel import parse_xml, serialize
+
+
+class TestSerializedReductionDocuments:
+    """The reduction documents survive a serialise → reparse round trip."""
+
+    def test_theorem32_document_roundtrip(self, carry):
+        instance = reduce_circuit_to_core_xpath(carry, carry_assignment(True, False, True, True))
+        reparsed = parse_xml(serialize(instance.document))
+        assert reparsed.size == instance.document.size
+        original = CoreXPathEvaluator(instance.document).evaluate_nodes(instance.query)
+        after_roundtrip = CoreXPathEvaluator(reparsed).evaluate_nodes(instance.query)
+        assert len(original) == len(after_roundtrip)
+
+    def test_theorem32_document_is_valid_xml_for_elementtree(self, carry):
+        instance = reduce_circuit_to_core_xpath(carry, carry_assignment(True, True, True, True))
+        parsed = ElementTree.fromstring(serialize(instance.document))
+        assert parsed.tag == "circuit"
+        assert len(parsed.findall("./gate")) == carry.size()
+
+    def test_theorem43_document_roundtrip(self):
+        graph = figure5_graph()
+        instance = reduce_reachability_to_pf(graph, 1, 3)
+        reparsed = parse_xml(serialize(instance.document))
+        result = CoreXPathEvaluator(reparsed).evaluate_nodes(instance.query)
+        assert bool(result) == instance.expected == is_reachable(graph, 1, 3)
+
+
+class TestReductionsWithDifferentEngines:
+    def test_theorem32_same_verdict_from_cvt_and_core(self, carry):
+        for bits in itertools.product([False, True], repeat=4):
+            instance = reduce_circuit_to_core_xpath(carry, carry_assignment(*bits))
+            via_core = bool(CoreXPathEvaluator(instance.document).evaluate_nodes(instance.query))
+            via_cvt = bool(ContextValueTableEvaluator(instance.document).evaluate_nodes(instance.query))
+            assert via_core == via_cvt == expected_carry(*bits)
+
+    def test_reduction_metadata_is_informative(self, carry):
+        instance = reduce_circuit_to_core_xpath(carry, carry_assignment(True, True, True, True))
+        assert instance.metadata["inputs"] == 4
+        assert instance.metadata["gates"] == 5
+        assert instance.document_size > 0 and instance.query_size > 0
+        assert "descendant-or-self" in instance.query_text()

@@ -1,0 +1,211 @@
+"""Spec-conformance battery: behaviours prescribed by the W3C XPath 1.0 recommendation.
+
+Each case states the expected answer on a fixed reference document; the
+expectations were derived from the recommendation's own prose and examples
+(sections 2.x for axes and abbreviations, 3.4 for booleans, 3.5/3.7 for
+numbers and lexical structure, 4.x for the core function library).  All
+cases are checked on the context-value-table evaluator, and the Core XPath
+subset additionally on the linear evaluator.
+"""
+
+import pytest
+
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator
+from repro.fragments import is_core_xpath
+from repro.xmlmodel.parser import parse_xml
+
+REFERENCE_XML = """
+<doc>
+  <chapter id="c1">
+    <title>Intro</title>
+    <para>first paragraph</para>
+    <para>second paragraph</para>
+    <section>
+      <title>Background</title>
+      <para>nested one</para>
+    </section>
+  </chapter>
+  <chapter id="c2">
+    <title>Methods</title>
+    <para>only paragraph</para>
+  </chapter>
+  <chapter id="c3">
+    <appendix/>
+  </chapter>
+</doc>
+"""
+
+DOCUMENT = parse_xml(REFERENCE_XML)
+
+
+def count_of(query):
+    return len(ContextValueTableEvaluator(DOCUMENT).evaluate_nodes(query))
+
+
+def value_of(query):
+    return ContextValueTableEvaluator(DOCUMENT).evaluate(query)
+
+
+class TestAbbreviationEquivalences:
+    """Section 2.5 of the recommendation: abbreviated syntax."""
+
+    EQUIVALENCES = [
+        ("//para", "/descendant-or-self::node()/child::para"),
+        ("/doc/chapter", "/child::doc/child::chapter"),
+        ("//chapter/para", "/descendant-or-self::node()/child::chapter/child::para"),
+        ("//section/..", "//section/parent::node()"),
+        ("//title/.", "//title/self::node()"),
+        ("//chapter/@id", "//chapter/attribute::id"),
+        ("//para[1]", "//para[position() = 1]"),
+    ]
+
+    @pytest.mark.parametrize("abbreviated,explicit", EQUIVALENCES)
+    def test_abbreviated_equals_explicit(self, abbreviated, explicit):
+        evaluator = ContextValueTableEvaluator(DOCUMENT)
+        left = evaluator.evaluate_nodes(abbreviated)
+        right = evaluator.evaluate_nodes(explicit)
+        assert [n.order for n in left] == [n.order for n in right]
+
+
+class TestAxisSemantics:
+    def test_descendant_counts(self):
+        assert count_of("//para") == 4
+        assert count_of("/descendant::para") == 4
+        assert count_of("/descendant::title") == 3
+
+    def test_child_vs_descendant(self):
+        assert count_of("/child::doc/child::para") == 0
+        assert count_of("/child::doc/descendant::para") == 4
+
+    def test_parent_of_title_nodes(self):
+        parents = ContextValueTableEvaluator(DOCUMENT).evaluate_nodes("//title/parent::*")
+        assert sorted(node.tag for node in parents) == ["chapter", "chapter", "section"]
+
+    def test_following_sibling_within_chapter(self):
+        # c1's title has 2 para siblings, the section's and c2's titles one each.
+        assert count_of("//title/following-sibling::para") == 4
+
+    def test_preceding_sibling(self):
+        assert count_of("//para[preceding-sibling::para]") == 1
+
+    def test_following_crosses_subtrees(self):
+        assert count_of("//section/following::chapter") == 2
+
+    def test_preceding_excludes_ancestors(self):
+        assert count_of("/descendant::section/preceding::chapter") == 0
+        assert count_of("/descendant::section/preceding::para") == 2
+
+    def test_ancestor_or_self(self):
+        assert count_of("//section/ancestor-or-self::*") == 3  # section, chapter c1, doc
+
+    def test_attribute_axis_only_from_elements(self):
+        assert count_of("//chapter/@id") == 3
+        assert count_of("//@id") == 3
+
+    def test_self_with_name_test_filters(self):
+        assert count_of("//*[self::para]") == 4
+        assert count_of("//*[self::zzz]") == 0
+
+
+class TestPositionalSemantics:
+    def test_position_is_per_context_node(self):
+        # //para[1] selects the first para child of EACH parent (3 parents).
+        assert count_of("//para[1]") == 3
+        assert count_of("//para[2]") == 1
+
+    def test_filter_expression_position_is_global(self):
+        # (//para)[1] selects the single first para in document order.
+        assert count_of("(//para)[1]") == 1
+
+    def test_last_function(self):
+        assert count_of("//para[position() = last()]") == 3
+        assert count_of("/doc/chapter[last()]") == 1
+
+    def test_position_on_reverse_axis_counts_backwards(self):
+        evaluator = ContextValueTableEvaluator(DOCUMENT)
+        result = evaluator.evaluate_nodes("//section/ancestor::*[1]")
+        assert [node.tag for node in result] == ["chapter"]
+
+    def test_numeric_predicate_after_boolean_predicate(self):
+        assert count_of("//chapter[child::para][2]") == 1
+
+
+class TestBooleanAndComparisonSemantics:
+    def test_existential_equality_over_node_sets(self):
+        assert value_of("//chapter/@id = 'c2'") is True
+        assert value_of("//chapter/@id != 'c2'") is True  # some other chapter differs
+        assert value_of("//chapter/@id = 'c9'") is False
+
+    def test_empty_node_set_comparisons_are_false(self):
+        assert value_of("//missing = //chapter") is False
+        assert value_of("//missing = ''") is False
+        assert value_of("//missing != //chapter") is False
+
+    def test_boolean_conversion_of_node_sets(self):
+        assert value_of("boolean(//appendix)") is True
+        assert value_of("boolean(//missing)") is False
+
+    def test_string_comparison_via_number_conversion(self):
+        assert value_of("'3' < '22'") is True  # numeric, not lexicographic
+        assert value_of("'abc' < 'abd'") is False  # NaN comparison
+
+    def test_and_or_convert_operands(self):
+        assert value_of("1 and 'x'") is True
+        assert value_of("0 or ''") is False
+
+
+class TestCoreFunctionLibrarySemantics:
+    def test_count_and_sum(self):
+        assert value_of("count(//para)") == 4.0
+        assert value_of("count(//chapter[child::appendix])") == 1.0
+
+    def test_string_value_of_element_concatenates_descendants(self):
+        assert value_of("string(/doc/chapter[1]/section)") == "Backgroundnested one"
+
+    def test_name_functions(self):
+        assert value_of("name(//section/..)") == "chapter"
+        assert value_of("local-name(//chapter[1]/@id)") == "id"
+
+    def test_normalize_and_translate(self):
+        assert value_of("normalize-space('  a  b ')") == "a b"
+        assert value_of("translate('chapter', 'aeiou', 'AEIOU')") == "chAptEr"
+
+    def test_number_edge_cases(self):
+        assert value_of("number(true())") == 1.0
+        assert str(value_of("number('not a number')")) == "nan"
+        assert value_of("floor(-1.5)") == -2.0
+        assert value_of("ceiling(-1.5)") == -1.0
+
+
+class TestUnionSemantics:
+    def test_union_is_set_union_in_document_order(self):
+        evaluator = ContextValueTableEvaluator(DOCUMENT)
+        result = evaluator.evaluate_nodes("//title | //para | //title")
+        orders = [node.order for node in result]
+        assert orders == sorted(orders)
+        assert len(orders) == 7
+
+    def test_union_with_empty_operand(self):
+        assert count_of("//missing | //appendix") == 1
+
+
+class TestCoreSubsetAgreement:
+    """Every Core XPath case above must give the same answer on the linear engine."""
+
+    CORE_QUERIES = [
+        "//para",
+        "/child::doc/descendant::para",
+        "//title/parent::*",
+        "//para[preceding-sibling::para]",
+        "//section/following::chapter",
+        "//*[self::para]",
+        "//chapter[child::para and not(child::appendix)]",
+        "//title | //para",
+    ]
+
+    @pytest.mark.parametrize("query", CORE_QUERIES)
+    def test_core_engine_agreement(self, query):
+        assert is_core_xpath(query)
+        cvt = ContextValueTableEvaluator(DOCUMENT).evaluate_nodes(query)
+        core = CoreXPathEvaluator(DOCUMENT).evaluate_nodes(query)
+        assert [n.order for n in cvt] == [n.order for n in core]

@@ -1,0 +1,108 @@
+"""Unit tests for the query→circuit compiler and the layer-parallel evaluator."""
+
+import pytest
+
+from repro.errors import FragmentViolationError
+from repro.evaluation import CoreXPathEvaluator
+from repro.parallel import (
+    FALSE_GATE,
+    TRUE_GATE,
+    compile_positive_query,
+    evaluate_in_layers,
+    gate_levels,
+    parallel_evaluate,
+)
+from repro.xmlmodel.generators import auction_document, complete_tree_document
+from repro.xmlmodel.parser import parse_xml
+
+DOC = parse_xml(
+    """
+    <site>
+      <a id="1"><b><c/></b><b/></a>
+      <a id="2"><d/><b><c/><c/></b></a>
+      <a id="3"><e/></a>
+    </site>
+    """
+)
+
+POSITIVE_QUERIES = [
+    "/child::site/child::a",
+    "/descendant::b[child::c]",
+    "//a[child::b and descendant::c]",
+    "//a[child::d or child::e]",
+    "//c/ancestor::a[following-sibling::a]",
+    "//a[child::b] | //a[child::e]",
+    "//b[parent::a[child::d]]",
+]
+
+
+class TestCompiler:
+    @pytest.mark.parametrize("query", POSITIVE_QUERIES)
+    def test_selected_nodes_match_core_evaluator(self, query):
+        compiled = compile_positive_query(query, DOC)
+        expected = CoreXPathEvaluator(DOC).evaluate_nodes(query)
+        selected = sorted(compiled.selected_nodes(), key=lambda node: node.order)
+        assert [n.order for n in selected] == [n.order for n in expected]
+
+    def test_circuit_is_monotone_and_semi_unbounded(self):
+        compiled = compile_positive_query("//a[child::b and descendant::c]", DOC)
+        assert compiled.circuit.is_semi_unbounded(and_fanin_bound=2)
+
+    def test_constant_gates_present(self):
+        compiled = compile_positive_query("//a", DOC)
+        assert TRUE_GATE in compiled.circuit.gates
+        assert FALSE_GATE in compiled.circuit.gates
+
+    def test_negation_rejected(self):
+        with pytest.raises(FragmentViolationError):
+            compile_positive_query("//a[not(child::b)]", DOC)
+
+    def test_non_path_query_rejected(self):
+        with pytest.raises(FragmentViolationError):
+            compile_positive_query("count(//a)", DOC)
+
+    def test_position_predicates_rejected(self):
+        with pytest.raises(FragmentViolationError):
+            compile_positive_query("//a[position() = 1]", DOC)
+
+    def test_empty_result_compiles_to_false(self):
+        compiled = compile_positive_query("//zzz[child::b]", DOC)
+        assert compiled.selected_nodes() == []
+
+
+class TestLayerParallelEvaluation:
+    @pytest.mark.parametrize("query", POSITIVE_QUERIES)
+    def test_layered_evaluation_matches_sequential(self, query):
+        report = parallel_evaluate(query, DOC)
+        expected = CoreXPathEvaluator(DOC).evaluate_nodes(query)
+        assert [n.order for n in report.selected] == [n.order for n in expected]
+
+    def test_gate_levels_respect_wires(self):
+        compiled = compile_positive_query("//a[child::b and descendant::c]", DOC)
+        levels = gate_levels(compiled.circuit)
+        for gate in compiled.circuit.gates.values():
+            for input_name in gate.inputs:
+                assert levels[input_name] < levels[gate.name]
+
+    def test_report_accounting(self):
+        report = parallel_evaluate("//a[child::b and descendant::c]", DOC)
+        assert report.size == sum(report.work_per_level)
+        assert report.depth == len(report.work_per_level) - 1
+        assert report.max_width >= 1
+        assert report.speedup_bound >= 1.0
+
+    def test_depth_grows_slowly_with_document_size(self):
+        query = "//a[child::b and descendant::c]"
+        small = parallel_evaluate(query, complete_tree_document(2, 4))
+        large = parallel_evaluate(query, complete_tree_document(2, 7))
+        # Work grows with the document, parallel time (depth) stays flat.
+        assert large.size > 3 * small.size
+        assert large.depth <= small.depth + 2
+
+    def test_auction_document_workload(self):
+        document = auction_document(sellers=3, items_per_seller=3)
+        report = parallel_evaluate("/descendant::open_auction[child::bidder]", document)
+        expected = CoreXPathEvaluator(document).evaluate_nodes(
+            "/descendant::open_auction[child::bidder]"
+        )
+        assert len(report.selected) == len(expected)

@@ -1,0 +1,120 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+Three families of generated objects:
+
+* random documents (via the seeded generator, so shrinking stays effective);
+* random Core XPath / positive Core XPath query ASTs;
+* random monotone circuits with input assignments.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.circuits.generators import random_monotone_circuit, random_sac1_circuit
+from repro.graphs.generators import random_digraph
+from repro.xmlmodel.generators import random_document
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    Step,
+    XPathExpr,
+)
+
+TAGS = ("a", "b", "c", "d")
+
+FORWARD_AXES = ("child", "descendant", "descendant-or-self", "self", "following-sibling")
+ALL_AXES = FORWARD_AXES + ("parent", "ancestor", "ancestor-or-self", "preceding-sibling", "following", "preceding")
+
+
+@st.composite
+def documents(draw, max_nodes: int = 40):
+    """A random document built from a drawn seed and node budget."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    budget = draw(st.integers(min_value=2, max_value=max_nodes))
+    return random_document(budget, seed=seed, tags=TAGS)
+
+
+def node_tests():
+    return st.sampled_from(TAGS + ("*",)).map(
+        lambda value: NodeTest("name", value)
+    )
+
+
+@st.composite
+def steps(draw, condition_strategy=None, max_predicates: int = 1):
+    axis = draw(st.sampled_from(ALL_AXES))
+    node_test = draw(node_tests())
+    predicates = ()
+    if condition_strategy is not None:
+        predicate_count = draw(st.integers(min_value=0, max_value=max_predicates))
+        predicates = tuple(draw(condition_strategy) for _ in range(predicate_count))
+    return Step(axis, node_test, predicates)
+
+
+@st.composite
+def location_paths(draw, condition_strategy=None, max_steps: int = 3):
+    absolute = draw(st.booleans())
+    count = draw(st.integers(min_value=1, max_value=max_steps))
+    drawn_steps = tuple(draw(steps(condition_strategy)) for _ in range(count))
+    return LocationPath(absolute, drawn_steps)
+
+
+def core_conditions(allow_negation: bool) -> st.SearchStrategy[XPathExpr]:
+    """Conditions of the Core XPath grammar (and/or/not over location paths)."""
+
+    def extend(children: st.SearchStrategy[XPathExpr]) -> st.SearchStrategy[XPathExpr]:
+        binary = st.builds(
+            BinaryOp, st.sampled_from(["and", "or"]), children, children
+        )
+        options = [binary]
+        if allow_negation:
+            options.append(
+                children.map(lambda expr: FunctionCall("not", (expr,)))
+            )
+        return st.one_of(options)
+
+    base = location_paths(None, max_steps=2)
+    return st.recursive(base, extend, max_leaves=4)
+
+
+def core_xpath_queries(allow_negation: bool = True) -> st.SearchStrategy[LocationPath]:
+    """Random Core XPath queries (positive Core XPath when negation is off)."""
+    return location_paths(core_conditions(allow_negation), max_steps=3)
+
+
+@st.composite
+def circuits_with_assignments(draw):
+    """A random monotone circuit plus a random input assignment."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_inputs = draw(st.integers(min_value=2, max_value=5))
+    num_gates = draw(st.integers(min_value=1, max_value=6))
+    circuit = random_monotone_circuit(num_inputs, num_gates, seed=seed)
+    assignment = {
+        name: draw(st.booleans()) for name in circuit.input_names
+    }
+    return circuit, assignment
+
+
+@st.composite
+def sac1_circuits_with_assignments(draw):
+    """A random semi-unbounded circuit plus an input assignment."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_inputs = draw(st.integers(min_value=2, max_value=6))
+    circuit = random_sac1_circuit(num_inputs, seed=seed)
+    assignment = {name: draw(st.booleans()) for name in circuit.input_names}
+    return circuit, assignment
+
+
+@st.composite
+def graphs_with_endpoints(draw):
+    """A random digraph plus a (source, target) pair."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    num_vertices = draw(st.integers(min_value=2, max_value=5))
+    probability = draw(st.sampled_from([0.15, 0.3, 0.5]))
+    graph = random_digraph(num_vertices, probability, seed=seed)
+    source = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+    target = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+    return graph, source, target

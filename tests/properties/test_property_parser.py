@@ -1,0 +1,62 @@
+"""Property-based tests for the XPath front end (parser/unparser invariants)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xpath.parser import parse
+from repro.xpath.unparse import unparse
+
+from tests.properties.strategies import core_xpath_queries
+
+
+class TestParserRoundTrip:
+    @given(core_xpath_queries(allow_negation=True))
+    @settings(max_examples=60, deadline=None)
+    def test_unparse_then_parse_is_identity(self, query):
+        assert parse(unparse(query)) == query
+
+    @given(core_xpath_queries(allow_negation=False))
+    @settings(max_examples=40, deadline=None)
+    def test_unparse_is_stable_under_reparsing(self, query):
+        text = unparse(query)
+        assert unparse(parse(text)) == text
+
+    @given(core_xpath_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_size_is_positive_and_walk_consistent(self, query):
+        assert query.size() == len(list(query.walk()))
+        assert query.size() >= 1
+
+
+class TestArithmeticExpressions:
+    @given(
+        st.recursive(
+            st.integers(min_value=0, max_value=9).map(float),
+            lambda children: st.tuples(
+                st.sampled_from(["+", "-", "*"]), children, children
+            ),
+            max_leaves=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arithmetic_expression_round_trip(self, tree):
+        def render(node) -> str:
+            if isinstance(node, float):
+                return str(int(node))
+            operator, left, right = node
+            return f"({render(left)} {operator} {render(right)})"
+
+        def value(node) -> float:
+            if isinstance(node, float):
+                return node
+            operator, left, right = node
+            table = {"+": lambda a, b: a + b, "-": lambda a, b: a - b, "*": lambda a, b: a * b}
+            return table[operator](value(left), value(right))
+
+        text = render(tree)
+        expr = parse(text)
+        assert parse(unparse(expr)) == expr
+        from repro.evaluation import evaluate
+        from repro.xmlmodel import build_tree
+
+        assert evaluate(expr, build_tree(("r",))) == value(tree)

@@ -1,0 +1,76 @@
+"""Property-based tests: the hardness reductions are correct on random instances."""
+
+from hypothesis import given, settings
+
+from repro.evaluation import query_selects
+from repro.graphs import is_reachable
+from repro.reductions import (
+    reduce_circuit_to_core_xpath,
+    reduce_circuit_to_pwf_iterated,
+    reduce_reachability_to_pf,
+    reduce_sac1_to_positive_core_xpath,
+)
+
+from tests.properties.strategies import (
+    circuits_with_assignments,
+    graphs_with_endpoints,
+    sac1_circuits_with_assignments,
+)
+
+
+class TestTheorem32Property:
+    @given(circuits_with_assignments())
+    @settings(max_examples=25, deadline=None)
+    def test_query_nonempty_iff_circuit_true(self, instance):
+        circuit, assignment = instance
+        reduction = reduce_circuit_to_core_xpath(circuit, assignment)
+        assert (
+            query_selects(reduction.query, reduction.document, engine="core")
+            == circuit.value(assignment)
+        )
+
+    @given(circuits_with_assignments())
+    @settings(max_examples=15, deadline=None)
+    def test_corollary_33_variant_agrees(self, instance):
+        circuit, assignment = instance
+        reduction = reduce_circuit_to_core_xpath(circuit, assignment, corollary_3_3=True)
+        assert (
+            query_selects(reduction.query, reduction.document, engine="core")
+            == circuit.value(assignment)
+        )
+
+
+class TestTheorem42Property:
+    @given(sac1_circuits_with_assignments())
+    @settings(max_examples=20, deadline=None)
+    def test_query_nonempty_iff_sac1_circuit_true(self, instance):
+        circuit, assignment = instance
+        reduction = reduce_sac1_to_positive_core_xpath(circuit, assignment)
+        assert (
+            query_selects(reduction.query, reduction.document, engine="core")
+            == circuit.value(assignment)
+        )
+
+
+class TestTheorem57Property:
+    @given(circuits_with_assignments())
+    @settings(max_examples=15, deadline=None)
+    def test_query_nonempty_iff_circuit_true(self, instance):
+        circuit, assignment = instance
+        reduction = reduce_circuit_to_pwf_iterated(circuit, assignment)
+        assert (
+            query_selects(reduction.query, reduction.document, engine="cvt")
+            == circuit.value(assignment)
+        )
+
+
+class TestTheorem43Property:
+    @given(graphs_with_endpoints())
+    @settings(max_examples=25, deadline=None)
+    def test_query_nonempty_iff_reachable(self, instance):
+        graph, source, target = instance
+        reduction = reduce_reachability_to_pf(graph, source, target)
+        assert (
+            query_selects(reduction.query, reduction.document, engine="core")
+            == is_reachable(graph, source, target)
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the shared circuit-encoding document (proof of Theorem 3.2)."""
+
+import pytest
+
+from repro.circuits import carry_circuit
+from repro.errors import ReductionError
+from repro.reductions import (
+    GATE_TAG,
+    PORT_TAG,
+    ROOT_TAG,
+    STRUCTURAL_TAGS,
+    W_TAG,
+    build_circuit_document,
+    input_label,
+    node_labels,
+    output_label,
+)
+from repro.reductions.labels import FALSE_LABEL, TRUE_LABEL, label_test, truth_label
+
+
+def carry_document(**kwargs):
+    circuit = carry_circuit()
+    assignment = {"G1": True, "G2": False, "G3": True, "G4": True}
+    return circuit, build_circuit_document(circuit, assignment, **kwargs)
+
+
+def labels(element):
+    return node_labels(element) - STRUCTURAL_TAGS
+
+
+class TestLabelHelpers:
+    def test_label_names(self):
+        assert input_label(3) == "I3"
+        assert input_label(3, 2) == "I3_2"
+        assert output_label(4) == "O4"
+        assert truth_label(True) == TRUE_LABEL
+        assert truth_label(False) == FALSE_LABEL
+
+    def test_label_test_is_core_xpath_condition(self):
+        from repro.fragments import is_core_xpath
+
+        assert label_test("G").unparse() == "child::G"
+        assert is_core_xpath(label_test("R"))
+
+
+class TestDocumentShape:
+    def test_gate_and_port_counts(self):
+        circuit, encoded = carry_document()
+        document = encoded.document
+        assert len(document.elements_with_tag(GATE_TAG)) == circuit.size()
+        assert len(document.elements_with_tag(PORT_TAG)) == circuit.size()
+        assert len(document.elements_with_tag(ROOT_TAG)) == 1
+
+    def test_tree_depth_without_labels_is_two(self):
+        # vi nodes at depth 1 below the circuit root, ports at depth 2; the
+        # label children add one more level (the Remark 3.1 / Cor 3.3 remark).
+        _, encoded = carry_document()
+        root_element = encoded.document.root.document_element()
+        for gate_node in root_element.element_children():
+            assert gate_node.tag == GATE_TAG
+            port_children = [c for c in gate_node.element_children() if c.tag == PORT_TAG]
+            assert len(port_children) == 1
+
+    def test_gate_node_labels_match_paper_example(self):
+        # Figure 3 / the v1..v9 label table in the proof of Theorem 3.2:
+        # gate numbering is G1..G9 and layer k computes G(4+k).
+        circuit, encoded = carry_document()
+        gate_nodes = encoded.document.elements_with_tag(GATE_TAG)
+        by_number = {i + 1: labels(node) for i, node in enumerate(gate_nodes)}
+        # v1 (= a1, true here): G, truth label, inputs of layers 2 (G6) and 3 (G7).
+        assert by_number[1] == {"G", TRUE_LABEL, "I2", "I3"}
+        # v2 (= b1, false): inputs of layers 2 and 4.
+        assert by_number[2] == {"G", FALSE_LABEL, "I2", "I4"}
+        # v3, v4 (= a0, b0): inputs of layer 1 (G5).
+        assert by_number[3] == {"G", TRUE_LABEL, "I1"}
+        assert by_number[4] == {"G", TRUE_LABEL, "I1"}
+        # v5 (= G5 = c0): output of layer 1, input of layers 3 and 4.
+        assert by_number[5] == {"G", "O1", "I3", "I4"}
+        # v6..v8: outputs of layers 2..4, inputs of layer 5.
+        assert by_number[6] == {"G", "O2", "I5"}
+        assert by_number[7] == {"G", "O3", "I5"}
+        assert by_number[8] == {"G", "O4", "I5"}
+        # v9: result gate.
+        assert by_number[9] == {"G", "R", "O5"}
+
+    def test_port_labels_match_paper(self):
+        circuit, encoded = carry_document()
+        port_nodes = encoded.document.elements_with_tag(PORT_TAG)
+        all_layer_labels = {
+            label
+            for k in range(1, 6)
+            for label in (input_label(k), output_label(k))
+        }
+        # Ports of input gates carry every layer label.
+        for port in port_nodes[:4]:
+            assert labels(port) == all_layer_labels
+        # Port of gate G(4+i) carries the labels of layers i..5.
+        for i, port in enumerate(port_nodes[4:], start=1):
+            expected = {
+                label
+                for k in range(i, 6)
+                for label in (input_label(k), output_label(k))
+            }
+            assert labels(port) == expected
+
+    def test_missing_assignment_rejected(self):
+        circuit = carry_circuit()
+        with pytest.raises(ReductionError):
+            build_circuit_document(circuit, {"G1": True})
+
+
+class TestVariants:
+    def test_split_and_inputs_labels(self):
+        circuit, encoded = carry_document(split_and_inputs=True)
+        gate_nodes = encoded.document.elements_with_tag(GATE_TAG)
+        # Layer 1 computes G5 = G3 ∧ G4: G3 carries I1_1, G4 carries I1_2.
+        assert "I1_1" in labels(gate_nodes[2])
+        assert "I1_2" in labels(gate_nodes[3])
+        # The ∨-layer 5 keeps its plain I5 labels.
+        assert "I5" in labels(gate_nodes[5])
+
+    def test_split_rejects_wide_and_gates(self):
+        from repro.circuits import or_of_ands
+
+        circuit = or_of_ands(2, 3)  # ∧-gates of fan-in 3
+        assignment = {name: True for name in circuit.input_names}
+        with pytest.raises(ReductionError):
+            build_circuit_document(circuit, assignment, split_and_inputs=True)
+
+    def test_w_nodes_added_for_theorem_57(self):
+        circuit, encoded = carry_document(add_w_nodes=True)
+        document = encoded.document
+        # One w child under the circuit root and one under every gate node.
+        assert len(document.elements_with_tag(W_TAG)) == circuit.size() + 1
+        for w_node in document.elements_with_tag(W_TAG):
+            assert node_labels(w_node) == {"W"}
+        root_element = document.root.document_element()
+        assert any(child.tag == "A" for child in root_element.element_children())
+        # The w node is the right-most child of each gate node.
+        for gate_node in document.elements_with_tag(GATE_TAG):
+            assert gate_node.element_children()[-1].tag == W_TAG

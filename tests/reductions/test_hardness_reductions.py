@@ -1,0 +1,194 @@
+"""Correctness tests for the four hardness reductions (Theorems 3.2, 4.2, 4.3, 5.7).
+
+Every test asserts the defining property of a reduction: the produced XPath
+query selects at least one node **iff** the source instance (circuit value /
+reachability) is a yes-instance.  The right-hand side is computed by the
+circuit evaluator / BFS, the left-hand side by the polynomial XPath
+evaluators built in this repository.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    and_chain,
+    carry_assignment,
+    carry_circuit,
+    expected_carry,
+    majority3,
+    or_of_ands,
+    random_assignment,
+    random_monotone_circuit,
+    random_sac1_circuit,
+)
+from repro.errors import ReductionError
+from repro.evaluation import query_selects
+from repro.fragments import classify, is_core_xpath, is_pf, is_positive_core_xpath, is_pwf
+from repro.graphs import figure5_graph, is_reachable, path_graph, random_digraph
+from repro.reductions import (
+    reduce_circuit_to_core_xpath,
+    reduce_circuit_to_pwf_iterated,
+    reduce_reachability_to_pf,
+    reduce_sac1_to_positive_core_xpath,
+)
+from repro.xpath.analysis import max_predicates_per_step
+
+
+class TestTheorem32:
+    def test_carry_circuit_all_inputs(self, carry):
+        for bits in itertools.product([False, True], repeat=4):
+            instance = reduce_circuit_to_core_xpath(carry, carry_assignment(*bits))
+            assert instance.expected is expected_carry(*bits)
+            assert instance.holds("core"), bits
+            assert instance.holds("cvt"), bits
+
+    def test_query_is_core_xpath_but_not_positive(self, carry):
+        instance = reduce_circuit_to_core_xpath(carry, carry_assignment(True, True, False, False))
+        assert is_core_xpath(instance.query)
+        assert not is_positive_core_xpath(instance.query)
+        assert classify(instance.query).most_specific == "Core XPath"
+
+    def test_small_library_circuits(self):
+        for circuit in (and_chain(4), or_of_ands(3, 2), majority3()):
+            for seed in range(4):
+                assignment = random_assignment(circuit, seed=seed)
+                instance = reduce_circuit_to_core_xpath(circuit, assignment)
+                assert instance.holds("core")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_monotone_circuits(self, seed):
+        circuit = random_monotone_circuit(num_inputs=4, num_gates=7, seed=seed, max_fanin=3)
+        assignment = random_assignment(circuit, seed=seed + 100)
+        instance = reduce_circuit_to_core_xpath(circuit, assignment)
+        assert instance.holds("core")
+
+    def test_sizes_are_polynomial(self, carry):
+        instance = reduce_circuit_to_core_xpath(carry, carry_assignment(True, True, True, True))
+        # |D| is linear in the circuit (gates, ports and label children);
+        # |Q| is linear in the number of internal gates.
+        assert instance.document_size < 40 * carry.size()
+        assert instance.query_size < 40 * carry.num_internal()
+
+    def test_corollary_33_restricted_axes(self, carry):
+        from repro.xpath.analysis import axes_used
+
+        for bits in itertools.product([False, True], repeat=4):
+            instance = reduce_circuit_to_core_xpath(
+                carry, carry_assignment(*bits), corollary_3_3=True
+            )
+            assert axes_used(instance.query) <= {"child", "parent", "descendant-or-self"}
+            assert instance.holds("core"), bits
+
+
+class TestTheorem42:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sac1_circuits(self, seed):
+        circuit = random_sac1_circuit(num_inputs=6, seed=seed)
+        assignment = random_assignment(circuit, seed=seed + 50)
+        instance = reduce_sac1_to_positive_core_xpath(circuit, assignment)
+        assert instance.holds("core")
+
+    def test_query_is_positive_core_xpath(self):
+        circuit = random_sac1_circuit(num_inputs=4, seed=3)
+        assignment = random_assignment(circuit, seed=3)
+        instance = reduce_sac1_to_positive_core_xpath(circuit, assignment)
+        assert is_positive_core_xpath(instance.query)
+        assert "not" not in instance.query_text()
+
+    def test_non_semi_unbounded_circuit_rejected(self):
+        wide = or_of_ands(2, 3)
+        with pytest.raises(ReductionError):
+            reduce_sac1_to_positive_core_xpath(
+                wide, {name: True for name in wide.input_names}
+            )
+
+    def test_query_grows_with_and_gates(self):
+        small = and_chain(3)  # 2 ∧-gates
+        large = and_chain(5)  # 4 ∧-gates
+        small_instance = reduce_sac1_to_positive_core_xpath(
+            small, {name: True for name in small.input_names}
+        )
+        large_instance = reduce_sac1_to_positive_core_xpath(
+            large, {name: True for name in large.input_names}
+        )
+        assert large_instance.query_size > 2 * small_instance.query_size
+        assert small_instance.holds("core") and large_instance.holds("core")
+
+
+class TestTheorem43:
+    def test_figure5_graph_all_pairs(self):
+        graph = figure5_graph()
+        for source in range(graph.num_vertices):
+            for target in range(graph.num_vertices):
+                instance = reduce_reachability_to_pf(graph, source, target)
+                assert instance.expected == is_reachable(graph, source, target)
+                assert instance.holds("core"), (source, target)
+
+    def test_query_is_pf(self):
+        instance = reduce_reachability_to_pf(figure5_graph(), 0, 2)
+        assert is_pf(instance.query)
+        assert max_predicates_per_step(instance.query) == 0
+        assert classify(instance.query).most_specific == "PF"
+        assert classify(instance.query).combined_complexity == "NL-complete"
+
+    def test_path_graph_direction_matters(self):
+        graph = path_graph(4)
+        forward = reduce_reachability_to_pf(graph, 0, 3)
+        backward = reduce_reachability_to_pf(graph, 3, 0)
+        assert forward.expected and forward.holds("core")
+        assert not backward.expected and backward.holds("core")
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs_all_pairs(self, seed):
+        graph = random_digraph(5, edge_probability=0.3, seed=seed)
+        for source in range(graph.num_vertices):
+            for target in range(graph.num_vertices):
+                instance = reduce_reachability_to_pf(graph, source, target)
+                assert instance.holds("core"), (seed, source, target)
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(ReductionError):
+            reduce_reachability_to_pf(path_graph(3), 0, 7)
+
+    def test_explicit_step_budget(self):
+        graph = path_graph(5)
+        # With only 2 steps the walk 0 → 4 cannot be witnessed.
+        short = reduce_reachability_to_pf(graph, 0, 4, steps=2)
+        assert not query_selects(short.query, short.document, engine="core")
+        long = reduce_reachability_to_pf(graph, 0, 4, steps=4)
+        assert query_selects(long.query, long.document, engine="core")
+
+
+class TestTheorem57:
+    def test_carry_circuit_all_inputs(self, carry):
+        for bits in itertools.product([False, True], repeat=4):
+            instance = reduce_circuit_to_pwf_iterated(carry, carry_assignment(*bits))
+            assert instance.expected is expected_carry(*bits)
+            assert instance.holds("cvt"), bits
+
+    def test_query_avoids_negation_but_uses_iterated_predicates(self, carry):
+        instance = reduce_circuit_to_pwf_iterated(carry, carry_assignment(True, True, True, True))
+        text = instance.query_text()
+        assert "not(" not in text
+        assert "last()" in text
+        assert max_predicates_per_step(instance.query) == 2  # Corollary 5.8
+        # Without the iterated predicates the query would be in pWF.
+        assert not is_pwf(instance.query)
+        violations = classify(instance.query).violations.get("pWF", [])
+        assert any("iterated" in violation for violation in violations)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_monotone_circuits(self, seed):
+        circuit = random_monotone_circuit(num_inputs=3, num_gates=5, seed=seed)
+        assignment = random_assignment(circuit, seed=seed + 7)
+        instance = reduce_circuit_to_pwf_iterated(circuit, assignment)
+        assert instance.holds("cvt")
+
+    def test_agreement_between_naive_and_cvt_on_reduction_queries(self):
+        # The naive evaluator has no sharing, so keep the circuit tiny (one
+        # internal gate) — the point is semantic agreement, not speed.
+        circuit = and_chain(2)
+        for assignment in ({"x0": True, "x1": True}, {"x0": True, "x1": False}):
+            instance = reduce_circuit_to_pwf_iterated(circuit, assignment)
+            assert instance.holds("cvt") and instance.holds("naive")

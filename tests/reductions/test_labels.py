@@ -1,0 +1,57 @@
+"""Unit tests for the Remark 3.1 label-encoding helpers."""
+
+from repro.evaluation import CoreXPathEvaluator
+from repro.fragments import is_core_xpath
+from repro.reductions.labels import (
+    FALSE_LABEL,
+    TRUE_LABEL,
+    LabelledNodeBuilder,
+    label_test,
+    node_labels,
+    truth_label,
+)
+from repro.xmlmodel import DocumentBuilder
+
+
+def build_labelled_document():
+    builder = DocumentBuilder()
+    labelled = LabelledNodeBuilder(builder)
+    builder.start_element("root")
+    labelled.start_labelled("item", ["G", "R"])
+    labelled.add_labelled("item", ["G", TRUE_LABEL])
+    labelled.end()
+    labelled.add_labelled("item", [FALSE_LABEL])
+    builder.end_element()
+    return builder.finish()
+
+
+class TestLabelEncoding:
+    def test_labels_become_children(self):
+        document = build_labelled_document()
+        items = document.elements_with_tag("item")
+        assert node_labels(items[0]) - {"item"} == {"G", "R"}
+        assert node_labels(items[1]) == {"G", TRUE_LABEL}
+        assert node_labels(items[2]) == {FALSE_LABEL}
+
+    def test_nested_labelled_nodes(self):
+        document = build_labelled_document()
+        outer = document.elements_with_tag("item")[0]
+        inner = [child for child in outer.element_children() if child.tag == "item"]
+        assert len(inner) == 1
+
+    def test_truth_labels(self):
+        assert truth_label(True) == TRUE_LABEL
+        assert truth_label(False) == FALSE_LABEL
+        assert TRUE_LABEL != FALSE_LABEL
+
+    def test_label_test_selects_labelled_nodes(self):
+        document = build_labelled_document()
+        evaluator = CoreXPathEvaluator(document)
+        g_nodes = evaluator.condition_nodes(label_test("G"))
+        assert [node.tag for node in g_nodes] == ["item", "item"]
+        r_nodes = evaluator.condition_nodes(label_test("R"))
+        assert len(r_nodes) == 1
+
+    def test_label_test_is_core_xpath(self):
+        assert is_core_xpath(label_test("I7"))
+        assert label_test("W").unparse() == "child::W"

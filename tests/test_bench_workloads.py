@@ -1,0 +1,113 @@
+"""Unit tests for the benchmark workload generators and ElementTree helpers."""
+
+import pytest
+
+from repro.bench import (
+    caterpillar_query,
+    caterpillar_workload,
+    child_chain_elementpath,
+    core_scaling_workload,
+    descendant_chain_query,
+    elementtree_count,
+    elementtree_find_all,
+    negation_query,
+    positive_condition_query,
+    pwf_positional_query,
+    representative_queries,
+    supports_child_chain,
+    to_elementtree,
+)
+from repro.evaluation import ContextValueTableEvaluator, CoreXPathEvaluator
+from repro.fragments import classify, is_core_xpath, is_pf, is_positive_core_xpath, is_pwf
+from repro.xmlmodel import build_tree
+
+
+class TestCaterpillarWorkload:
+    def test_query_step_count_matches_parameter(self):
+        query = caterpillar_query(5)
+        assert query.count("following-sibling") == 4
+        with pytest.raises(ValueError):
+            caterpillar_query(0)
+
+    def test_workload_is_consistent_across_engines(self):
+        document, query = caterpillar_workload(6)
+        cvt = ContextValueTableEvaluator(document).evaluate_nodes(query)
+        core = CoreXPathEvaluator(document).evaluate_nodes(query)
+        assert [n.order for n in cvt] == [n.order for n in core]
+        assert cvt, "the workload query must select something"
+
+    def test_workload_query_is_pf(self):
+        _, query = caterpillar_workload(4)
+        assert is_pf(query)
+
+    def test_custom_length(self):
+        document, _ = caterpillar_workload(3, length=10)
+        assert len(document.root.document_element().element_children()) == 10
+
+
+class TestScalingWorkloads:
+    def test_core_scaling_workload_nonempty(self):
+        document, query = core_scaling_workload(6, 6)
+        assert is_core_xpath(query)
+        assert CoreXPathEvaluator(document).evaluate_nodes(query)
+
+    def test_descendant_chain_query_step_parameter(self):
+        short = descendant_chain_query(2)
+        long = descendant_chain_query(8)
+        assert long.count("::") > short.count("::")
+
+    def test_pwf_positional_query_classification(self):
+        assert classify(pwf_positional_query(2)).most_specific == "pWF"
+        assert is_pwf(pwf_positional_query(4))
+
+    def test_positive_condition_query_classification(self):
+        assert is_positive_core_xpath(positive_condition_query(3))
+
+    def test_negation_query_classification(self):
+        query = negation_query(2)
+        assert classify(query).most_specific == "Core XPath"
+        assert not is_positive_core_xpath(query)
+
+
+class TestRepresentativeQueries:
+    def test_every_fragment_represented(self):
+        queries = representative_queries()
+        assert set(queries) == {
+            "PF",
+            "positive Core XPath",
+            "Core XPath",
+            "pWF",
+            "WF",
+            "pXPath",
+            "XPath",
+        }
+        assert all(len(examples) >= 2 for examples in queries.values())
+
+    def test_queries_land_in_their_fragment(self):
+        for fragment, examples in representative_queries().items():
+            for query in examples:
+                assert classify(query).most_specific == fragment, query
+
+
+class TestElementTreeHelpers:
+    DOCUMENT = build_tree(
+        ("site", [("a", {"id": "1"}, [("b",), ("b",)]), ("a", {"id": "2"}, [("c",)])])
+    )
+
+    def test_to_elementtree_preserves_structure(self):
+        tree = to_elementtree(self.DOCUMENT)
+        assert tree.tag == "site"
+        assert len(tree.findall("./a")) == 2
+
+    def test_counts_match_our_engine(self):
+        ours = len(ContextValueTableEvaluator(self.DOCUMENT).evaluate_nodes("/descendant::b"))
+        assert elementtree_count(self.DOCUMENT, ".//b") == ours == 2
+
+    def test_find_all_returns_elements(self):
+        elements = elementtree_find_all(self.DOCUMENT, ".//a[@id='2']")
+        assert len(elements) == 1 and elements[0].get("id") == "2"
+
+    def test_child_chain_helpers(self):
+        assert child_chain_elementpath(["a", "b"]) == "./a/b"
+        assert supports_child_chain(["a", "b", "*"])
+        assert not supports_child_chain(["a[1]"])

@@ -1,0 +1,77 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text("<site><a id='1'><b/></a><a id='2'/></site>", encoding="utf-8")
+    return str(path)
+
+
+class TestEvalCommand:
+    def test_node_set_output(self, xml_file, capsys):
+        assert main(["eval", "//a[child::b]", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "node-set of 1 node(s)" in out
+        assert "element(a)" in out
+
+    @pytest.mark.parametrize("engine", ["cvt", "naive", "core", "singleton"])
+    def test_all_engines(self, xml_file, engine, capsys):
+        assert main(["eval", "/descendant::b", xml_file, "--engine", engine]) == 0
+        assert "node-set of 1 node(s)" in capsys.readouterr().out
+
+    def test_scalar_output(self, xml_file, capsys):
+        assert main(["eval", "count(//a)", xml_file]) == 0
+        assert "2.0" in capsys.readouterr().out
+
+    def test_limit_truncates_output(self, xml_file, capsys):
+        assert main(["eval", "//*", xml_file, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "… and" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["eval", "//a", "/nonexistent/file.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_syntax_error_returns_one(self, xml_file, capsys):
+        assert main(["eval", "//a[", xml_file]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_fragment_violation_reported(self, xml_file, capsys):
+        assert main(["eval", "count(//a)", xml_file, "--engine", "core"]) == 1
+        assert "Core XPath" in capsys.readouterr().err
+
+
+class TestClassifyCommand:
+    def test_basic_classification(self, capsys):
+        assert main(["classify", "//a[child::b]"]) == 0
+        out = capsys.readouterr().out
+        assert "positive Core XPath" in out
+        assert "LOGCFL-complete" in out
+
+    def test_verbose_lists_violations(self, capsys):
+        assert main(["classify", "//a[count(child::b) > 1]", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "excluded from:" in out
+        assert "Core XPath" in out
+
+
+class TestFigure1Command:
+    def test_prints_lattice(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "P-complete" in out and "PF -> positive Core XPath" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_engine_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval", "//a", "x.xml", "--engine", "warp"])

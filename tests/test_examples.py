@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion and prints its key result.
+
+The examples double as documentation; these tests keep them in sync with
+the library as it evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name → a fragment of output that must appear when it succeeds.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "engine selects books from years",
+    "circuit_reduction.py": "all 16 rows agree with the adder semantics: True",
+    "graph_reachability.py": "XPath-computed reachability agrees with BFS: True",
+    "fragment_lattice.py": "Fragment inclusions",
+    "parallel_evaluation.py": "parallelizability the LOGCFL bound promises",
+    "exponential_blowup.py": "(exponential)",
+}
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs_and_reports_success(name):
+    completed = run_example(name)
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_OUTPUT[name] in completed.stdout
+
+
+def test_every_example_script_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)

@@ -1,0 +1,114 @@
+"""Unit tests for Document, DocumentBuilder and build_tree."""
+
+import pytest
+
+from repro.xmlmodel.document import Document, DocumentBuilder, build_tree
+from repro.xmlmodel.nodes import ElementNode, NodeType, RootNode
+
+
+class TestDocumentBuilder:
+    def test_basic_construction(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.add_element("b", {"x": "1"})
+        builder.text("hello")
+        builder.comment("note")
+        builder.processing_instruction("pi", "data")
+        builder.end_element()
+        document = builder.finish()
+        a = document.root.document_element()
+        assert a.tag == "a"
+        kinds = [child.node_type for child in a.children]
+        assert kinds == [
+            NodeType.ELEMENT,
+            NodeType.TEXT,
+            NodeType.COMMENT,
+            NodeType.PROCESSING_INSTRUCTION,
+        ]
+
+    def test_unbalanced_end_raises(self):
+        builder = DocumentBuilder()
+        with pytest.raises(ValueError):
+            builder.end_element()
+
+    def test_finish_with_open_elements_raises(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        with pytest.raises(ValueError):
+            builder.finish()
+
+    def test_builder_unusable_after_finish(self):
+        builder = DocumentBuilder()
+        builder.add_element("a")
+        builder.finish()
+        with pytest.raises(ValueError):
+            builder.add_element("b")
+
+    def test_current_tracks_open_element(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.start_element("b")
+        assert builder.current.tag == "b"
+        builder.end_element()
+        assert builder.current.tag == "a"
+
+
+class TestDocument:
+    def test_requires_root_node(self):
+        with pytest.raises(TypeError):
+            Document(ElementNode("a"))  # type: ignore[arg-type]
+
+    def test_document_order_is_preorder(self):
+        document = build_tree(("a", [("b", [("c",)]), ("d",)]))
+        tags = [getattr(node, "tag", "#root") for node in document.nodes]
+        assert tags == ["#root", "a", "b", "c", "d"]
+        orders = [node.order for node in document.nodes]
+        assert orders == sorted(orders)
+
+    def test_attribute_order_follows_owner(self):
+        document = build_tree(("a", {"x": "1", "y": "2"}, [("b",)]))
+        a = document.root.document_element()
+        b = a.children[0]
+        assert all(a.order < attr.order < b.order for attr in a.attributes)
+
+    def test_size_counts_attributes(self):
+        document = build_tree(("a", {"x": "1"}, [("b",)]))
+        # root + a + b + one attribute
+        assert document.size == 4
+        assert len(document) == 4
+
+    def test_dom_contains_root_and_elements_only(self):
+        document = build_tree(("a", [("b", ["text"])]))
+        kinds = {node.node_type for node in document.dom()}
+        assert kinds == {NodeType.ROOT, NodeType.ELEMENT}
+
+    def test_elements_with_tag(self):
+        document = build_tree(("a", [("b",), ("b",), ("c",)]))
+        assert len(document.elements_with_tag("b")) == 2
+        assert document.elements_with_tag("zzz") == []
+
+    def test_elements_property(self):
+        document = build_tree(("a", [("b", ["x"]), ("c",)]))
+        assert [element.tag for element in document.elements] == ["a", "b", "c"]
+
+    def test_iteration_yields_nodes(self):
+        document = build_tree(("a",))
+        assert list(iter(document)) == document.nodes
+
+
+class TestBuildTree:
+    def test_nested_spec(self):
+        document = build_tree(("a", {"k": "v"}, [("b", ["hi"]), ("c", [("d",)])]))
+        a = document.root.document_element()
+        assert a.get_attribute("k") == "v"
+        assert [child.tag for child in a.element_children()] == ["b", "c"]
+
+    def test_string_spec_is_text(self):
+        document = build_tree(("a", ["hello"]))
+        assert document.root.string_value() == "hello"
+
+    def test_invalid_spec_raises(self):
+        with pytest.raises(TypeError):
+            build_tree(42)  # type: ignore[arg-type]
+        with pytest.raises(TypeError):
+            build_tree(("a", object()))  # type: ignore[arg-type]

@@ -1,0 +1,118 @@
+"""Unit tests for the synthetic document generators."""
+
+import pytest
+
+from repro.xmlmodel.generators import (
+    auction_document,
+    caterpillar_document,
+    chain_document,
+    complete_tree_document,
+    labelled_list_document,
+    random_document,
+    wide_document,
+)
+from repro.xmlmodel.nodes import ElementNode
+
+
+class TestChainAndWide:
+    def test_chain_depth(self):
+        document = chain_document(5)
+        # root + 5 chained elements
+        assert document.size == 6
+        node = document.root.document_element()
+        depth = 1
+        while node.element_children():
+            node = node.element_children()[0]
+            depth += 1
+        assert depth == 5
+
+    def test_chain_requires_positive_depth(self):
+        with pytest.raises(ValueError):
+            chain_document(0)
+
+    def test_wide_document_children(self):
+        document = wide_document(7)
+        root_element = document.root.document_element()
+        assert len(root_element.element_children()) == 7
+        assert root_element.element_children()[3].get_attribute("index") == "3"
+
+    def test_wide_document_zero_width(self):
+        assert wide_document(0).root.document_element().element_children() == []
+
+
+class TestCompleteTree:
+    def test_node_count(self):
+        document = complete_tree_document(2, 4)
+        # 1 + 2 + 4 + 8 = 15 elements + root
+        assert len(document.elements) == 15
+
+    def test_tags_cycle_by_level(self):
+        document = complete_tree_document(2, 3, tags=("x", "y", "z"))
+        root_element = document.root.document_element()
+        assert root_element.tag == "x"
+        assert {child.tag for child in root_element.element_children()} == {"y"}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            complete_tree_document(0, 3)
+        with pytest.raises(ValueError):
+            complete_tree_document(2, 0)
+
+
+class TestCaterpillar:
+    def test_alternating_tags(self):
+        document = caterpillar_document(6)
+        children = document.root.document_element().element_children()
+        assert [child.tag for child in children] == ["a", "b", "a", "b", "a", "b"]
+
+    def test_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            caterpillar_document(0)
+
+
+class TestRandomDocument:
+    def test_deterministic_per_seed(self):
+        from repro.xmlmodel.serialize import serialize
+
+        assert serialize(random_document(40, seed=3)) == serialize(random_document(40, seed=3))
+        assert serialize(random_document(40, seed=3)) != serialize(random_document(40, seed=4))
+
+    def test_respects_budget_roughly(self):
+        document = random_document(50, seed=1)
+        assert 1 <= len(document.elements) <= 51
+
+    def test_tags_from_alphabet(self):
+        document = random_document(30, seed=2, tags=("q", "r"))
+        assert {element.tag for element in document.elements} <= {"q", "r"}
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            random_document(0)
+
+
+class TestLabelledList:
+    def test_labels_become_children(self):
+        document = labelled_list_document([["G", "R"], ["G"]])
+        nodes = document.elements_with_tag("node")
+        assert len(nodes) == 2
+        first_labels = {child.get_attribute("name") for child in nodes[0].element_children()}
+        assert first_labels == {"G", "R"}
+
+
+class TestAuctionDocument:
+    def test_structure(self):
+        document = auction_document(sellers=3, items_per_seller=2, seed=1)
+        assert len(document.elements_with_tag("person")) == 3
+        assert len(document.elements_with_tag("open_auction")) == 6
+        assert document.elements_with_tag("site")
+
+    def test_deterministic(self):
+        from repro.xmlmodel.serialize import serialize
+
+        assert serialize(auction_document(seed=5)) == serialize(auction_document(seed=5))
+
+    def test_items_reference_regions(self):
+        document = auction_document(sellers=2, items_per_seller=2, seed=9)
+        regions = {"europe", "namerica", "asia"}
+        for item in document.elements_with_tag("item"):
+            assert item.get_attribute("region") in regions

@@ -1,0 +1,156 @@
+"""Unit tests for the node classes of the XPath data model."""
+
+import pytest
+
+from repro.xmlmodel.document import Document, DocumentBuilder, build_tree
+from repro.xmlmodel.nodes import (
+    AttributeNode,
+    CommentNode,
+    ElementNode,
+    NodeType,
+    ProcessingInstructionNode,
+    RootNode,
+    TextNode,
+    sort_document_order,
+)
+
+
+def small_tree():
+    builder = DocumentBuilder()
+    builder.start_element("a", {"id": "1"})
+    builder.start_element("b")
+    builder.text("hello")
+    builder.end_element()
+    builder.add_element("c")
+    builder.end_element()
+    return builder.finish()
+
+
+class TestNodeBasics:
+    def test_node_types(self):
+        assert RootNode().node_type is NodeType.ROOT
+        assert ElementNode("a").node_type is NodeType.ELEMENT
+        assert TextNode("x").node_type is NodeType.TEXT
+        assert CommentNode("x").node_type is NodeType.COMMENT
+        assert AttributeNode("k", "v").node_type is NodeType.ATTRIBUTE
+        assert (
+            ProcessingInstructionNode("t").node_type is NodeType.PROCESSING_INSTRUCTION
+        )
+
+    def test_append_child_sets_parent(self):
+        parent = ElementNode("a")
+        child = ElementNode("b")
+        parent.append_child(child)
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_append_child_rejects_reparenting(self):
+        parent = ElementNode("a")
+        child = ElementNode("b")
+        parent.append_child(child)
+        with pytest.raises(ValueError):
+            ElementNode("c").append_child(child)
+
+    def test_is_element_and_is_root(self):
+        assert ElementNode("a").is_element()
+        assert not ElementNode("a").is_root()
+        assert RootNode().is_root()
+
+    def test_name(self):
+        assert ElementNode("book").name() == "book"
+        assert AttributeNode("year", "2003").name() == "year"
+        assert ProcessingInstructionNode("target", "data").name() == "target"
+        assert TextNode("x").name() == ""
+        assert RootNode().name() == ""
+
+    def test_equality_is_identity(self):
+        first, second = ElementNode("a"), ElementNode("a")
+        assert first == first
+        assert first != second
+        assert len({first, second}) == 2
+
+
+class TestTreeNavigation:
+    def test_iter_descendants_document_order(self):
+        document = small_tree()
+        root_element = document.root.document_element()
+        tags = [
+            node.tag if isinstance(node, ElementNode) else "#text"
+            for node in root_element.iter_descendants()
+        ]
+        assert tags == ["b", "#text", "c"]
+
+    def test_iter_descendants_or_self_includes_self(self):
+        document = small_tree()
+        root_element = document.root.document_element()
+        nodes = list(root_element.iter_descendants_or_self())
+        assert nodes[0] is root_element
+
+    def test_iter_ancestors_nearest_first(self):
+        document = small_tree()
+        text = [n for n in document.nodes if isinstance(n, TextNode)][0]
+        ancestors = list(text.iter_ancestors())
+        assert [getattr(a, "tag", "#root") for a in ancestors] == ["b", "a", "#root"]
+
+    def test_root_returns_top(self):
+        document = small_tree()
+        deepest = document.nodes[-1]
+        assert deepest.root() is document.root
+
+    def test_child_index(self):
+        document = small_tree()
+        a = document.root.document_element()
+        assert a.children[0].child_index() == 0
+        assert a.children[1].child_index() == 1
+        assert document.root.child_index() == 0
+
+
+class TestStringValue:
+    def test_element_string_value_concatenates_descendant_text(self):
+        document = build_tree(("a", [("b", ["x"]), ("c", ["y", ("d", ["z"])])]))
+        assert document.root.document_element().string_value() == "xyz"
+
+    def test_attribute_string_value(self):
+        assert AttributeNode("k", "v").string_value() == "v"
+
+    def test_text_comment_pi_string_values(self):
+        assert TextNode("t").string_value() == "t"
+        assert CommentNode("c").string_value() == "c"
+        assert ProcessingInstructionNode("pi", "data").string_value() == "data"
+
+
+class TestElementAttributes:
+    def test_set_and_get_attribute(self):
+        element = ElementNode("a")
+        element.set_attribute("id", "1")
+        assert element.get_attribute("id") == "1"
+        assert element.get_attribute("missing") is None
+
+    def test_set_attribute_overwrites(self):
+        element = ElementNode("a", {"id": "1"})
+        element.set_attribute("id", "2")
+        assert element.get_attribute("id") == "2"
+        assert len(element.attributes) == 1
+
+    def test_element_children_excludes_text(self):
+        document = small_tree()
+        a = document.root.document_element()
+        assert [child.tag for child in a.element_children()] == ["b", "c"]
+
+
+class TestDocumentOrder:
+    def test_sort_document_order_dedups_and_sorts(self):
+        document = small_tree()
+        nodes = list(document.nodes)
+        shuffled = nodes[::-1] + nodes
+        assert sort_document_order(shuffled) == nodes
+
+    def test_order_comparison_requires_frozen_tree(self):
+        loose = ElementNode("a")
+        other = ElementNode("b")
+        with pytest.raises(ValueError):
+            _ = loose < other
+
+    def test_order_comparison_after_freeze(self):
+        document = small_tree()
+        assert document.nodes[0] < document.nodes[1]

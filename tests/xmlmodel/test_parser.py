@@ -1,0 +1,122 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.nodes import CommentNode, ElementNode, ProcessingInstructionNode, TextNode
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        document = parse_xml("<a/>")
+        assert document.root.document_element().tag == "a"
+        assert document.size == 2  # root + a
+
+    def test_nested_elements(self):
+        document = parse_xml("<a><b><c/></b><d/></a>")
+        a = document.root.document_element()
+        assert [child.tag for child in a.element_children()] == ["b", "d"]
+
+    def test_attributes_double_and_single_quotes(self):
+        document = parse_xml("""<a x="1" y='two'/>""")
+        a = document.root.document_element()
+        assert a.get_attribute("x") == "1"
+        assert a.get_attribute("y") == "two"
+
+    def test_text_content(self):
+        document = parse_xml("<a>hello <b>world</b>!</a>")
+        assert document.root.string_value() == "hello world!"
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        document = parse_xml("<a>\n  <b/>\n</a>")
+        a = document.root.document_element()
+        assert all(not isinstance(child, TextNode) for child in a.children)
+
+    def test_whitespace_kept_when_requested(self):
+        document = parse_xml("<a>\n  <b/>\n</a>", keep_whitespace_text=True)
+        a = document.root.document_element()
+        assert any(isinstance(child, TextNode) for child in a.children)
+
+    def test_comment_and_processing_instruction(self):
+        document = parse_xml("<a><!--note--><?target data?></a>")
+        a = document.root.document_element()
+        assert isinstance(a.children[0], CommentNode)
+        assert a.children[0].text == "note"
+        assert isinstance(a.children[1], ProcessingInstructionNode)
+        assert a.children[1].target == "target"
+        assert a.children[1].data == "data"
+
+    def test_xml_declaration_and_doctype_skipped(self):
+        document = parse_xml('<?xml version="1.0"?><!DOCTYPE a []><a/>')
+        assert document.root.document_element().tag == "a"
+
+    def test_cdata_section(self):
+        document = parse_xml("<a><![CDATA[1 < 2 & more]]></a>")
+        assert document.root.string_value() == "1 < 2 & more"
+
+    def test_namespaced_names_kept_verbatim(self):
+        document = parse_xml('<ns:a xmlns:ns="http://example.org"><ns:b/></ns:a>')
+        a = document.root.document_element()
+        assert a.tag == "ns:a"
+        assert a.get_attribute("xmlns:ns") == "http://example.org"
+
+
+class TestEntityHandling:
+    def test_predefined_entities_in_text(self):
+        document = parse_xml("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;</a>")
+        assert document.root.string_value() == "<tag> & \"x\" 'y'"
+
+    def test_character_references(self):
+        document = parse_xml("<a>&#65;&#x42;</a>")
+        assert document.root.string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        document = parse_xml('<a t="a &amp; b"/>')
+        assert document.root.document_element().get_attribute("t") == "a & b"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a>&unknown;</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a x=1/>",
+            "<a x='1' x='2'/>",
+            "<a/><b/>",
+            "<a>text</a>trailing text",
+            "<a><!--unterminated</a>",
+            "<a attr='unterminated/>",
+        ],
+    )
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(XMLParseError):
+            parse_xml(text)
+
+    def test_error_reports_offset(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_xml("<a><b></c></a>")
+        assert excinfo.value.position is not None
+
+    def test_character_data_outside_document_element(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("oops<a/>")
+
+
+class TestRoundTripWithSerializer:
+    def test_parse_serialize_parse_is_stable(self):
+        from repro.xmlmodel.serialize import serialize
+
+        source = '<a x="1&amp;2"><b>text &lt;here&gt;</b><c/><!--note--></a>'
+        first = parse_xml(source)
+        text = serialize(first)
+        second = parse_xml(text)
+        assert serialize(second) == text

@@ -1,0 +1,58 @@
+"""Unit tests for XML serialisation."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.xmlmodel.document import build_tree
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import escape_attribute, escape_text, serialize
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_also_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(build_tree(("a",))) == "<a/>"
+
+    def test_attributes_and_children(self):
+        document = build_tree(("a", {"x": "1"}, [("b", ["hi"]), ("c",)]))
+        assert serialize(document) == '<a x="1"><b>hi</b><c/></a>'
+
+    def test_text_is_escaped(self):
+        document = build_tree(("a", ["1 < 2 & 3"]))
+        assert serialize(document) == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_comment_and_pi(self):
+        document = parse_xml("<a><!--note--><?pi data?></a>")
+        assert serialize(document) == "<a><!--note--><?pi data?></a>"
+
+    def test_pretty_printing_indents(self):
+        document = build_tree(("a", [("b", [("c",)])]))
+        pretty = serialize(document, indent="  ")
+        assert pretty == "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n"
+
+    def test_pretty_printing_preserves_mixed_content(self):
+        document = build_tree(("a", [("b", ["hello"])]))
+        pretty = serialize(document, indent="  ")
+        assert "<b>hello</b>" in pretty
+
+    def test_output_is_well_formed_for_elementtree(self):
+        document = parse_xml(
+            '<site a="1 &amp; 2"><x>text &lt;tag&gt;</x><y><z k="v"/></y></site>'
+        )
+        parsed = ElementTree.fromstring(serialize(document))
+        assert parsed.tag == "site"
+        assert parsed.attrib["a"] == "1 & 2"
+        assert parsed.find("x").text == "text <tag>"
+
+    def test_roundtrip_preserves_structure(self):
+        source = '<a x="1"><b>text</b><c><d/></c><!--note--></a>'
+        document = parse_xml(source)
+        assert serialize(parse_xml(serialize(document))) == serialize(document)

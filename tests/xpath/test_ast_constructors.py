@@ -1,0 +1,80 @@
+"""Unit tests for the AST convenience constructors used by the reductions."""
+
+import pytest
+
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    LocationPath,
+    NodeTest,
+    Step,
+    conjunction,
+    disjunction,
+    not_,
+    path,
+    step,
+)
+from repro.xpath.parser import parse
+
+
+class TestStepAndPath:
+    def test_step_with_name_test(self):
+        built = step("child", "a")
+        assert built == Step("child", NodeTest("name", "a"), ())
+
+    def test_step_with_node_type_test(self):
+        built = step("descendant-or-self", "node()")
+        assert built.node_test == NodeTest("type", "node()")
+
+    def test_step_with_predicates(self):
+        built = step("child", "a", parse("child::b"), parse("child::c"))
+        assert len(built.predicates) == 2
+        assert built.with_predicates(()).predicates == ()
+
+    def test_path_relative_and_absolute(self):
+        relative = path(step("child", "a"), step("child", "b"))
+        absolute = path(step("child", "a"), absolute=True)
+        assert not relative.absolute and absolute.absolute
+        assert relative == parse("child::a/child::b")
+        assert relative.is_condition_free()
+        assert not path(step("child", "a", parse("child::b"))).is_condition_free()
+
+
+class TestBooleanBuilders:
+    def test_conjunction_matches_parser(self):
+        built = conjunction(parse("child::a"), parse("child::b"), parse("child::c"))
+        assert built == parse("child::a and child::b and child::c")
+
+    def test_disjunction_matches_parser(self):
+        built = disjunction(parse("child::a"), parse("child::b"))
+        assert built == parse("child::a or child::b")
+
+    def test_single_operand_passthrough(self):
+        only = parse("child::a")
+        assert conjunction(only) is only
+        assert disjunction(only) is only
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction()
+        with pytest.raises(ValueError):
+            disjunction()
+
+    def test_not_builder(self):
+        built = not_(parse("child::a"))
+        assert built == FunctionCall("not", (parse("child::a"),))
+        assert built == parse("not(child::a)")
+
+
+class TestOperatorPredicates:
+    def test_binaryop_kind_helpers(self):
+        assert BinaryOp("and", parse("a"), parse("b")).is_boolean()
+        assert BinaryOp("<", parse("1"), parse("2")).is_comparison()
+        assert BinaryOp("div", parse("1"), parse("2")).is_arithmetic()
+        assert BinaryOp("|", parse("a"), parse("b")).is_union()
+        assert not BinaryOp("and", parse("a"), parse("b")).is_comparison()
+
+    def test_node_test_helpers(self):
+        assert NodeTest("name", "*").is_wildcard()
+        assert not NodeTest("name", "a").is_wildcard()
+        assert NodeTest("type", "text()").text() == "text()"

@@ -1,0 +1,86 @@
+"""Unit tests for the core-library signatures and static typing."""
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xpath.functions import (
+    BOOLEAN,
+    CORE_FUNCTIONS,
+    NODESET,
+    NUMBER,
+    OBJECT,
+    PXPATH_FORBIDDEN_FUNCTIONS,
+    STRING,
+    signature,
+    static_type,
+    validate_call,
+)
+from repro.xpath.parser import parse
+
+
+class TestSignatures:
+    def test_core_library_is_complete(self):
+        # The XPath 1.0 core function library has 27 functions.
+        assert len(CORE_FUNCTIONS) == 27
+
+    def test_signature_lookup(self):
+        assert signature("count").result_type == NUMBER
+        assert signature("name").min_args == 0
+        assert signature("concat").max_args is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(XPathTypeError):
+            signature("frobnicate")
+
+    def test_validate_call_checks_arity(self):
+        validate_call(parse("count(//a)"))
+        with pytest.raises(XPathTypeError):
+            validate_call(parse("count(//a, //b)"))
+        with pytest.raises(XPathTypeError):
+            validate_call(parse("not()"))
+        with pytest.raises(XPathTypeError):
+            validate_call(parse("concat('only-one')"))
+
+    def test_pxpath_forbidden_functions_listed_in_paper(self):
+        # Definition 6.1(2) names these functions explicitly.
+        assert {
+            "not",
+            "count",
+            "sum",
+            "string",
+            "number",
+            "local-name",
+            "namespace-uri",
+            "name",
+            "string-length",
+            "normalize-space",
+        } == set(PXPATH_FORBIDDEN_FUNCTIONS)
+
+
+class TestStaticTyping:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ("child::a", NODESET),
+            ("//a | //b", NODESET),
+            ("id('x')/a", NODESET),
+            ("(//a)[1]", NODESET),
+            ("1 + 2", NUMBER),
+            ("-position()", NUMBER),
+            ("count(//a)", NUMBER),
+            ("'hello'", STRING),
+            ("concat('a', 'b')", STRING),
+            ("name(//a)", STRING),
+            ("a and b", BOOLEAN),
+            ("1 < 2", BOOLEAN),
+            ("not(a)", BOOLEAN),
+            ("true()", BOOLEAN),
+            ("$x", OBJECT),
+        ],
+    )
+    def test_static_type(self, query, expected):
+        assert static_type(parse(query)) == expected
+
+    def test_unknown_function_type_raises(self):
+        with pytest.raises(XPathTypeError):
+            static_type(parse("mystery(1)"))

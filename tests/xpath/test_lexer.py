@@ -1,0 +1,119 @@
+"""Unit tests for the XPath tokeniser, including the section 3.7 disambiguation rules."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import (
+    KIND_LITERAL,
+    KIND_NAME,
+    KIND_NUMBER,
+    KIND_OPERATOR,
+    KIND_SYMBOL,
+    KIND_VARIABLE,
+    tokenize,
+)
+
+
+def kinds_and_values(expression):
+    return [(token.kind, token.value) for token in tokenize(expression)[:-1]]
+
+
+class TestBasicTokens:
+    def test_names_and_symbols(self):
+        assert kinds_and_values("child::a") == [
+            (KIND_NAME, "child"),
+            (KIND_SYMBOL, "::"),
+            (KIND_NAME, "a"),
+        ]
+
+    def test_numbers(self):
+        assert kinds_and_values("3.14") == [(KIND_NUMBER, "3.14")]
+        assert kinds_and_values(".5") == [(KIND_NUMBER, ".5")]
+        assert kinds_and_values("42") == [(KIND_NUMBER, "42")]
+
+    def test_string_literals_both_quotes(self):
+        assert kinds_and_values("'abc'") == [(KIND_LITERAL, "abc")]
+        assert kinds_and_values('"a b"') == [(KIND_LITERAL, "a b")]
+
+    def test_variables(self):
+        assert kinds_and_values("$foo") == [(KIND_VARIABLE, "foo")]
+
+    def test_double_character_symbols(self):
+        values = [value for _, value in kinds_and_values("a//b != c <= d")]
+        assert "//" in values and "!=" in values and "<=" in values
+
+    def test_dotdot_and_at(self):
+        assert kinds_and_values("../@id") == [
+            (KIND_SYMBOL, ".."),
+            (KIND_SYMBOL, "/"),
+            (KIND_SYMBOL, "@"),
+            (KIND_NAME, "id"),
+        ]
+
+    def test_whitespace_ignored(self):
+        assert kinds_and_values("  a  /  b ") == kinds_and_values("a/b")
+
+    def test_eof_token_present(self):
+        assert tokenize("a")[-1].kind == "eof"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("a and b")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 2
+
+    def test_qualified_names(self):
+        assert kinds_and_values("ns:tag") == [(KIND_NAME, "ns:tag")]
+
+
+class TestDisambiguation:
+    def test_star_after_axis_is_name_test(self):
+        tokens = kinds_and_values("child::*")
+        assert tokens[-1] == (KIND_SYMBOL, "*")
+
+    def test_star_after_number_is_operator(self):
+        tokens = kinds_and_values("2 * 3")
+        assert tokens[1] == (KIND_OPERATOR, "*")
+
+    def test_star_after_name_is_operator(self):
+        tokens = kinds_and_values("last() * 2")
+        assert (KIND_OPERATOR, "*") in tokens
+
+    def test_star_after_closing_paren_is_operator(self):
+        tokens = kinds_and_values("(1) * 2")
+        assert (KIND_OPERATOR, "*") in tokens
+
+    def test_star_at_start_is_name_test(self):
+        assert kinds_and_values("*")[0] == (KIND_SYMBOL, "*")
+
+    def test_star_after_slash_is_name_test(self):
+        assert kinds_and_values("a/*")[-1] == (KIND_SYMBOL, "*")
+
+    def test_and_as_operator_vs_element_name(self):
+        operator_case = kinds_and_values("a and b")
+        assert (KIND_OPERATOR, "and") in operator_case
+        name_case = kinds_and_values("child::and")
+        assert (KIND_NAME, "and") in name_case
+
+    def test_div_and_mod_operators(self):
+        tokens = kinds_and_values("4 div 2 mod 3")
+        assert tokens.count((KIND_OPERATOR, "div")) == 1
+        assert tokens.count((KIND_OPERATOR, "mod")) == 1
+
+    def test_name_test_star_then_multiply(self):
+        tokens = kinds_and_values("count(child::*) * 2")
+        star_tokens = [t for t in tokens if t[1] == "*"]
+        assert star_tokens == [(KIND_SYMBOL, "*"), (KIND_OPERATOR, "*")]
+
+
+class TestLexerErrors:
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'abc")
+
+    def test_bad_variable(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("$ ")
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")

@@ -1,0 +1,98 @@
+"""Unit tests for the de Morgan and predicate-merging transformations."""
+
+from repro.evaluation import ContextValueTableEvaluator
+from repro.xmlmodel.parser import parse_xml
+from repro.xpath.analysis import max_predicates_per_step, negation_depth
+from repro.xpath.parser import parse
+from repro.xpath.transform import merge_iterated_predicates, push_negations
+from repro.xpath.unparse import unparse
+
+DOC = parse_xml("<a><b><c/></b><b/><d><c/></d><b><c/><e/></b></a>")
+
+
+def boolean_value(expr, document=DOC):
+    return bool(
+        ContextValueTableEvaluator(document).evaluate(f"boolean({unparse(expr)})")
+        if not isinstance(expr, str)
+        else ContextValueTableEvaluator(document).evaluate(f"boolean({expr})")
+    )
+
+
+class TestPushNegations:
+    def test_double_negation_cancels(self):
+        assert unparse(push_negations(parse("not(not(child::a))"))) == "child::a"
+
+    def test_de_morgan_and(self):
+        result = push_negations(parse("not(child::a and child::b)"))
+        assert unparse(result) == "not(child::a) or not(child::b)"
+
+    def test_de_morgan_or(self):
+        result = push_negations(parse("not(child::a or child::b)"))
+        assert unparse(result) == "not(child::a) and not(child::b)"
+
+    def test_comparison_flip_for_scalars(self):
+        assert unparse(push_negations(parse("not(position() < last())"))) == (
+            "position() >= last()"
+        )
+        assert unparse(push_negations(parse("not(1 = 2)"))) == "1 != 2"
+
+    def test_comparison_with_node_set_is_not_flipped(self):
+        # not(π = 3) is NOT equivalent to π != 3 under existential semantics.
+        result = push_negations(parse("not(child::a = 3)"))
+        assert unparse(result) == "not(child::a = 3)"
+
+    def test_negation_remains_only_on_location_paths(self):
+        query = "not((child::a or not(child::b)) and not(position() = 1))"
+        transformed = push_negations(parse(query))
+        # After the rewrite every not() wraps a location path directly.
+        from repro.xpath.ast import FunctionCall, LocationPath
+
+        for node in transformed.walk():
+            if isinstance(node, FunctionCall) and node.name == "not":
+                assert isinstance(node.args[0], LocationPath)
+
+    def test_nested_predicates_are_rewritten_too(self):
+        query = "child::a[not(not(child::b))]"
+        assert unparse(push_negations(parse(query))) == "child::a[child::b]"
+
+    def test_semantics_preserved_on_examples(self):
+        queries = [
+            "not(child::a and not(child::d))",
+            "not(not(child::a) or child::zzz)",
+            "not(position() < 1)",
+            "not(child::a[not(child::b)] and child::d)",
+        ]
+        for query in queries:
+            original = ContextValueTableEvaluator(DOC).evaluate(f"boolean({query})")
+            rewritten = ContextValueTableEvaluator(DOC).evaluate(
+                f"boolean({unparse(push_negations(parse(query)))})"
+            )
+            assert original == rewritten, query
+
+
+class TestMergeIteratedPredicates:
+    def test_merges_position_free_predicates(self):
+        merged = merge_iterated_predicates(parse("child::a[child::b][child::c]"))
+        assert max_predicates_per_step(merged) == 1
+        assert unparse(merged) == "child::a[child::b and child::c]"
+
+    def test_keeps_positional_predicates_apart(self):
+        query = "child::a[child::b][position() = 1]"
+        merged = merge_iterated_predicates(parse(query))
+        assert max_predicates_per_step(merged) == 2
+
+    def test_recurses_into_nested_structures(self):
+        merged = merge_iterated_predicates(parse("//a[b][c]/d[e][f][g]"))
+        assert max_predicates_per_step(merged) == 1
+
+    def test_semantics_preserved_for_position_free_case(self):
+        document = parse_xml("<a><b><c/><d/></b><b><c/></b><b><d/></b></a>")
+        query = "/child::a/child::b[child::c][child::d]"
+        merged = merge_iterated_predicates(parse(query))
+        original_nodes = ContextValueTableEvaluator(document).evaluate_nodes(query)
+        merged_nodes = ContextValueTableEvaluator(document).evaluate_nodes(merged)
+        assert [n.order for n in original_nodes] == [n.order for n in merged_nodes]
+
+    def test_no_change_when_single_predicate(self):
+        query = parse("child::a[child::b]")
+        assert merge_iterated_predicates(query) == query

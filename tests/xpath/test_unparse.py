@@ -1,0 +1,70 @@
+"""Unit tests for the AST-to-text serializer (round-trips with the parser)."""
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xpath.ast import Literal, Number, conjunction, not_, path, step
+from repro.xpath.parser import parse
+from repro.xpath.unparse import unparse
+
+ROUND_TRIP_QUERIES = [
+    "child::a",
+    "/descendant-or-self::node()/child::a",
+    "child::a[child::b and not(child::c)]",
+    "child::a[position() + 1 = last()]",
+    "child::*[self::a or self::b]",
+    "attribute::id",
+    "/child::a/descendant::b[child::c][position() = 1]",
+    "count(/descendant-or-self::node()/child::item) > 3",
+    "1 + 2 * 3 - 4 div 5 mod 6",
+    "(1 + 2) * 3",
+    "child::a | child::b | descendant::c",
+    'concat("a", "b")',
+    "string-length(normalize-space(child::title))",
+    "-(1 + 2)",
+    "$var + 1",
+    "child::a[child::b or child::c and child::d]",
+    "(//a)[1]",
+    "id('x')/child::a",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+    def test_parse_unparse_parse_fixpoint(self, query):
+        first = parse(query)
+        text = unparse(first)
+        second = parse(text)
+        assert first == second
+        # A second round-trip must be textually stable.
+        assert unparse(second) == text
+
+
+class TestFormatting:
+    def test_steps_fully_spelled_out(self):
+        assert unparse(parse("//a/@id")) == (
+            "/descendant-or-self::node()/child::a/attribute::id"
+        )
+
+    def test_parentheses_only_where_needed(self):
+        assert unparse(parse("1 + 2 * 3")) == "1 + 2 * 3"
+        assert unparse(parse("(1 + 2) * 3")) == "(1 + 2) * 3"
+        assert unparse(parse("a and (b or c)")) == "child::a and (child::b or child::c)"
+
+    def test_numbers_without_trailing_zero(self):
+        assert unparse(Number(3.0)) == "3"
+        assert unparse(Number(2.5)) == "2.5"
+
+    def test_string_literal_quoting(self):
+        assert unparse(Literal("plain")) == '"plain"'
+        assert unparse(Literal('has "quotes"')) == "'has \"quotes\"'"
+        with pytest.raises(XPathTypeError):
+            unparse(Literal("both ' and \""))
+
+    def test_constructed_ast_unparses(self):
+        expr = path(step("child", "a", conjunction(path(step("child", "b")), not_(path(step("child", "c"))))))
+        assert unparse(expr) == "child::a[child::b and not(child::c)]"
+
+    def test_str_dunder_matches_unparse(self):
+        expr = parse("child::a[1]")
+        assert str(expr) == unparse(expr)
