@@ -29,10 +29,24 @@ from repro.evaluation import (
     query_selects,
 )
 from repro.fragments import Classification, classify
-from repro.xmlmodel import Document, DocumentBuilder, build_tree, parse_xml, serialize
+from repro.planner import (
+    PlanCache,
+    QueryPlan,
+    evaluate_many,
+    get_plan,
+    plan_query,
+)
+from repro.xmlmodel import (
+    Document,
+    DocumentBuilder,
+    DocumentIndex,
+    build_tree,
+    parse_xml,
+    serialize,
+)
 from repro.xpath import parse, unparse
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Classification",
@@ -41,15 +55,21 @@ __all__ = [
     "CoreXPathEvaluator",
     "Document",
     "DocumentBuilder",
+    "DocumentIndex",
     "NaiveEvaluator",
+    "PlanCache",
+    "QueryPlan",
     "SingletonSuccessChecker",
     "build_tree",
     "classify",
     "evaluate",
+    "evaluate_many",
     "evaluate_nodes",
+    "get_plan",
     "make_evaluator",
     "parse",
     "parse_xml",
+    "plan_query",
     "query_selects",
     "serialize",
     "unparse",

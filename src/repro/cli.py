@@ -2,14 +2,17 @@
 
 Usage (also available as ``python -m repro``)::
 
-    python -m repro eval "//book[child::title]" catalogue.xml --engine core
+    python -m repro eval "//book[child::title]" catalogue.xml --engine auto
     python -m repro classify "//a[not(b)]"
+    python -m repro plan "//a[not(b)]"
     python -m repro figure1
 
 ``eval`` prints the result of the query (node names / scalar value), the
 engine used, and basic cost counters; ``classify`` prints the Figure 1
 fragment and combined complexity of a query together with the reasons it
-falls outside smaller fragments; ``figure1`` prints the fragment lattice.
+falls outside smaller fragments; ``plan`` shows how the query planner
+compiles a query (fragment, selected evaluator, fallback chain);
+``figure1`` prints the fragment lattice.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.errors import ReproError
 from repro.evaluation import ENGINES, evaluate, make_evaluator
 from repro.evaluation.values import NodeSet
 from repro.fragments import classify
+from repro.planner import default_plan_cache, get_plan
 from repro.xmlmodel import parse_xml
 from repro.xmlmodel.nodes import XMLNode
 
@@ -38,8 +42,11 @@ def _command_eval(args: argparse.Namespace) -> int:
     with open(args.document, "r", encoding="utf-8") as handle:
         document = parse_xml(handle.read())
     result = evaluate(args.query, document, engine=args.engine)
+    engine = args.engine
+    if engine == "auto":
+        engine = f"auto ({get_plan(args.query).engine} selected)"
     print(f"document : {args.document} ({document.size} nodes)")
-    print(f"engine   : {args.engine}")
+    print(f"engine   : {engine}")
     print(f"query    : {args.query}")
     if isinstance(result, list):
         print(f"result   : node-set of {len(result)} node(s)")
@@ -65,6 +72,19 @@ def _command_classify(args: argparse.Namespace) -> int:
             print(f"  {fragment}:")
             for reason in reasons:
                 print(f"    - {reason}")
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    plan = get_plan(args.query)
+    print(plan.explain())
+    if args.stats:
+        stats = default_plan_cache().stats()
+        print(
+            f"plan cache          : {stats.size}/{stats.maxsize} plans, "
+            f"{stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.evictions} eviction(s)"
+        )
     return 0
 
 
@@ -99,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="also print why smaller fragments exclude it"
     )
     classify_parser.set_defaults(func=_command_classify)
+
+    plan_parser = subparsers.add_parser(
+        "plan", help="show the compiled query plan (fragment + evaluator choice)"
+    )
+    plan_parser.add_argument("query", help="the XPath 1.0 query")
+    plan_parser.add_argument(
+        "--stats", action="store_true", help="also print plan-cache statistics"
+    )
+    plan_parser.set_defaults(func=_command_plan)
 
     figure1_parser = subparsers.add_parser("figure1", help="print the Figure 1 lattice")
     figure1_parser.set_defaults(func=_command_figure1)

@@ -1,6 +1,6 @@
 """Convenience entry points: evaluate a query with a chosen engine.
 
-Four engines are available, matching the paper's algorithmic landscape:
+Five engines are available, matching the paper's algorithmic landscape:
 
 ``"cvt"`` (default)
     The context-value-table dynamic program — polynomial combined
@@ -14,6 +14,10 @@ Four engines are available, matching the paper's algorithmic landscape:
 ``"singleton"``
     The Singleton-Success checker of Lemma 5.4 — only accepts pWF/pXPath
     (optionally with bounded negation).
+``"auto"``
+    The query planner (:mod:`repro.planner`): classifies the query once,
+    picks the cheapest sound evaluator (``core`` → ``cvt`` → ``naive``)
+    and caches the compiled plan for reuse.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ from repro.xpath.ast import XPathExpr
 from repro.xpath.functions import NODESET, static_type
 from repro.xpath.parser import parse
 
-ENGINES = ("cvt", "naive", "core", "singleton")
+ENGINES = ("cvt", "naive", "core", "singleton", "auto")
 
 
 def make_evaluator(
@@ -51,6 +55,11 @@ def make_evaluator(
         return CoreXPathEvaluator(document)
     if engine == "singleton":
         return SingletonSuccessChecker(document, max_negation_depth=max_negation_depth)
+    if engine == "auto":
+        raise XPathEvaluationError(
+            "engine 'auto' has no standalone evaluator object; use evaluate() "
+            "or repro.planner.get_plan() instead"
+        )
     raise XPathEvaluationError(f"unknown engine {engine!r}; choose one of {ENGINES}")
 
 
@@ -66,6 +75,11 @@ def evaluate(
     Node-set results are returned as a plain list of nodes in document
     order; other results as Python ``float`` / ``str`` / ``bool``.
     """
+    if engine == "auto":
+        # Imported lazily: the planner builds on this module's evaluators.
+        from repro.planner import get_plan
+
+        return get_plan(query).run(document, context=context, variables=variables)
     expr = parse(query) if isinstance(query, str) else query
     if engine in ("cvt", "naive"):
         evaluator = make_evaluator(document, engine, variables)

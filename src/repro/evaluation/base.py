@@ -200,11 +200,30 @@ class BaseEvaluator:
         """Apply one location step to a single context node.
 
         Returns the selected nodes in axis order (the order ``position()``
-        counts in); callers that need document order must sort.
+        counts in); callers that need document order must sort.  When the
+        document carries a :class:`~repro.xmlmodel.index.DocumentIndex` the
+        navigational axes are enumerated from the index arrays instead of
+        walking node objects; the attribute axis and attribute context
+        nodes fall back to the object walk.
         """
         self.env.tick()
-        candidates = axis_step(node, step.axis, step.node_test.text())
+        candidates = self._step_candidates(step, node)
         self.env.tick(len(candidates))
         for predicate in step.predicates:
             candidates = self.filter_by_predicate(candidates, predicate)
         return candidates
+
+    def _step_candidates(self, step: Step, node: XMLNode) -> list[XMLNode]:
+        """Enumerate ``step``'s axis from ``node``, indexed when possible."""
+        if step.axis != "attribute":
+            index = getattr(self.document, "index", None)
+            if index is not None:
+                try:
+                    node_id = index.id_of(node)
+                except KeyError:
+                    pass
+                else:
+                    return index.ids_to_node_list(
+                        index.step_ids(node_id, step.axis, step.node_test.text())
+                    )
+        return axis_step(node, step.axis, step.node_test.text())

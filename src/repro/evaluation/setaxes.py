@@ -3,10 +3,17 @@
 The linear-time Core XPath algorithm repeatedly maps a *set* of nodes
 through an axis.  Doing this by iterating :func:`repro.xmlmodel.axes.axis_nodes`
 per member would cost O(|S| · |D|) for the recursive axes, so this module
-provides dedicated set-level implementations: each runs in time linear in
-the document size by exploiting the fact that document order is a
-pre-order traversal (parents precede children) and that sibling lists can
-be swept with a carry flag.
+provides two set-level strategies, both linear in the document size:
+
+* the **indexed** path (default whenever the document carries a
+  :class:`~repro.xmlmodel.index.DocumentIndex`, which is built lazily on
+  first use) converts the node set to integer ids and runs the axis as
+  interval arithmetic / array-chain sweeps over the index's flat arrays;
+* the original **object-walk** path exploits the fact that document order
+  is a pre-order traversal (parents precede children) and that sibling
+  lists can be swept with a carry flag.  It remains as the fallback for
+  document-like objects without an index and as the differential-testing
+  baseline.
 
 All functions take and return Python sets of nodes; node tests are applied
 by the caller (:mod:`repro.evaluation.core`).
@@ -14,7 +21,7 @@ by the caller (:mod:`repro.evaluation.core`).
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable, Optional, Set
 
 from repro.errors import XPathEvaluationError
 from repro.xmlmodel.document import Document
@@ -23,13 +30,40 @@ from repro.xmlmodel.nodes import XMLNode
 NodeSetType = Set[XMLNode]
 
 
-def apply_axis_set(document: Document, axis: str, nodes: NodeSetType) -> NodeSetType:
-    """Return the set of nodes reachable from ``nodes`` via ``axis``."""
-    try:
-        function = _AXIS_SET_FUNCTIONS[axis]
-    except KeyError:
-        raise XPathEvaluationError(f"axis {axis!r} is not a navigational axis") from None
-    return function(document, nodes)
+def apply_axis_set(
+    document: Document,
+    axis: str,
+    nodes: NodeSetType,
+    use_index: Optional[bool] = None,
+) -> NodeSetType:
+    """Return the set of nodes reachable from ``nodes`` via ``axis``.
+
+    ``use_index`` selects the strategy: ``None`` (the default) uses the
+    document index when the document provides one, ``True`` requires it,
+    and ``False`` forces the object-walk path.
+    """
+    if axis not in _AXIS_SET_FUNCTIONS:
+        raise XPathEvaluationError(f"axis {axis!r} is not a navigational axis")
+    if use_index is not False:
+        index = getattr(document, "index", None)
+        if index is None:
+            if use_index:
+                raise XPathEvaluationError(
+                    f"document {document!r} does not provide a DocumentIndex"
+                )
+        else:
+            try:
+                return index.axis_node_set(axis, nodes)
+            except KeyError:
+                # A context node outside the indexed tree (e.g. an attribute
+                # node) — only the object walk knows how to step from it.
+                if use_index:
+                    raise XPathEvaluationError(
+                        "node set contains nodes outside the indexed tree "
+                        "(e.g. attribute nodes); the index cannot apply "
+                        f"axis {axis!r} to them"
+                    ) from None
+    return _AXIS_SET_FUNCTIONS[axis](document, nodes)
 
 
 def _self_set(document: Document, nodes: NodeSetType) -> NodeSetType:

@@ -1,0 +1,37 @@
+"""Compiled query plans: classify once, evaluate many times.
+
+The paper's complexity map (Figure 1) is exactly a query-planning rule: a
+query's syntactic fragment determines the cheapest sound evaluator for
+it.  This package turns that observation into infrastructure:
+
+* :mod:`repro.planner.plan` — :class:`QueryPlan`: a query parsed and
+  fragment-classified once, with the evaluator auto-selected along the
+  ``core → cvt → naive`` chain;
+* :mod:`repro.planner.cache` — :class:`PlanCache`: an LRU cache of plans
+  keyed by query text, with hit/miss/eviction accounting;
+* :mod:`repro.planner.batch` — :func:`evaluate_many` and the module-wide
+  default cache: many queries against one document share a single
+  :class:`~repro.xmlmodel.index.DocumentIndex` and per-engine evaluator
+  instances.
+"""
+
+from repro.planner.batch import (
+    clear_plan_cache,
+    default_plan_cache,
+    evaluate_many,
+    get_plan,
+)
+from repro.planner.cache import CacheStats, PlanCache
+from repro.planner.plan import AUTO_ENGINE_CHAIN, QueryPlan, plan_query
+
+__all__ = [
+    "AUTO_ENGINE_CHAIN",
+    "CacheStats",
+    "PlanCache",
+    "QueryPlan",
+    "clear_plan_cache",
+    "default_plan_cache",
+    "evaluate_many",
+    "get_plan",
+    "plan_query",
+]

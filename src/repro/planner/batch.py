@@ -1,0 +1,70 @@
+"""Batch evaluation and the module-wide default plan cache.
+
+:func:`evaluate_many` is the high-throughput entry point: it compiles (or
+recalls) a plan per query, forces the shared
+:class:`~repro.xmlmodel.index.DocumentIndex` to exist before the first
+query runs, and reuses one evaluator instance per engine across the whole
+batch so context-value tables accumulate instead of being rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.evaluation.context import Context
+from repro.evaluation.values import XPathValue
+from repro.planner.cache import PlanCache
+from repro.planner.plan import QueryPlan
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode
+from repro.xpath.ast import XPathExpr
+
+_DEFAULT_CACHE = PlanCache(maxsize=512)
+
+
+def default_plan_cache() -> PlanCache:
+    """Return the process-wide plan cache used when none is passed."""
+    return _DEFAULT_CACHE
+
+
+def clear_plan_cache() -> None:
+    """Clear the process-wide plan cache (mainly for tests)."""
+    _DEFAULT_CACHE.clear()
+
+
+def get_plan(
+    query: XPathExpr | str, cache: Optional[PlanCache] = None
+) -> QueryPlan:
+    """Return the (cached) plan for ``query``.
+
+    Uses the process-wide default cache unless ``cache`` is given.
+    """
+    return (_DEFAULT_CACHE if cache is None else cache).plan(query)
+
+
+def evaluate_many(
+    document: Document,
+    queries: Iterable[XPathExpr | str],
+    context: Optional[Context] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    cache: Optional[PlanCache] = None,
+) -> list[XPathValue | list[XMLNode] | bool]:
+    """Evaluate ``queries`` against ``document``, sharing all per-document work.
+
+    One :class:`~repro.xmlmodel.index.DocumentIndex` is built up front and
+    one evaluator per engine is reused for the whole batch, so the
+    marginal cost of the i-th query is evaluation only — no re-parsing,
+    re-classification, re-indexing or evaluator construction.
+
+    Returns the per-query results in input order, with the same result
+    conventions as :meth:`QueryPlan.run`.
+    """
+    plan_cache = _DEFAULT_CACHE if cache is None else cache
+    document.index  # build the shared index before the first query
+    evaluators: dict[str, object] = {}
+    return [
+        plan_cache.plan(query).run(
+            document, context=context, variables=variables, evaluators=evaluators
+        )
+        for query in queries
+    ]

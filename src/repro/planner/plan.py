@@ -1,0 +1,181 @@
+"""Query plans: one parse + fragment classification, many evaluations.
+
+A :class:`QueryPlan` is the compiled form of an XPath query.  Building a
+plan parses the query and classifies it against the paper's fragment
+lattice (:func:`repro.fragments.classify`); the most specific fragment
+picks the primary evaluator:
+
+=====================  ==========  =====================================
+query fragment         engine      why
+=====================  ==========  =====================================
+Core XPath (incl. PF)  ``core``    O(|D|·|Q|) set-at-a-time evaluation
+                                   (Proposition 2.7, second part)
+anything richer        ``cvt``     polynomial context-value tables for
+                                   full XPath 1.0 (Proposition 2.7)
+=====================  ==========  =====================================
+
+The remaining engines of the chain (``cvt`` after ``core``, ``naive``
+last) act as fallbacks: if an evaluator rejects the query with
+:class:`~repro.errors.FragmentViolationError` — which can only happen if
+a classifier and an evaluator ever disagree on a fragment boundary — the
+plan silently retries with the next, strictly more general engine, so a
+plan's answer is always the full-XPath semantics.  Evaluation errors
+other than fragment violations (unknown functions, type errors) propagate
+unchanged.
+
+Plans hold no document state: the same plan object can be run against any
+number of documents, and per-document acceleration lives in the
+:class:`~repro.xmlmodel.index.DocumentIndex` each document carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, MutableMapping, Optional
+
+from repro.errors import FragmentViolationError
+from repro.evaluation.context import Context
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.cvt import ContextValueTableEvaluator
+from repro.evaluation.naive import NaiveEvaluator
+from repro.evaluation.values import NodeSet, XPathValue
+from repro.fragments.classify import (
+    DEFAULT_NESTING_BOUND,
+    Classification,
+    classify,
+)
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode
+from repro.xpath.ast import XPathExpr
+from repro.xpath.parser import parse
+
+#: The auto-dispatch preference order, cheapest sound evaluator first.
+AUTO_ENGINE_CHAIN = ("core", "cvt", "naive")
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A query compiled to an evaluator choice plus fallback chain.
+
+    Attributes
+    ----------
+    query:
+        The query text the plan was built from (the cache key).
+    expr:
+        The parsed AST, shared by every run of this plan.
+    classification:
+        The full Figure 1 classification (fragments, combined complexity,
+        per-fragment violation reasons).
+    engine:
+        The auto-selected primary engine.
+    fallbacks:
+        Strictly more general engines tried in order if an evaluator
+        rejects the query as outside its fragment.
+    """
+
+    query: str
+    expr: XPathExpr
+    classification: Classification
+    engine: str
+    fallbacks: tuple[str, ...]
+
+    @property
+    def engine_chain(self) -> tuple[str, ...]:
+        """The primary engine followed by its fallbacks."""
+        return (self.engine, *self.fallbacks)
+
+    def run(
+        self,
+        document: Document,
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        evaluators: Optional[MutableMapping[str, object]] = None,
+    ) -> XPathValue | list[XMLNode] | bool:
+        """Evaluate the plan against ``document``.
+
+        Node-set results come back as a list of nodes in document order,
+        scalars as plain ``float`` / ``str`` / ``bool`` — the same
+        convention as :func:`repro.evaluation.api.evaluate`.
+
+        ``evaluators`` is an optional per-document engine→evaluator cache:
+        batch callers pass one mapping for a whole workload so the
+        context-value tables (and the core evaluator's condition sets)
+        accumulate across queries instead of being rebuilt per query.
+        """
+        last_error: Optional[FragmentViolationError] = None
+        for engine in self.engine_chain:
+            try:
+                return self._execute(engine, document, context, variables, evaluators)
+            except FragmentViolationError as error:
+                last_error = error
+        raise last_error  # unreachable while "naive" accepts full XPath
+
+    def _execute(
+        self,
+        engine: str,
+        document: Document,
+        context: Optional[Context],
+        variables: Optional[Mapping[str, XPathValue]],
+        evaluators: Optional[MutableMapping[str, object]],
+    ) -> XPathValue | list[XMLNode] | bool:
+        evaluator = evaluators.get(engine) if evaluators is not None else None
+        if engine == "core":
+            if evaluator is None:
+                evaluator = CoreXPathEvaluator(document)
+            context_nodes = [context.node] if context is not None else None
+            result = evaluator.evaluate_nodes(self.expr, context_nodes)
+        else:
+            if evaluator is not None and evaluator.env.variables != dict(
+                variables or {}
+            ):
+                # Variable bindings are frozen into an evaluator at
+                # construction; reusing one under different bindings would
+                # silently answer with the old values.
+                evaluator = None
+            if evaluator is None:
+                evaluator_class = (
+                    ContextValueTableEvaluator if engine == "cvt" else NaiveEvaluator
+                )
+                evaluator = evaluator_class(document, variables)
+            value = evaluator.evaluate(self.expr, context)
+            result = list(value.nodes) if isinstance(value, NodeSet) else value
+        if evaluators is not None:
+            evaluators[engine] = evaluator
+        return result
+
+    def explain(self) -> str:
+        """Return a human-readable description of the plan."""
+        lines = [
+            f"query               : {self.query}",
+            f"most specific       : {self.classification.most_specific}",
+            f"combined complexity : {self.classification.combined_complexity}",
+            f"selected engine     : {self.engine}",
+            f"fallback chain      : {' -> '.join(self.fallbacks) or '(none)'}",
+        ]
+        return "\n".join(lines)
+
+
+def plan_query(
+    query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND
+) -> QueryPlan:
+    """Compile ``query`` into a :class:`QueryPlan` (uncached).
+
+    Core XPath queries (including the smaller PF and positive fragments)
+    get the linear-time ``core`` engine; everything else gets the
+    polynomial ``cvt`` engine.  ``naive`` is never selected as primary —
+    it is the last-resort fallback only.
+    """
+    expr = parse(query) if isinstance(query, str) else query
+    text = query if isinstance(query, str) else expr.unparse()
+    classification = classify(expr, nesting_bound)
+    if "Core XPath" in classification.fragments:
+        engine, fallbacks = "core", ("cvt", "naive")
+    else:
+        engine, fallbacks = "cvt", ("naive",)
+    return QueryPlan(
+        query=text,
+        expr=expr,
+        classification=classification,
+        engine=engine,
+        fallbacks=fallbacks,
+    )

@@ -12,6 +12,7 @@ from repro.xmlmodel.axes import (
     principal_node_type,
 )
 from repro.xmlmodel.document import Document, DocumentBuilder, build_tree
+from repro.xmlmodel.index import DocumentIndex
 from repro.xmlmodel.generators import (
     auction_document,
     caterpillar_document,
@@ -42,6 +43,7 @@ __all__ = [
     "CommentNode",
     "Document",
     "DocumentBuilder",
+    "DocumentIndex",
     "ElementNode",
     "NodeType",
     "ProcessingInstructionNode",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.xmlmodel.index import DocumentIndex
 from repro.xmlmodel.nodes import (
     AttributeNode,
     CommentNode,
@@ -43,6 +44,7 @@ class Document:
         self._nodes: list[XMLNode] = []
         self._attributes: list[AttributeNode] = []
         self._elements_by_tag: dict[str, list[ElementNode]] = {}
+        self._index: Optional[DocumentIndex] = None
         self._freeze()
 
     # -- construction helpers ------------------------------------------------
@@ -108,6 +110,23 @@ class Document:
             for node in self._nodes
             if node.node_type in (NodeType.ROOT, NodeType.ELEMENT)
         ]
+
+    @property
+    def index(self) -> DocumentIndex:
+        """The :class:`DocumentIndex` for this document, built on first use.
+
+        Building costs one O(|D|) pass and is cached for the lifetime of
+        the document, so every evaluator (and every query in a batch)
+        shares the same arrays.
+        """
+        if self._index is None:
+            self._index = DocumentIndex(self._nodes)
+        return self._index
+
+    @property
+    def has_index(self) -> bool:
+        """True if the document index has already been built."""
+        return self._index is not None
 
     def elements_with_tag(self, tag: str) -> list[ElementNode]:
         """Return all elements with the given tag, in document order."""

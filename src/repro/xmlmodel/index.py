@@ -1,0 +1,436 @@
+"""Array-backed document index for constant-factor-cheap axis evaluation.
+
+The evaluators in :mod:`repro.evaluation` spend nearly all of their time
+applying axes.  The object-walk implementations traverse ``parent`` /
+``children`` pointers and hash node objects into Python sets, which is
+linear but with a heavy constant.  :class:`DocumentIndex` precomputes, in
+one O(|D|) pass, a handful of flat integer arrays over the tree nodes in
+document order:
+
+* ``pre`` / ``post`` — pre- and post-order ranks.  Because tree nodes are
+  stored in pre-order, a node's id *is* its pre-order rank, and the
+  descendants of node ``i`` are exactly the contiguous id interval
+  ``i+1 .. subtree_end[i]``.  The classic interval characterisations
+  follow: ``ancestor(j, i)  ⇔  j < i ≤ subtree_end[j]``,
+  ``following(i) = { j : j > subtree_end[i] }`` and
+  ``preceding(i) = { j : subtree_end[j] < i }``.
+* ``parent`` / ``first_child`` / ``next_sibling`` / ``prev_sibling`` —
+  structure links as integer ids (``-1`` when absent), so axis sweeps
+  never touch node objects.
+* ``ids_by_tag`` — per-tag partitions of the element ids, kept sorted in
+  document order so a name test over a contiguous axis interval reduces
+  to a binary search.
+
+Node sets are represented as Python sets of ``int`` ids while inside the
+index; :meth:`nodes_to_ids` / :meth:`ids_to_nodes` convert at the
+boundary.  All operations cover the navigational axes only — attribute
+nodes are not tree nodes and keep using the object walk.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.errors import XPathEvaluationError
+from repro.xmlmodel.nodes import ElementNode, XMLNode
+
+IdSet = Set[int]
+
+
+class DocumentIndex:
+    """Flat-array index over the tree nodes of a frozen document.
+
+    Parameters
+    ----------
+    nodes:
+        The document's tree nodes in document (pre-order) order, root
+        first — exactly ``Document.nodes``.  Attribute nodes must not be
+        included.
+    """
+
+    __slots__ = (
+        "nodes",
+        "size",
+        "parent",
+        "subtree_end",
+        "post",
+        "first_child",
+        "next_sibling",
+        "prev_sibling",
+        "ids_by_tag",
+        "_id_by_uid",
+    )
+
+    def __init__(self, nodes: Sequence[XMLNode]) -> None:
+        n = len(nodes)
+        self.nodes: List[XMLNode] = list(nodes)
+        self.size = n
+        self.parent = [-1] * n
+        self.subtree_end = [0] * n
+        self.post = [0] * n
+        self.first_child = [-1] * n
+        self.next_sibling = [-1] * n
+        self.prev_sibling = [-1] * n
+        self.ids_by_tag: dict[str, list[int]] = {}
+        self._id_by_uid: dict[int, int] = {}
+
+        id_by_uid = self._id_by_uid
+        for i, node in enumerate(nodes):
+            id_by_uid[node.uid] = i
+
+        parent = self.parent
+        first_child = self.first_child
+        next_sibling = self.next_sibling
+        prev_sibling = self.prev_sibling
+        for i, node in enumerate(nodes):
+            if node.parent is not None:
+                parent[i] = id_by_uid[node.parent.uid]
+            if node.children:
+                child_ids = [id_by_uid[child.uid] for child in node.children]
+                first_child[i] = child_ids[0]
+                for left, right in zip(child_ids, child_ids[1:]):
+                    next_sibling[left] = right
+                    prev_sibling[right] = left
+            if isinstance(node, ElementNode):
+                self.ids_by_tag.setdefault(node.tag, []).append(i)
+
+        # Descendants form a contiguous pre-order interval; the subtree of i
+        # ends where the next node at depth <= depth[i] begins.  A single
+        # reverse sweep fills both the interval ends and the post-order ranks.
+        subtree_end = self.subtree_end
+        for i in range(n - 1, -1, -1):
+            end = i
+            child = first_child[i]
+            if child != -1:
+                last = child
+                while next_sibling[last] != -1:
+                    last = next_sibling[last]
+                end = subtree_end[last]
+            subtree_end[i] = end
+
+        post = self.post
+        counter = 0
+        stack: list[tuple[int, bool]] = [(0, False)] if n else []
+        while stack:
+            i, expanded = stack.pop()
+            if expanded:
+                post[i] = counter
+                counter += 1
+                continue
+            stack.append((i, True))
+            child = first_child[i]
+            children = []
+            while child != -1:
+                children.append(child)
+                child = next_sibling[child]
+            for child in reversed(children):
+                stack.append((child, False))
+
+    # -- id/node conversion --------------------------------------------------
+
+    def id_of(self, node: XMLNode) -> int:
+        """Return the document-order id of ``node``.
+
+        Raises :class:`KeyError` for nodes outside the indexed tree
+        (attribute nodes, nodes of another document).
+        """
+        return self._id_by_uid[node.uid]
+
+    def node_of(self, node_id: int) -> XMLNode:
+        """Return the node with document-order id ``node_id``."""
+        return self.nodes[node_id]
+
+    def nodes_to_ids(self, nodes: Iterable[XMLNode]) -> IdSet:
+        """Convert a collection of nodes to a set of ids."""
+        id_by_uid = self._id_by_uid
+        return {id_by_uid[node.uid] for node in nodes}
+
+    def ids_to_nodes(self, ids: Iterable[int]) -> Set[XMLNode]:
+        """Convert a collection of ids to a set of nodes."""
+        nodes = self.nodes
+        return {nodes[i] for i in ids}
+
+    def ids_to_node_list(self, ids: Iterable[int]) -> List[XMLNode]:
+        """Convert ids to a node list, preserving iteration order."""
+        nodes = self.nodes
+        return [nodes[i] for i in ids]
+
+    def contains(self, node: XMLNode) -> bool:
+        """Return True if ``node`` is a tree node of the indexed document."""
+        return node.uid in self._id_by_uid
+
+    # -- interval predicates ---------------------------------------------------
+
+    def is_ancestor(self, ancestor_id: int, node_id: int) -> bool:
+        """Interval containment test: is ``ancestor_id`` a proper ancestor?"""
+        return ancestor_id < node_id <= self.subtree_end[ancestor_id]
+
+    def descendant_interval(self, node_id: int) -> tuple[int, int]:
+        """Return the half-open id interval ``(lo, hi)`` of proper descendants."""
+        return node_id + 1, self.subtree_end[node_id] + 1
+
+    # -- set-at-a-time axis application ---------------------------------------
+
+    def axis_id_set(self, axis: str, ids: IdSet) -> IdSet:
+        """Apply a navigational axis to a set of ids; return the result set.
+
+        Every operation is linear in ``|ids| + |result|`` (plus O(|D|) for
+        ``preceding``), with all per-node work done on flat integer arrays.
+        """
+        try:
+            function = self._AXIS_ID_FUNCTIONS[axis]
+        except KeyError:
+            raise XPathEvaluationError(
+                f"axis {axis!r} is not a navigational axis"
+            ) from None
+        return function(self, ids)
+
+    def _self_ids(self, ids: IdSet) -> IdSet:
+        return set(ids)
+
+    def _child_ids(self, ids: IdSet) -> IdSet:
+        first_child = self.first_child
+        next_sibling = self.next_sibling
+        result: IdSet = set()
+        for i in ids:
+            j = first_child[i]
+            while j != -1:
+                result.add(j)
+                j = next_sibling[j]
+        return result
+
+    def _parent_ids(self, ids: IdSet) -> IdSet:
+        parent = self.parent
+        return {parent[i] for i in ids if parent[i] != -1}
+
+    def _descendant_ids(self, ids: IdSet) -> IdSet:
+        """Union of pre-order intervals; nested members are skipped outright.
+
+        Subtree intervals are laminar (nested or disjoint), so after sorting
+        the members every interval either extends the covered prefix or lies
+        entirely inside it.
+        """
+        subtree_end = self.subtree_end
+        result: IdSet = set()
+        covered_end = -1
+        for i in sorted(ids):
+            if i <= covered_end:
+                continue
+            end = subtree_end[i]
+            result.update(range(i + 1, end + 1))
+            covered_end = end
+        return result
+
+    def _descendant_or_self_ids(self, ids: IdSet) -> IdSet:
+        return set(ids) | self._descendant_ids(ids)
+
+    def _ancestor_ids(self, ids: IdSet) -> IdSet:
+        """Parent-chain walks; stop as soon as a chain joins the result."""
+        parent = self.parent
+        result: IdSet = set()
+        for i in ids:
+            j = parent[i]
+            while j != -1 and j not in result:
+                result.add(j)
+                j = parent[j]
+        return result
+
+    def _ancestor_or_self_ids(self, ids: IdSet) -> IdSet:
+        return set(ids) | self._ancestor_ids(ids)
+
+    def _following_sibling_ids(self, ids: IdSet) -> IdSet:
+        """Sibling-chain walks; a chain already in the result is closed rightward."""
+        next_sibling = self.next_sibling
+        result: IdSet = set()
+        for i in ids:
+            j = next_sibling[i]
+            while j != -1 and j not in result:
+                result.add(j)
+                j = next_sibling[j]
+        return result
+
+    def _preceding_sibling_ids(self, ids: IdSet) -> IdSet:
+        prev_sibling = self.prev_sibling
+        result: IdSet = set()
+        for i in ids:
+            j = prev_sibling[i]
+            while j != -1 and j not in result:
+                result.add(j)
+                j = prev_sibling[j]
+        return result
+
+    def _following_ids(self, ids: IdSet) -> IdSet:
+        """following(S) = every id past the earliest member's subtree end."""
+        if not ids:
+            return set()
+        cutoff = min(self.subtree_end[i] for i in ids)
+        return set(range(cutoff + 1, self.size))
+
+    def _preceding_ids(self, ids: IdSet) -> IdSet:
+        """preceding(S) = ids whose subtree closes before the latest member."""
+        if not ids:
+            return set()
+        cutoff = max(ids)
+        subtree_end = self.subtree_end
+        return {j for j in range(cutoff) if subtree_end[j] < cutoff}
+
+    _AXIS_ID_FUNCTIONS = {
+        "self": _self_ids,
+        "child": _child_ids,
+        "parent": _parent_ids,
+        "descendant": _descendant_ids,
+        "descendant-or-self": _descendant_or_self_ids,
+        "ancestor": _ancestor_ids,
+        "ancestor-or-self": _ancestor_or_self_ids,
+        "following": _following_ids,
+        "following-sibling": _following_sibling_ids,
+        "preceding": _preceding_ids,
+        "preceding-sibling": _preceding_sibling_ids,
+    }
+
+    def axis_node_set(self, axis: str, nodes_in: Iterable[XMLNode]) -> Set[XMLNode]:
+        """Apply a navigational axis to a set of nodes; return a node set.
+
+        This is :meth:`axis_id_set` with the id→node conversion fused in:
+        the contiguous-interval axes (``descendant``,
+        ``descendant-or-self``, ``following``) are materialised directly
+        from slices of the document-order node list, skipping the
+        intermediate integer set entirely.
+        """
+        ids = self.nodes_to_ids(nodes_in)
+        nodes = self.nodes
+        if axis == "descendant" or axis == "descendant-or-self":
+            subtree_end = self.subtree_end
+            include_self = axis == "descendant-or-self"
+            result: Optional[Set[XMLNode]] = None
+            covered_end = -1
+            for i in sorted(ids):
+                if i <= covered_end:
+                    # Laminar intervals: i sits inside an earlier member's
+                    # subtree, so its whole subtree (and, for -or-self, the
+                    # node itself) is already in the result.
+                    continue
+                covered_end = subtree_end[i]
+                block = nodes[i if include_self else i + 1 : covered_end + 1]
+                if result is None:
+                    result = set(block)
+                else:
+                    result.update(block)
+            return result if result is not None else set()
+        if axis == "following":
+            if not ids:
+                return set()
+            cutoff = min(self.subtree_end[i] for i in ids)
+            return set(nodes[cutoff + 1 :])
+        return {nodes[i] for i in self.axis_id_set(axis, ids)}
+
+    # -- per-node axis enumeration (axis order) --------------------------------
+
+    def axis_ids(self, node_id: int, axis: str) -> List[int]:
+        """Return the ids on ``axis`` from ``node_id`` in axis order.
+
+        Forward axes come out in document order (ascending ids), reverse
+        axes in reverse document order, matching
+        :func:`repro.xmlmodel.axes.axis_nodes`.
+        """
+        if axis == "self":
+            return [node_id]
+        if axis == "child":
+            result = []
+            j = self.first_child[node_id]
+            next_sibling = self.next_sibling
+            while j != -1:
+                result.append(j)
+                j = next_sibling[j]
+            return result
+        if axis == "parent":
+            j = self.parent[node_id]
+            return [] if j == -1 else [j]
+        if axis == "descendant":
+            return list(range(node_id + 1, self.subtree_end[node_id] + 1))
+        if axis == "descendant-or-self":
+            return list(range(node_id, self.subtree_end[node_id] + 1))
+        if axis == "ancestor" or axis == "ancestor-or-self":
+            result = [node_id] if axis == "ancestor-or-self" else []
+            parent = self.parent
+            j = parent[node_id]
+            while j != -1:
+                result.append(j)
+                j = parent[j]
+            return result
+        if axis == "following-sibling":
+            result = []
+            next_sibling = self.next_sibling
+            j = next_sibling[node_id]
+            while j != -1:
+                result.append(j)
+                j = next_sibling[j]
+            return result
+        if axis == "preceding-sibling":
+            result = []
+            prev_sibling = self.prev_sibling
+            j = prev_sibling[node_id]
+            while j != -1:
+                result.append(j)
+                j = prev_sibling[j]
+            return result
+        if axis == "following":
+            return list(range(self.subtree_end[node_id] + 1, self.size))
+        if axis == "preceding":
+            subtree_end = self.subtree_end
+            return [j for j in range(node_id - 1, -1, -1) if subtree_end[j] < node_id]
+        raise XPathEvaluationError(f"axis {axis!r} is not a navigational axis")
+
+    def step_ids(self, node_id: int, axis: str, node_test: str = "node()") -> List[int]:
+        """Return the ids selected by ``axis::node_test`` from ``node_id``.
+
+        Axis order is preserved (forward axes ascending, reverse axes
+        descending), so the result can feed positional predicates directly.
+        Name tests over the contiguous-interval axes (``descendant``,
+        ``descendant-or-self``, ``following``) hit the per-tag partition:
+        two binary searches instead of a filtered scan.
+        """
+        if node_test == "node()":
+            return self.axis_ids(node_id, axis)
+        if not node_test.endswith(")") and node_test != "*":
+            if axis == "descendant":
+                return self.tag_ids_in_interval(
+                    node_test, node_id + 1, self.subtree_end[node_id] + 1
+                )
+            if axis == "descendant-or-self":
+                return self.tag_ids_in_interval(
+                    node_test, node_id, self.subtree_end[node_id] + 1
+                )
+            if axis == "following":
+                return self.tag_ids_in_interval(
+                    node_test, self.subtree_end[node_id] + 1, self.size
+                )
+        ids = self.axis_ids(node_id, axis)
+        nodes = self.nodes
+        if node_test == "*":
+            return [j for j in ids if isinstance(nodes[j], ElementNode)]
+        if not node_test.endswith(")"):
+            return [
+                j
+                for j in ids
+                if isinstance(nodes[j], ElementNode) and nodes[j].tag == node_test
+            ]
+        from repro.xmlmodel.axes import node_test_matches
+
+        return [j for j in ids if node_test_matches(nodes[j], axis, node_test)]
+
+    def tag_ids_in_interval(self, tag: str, lo: int, hi: int) -> List[int]:
+        """Return the ids of ``tag`` elements with ``lo <= id < hi`` (sorted).
+
+        This is the per-tag partition fast path: a name test over a
+        contiguous axis interval (descendant, descendant-or-self,
+        following) is two binary searches plus a slice.
+        """
+        partition = self.ids_by_tag.get(tag)
+        if not partition:
+            return []
+        return partition[bisect_left(partition, lo) : bisect_left(partition, hi)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DocumentIndex size={self.size} tags={len(self.ids_by_tag)}>"

@@ -137,11 +137,10 @@ class XMLNode:
 
     # -- dunder helpers -------------------------------------------------------
 
-    def __hash__(self) -> int:
-        return self.uid
-
-    def __eq__(self, other: object) -> bool:
-        return self is other
+    # Equality and hashing are deliberately left at Python's identity
+    # defaults: two node objects are the same node iff they are the same
+    # object, and the C-level identity hash keeps set-heavy axis code off
+    # the interpreter's method-dispatch path.
 
     def __lt__(self, other: "XMLNode") -> bool:
         if self.order < 0 or other.order < 0:

@@ -31,8 +31,12 @@ class TestMakeEvaluator:
         with pytest.raises(XPathEvaluationError):
             make_evaluator(DOC, "quantum")
 
+    def test_auto_engine_has_no_evaluator_object(self):
+        with pytest.raises(XPathEvaluationError):
+            make_evaluator(DOC, "auto")
+
     def test_engines_constant_is_complete(self):
-        assert set(ENGINES) == {"cvt", "naive", "core", "singleton"}
+        assert set(ENGINES) == {"cvt", "naive", "core", "singleton", "auto"}
 
 
 class TestEvaluate:

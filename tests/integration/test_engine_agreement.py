@@ -16,6 +16,7 @@ from repro.evaluation import (
     SingletonSuccessChecker,
 )
 from repro.fragments import is_core_xpath, is_pwf, is_pxpath
+from repro.planner import PlanCache, evaluate_many, plan_query
 from repro.xmlmodel import auction_document, random_document
 
 CORE_QUERIES = [
@@ -75,6 +76,36 @@ class TestAgreementOnRandomDocuments:
             cvt = ContextValueTableEvaluator(document).evaluate_nodes(query)
             core = CoreXPathEvaluator(document).evaluate_nodes(query)
             assert [n.order for n in cvt] == [n.order for n in core], (seed, query)
+
+
+class TestPlannerAutoDispatch:
+    """The planner must pick the expected evaluator per fragment and its
+    auto-dispatched results must agree with every direct engine."""
+
+    @pytest.mark.parametrize("query", CORE_QUERIES)
+    def test_core_queries_dispatch_to_core_and_agree(self, document, query):
+        plan = plan_query(query)
+        assert plan.engine == "core", plan.classification.most_specific
+        planned = plan.run(document)
+        direct = CoreXPathEvaluator(document).evaluate_nodes(query)
+        cvt = ContextValueTableEvaluator(document).evaluate_nodes(query)
+        assert [n.order for n in planned] == [n.order for n in direct]
+        assert [n.order for n in planned] == [n.order for n in cvt]
+
+    @pytest.mark.parametrize("query", PWF_QUERIES)
+    def test_pwf_queries_dispatch_to_cvt_and_agree(self, document, query):
+        plan = plan_query(query)
+        assert plan.engine == "cvt", plan.classification.most_specific
+        planned = plan.run(document)
+        direct = ContextValueTableEvaluator(document).evaluate_nodes(query)
+        assert [n.order for n in planned] == [n.order for n in direct]
+
+    def test_batch_dispatch_agrees_with_direct_engines(self, document):
+        queries = CORE_QUERIES + PWF_QUERIES
+        results = evaluate_many(document, queries, cache=PlanCache())
+        for query, planned in zip(queries, results):
+            direct = ContextValueTableEvaluator(document).evaluate_nodes(query)
+            assert [n.order for n in planned] == [n.order for n in direct], query
 
 
 class TestAgreementWithElementTree:

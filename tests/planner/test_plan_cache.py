@@ -1,0 +1,121 @@
+"""Tests for the LRU plan cache: hits, misses, evictions, reuse."""
+
+import pytest
+
+from repro.planner import PlanCache, clear_plan_cache, default_plan_cache, get_plan
+from repro.xmlmodel import parse_xml
+from repro.xpath import parse
+
+DOC_A = parse_xml("<r><a><b/></a><a/></r>")
+DOC_B = parse_xml("<r><a/><a><b/></a><a><b/></a></r>")
+
+
+class TestHitMissAccounting:
+    def test_first_lookup_is_a_miss_then_hits(self):
+        cache = PlanCache(maxsize=4)
+        first = cache.plan("//a")
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = cache.plan("//a")
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert first is second
+
+    def test_distinct_queries_get_distinct_plans(self):
+        cache = PlanCache(maxsize=4)
+        plan_a = cache.plan("//a")
+        plan_b = cache.plan("//b")
+        assert plan_a is not plan_b
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_ast_and_string_share_an_entry(self):
+        cache = PlanCache(maxsize=4)
+        expr = parse("//a")
+        from_ast = cache.plan(expr)
+        from_text = cache.plan(expr.unparse())
+        assert from_ast is from_text
+        assert cache.hits == 1
+
+    def test_stats_snapshot_and_hit_rate(self):
+        cache = PlanCache(maxsize=4)
+        assert cache.stats().hit_rate == 0.0
+        cache.plan("//a")
+        cache.plan("//a")
+        cache.plan("//a")
+        stats = cache.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.maxsize == 4
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        cache = PlanCache(maxsize=2)
+        cache.plan("//a")
+        cache.plan("//b")
+        cache.plan("//c")  # evicts //a, the least recently used
+        assert cache.evictions == 1
+        assert "//a" not in cache
+        assert "//b" in cache
+        assert "//c" in cache
+
+    def test_hit_refreshes_recency(self):
+        cache = PlanCache(maxsize=2)
+        cache.plan("//a")
+        cache.plan("//b")
+        cache.plan("//a")  # refresh //a; //b is now LRU
+        cache.plan("//c")
+        assert "//a" in cache
+        assert "//b" not in cache
+
+    def test_evicted_plan_is_recompiled_on_next_lookup(self):
+        cache = PlanCache(maxsize=1)
+        first = cache.plan("//a")
+        cache.plan("//b")
+        again = cache.plan("//a")
+        assert again is not first
+        assert again.query == first.query
+        assert again.engine == first.engine
+        assert cache.evictions == 2
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+
+class TestClearAndReuse:
+    def test_clear_resets_everything(self):
+        cache = PlanCache(maxsize=4)
+        cache.plan("//a")
+        cache.plan("//a")
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses, cache.evictions) == (0, 0, 0)
+
+    def test_cached_plan_reruns_correctly_on_a_second_document(self):
+        """A plan compiled (and cached) against one document must produce
+        fresh, correct results on any other document — no stale state."""
+        cache = PlanCache(maxsize=4)
+        plan = cache.plan("//a[child::b]")
+        assert len(plan.run(DOC_A)) == 1
+        cached = cache.plan("//a[child::b]")
+        assert cached is plan
+        result_b = cached.run(DOC_B)
+        assert len(result_b) == 2
+        assert all(node.document is DOC_B for node in result_b)
+        # run the first document again after the second: still correct
+        result_a = cached.run(DOC_A)
+        assert len(result_a) == 1
+        assert result_a[0].document is DOC_A
+
+    def test_default_cache_is_shared_and_clearable(self):
+        clear_plan_cache()
+        baseline = default_plan_cache().stats().misses
+        get_plan("//a[child::b]")
+        get_plan("//a[child::b]")
+        stats = default_plan_cache().stats()
+        assert stats.misses == baseline + 1
+        assert stats.hits >= 1
+        clear_plan_cache()
+        assert len(default_plan_cache()) == 0

@@ -1,0 +1,150 @@
+"""Unit tests for query planning: engine selection, running, batching."""
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.evaluation import Context, evaluate
+from repro.planner import (
+    AUTO_ENGINE_CHAIN,
+    PlanCache,
+    QueryPlan,
+    evaluate_many,
+    get_plan,
+    plan_query,
+)
+from repro.xmlmodel import parse_xml
+from repro.xpath import parse
+
+DOC = parse_xml("<r><a><b/></a><a/><c>5</c></r>")
+
+
+class TestEngineSelection:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "/descendant::a",
+            "//a[child::b]",
+            "//a[not(child::b)]",
+            "//a | //c",
+            "//a[child::b and not(parent::r)]",
+        ],
+    )
+    def test_core_xpath_selects_core(self, query):
+        plan = plan_query(query)
+        assert plan.engine == "core"
+        assert plan.fallbacks == ("cvt", "naive")
+        assert "Core XPath" in plan.classification.fragments
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//a[position() = 2]",
+            "//c[. = 5]",
+            "count(//a)",
+            "//a[attribute::id]",
+            "string(//c)",
+        ],
+    )
+    def test_richer_queries_select_cvt(self, query):
+        plan = plan_query(query)
+        assert plan.engine == "cvt"
+        assert plan.fallbacks == ("naive",)
+        assert "Core XPath" not in plan.classification.fragments
+
+    def test_engine_chain_is_ordered_prefix_of_auto_chain(self):
+        for query in ("//a", "count(//a)"):
+            chain = plan_query(query).engine_chain
+            assert chain == AUTO_ENGINE_CHAIN[AUTO_ENGINE_CHAIN.index(chain[0]) :]
+
+    def test_plan_accepts_parsed_ast(self):
+        expr = parse("//a[child::b]")
+        plan = plan_query(expr)
+        assert plan.engine == "core"
+        assert plan.query == expr.unparse()
+
+    def test_explain_mentions_engine_and_fragment(self):
+        text = plan_query("//a[not(b)]").explain()
+        assert "core" in text
+        assert "Core XPath" in text
+
+
+class TestPlanRun:
+    def test_node_set_results_in_document_order(self):
+        plan = plan_query("//a[child::b]")
+        nodes = plan.run(DOC)
+        assert [node.tag for node in nodes] == ["a"]
+        assert nodes == evaluate("//a[child::b]", DOC, engine="core")
+
+    def test_scalar_results(self):
+        assert plan_query("count(//a)").run(DOC) == 2.0
+        assert plan_query("string(//c)").run(DOC) == "5"
+        assert plan_query("//c = 5").run(DOC) is True
+
+    def test_run_with_context(self):
+        a1 = DOC.elements_with_tag("a")[0]
+        assert len(plan_query("child::b").run(DOC, context=Context(a1))) == 1
+
+    def test_run_with_variables(self):
+        assert plan_query("$x * 2").run(DOC, variables={"x": 21.0}) == 42.0
+
+    def test_plan_is_document_free(self):
+        """One cached plan must serve many documents with no stale state."""
+        plan = plan_query("//a[child::b]")
+        first = parse_xml("<r><a><b/></a></r>")
+        second = parse_xml("<r><a/><a><b/><b/></a></r>")
+        assert len(plan.run(first)) == 1
+        assert len(plan.run(second)) == 1
+        assert plan.run(second)[0].document is second
+        # and the original document still answers correctly afterwards
+        assert len(plan.run(first)) == 1
+
+    def test_shared_evaluators_are_populated_and_reused(self):
+        plan = plan_query("//a[child::b]")
+        evaluators = {}
+        plan.run(DOC, evaluators=evaluators)
+        assert set(evaluators) == {"core"}
+        first_instance = evaluators["core"]
+        plan.run(DOC, evaluators=evaluators)
+        assert evaluators["core"] is first_instance
+
+
+class TestEvaluateMany:
+    def test_matches_individual_evaluation(self):
+        queries = ["//a", "count(//a)", "//a[child::b]", "string(//c)"]
+        results = evaluate_many(DOC, queries, cache=PlanCache())
+        expected = [evaluate(query, DOC, engine="auto") for query in queries]
+        assert results == expected
+
+    def test_builds_shared_index_up_front(self):
+        document = parse_xml("<r><a/><a/></r>")
+        assert not document.has_index
+        evaluate_many(document, ["//a"], cache=PlanCache())
+        assert document.has_index
+
+    def test_uses_supplied_cache_even_when_empty(self):
+        cache = PlanCache(maxsize=4)
+        evaluate_many(DOC, ["//a", "//a"], cache=cache)
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+
+    def test_empty_query_list(self):
+        assert evaluate_many(DOC, [], cache=PlanCache()) == []
+
+
+class TestAutoEngineThroughApi:
+    def test_evaluate_auto_matches_default_engine(self):
+        for query in ("//a[child::b]", "count(//a)", "//a[position() = 2]"):
+            assert evaluate(query, DOC, engine="auto") == evaluate(query, DOC)
+
+    def test_get_plan_uses_default_cache(self):
+        plan_a = get_plan("//a[child::b]")
+        plan_b = get_plan("//a[child::b]")
+        assert plan_a is plan_b
+        assert isinstance(plan_a, QueryPlan)
+
+    def test_make_evaluator_rejects_auto(self):
+        from repro.evaluation import make_evaluator
+
+        with pytest.raises(XPathEvaluationError):
+            make_evaluator(DOC, "auto")

@@ -37,6 +37,25 @@ def documents(draw, max_nodes: int = 40):
     return random_document(budget, seed=seed, tags=TAGS)
 
 
+@st.composite
+def documents_with_node_subsets(draw, max_nodes: int = 40):
+    """A random document plus a random subset of its tree nodes.
+
+    The subset drives the differential tests of the indexed set-at-a-time
+    axis operations: any axis applied to any subset must agree with the
+    object-walk implementation.
+    """
+    document = draw(documents(max_nodes))
+    population = document.nodes
+    positions = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=len(population) - 1),
+            max_size=len(population),
+        )
+    )
+    return document, {population[i] for i in positions}
+
+
 def node_tests():
     return st.sampled_from(TAGS + ("*",)).map(
         lambda value: NodeTest("name", value)
