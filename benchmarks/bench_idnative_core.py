@@ -1,0 +1,138 @@
+"""E14 — id-native Core XPath evaluation vs. the PR-1 node-set path.
+
+Both evaluators implement the same O(|D|·|Q|) set-at-a-time algorithm
+(Proposition 2.7, second part); they differ only in the node-set
+representation.  :class:`NodeSetCoreXPathEvaluator` (the PR-1 baseline)
+keeps frontiers and condition sets as Python sets of node objects and
+sorts the final result; :class:`CoreXPathEvaluator` keeps them as
+:class:`~repro.xmlmodel.idset.IdSet` values over the
+:class:`~repro.xmlmodel.index.DocumentIndex` — sorted id arrays or, above
+the density threshold, bitmasks whose boolean algebra runs at C speed —
+and materialises nodes exactly once, already in document order.
+
+This bench measures that representation gap on 10k-node documents (deep
+chain, wide flat tree, complete binary tree) over a mixed Core XPath
+workload, and asserts the acceptance floor: on both the 10k chain and the
+10k wide document, the id-native evaluator must finish the workload at
+least 2× faster than the node-set baseline.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.core_nodeset import NodeSetCoreXPathEvaluator
+from repro.xmlmodel import chain_document, complete_tree_document, wide_document
+
+_DOCUMENTS = {
+    "chain-10k": lambda: chain_document(10_000),
+    "wide-10k": lambda: wide_document(10_000, tag="a"),
+    "complete-2x13": lambda: complete_tree_document(2, 13),
+}
+
+#: A mixed Core XPath workload: interval axes, condition paths through
+#: inverse axes, negation (a full-universe complement per document), and
+#: conjunction — the operations whose representation dominates run time.
+_WORKLOAD = (
+    "//a[child::a]",
+    "//a[not(child::a)]",
+    "/descendant::a[child::a and not(child::b)]",
+    "//a/ancestor::a",
+    "//a[descendant::b]",
+    "//b[ancestor::a]/descendant::c",
+    "//a[not(following-sibling::a)]",
+)
+
+#: Acceptance floor asserted on the 10k-node shapes.
+SPEEDUP_FLOOR = 2.0
+
+_DOCUMENT_CACHE = {}
+
+
+def _document(shape):
+    if shape not in _DOCUMENT_CACHE:
+        document = _DOCUMENTS[shape]()
+        document.index  # prebuild: the index is shared per-document state
+        _DOCUMENT_CACHE[shape] = document
+    return _DOCUMENT_CACHE[shape]
+
+
+def _run_workload(evaluator_class, document):
+    # A fresh evaluator per run so condition-set caches are not carried
+    # between timed runs; within a run they work exactly as in production.
+    evaluator = evaluator_class(document)
+    return [evaluator.evaluate_nodes(query) for query in _WORKLOAD]
+
+
+def _best_time(function, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("shape", sorted(_DOCUMENTS))
+def test_idnative_workload_timings(benchmark, shape):
+    """pytest-benchmark timings for the id-native evaluator."""
+    document = _document(shape)
+    benchmark(_run_workload, CoreXPathEvaluator, document)
+
+
+@pytest.mark.parametrize("shape", sorted(_DOCUMENTS))
+def test_nodeset_workload_timings(benchmark, shape):
+    """The PR-1 node-set baseline on the same workload."""
+    document = _document(shape)
+    benchmark(_run_workload, NodeSetCoreXPathEvaluator, document)
+
+
+def test_idnative_speedup_floor_and_agreement():
+    """Acceptance floor: ≥2× on both 10k-node shapes, identical results everywhere."""
+    rows = []
+    workload_ratios = {}
+    for shape in sorted(_DOCUMENTS):
+        document = _document(shape)
+        idnative_results = _run_workload(CoreXPathEvaluator, document)
+        nodeset_results = _run_workload(NodeSetCoreXPathEvaluator, document)
+        for query, got, expected in zip(_WORKLOAD, idnative_results, nodeset_results):
+            assert got == expected, (shape, query)
+        idnative = _best_time(lambda: _run_workload(CoreXPathEvaluator, document))
+        nodeset = _best_time(
+            lambda: _run_workload(NodeSetCoreXPathEvaluator, document)
+        )
+        ratio = nodeset / idnative if idnative else float("inf")
+        workload_ratios[shape] = ratio
+        rows.append(
+            f"{shape:>14}  {idnative * 1e3:9.2f} ms  {nodeset * 1e3:9.2f} ms  "
+            f"{ratio:6.1f}x"
+        )
+    header = f"{'document':>14}  {'id-native':>12}  {'node-set':>12}  {'ratio':>7}"
+    report(
+        "E14 — id-native vs node-set Core XPath (7-query workload)",
+        "\n".join([header] + rows),
+    )
+    # Wall-clock ratios on shared CI runners are too noisy for a hard gate;
+    # the agreement asserts above always run, the floor only off-CI (or when
+    # forced via BENCH_SPEEDUP_STRICT=1).
+    strict = os.environ.get(
+        "BENCH_SPEEDUP_STRICT", "0" if os.environ.get("CI") else "1"
+    )
+    if strict.lower() not in ("", "0", "false", "no"):
+        assert workload_ratios["chain-10k"] >= SPEEDUP_FLOOR, workload_ratios
+        assert workload_ratios["wide-10k"] >= SPEEDUP_FLOOR, workload_ratios
+
+
+def test_idnative_per_query_agreement_with_ids():
+    """evaluate_ids and evaluate_nodes agree (ids are document-order ranks)."""
+    for shape in sorted(_DOCUMENTS):
+        document = _document(shape)
+        evaluator = CoreXPathEvaluator(document)
+        index = document.index
+        for query in _WORKLOAD:
+            ids = evaluator.evaluate_ids(query)
+            assert ids == sorted(ids)
+            assert index.ids_to_node_list(ids) == evaluator.evaluate_nodes(query)

@@ -1,6 +1,9 @@
-"""Quickstart: parse a document, evaluate queries with every engine, classify them.
+"""Quickstart: parse, evaluate with every engine, plan with ``engine="auto"``.
 
-Run with ``python examples/quickstart.py``.
+Run with ``python examples/quickstart.py``.  The last section shows the
+query planner: ``engine="auto"`` classifies each query once, picks the
+cheapest sound evaluator, and caches the compiled plan — the plan-cache
+counters at the end show the repeat queries being served from cache.
 """
 
 import pathlib
@@ -8,7 +11,8 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro import classify, evaluate, evaluate_nodes, parse_xml  # noqa: E402
+from repro import classify, evaluate, evaluate_nodes, get_plan, parse_xml  # noqa: E402
+from repro.planner import default_plan_cache  # noqa: E402
 
 LIBRARY_XML = """
 <library city="Vienna">
@@ -51,6 +55,21 @@ def main() -> None:
         nodes = evaluate_nodes(core_query, document, engine=engine)
         years = [node.get_attribute("year") for node in nodes]
         print(f"{engine:<10} engine selects books from years {years}")
+
+    # engine="auto": classify once, pick the cheapest sound engine, cache
+    # the plan.  Re-running the earlier queries now hits the plan cache.
+    print("\nauto-dispatch (query -> selected engine):")
+    for query in queries:
+        evaluate(query, document, engine="auto")
+        plan = get_plan(query)
+        print(f"  {plan.engine:<5} <- {query}")
+
+    stats = default_plan_cache().stats()
+    print(
+        f"\nplan cache: {stats.size}/{stats.maxsize} plans, "
+        f"{stats.hits} hit(s), {stats.misses} miss(es), "
+        f"{stats.evictions} eviction(s), hit rate {stats.hit_rate:.0%}"
+    )
 
 
 if __name__ == "__main__":

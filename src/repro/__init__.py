@@ -13,8 +13,10 @@ Quickstart::
     document = parse_xml("<a><b/><b><c/></b></a>")
     nodes = evaluate_nodes("/descendant::b[child::c]", document)
 
-See README.md for the architecture overview and EXPERIMENTS.md for the
-paper-versus-measured record of every reproduced figure and claim.
+See README.md for the overview, docs/architecture.md for the data flow
+(parser → index → planner → evaluators) and the id-set representation,
+docs/complexity.md for the theorem-to-module map, and docs/benchmarks.md
+for running the experiment harness.
 """
 
 from repro.evaluation import (
@@ -22,6 +24,7 @@ from repro.evaluation import (
     ContextValueTableEvaluator,
     CoreXPathEvaluator,
     NaiveEvaluator,
+    NodeSetCoreXPathEvaluator,
     SingletonSuccessChecker,
     evaluate,
     evaluate_nodes,
@@ -33,6 +36,7 @@ from repro.planner import (
     PlanCache,
     QueryPlan,
     evaluate_many,
+    evaluate_many_ids,
     get_plan,
     plan_query,
 )
@@ -40,6 +44,7 @@ from repro.xmlmodel import (
     Document,
     DocumentBuilder,
     DocumentIndex,
+    IdSet,
     build_tree,
     parse_xml,
     serialize,
@@ -56,7 +61,9 @@ __all__ = [
     "Document",
     "DocumentBuilder",
     "DocumentIndex",
+    "IdSet",
     "NaiveEvaluator",
+    "NodeSetCoreXPathEvaluator",
     "PlanCache",
     "QueryPlan",
     "SingletonSuccessChecker",
@@ -64,6 +71,7 @@ __all__ = [
     "classify",
     "evaluate",
     "evaluate_many",
+    "evaluate_many_ids",
     "evaluate_nodes",
     "get_plan",
     "make_evaluator",

@@ -4,15 +4,18 @@ Usage (also available as ``python -m repro``)::
 
     python -m repro eval "//book[child::title]" catalogue.xml --engine auto
     python -m repro classify "//a[not(b)]"
-    python -m repro plan "//a[not(b)]"
+    python -m repro plan "//a[not(b)]" --stats
     python -m repro figure1
 
 ``eval`` prints the result of the query (node names / scalar value), the
 engine used, and basic cost counters; ``classify`` prints the Figure 1
 fragment and combined complexity of a query together with the reasons it
 falls outside smaller fragments; ``plan`` shows how the query planner
-compiles a query (fragment, selected evaluator, fallback chain);
-``figure1`` prints the fragment lattice.
+compiles a query (fragment, selected evaluator, fallback chain), and with
+``--stats`` also the process-wide plan-cache counters (size, hits,
+misses, evictions, hit rate — see
+:meth:`repro.planner.cache.PlanCache.stats`); ``figure1`` prints the
+fragment lattice.
 """
 
 from __future__ import annotations
@@ -83,7 +86,7 @@ def _command_plan(args: argparse.Namespace) -> int:
         print(
             f"plan cache          : {stats.size}/{stats.maxsize} plans, "
             f"{stats.hits} hit(s), {stats.misses} miss(es), "
-            f"{stats.evictions} eviction(s)"
+            f"{stats.evictions} eviction(s), hit rate {stats.hit_rate:.0%}"
         )
     return 0
 

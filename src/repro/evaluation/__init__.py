@@ -3,6 +3,7 @@
 from repro.evaluation.api import ENGINES, evaluate, evaluate_nodes, make_evaluator, query_selects
 from repro.evaluation.context import Context, Environment, initial_context
 from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.core_nodeset import NodeSetCoreXPathEvaluator
 from repro.evaluation.cvt import ContextValueTableEvaluator
 from repro.evaluation.naive import NaiveEvaluator
 from repro.evaluation.singleton import SingletonSuccessChecker
@@ -25,6 +26,7 @@ __all__ = [
     "Environment",
     "NaiveEvaluator",
     "NodeSet",
+    "NodeSetCoreXPathEvaluator",
     "SingletonSuccessChecker",
     "XPathValue",
     "arithmetic",

@@ -11,6 +11,8 @@ Five engines are available, matching the paper's algorithmic landscape:
     describes).
 ``"core"``
     The O(|D|·|Q|) Core XPath evaluator — only accepts Core XPath.
+    Id-native: evaluates on integer id sets over the document index and
+    materialises nodes once, at this API boundary.
 ``"singleton"``
     The Singleton-Success checker of Lemma 5.4 — only accepts pWF/pXPath
     (optionally with bounded negation).
@@ -74,6 +76,15 @@ def evaluate(
 
     Node-set results are returned as a plain list of nodes in document
     order; other results as Python ``float`` / ``str`` / ``bool``.
+
+    Examples
+    --------
+    >>> from repro.xmlmodel import parse_xml
+    >>> document = parse_xml("<a><b/><b><c/></b></a>")
+    >>> [n.tag for n in evaluate("//b[child::c]", document, engine="auto")]
+    ['b']
+    >>> evaluate("count(//b)", document)
+    2.0
     """
     if engine == "auto":
         # Imported lazily: the planner builds on this module's evaluators.

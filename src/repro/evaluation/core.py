@@ -1,19 +1,36 @@
-"""Linear-time evaluation of Core XPath (Proposition 2.7, second part).
+"""Id-native linear-time evaluation of Core XPath (Proposition 2.7, second part).
 
 Core XPath (Definition 2.5) has location paths, the navigational axes and
 boolean conditions built from ``and``, ``or``, ``not`` and location paths.
-The evaluator in this module runs in time O(|D| · |Q|):
+The evaluator in this module runs in time O(|D| · |Q|), and — new since
+the id-native rewrite — never touches a node object between parsing and
+the final materialisation:
 
-* the main location path is evaluated set-at-a-time — each step applies
-  its axis to the whole frontier in O(|D|) using
-  :mod:`repro.evaluation.setaxes` and filters by the node test and the
-  per-step condition sets;
-* every condition is compiled to the *set of nodes satisfying it*
-  (``E[bexpr]`` in the proof discussion), computed bottom-up;
+* frontiers and condition sets are
+  :class:`~repro.xmlmodel.idset.IdSet` values over the document-order ids
+  of the :class:`~repro.xmlmodel.index.DocumentIndex` (sorted id arrays,
+  or bitmasks once a set passes the density threshold);
+* each step applies its axis to the whole frontier in O(|D|) using the
+  id-set kernels of the index (interval arithmetic for
+  ``descendant``/``following``/``preceding``, array-chain sweeps for the
+  rest), then restricts by the node test via a sorted-partition
+  intersection — a single bitmask ``&`` on dense sets;
+* every condition is compiled to the *id set of nodes satisfying it*
+  (``E[bexpr]`` in the proof discussion), computed bottom-up; ``and`` /
+  ``or`` / ``not`` become ``&`` / ``|`` / complement on those sets;
 * a location path used as a condition is evaluated *backwards* through
   inverse axes, so it also costs one O(|D|) pass per step;
 * condition sets are cached per sub-expression, so each of the |Q|
-  sub-expressions contributes O(|D|) work.
+  sub-expressions contributes O(|D|) work;
+* ids are pre-order ranks, so the final id array *is* document order —
+  the result is materialised into nodes exactly once, at the API
+  boundary (:meth:`CoreXPathEvaluator.evaluate_nodes`), with no sort.
+
+The PR-1 set-of-node-objects implementation survives as
+:class:`~repro.evaluation.core_nodeset.NodeSetCoreXPathEvaluator`; it is
+the differential-testing baseline and handles the one case ids cannot —
+context nodes outside the indexed tree (attribute nodes) — to which this
+evaluator transparently falls back.
 
 The evaluator rejects queries outside Core XPath with
 :class:`~repro.errors.FragmentViolationError`; use the full-XPath
@@ -24,11 +41,12 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro.errors import FragmentViolationError
-from repro.evaluation.setaxes import NAVIGATIONAL_AXES, apply_axis_set
-from repro.xmlmodel.axes import inverse_axis, node_test_matches
+from repro.errors import FragmentViolationError, XPathEvaluationError
+from repro.evaluation.setaxes import NAVIGATIONAL_AXES, apply_axis_idset
+from repro.xmlmodel.axes import inverse_axis
 from repro.xmlmodel.document import Document
-from repro.xmlmodel.nodes import XMLNode, sort_document_order
+from repro.xmlmodel.idset import IdSet
+from repro.xmlmodel.nodes import XMLNode
 from repro.xpath.ast import (
     BinaryOp,
     FunctionCall,
@@ -40,15 +58,31 @@ from repro.xpath.parser import parse
 
 
 class CoreXPathEvaluator:
-    """O(|D| · |Q|) evaluation of Core XPath queries."""
+    """O(|D| · |Q|) evaluation of Core XPath queries, natively on id sets.
+
+    One evaluator instance serves any number of queries against its
+    document; condition sets are cached across queries, and
+    ``axis_applications`` counts the set-at-a-time axis applications
+    performed (the cost measure of the linear-time argument).
+
+    >>> from repro.xmlmodel import parse_xml
+    >>> document = parse_xml("<a><b><c/></b><b/></a>")
+    >>> evaluator = CoreXPathEvaluator(document)
+    >>> [node.tag for node in evaluator.evaluate_nodes("//b[child::c]")]
+    ['b']
+    >>> evaluator.evaluate_ids("//b")
+    [2, 4]
+    """
 
     def __init__(self, document: Document) -> None:
         self.document = document
-        self._all_nodes: set[XMLNode] = set(document.nodes)
-        self._condition_cache: dict[int, set[XMLNode]] = {}
+        self.index = document.index
+        self._universe = self.index.size
+        self._condition_cache: dict[int, IdSet] = {}
         # The cache is keyed by id(expr); keep every cached expression alive
         # so ids are never reused by later, structurally different queries.
         self._pinned: dict[int, XPathExpr] = {}
+        self._nodeset_fallback = None
         #: Number of set-at-a-time axis applications performed (cost measure).
         self.axis_applications = 0
 
@@ -63,12 +97,47 @@ class CoreXPathEvaluator:
 
         ``context_nodes`` is the set of context nodes for a relative query;
         it defaults to the document root (so absolute and relative queries
-        both work out of the box).
+        both work out of the box).  This is the single point where ids are
+        materialised back into nodes.
         """
         expr = parse(query) if isinstance(query, str) else query
-        starts = set(context_nodes) if context_nodes is not None else {self.document.root}
-        result = self._evaluate_union(expr, starts)
-        return sort_document_order(result)
+        if context_nodes is None:
+            starts = self._root_idset()
+        else:
+            nodes = list(context_nodes)
+            try:
+                starts = self.index.idset_from_nodes(nodes)
+            except KeyError:
+                # A context node without a document-order id (an attribute
+                # node): only the node-set baseline can step from it.
+                return self._fallback().evaluate_nodes(expr, nodes)
+        return self.index.idset_to_node_list(self._evaluate_union(expr, starts))
+
+    def evaluate_ids(
+        self,
+        query: XPathExpr | str,
+        context_ids: Optional[Iterable[int]] = None,
+    ) -> list[int]:
+        """Evaluate a Core XPath query entirely on ids.
+
+        Returns the selected document-order ids ascending (= document
+        order).  This is the entry point for callers that stay id-native
+        themselves — the planner uses it so ``engine="auto"`` touches node
+        objects only once, at its own boundary.
+        """
+        expr = parse(query) if isinstance(query, str) else query
+        if context_ids is None:
+            starts = self._root_idset()
+        else:
+            members = list(context_ids)
+            universe = self._universe
+            if any(not 0 <= i < universe for i in members):
+                raise XPathEvaluationError(
+                    f"context ids must lie in [0, {universe}); got "
+                    f"{[i for i in members if not 0 <= i < universe][:5]}"
+                )
+            starts = IdSet.from_iterable(members, universe)
+        return list(self._evaluate_union(expr, starts).ids)
 
     def condition_nodes(self, condition: XPathExpr | str) -> list[XMLNode]:
         """Return, in document order, the nodes at which ``condition`` holds.
@@ -77,11 +146,23 @@ class CoreXPathEvaluator:
         paper's notation ``[[φ]]`` for condition expressions.
         """
         expr = parse(condition) if isinstance(condition, str) else condition
-        return sort_document_order(self._condition_set(expr))
+        return self.index.idset_to_node_list(self._condition_set(expr))
+
+    # -- helpers --------------------------------------------------------------
+
+    def _root_idset(self) -> IdSet:
+        return IdSet.from_sorted([0], self._universe)  # the root's id is 0
+
+    def _fallback(self):
+        if self._nodeset_fallback is None:
+            from repro.evaluation.core_nodeset import NodeSetCoreXPathEvaluator
+
+            self._nodeset_fallback = NodeSetCoreXPathEvaluator(self.document)
+        return self._nodeset_fallback
 
     # -- top level ------------------------------------------------------------
 
-    def _evaluate_union(self, expr: XPathExpr, starts: set[XMLNode]) -> set[XMLNode]:
+    def _evaluate_union(self, expr: XPathExpr, starts: IdSet) -> IdSet:
         if isinstance(expr, BinaryOp) and expr.op == "|":
             return self._evaluate_union(expr.left, starts) | self._evaluate_union(
                 expr.right, starts
@@ -95,31 +176,28 @@ class CoreXPathEvaluator:
 
     # -- location paths --------------------------------------------------------
 
-    def _evaluate_path(self, path: LocationPath, starts: set[XMLNode]) -> set[XMLNode]:
-        frontier = {self.document.root} if path.absolute else set(starts)
+    def _evaluate_path(self, path: LocationPath, starts: IdSet) -> IdSet:
+        frontier = self._root_idset() if path.absolute else starts
         for step in path.steps:
             frontier = self._apply_step(step, frontier)
             if not frontier:
                 return frontier
         return frontier
 
-    def _apply_step(self, step: Step, frontier: set[XMLNode]) -> set[XMLNode]:
+    def _apply_step(self, step: Step, frontier: IdSet) -> IdSet:
         self._require_navigational(step)
         self.axis_applications += 1
-        reached = apply_axis_set(self.document, step.axis, frontier)
-        test = step.node_test.text()
-        selected = {
-            node for node in reached if node_test_matches(node, step.axis, test)
-        }
+        reached = apply_axis_idset(self.document, step.axis, frontier)
+        selected = self.index.filter_idset(reached, step.axis, step.node_test.text())
         for predicate in step.predicates:
-            selected &= self._condition_set(predicate)
             if not selected:
                 break
+            selected = selected & self._condition_set(predicate)
         return selected
 
     # -- condition sets -----------------------------------------------------------
 
-    def _condition_set(self, expr: XPathExpr) -> set[XMLNode]:
+    def _condition_set(self, expr: XPathExpr) -> IdSet:
         cached = self._condition_cache.get(id(expr))
         if cached is not None:
             return cached
@@ -128,17 +206,17 @@ class CoreXPathEvaluator:
         self._condition_cache[id(expr)] = result
         return result
 
-    def _compute_condition_set(self, expr: XPathExpr) -> set[XMLNode]:
+    def _compute_condition_set(self, expr: XPathExpr) -> IdSet:
         if isinstance(expr, BinaryOp) and expr.op == "and":
             return self._condition_set(expr.left) & self._condition_set(expr.right)
         if isinstance(expr, BinaryOp) and expr.op == "or":
             return self._condition_set(expr.left) | self._condition_set(expr.right)
         if isinstance(expr, FunctionCall) and expr.name == "not" and len(expr.args) == 1:
-            return self._all_nodes - self._condition_set(expr.args[0])
+            return self._condition_set(expr.args[0]).complement()
         if isinstance(expr, FunctionCall) and expr.name == "true" and not expr.args:
-            return set(self._all_nodes)
+            return IdSet.full(self._universe)
         if isinstance(expr, FunctionCall) and expr.name == "false" and not expr.args:
-            return set()
+            return IdSet.empty(self._universe)
         if isinstance(expr, FunctionCall) and expr.name == "boolean" and len(expr.args) == 1:
             return self._condition_set(expr.args[0])
         if isinstance(expr, BinaryOp) and expr.op == "|":
@@ -153,27 +231,27 @@ class CoreXPathEvaluator:
             ],
         )
 
-    def _path_condition_set(self, path: LocationPath) -> set[XMLNode]:
-        """Nodes from which ``path`` selects at least one node, via inverse axes."""
+    def _path_condition_set(self, path: LocationPath) -> IdSet:
+        """Ids from which ``path`` selects at least one node, via inverse axes."""
         if path.absolute:
-            matches = self._evaluate_path(path, {self.document.root})
-            return set(self._all_nodes) if matches else set()
-        # Work backwards: witnesses is the set of nodes y such that the steps
+            matches = self._evaluate_path(path, self._root_idset())
+            universe = self._universe
+            return IdSet.full(universe) if matches else IdSet.empty(universe)
+        # Work backwards: witnesses is the set of ids y such that the steps
         # processed so far succeed when y is the node selected by the step
         # immediately before them.
-        witnesses = set(self._all_nodes)
+        witnesses = IdSet.full(self._universe)
         for step in reversed(path.steps):
             self._require_navigational(step)
-            test = step.node_test.text()
-            satisfying = {
-                node
-                for node in witnesses
-                if node_test_matches(node, step.axis, test)
-            }
+            satisfying = self.index.filter_idset(
+                witnesses, step.axis, step.node_test.text()
+            )
             for predicate in step.predicates:
-                satisfying &= self._condition_set(predicate)
+                satisfying = satisfying & self._condition_set(predicate)
             self.axis_applications += 1
-            witnesses = apply_axis_set(self.document, inverse_axis(step.axis), satisfying)
+            witnesses = apply_axis_idset(
+                self.document, inverse_axis(step.axis), satisfying
+            )
         return witnesses
 
     # -- validation -----------------------------------------------------------------

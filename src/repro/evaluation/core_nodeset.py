@@ -1,0 +1,186 @@
+"""The PR-1 node-set Core XPath evaluator, kept as the differential baseline.
+
+This is the set-of-``XMLNode`` implementation of the linear-time Core
+XPath algorithm that :class:`~repro.evaluation.core.CoreXPathEvaluator`
+replaced when it went id-native: frontiers and condition sets are Python
+sets of node objects, axis application goes through
+:func:`repro.evaluation.setaxes.apply_axis_set` (indexed where possible,
+object walk otherwise), and results are sorted into document order at the
+end.  It remains exactly as correct as before and serves three purposes:
+
+* the **differential baseline** the Hypothesis suite pits the id-native
+  evaluator against (``tests/properties/test_property_idnative_core.py``);
+* the **fallback** for context nodes outside the indexed tree (attribute
+  nodes), which have no document-order id;
+* the **baseline** of ``benchmarks/bench_idnative_core.py``, which
+  measures and gates the id-native speedup.
+
+The algorithm and complexity discussion live in
+:mod:`repro.evaluation.core`; see ``docs/architecture.md`` for how the two
+implementations relate.
+"""
+
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import FragmentViolationError
+from repro.evaluation.setaxes import NAVIGATIONAL_AXES, apply_axis_set
+from repro.xmlmodel.axes import inverse_axis, node_test_matches
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.nodes import XMLNode, sort_document_order
+from repro.xpath.ast import (
+    BinaryOp,
+    FunctionCall,
+    LocationPath,
+    Step,
+    XPathExpr,
+)
+from repro.xpath.parser import parse
+
+
+class NodeSetCoreXPathEvaluator:
+    """The node-set (PR-1) form of the O(|D| · |Q|) Core XPath algorithm."""
+
+    def __init__(self, document: Document) -> None:
+        self.document = document
+        self._all_nodes: set[XMLNode] = set(document.nodes)
+        self._condition_cache: dict[int, set[XMLNode]] = {}
+        # The cache is keyed by id(expr); keep every cached expression alive
+        # so ids are never reused by later, structurally different queries.
+        self._pinned: dict[int, XPathExpr] = {}
+        #: Number of set-at-a-time axis applications performed (cost measure).
+        self.axis_applications = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate_nodes(
+        self,
+        query: XPathExpr | str,
+        context_nodes: Optional[Iterable[XMLNode]] = None,
+    ) -> list[XMLNode]:
+        """Evaluate a Core XPath query and return the result in document order.
+
+        ``context_nodes`` is the set of context nodes for a relative query;
+        it defaults to the document root (so absolute and relative queries
+        both work out of the box).
+        """
+        expr = parse(query) if isinstance(query, str) else query
+        starts = set(context_nodes) if context_nodes is not None else {self.document.root}
+        result = self._evaluate_union(expr, starts)
+        return sort_document_order(result)
+
+    def condition_nodes(self, condition: XPathExpr | str) -> list[XMLNode]:
+        """Return, in document order, the nodes at which ``condition`` holds.
+
+        This is the set ``E[bexpr]`` of the linear-time algorithm and the
+        paper's notation ``[[φ]]`` for condition expressions.
+        """
+        expr = parse(condition) if isinstance(condition, str) else condition
+        return sort_document_order(self._condition_set(expr))
+
+    # -- top level ------------------------------------------------------------
+
+    def _evaluate_union(self, expr: XPathExpr, starts: set[XMLNode]) -> set[XMLNode]:
+        if isinstance(expr, BinaryOp) and expr.op == "|":
+            return self._evaluate_union(expr.left, starts) | self._evaluate_union(
+                expr.right, starts
+            )
+        if isinstance(expr, LocationPath):
+            return self._evaluate_path(expr, starts)
+        raise FragmentViolationError(
+            "Core XPath",
+            [f"top-level expression must be a location path or union, got {type(expr).__name__}"],
+        )
+
+    # -- location paths --------------------------------------------------------
+
+    def _evaluate_path(self, path: LocationPath, starts: set[XMLNode]) -> set[XMLNode]:
+        frontier = {self.document.root} if path.absolute else set(starts)
+        for step in path.steps:
+            frontier = self._apply_step(step, frontier)
+            if not frontier:
+                return frontier
+        return frontier
+
+    def _apply_step(self, step: Step, frontier: set[XMLNode]) -> set[XMLNode]:
+        self._require_navigational(step)
+        self.axis_applications += 1
+        reached = apply_axis_set(self.document, step.axis, frontier)
+        test = step.node_test.text()
+        selected = {
+            node for node in reached if node_test_matches(node, step.axis, test)
+        }
+        for predicate in step.predicates:
+            selected &= self._condition_set(predicate)
+            if not selected:
+                break
+        return selected
+
+    # -- condition sets -----------------------------------------------------------
+
+    def _condition_set(self, expr: XPathExpr) -> set[XMLNode]:
+        cached = self._condition_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        result = self._compute_condition_set(expr)
+        self._pinned[id(expr)] = expr
+        self._condition_cache[id(expr)] = result
+        return result
+
+    def _compute_condition_set(self, expr: XPathExpr) -> set[XMLNode]:
+        if isinstance(expr, BinaryOp) and expr.op == "and":
+            return self._condition_set(expr.left) & self._condition_set(expr.right)
+        if isinstance(expr, BinaryOp) and expr.op == "or":
+            return self._condition_set(expr.left) | self._condition_set(expr.right)
+        if isinstance(expr, FunctionCall) and expr.name == "not" and len(expr.args) == 1:
+            return self._all_nodes - self._condition_set(expr.args[0])
+        if isinstance(expr, FunctionCall) and expr.name == "true" and not expr.args:
+            return set(self._all_nodes)
+        if isinstance(expr, FunctionCall) and expr.name == "false" and not expr.args:
+            return set()
+        if isinstance(expr, FunctionCall) and expr.name == "boolean" and len(expr.args) == 1:
+            return self._condition_set(expr.args[0])
+        if isinstance(expr, BinaryOp) and expr.op == "|":
+            return self._condition_set(expr.left) | self._condition_set(expr.right)
+        if isinstance(expr, LocationPath):
+            return self._path_condition_set(expr)
+        raise FragmentViolationError(
+            "Core XPath",
+            [
+                "conditions may only use and/or/not and location paths; "
+                f"found {type(expr).__name__} ({expr})"
+            ],
+        )
+
+    def _path_condition_set(self, path: LocationPath) -> set[XMLNode]:
+        """Nodes from which ``path`` selects at least one node, via inverse axes."""
+        if path.absolute:
+            matches = self._evaluate_path(path, {self.document.root})
+            return set(self._all_nodes) if matches else set()
+        # Work backwards: witnesses is the set of nodes y such that the steps
+        # processed so far succeed when y is the node selected by the step
+        # immediately before them.
+        witnesses = set(self._all_nodes)
+        for step in reversed(path.steps):
+            self._require_navigational(step)
+            test = step.node_test.text()
+            satisfying = {
+                node
+                for node in witnesses
+                if node_test_matches(node, step.axis, test)
+            }
+            for predicate in step.predicates:
+                satisfying &= self._condition_set(predicate)
+            self.axis_applications += 1
+            witnesses = apply_axis_set(self.document, inverse_axis(step.axis), satisfying)
+        return witnesses
+
+    # -- validation -----------------------------------------------------------------
+
+    def _require_navigational(self, step: Step) -> None:
+        if step.axis not in NAVIGATIONAL_AXES:
+            raise FragmentViolationError(
+                "Core XPath", [f"axis {step.axis!r} is not part of Core XPath"]
+            )

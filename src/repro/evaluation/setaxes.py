@@ -3,20 +3,25 @@
 The linear-time Core XPath algorithm repeatedly maps a *set* of nodes
 through an axis.  Doing this by iterating :func:`repro.xmlmodel.axes.axis_nodes`
 per member would cost O(|S| · |D|) for the recursive axes, so this module
-provides two set-level strategies, both linear in the document size:
+provides three set-level strategies, all linear in the document size:
 
-* the **indexed** path (default whenever the document carries a
-  :class:`~repro.xmlmodel.index.DocumentIndex`, which is built lazily on
-  first use) converts the node set to integer ids and runs the axis as
-  interval arithmetic / array-chain sweeps over the index's flat arrays;
+* the **id-native** path (:func:`apply_axis_idset`, used by the id-native
+  Core XPath evaluator) maps an :class:`~repro.xmlmodel.idset.IdSet`
+  through the id-set kernels of the
+  :class:`~repro.xmlmodel.index.DocumentIndex` — interval arithmetic and
+  array-chain sweeps with no node objects involved at all;
+* the **indexed node-set** path (default for :func:`apply_axis_set`
+  whenever the document carries an index, which is built lazily on first
+  use) converts the node set to integer ids, runs the same kernels, and
+  converts back;
 * the original **object-walk** path exploits the fact that document order
   is a pre-order traversal (parents precede children) and that sibling
   lists can be swept with a carry flag.  It remains as the fallback for
   document-like objects without an index and as the differential-testing
   baseline.
 
-All functions take and return Python sets of nodes; node tests are applied
-by the caller (:mod:`repro.evaluation.core`).
+Node tests are applied by the caller (:mod:`repro.evaluation.core` uses
+:meth:`~repro.xmlmodel.index.DocumentIndex.filter_idset`).
 """
 
 from __future__ import annotations
@@ -25,9 +30,20 @@ from typing import Iterable, Optional, Set
 
 from repro.errors import XPathEvaluationError
 from repro.xmlmodel.document import Document
+from repro.xmlmodel.idset import IdSet
 from repro.xmlmodel.nodes import XMLNode
 
 NodeSetType = Set[XMLNode]
+
+
+def apply_axis_idset(document: Document, axis: str, ids: IdSet) -> IdSet:
+    """Return the :class:`IdSet` reachable from ``ids`` via ``axis``.
+
+    This is the id-native form of :func:`apply_axis_set`: both input and
+    output are id sets over ``document.index``, so repeated applications
+    (the shape of a multi-step location path) never materialise nodes.
+    """
+    return document.index.axis_idset(axis, ids)
 
 
 def apply_axis_set(

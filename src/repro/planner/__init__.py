@@ -19,6 +19,7 @@ from repro.planner.batch import (
     clear_plan_cache,
     default_plan_cache,
     evaluate_many,
+    evaluate_many_ids,
     get_plan,
 )
 from repro.planner.cache import CacheStats, PlanCache
@@ -32,6 +33,7 @@ __all__ = [
     "clear_plan_cache",
     "default_plan_cache",
     "evaluate_many",
+    "evaluate_many_ids",
     "get_plan",
     "plan_query",
 ]

@@ -58,12 +58,46 @@ def evaluate_many(
 
     Returns the per-query results in input order, with the same result
     conventions as :meth:`QueryPlan.run`.
+
+    Examples
+    --------
+    >>> from repro.xmlmodel import parse_xml
+    >>> document = parse_xml("<a><b/><b><c/></b></a>")
+    >>> [r if not isinstance(r, list) else len(r) for r in
+    ...  evaluate_many(document, ["//b", "//b[child::c]", "count(//b)"])]
+    [2, 1, 2.0]
     """
     plan_cache = _DEFAULT_CACHE if cache is None else cache
     document.index  # build the shared index before the first query
     evaluators: dict[str, object] = {}
     return [
         plan_cache.plan(query).run(
+            document, context=context, variables=variables, evaluators=evaluators
+        )
+        for query in queries
+    ]
+
+
+def evaluate_many_ids(
+    document: Document,
+    queries: Iterable[XPathExpr | str],
+    context: Optional[Context] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    cache: Optional[PlanCache] = None,
+) -> list[list[int]]:
+    """Like :func:`evaluate_many`, but return document-order ids per query.
+
+    Core XPath queries stay id-native end-to-end — no node objects are
+    materialised at all — which makes this the preferred form for callers
+    that post-process results positionally (serving layers, join
+    pipelines).  Queries must all produce node-sets; a scalar-producing
+    query raises :class:`~repro.errors.XPathEvaluationError`.
+    """
+    plan_cache = _DEFAULT_CACHE if cache is None else cache
+    document.index  # build the shared index before the first query
+    evaluators: dict[str, object] = {}
+    return [
+        plan_cache.plan(query).run_ids(
             document, context=context, variables=variables, evaluators=evaluators
         )
         for query in queries

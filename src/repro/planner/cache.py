@@ -45,6 +45,25 @@ class PlanCache:
     nesting_bound:
         The arithmetic-nesting bound forwarded to the fragment
         classifiers (Definitions 5.1(3)/6.1(4)).
+
+    Examples
+    --------
+    The ``hits`` / ``misses`` / ``evictions`` counters accumulate over
+    the cache's lifetime; :meth:`stats` snapshots them (also printed by
+    ``python -m repro plan "<query>" --stats`` for the process-wide
+    cache):
+
+    >>> cache = PlanCache(maxsize=2)
+    >>> cache.plan("//a").engine, cache.plan("//a").engine
+    ('core', 'core')
+    >>> stats = cache.stats()
+    >>> (stats.hits, stats.misses, stats.size, stats.maxsize)
+    (1, 1, 1, 2)
+    >>> stats.hit_rate
+    0.5
+    >>> _ = (cache.plan("//b"), cache.plan("//c"))   # overflows maxsize=2
+    >>> cache.stats().evictions
+    1
     """
 
     def __init__(

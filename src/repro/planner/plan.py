@@ -26,6 +26,12 @@ unchanged.
 Plans hold no document state: the same plan object can be run against any
 number of documents, and per-document acceleration lives in the
 :class:`~repro.xmlmodel.index.DocumentIndex` each document carries.
+
+``core``-engine plans stay id-native end-to-end: :meth:`QueryPlan.run`
+evaluates on :class:`~repro.xmlmodel.idset.IdSet` frontiers and
+materialises node objects exactly once, at the plan boundary, while
+:meth:`QueryPlan.run_ids` skips materialisation entirely and hands back
+document-order ids.
 """
 
 from __future__ import annotations
@@ -71,6 +77,17 @@ class QueryPlan:
     fallbacks:
         Strictly more general engines tried in order if an evaluator
         rejects the query as outside its fragment.
+
+    Examples
+    --------
+    >>> from repro.xmlmodel import parse_xml
+    >>> plan = plan_query("//b[child::c]")
+    >>> plan.engine, plan.fallbacks
+    ('core', ('cvt', 'naive'))
+    >>> [n.tag for n in plan.run(parse_xml("<a><b><c/></b><b/></a>"))]
+    ['b']
+    >>> plan.run(parse_xml("<x><b><c/></b></x>"))  # same plan, any document
+    [<ElementNode 'b' order=2>]
     """
 
     query: str
@@ -122,8 +139,13 @@ class QueryPlan:
         if engine == "core":
             if evaluator is None:
                 evaluator = CoreXPathEvaluator(document)
-            context_nodes = [context.node] if context is not None else None
-            result = evaluator.evaluate_nodes(self.expr, context_nodes)
+            if context is None:
+                # Stay on ids end-to-end; materialise nodes exactly once,
+                # here at the plan boundary.
+                ids = evaluator.evaluate_ids(self.expr)
+                result = document.index.ids_to_node_list(ids)
+            else:
+                result = evaluator.evaluate_nodes(self.expr, [context.node])
         else:
             if evaluator is not None and evaluator.env.variables != dict(
                 variables or {}
@@ -142,6 +164,54 @@ class QueryPlan:
         if evaluators is not None:
             evaluators[engine] = evaluator
         return result
+
+    def run_ids(
+        self,
+        document: Document,
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        evaluators: Optional[MutableMapping[str, object]] = None,
+    ) -> list[int]:
+        """Evaluate the plan and return document-order ids instead of nodes.
+
+        For ``core``-engine plans this is fully id-native (no node objects
+        are touched); for richer engines the node-set result is converted
+        to ids at this boundary.  Raises
+        :class:`~repro.errors.XPathEvaluationError` if the query produces
+        a scalar rather than a node-set.
+
+        >>> from repro.xmlmodel import parse_xml
+        >>> plan = plan_query("//b")
+        >>> plan.run_ids(parse_xml("<a><b/><c><b/></c></a>"))
+        [2, 4]
+        """
+        if self.engine == "core" and context is None:
+            evaluator = evaluators.get("core") if evaluators is not None else None
+            if evaluator is None:
+                evaluator = CoreXPathEvaluator(document)
+            try:
+                ids = evaluator.evaluate_ids(self.expr)
+            except FragmentViolationError:
+                pass  # classifier/evaluator disagreement: fall through to run()
+            else:
+                if evaluators is not None:
+                    evaluators["core"] = evaluator
+                return ids
+        result = self.run(document, context, variables, evaluators)
+        from repro.errors import XPathEvaluationError
+
+        if not isinstance(result, list):
+            raise XPathEvaluationError(
+                f"query produced a {type(result).__name__}, not a node-set"
+            )
+        index = document.index
+        try:
+            return [index.id_of(node) for node in result]
+        except KeyError:
+            raise XPathEvaluationError(
+                "result contains nodes without a document-order id "
+                "(attribute nodes); use run() for this query"
+            ) from None
 
     def explain(self) -> str:
         """Return a human-readable description of the plan."""

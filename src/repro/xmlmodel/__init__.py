@@ -12,6 +12,7 @@ from repro.xmlmodel.axes import (
     principal_node_type,
 )
 from repro.xmlmodel.document import Document, DocumentBuilder, build_tree
+from repro.xmlmodel.idset import IdSet
 from repro.xmlmodel.index import DocumentIndex
 from repro.xmlmodel.generators import (
     auction_document,
@@ -45,6 +46,7 @@ __all__ = [
     "DocumentBuilder",
     "DocumentIndex",
     "ElementNode",
+    "IdSet",
     "NodeType",
     "ProcessingInstructionNode",
     "RootNode",

@@ -117,7 +117,19 @@ class Document:
 
         Building costs one O(|D|) pass and is cached for the lifetime of
         the document, so every evaluator (and every query in a batch)
-        shares the same arrays.
+        shares the same arrays.  A node's id in the index is its pre-order
+        rank among the tree nodes (attributes have no id).
+
+        Examples
+        --------
+        >>> from repro.xmlmodel import parse_xml
+        >>> document = parse_xml("<a><b/><b/></a>")
+        >>> document.has_index
+        False
+        >>> document.index.size == len(document.nodes)
+        True
+        >>> document.index is document.index    # built once, then cached
+        True
         """
         if self._index is None:
             self._index = DocumentIndex(self._nodes)

@@ -1,0 +1,237 @@
+"""Id sets: the native node-set representation of the indexed evaluators.
+
+A :class:`DocumentIndex` names every tree node by its document-order id, a
+small integer in ``[0, size)``.  The id-native Core XPath evaluator keeps
+all of its frontiers and condition sets as :class:`IdSet` values over that
+universe instead of Python sets of node objects, so set algebra never
+hashes nodes and axis application never leaves flat integer land.
+
+An :class:`IdSet` is immutable and keeps up to two interchangeable
+materialisations of the same membership:
+
+* ``ids`` — the members as a sorted sequence (a ``list`` or, for
+  contiguous intervals such as a ``descendant`` result, a ``range``).
+  This is what the axis kernels iterate.
+* ``bits`` — the members as a Python ``int`` bitmask (bit ``i`` set iff
+  ``i`` is a member).  Boolean algebra on bitmasks runs at C speed
+  regardless of cardinality, which is what makes ``and``/``or``/``not``
+  conditions over whole documents cheap.
+
+Either form is computed lazily from the other and cached, so repeated
+algebra over the same set (the common case for cached condition sets)
+pays the conversion at most once.
+
+**Density threshold.**  Binary set algebra picks its strategy per
+operation: if either operand is *dense* — at least ``1/DENSITY_FACTOR``
+of the universe, or already bitmask-backed — the operation runs on
+bitmasks; otherwise it runs on the sorted members directly.  Complements
+always use bitmasks.  The rule is documented (and relied upon) in
+``docs/architecture.md``.
+
+>>> a = IdSet.from_range(2, 6, universe=8)     # {2, 3, 4, 5}
+>>> b = IdSet.from_iterable([0, 3, 5], universe=8)
+>>> list((a & b).ids)
+[3, 5]
+>>> list(a.complement().ids)
+[0, 1, 6, 7]
+>>> len(a | b), 4 in (a | b)
+(5, True)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Iterator, Sequence, Union
+
+#: A set counts as dense once it holds at least ``universe / DENSITY_FACTOR``
+#: members; dense operands push binary set algebra onto the bitmask path.
+DENSITY_FACTOR = 8
+
+#: Bit positions set in each possible byte value — the unpack table used to
+#: convert a bitmask back into sorted ids eight members at a time.
+_BYTE_IDS = tuple(
+    tuple(bit for bit in range(8) if value >> bit & 1) for value in range(256)
+)
+
+SortedIds = Union[Sequence[int], range]
+
+
+def _bits_from_ids(ids: Sequence[int], universe: int) -> int:
+    if isinstance(ids, range):
+        if len(ids) == 0:
+            return 0
+        return ((1 << len(ids)) - 1) << ids[0]
+    buffer = bytearray((universe + 7) >> 3)
+    for i in ids:
+        buffer[i >> 3] |= 1 << (i & 7)
+    return int.from_bytes(buffer, "little")
+
+
+def _ids_from_bits(bits: int, universe: int) -> list[int]:
+    out: list[int] = []
+    append = out.append
+    base = 0
+    for byte in bits.to_bytes((universe + 7) >> 3, "little"):
+        if byte:
+            for bit in _BYTE_IDS[byte]:
+                append(base + bit)
+        base += 8
+    return out
+
+
+class IdSet:
+    """An immutable set of document-order ids over a fixed universe.
+
+    Build one with :meth:`empty`, :meth:`full`, :meth:`from_range`,
+    :meth:`from_sorted` (input must already be sorted and duplicate-free)
+    or :meth:`from_iterable` (input is normalised).  All binary operations
+    require both operands to share the same ``universe``.
+    """
+
+    __slots__ = ("universe", "_ids", "_bits")
+
+    def __init__(
+        self,
+        universe: int,
+        ids: SortedIds | None = None,
+        bits: int | None = None,
+    ) -> None:
+        if ids is None and bits is None:
+            raise ValueError("IdSet needs at least one materialisation")
+        self.universe = universe
+        self._ids = ids
+        self._bits = bits
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def empty(cls, universe: int) -> "IdSet":
+        """The empty set over ``[0, universe)``."""
+        return cls(universe, ids=range(0, 0), bits=0)
+
+    @classmethod
+    def full(cls, universe: int) -> "IdSet":
+        """The full universe ``{0, …, universe-1}``."""
+        return cls(universe, ids=range(universe), bits=(1 << universe) - 1)
+
+    @classmethod
+    def from_range(cls, lo: int, hi: int, universe: int) -> "IdSet":
+        """The contiguous interval ``{lo, …, hi-1}`` (empty when hi <= lo)."""
+        if hi <= lo:
+            return cls.empty(universe)
+        return cls(universe, ids=range(lo, hi))
+
+    @classmethod
+    def from_sorted(cls, ids: SortedIds, universe: int) -> "IdSet":
+        """Wrap an already-sorted, duplicate-free id sequence (not copied)."""
+        return cls(universe, ids=ids)
+
+    @classmethod
+    def from_iterable(cls, ids: Iterable[int], universe: int) -> "IdSet":
+        """Build from arbitrary ids, deduplicating and sorting."""
+        return cls(universe, ids=sorted(set(ids)))
+
+    @classmethod
+    def from_bits(cls, bits: int, universe: int) -> "IdSet":
+        """Wrap a bitmask (bit ``i`` set iff ``i`` is a member)."""
+        return cls(universe, bits=bits)
+
+    # -- materialisations -----------------------------------------------------
+
+    @property
+    def ids(self) -> SortedIds:
+        """The members as a sorted sequence (materialised lazily)."""
+        if self._ids is None:
+            self._ids = _ids_from_bits(self._bits, self.universe)  # type: ignore[arg-type]
+        return self._ids
+
+    @property
+    def bits(self) -> int:
+        """The members as a bitmask (materialised lazily)."""
+        if self._bits is None:
+            self._bits = _bits_from_ids(self._ids, self.universe)  # type: ignore[arg-type]
+        return self._bits
+
+    @property
+    def is_dense(self) -> bool:
+        """True if algebra involving this set takes the bitmask path."""
+        return self._bits is not None or len(self) * DENSITY_FACTOR >= self.universe
+
+    # -- protocol -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._ids is not None:
+            return len(self._ids)
+        return self._bits.bit_count()  # type: ignore[union-attr]
+
+    def __bool__(self) -> bool:
+        if self._ids is not None:
+            return len(self._ids) > 0
+        return self._bits != 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ids)
+
+    def __contains__(self, i: int) -> bool:
+        if not 0 <= i < self.universe:
+            return False
+        if self._bits is not None:
+            return self._bits >> i & 1 == 1
+        ids = self._ids
+        position = bisect_left(ids, i)  # type: ignore[arg-type]
+        return position < len(ids) and ids[position] == i  # type: ignore[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IdSet):
+            return NotImplemented
+        return self.universe == other.universe and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.universe, self.bits))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shape = "bits" if self._ids is None else type(self._ids).__name__
+        return f"<IdSet {len(self)}/{self.universe} as {shape}>"
+
+    # -- algebra --------------------------------------------------------------
+
+    def _check_universe(self, other: "IdSet") -> None:
+        if self.universe != other.universe:
+            raise ValueError(
+                f"universe mismatch: {self.universe} vs {other.universe}"
+            )
+
+    def __and__(self, other: "IdSet") -> "IdSet":
+        self._check_universe(other)
+        if self.is_dense or other.is_dense:
+            return IdSet.from_bits(self.bits & other.bits, self.universe)
+        small, large = sorted((self.ids, other.ids), key=len)
+        members = frozenset(large)
+        return IdSet.from_sorted([i for i in small if i in members], self.universe)
+
+    def __or__(self, other: "IdSet") -> "IdSet":
+        self._check_universe(other)
+        if not self:
+            return other
+        if not other:
+            return self
+        if self.is_dense or other.is_dense:
+            return IdSet.from_bits(self.bits | other.bits, self.universe)
+        return IdSet.from_sorted(
+            sorted(set(self.ids).union(other.ids)), self.universe
+        )
+
+    def __sub__(self, other: "IdSet") -> "IdSet":
+        self._check_universe(other)
+        if self.is_dense or other.is_dense:
+            mask = (1 << self.universe) - 1
+            return IdSet.from_bits(self.bits & (mask ^ other.bits), self.universe)
+        members = frozenset(other.ids)
+        return IdSet.from_sorted(
+            [i for i in self.ids if i not in members], self.universe
+        )
+
+    def complement(self) -> "IdSet":
+        """The universe minus this set (always on the bitmask path)."""
+        mask = (1 << self.universe) - 1
+        return IdSet.from_bits(mask ^ self.bits, self.universe)

@@ -17,14 +17,24 @@ document order:
 * ``parent`` / ``first_child`` / ``next_sibling`` / ``prev_sibling`` —
   structure links as integer ids (``-1`` when absent), so axis sweeps
   never touch node objects.
-* ``ids_by_tag`` — per-tag partitions of the element ids, kept sorted in
-  document order so a name test over a contiguous axis interval reduces
-  to a binary search.
+* ``ids_by_tag`` / ``element_ids`` — per-tag (and per-node-kind)
+  partitions of the ids, kept sorted in document order so a name test
+  over a contiguous axis interval reduces to a binary search, and a name
+  test over an arbitrary id set to a sorted-partition intersection.
 
-Node sets are represented as Python sets of ``int`` ids while inside the
-index; :meth:`nodes_to_ids` / :meth:`ids_to_nodes` convert at the
-boundary.  All operations cover the navigational axes only — attribute
-nodes are not tree nodes and keep using the object walk.
+Two set-at-a-time surfaces are exposed on top of these arrays:
+
+* the **id-native kernels** (:meth:`axis_idset`, :meth:`filter_idset`)
+  take and return :class:`~repro.xmlmodel.idset.IdSet` values — this is
+  the hot path of the id-native Core XPath evaluator, which only
+  materialises nodes once, via :meth:`idset_to_node_list`;
+* the **raw-id / node-set forms** (:meth:`axis_id_set`,
+  :meth:`axis_node_set`, :meth:`step_ids`) work on plain ``set[int]`` /
+  node sets and serve the per-node evaluators and the PR-1 node-set core
+  baseline.
+
+All operations cover the navigational axes only — attribute nodes are
+not tree nodes and keep using the object walk.
 """
 
 from __future__ import annotations
@@ -33,9 +43,12 @@ from bisect import bisect_left
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.errors import XPathEvaluationError
+from repro.xmlmodel.idset import IdSet
 from repro.xmlmodel.nodes import ElementNode, XMLNode
 
-IdSet = Set[int]
+#: The plain-``set``-of-ints form used by the PR-1 node-set axis path;
+#: the id-native kernels below use :class:`IdSet` instead.
+RawIdSet = Set[int]
 
 
 class DocumentIndex:
@@ -47,6 +60,20 @@ class DocumentIndex:
         The document's tree nodes in document (pre-order) order, root
         first — exactly ``Document.nodes``.  Attribute nodes must not be
         included.
+
+    Examples
+    --------
+    Normally obtained via :attr:`repro.xmlmodel.document.Document.index`:
+
+    >>> from repro.xmlmodel import parse_xml
+    >>> from repro.xmlmodel.idset import IdSet
+    >>> index = parse_xml("<a><b/><b><c/></b></a>").index
+    >>> index.subtree_end[0]            # the root's subtree spans everything
+    4
+    >>> root = IdSet.from_sorted([0], index.size)
+    >>> bs = index.filter_idset(index.axis_idset("descendant", root), "child", "b")
+    >>> [index.node_of(i).tag for i in bs.ids]
+    ['b', 'b']
     """
 
     __slots__ = (
@@ -59,6 +86,9 @@ class DocumentIndex:
         "next_sibling",
         "prev_sibling",
         "ids_by_tag",
+        "element_ids",
+        "_ids_by_kind",
+        "_test_idsets",
         "_id_by_uid",
     )
 
@@ -73,6 +103,9 @@ class DocumentIndex:
         self.next_sibling = [-1] * n
         self.prev_sibling = [-1] * n
         self.ids_by_tag: dict[str, list[int]] = {}
+        self.element_ids: list[int] = []
+        self._ids_by_kind: dict[str, list[int]] = {}
+        self._test_idsets: dict[str, IdSet] = {}
         self._id_by_uid: dict[int, int] = {}
 
         id_by_uid = self._id_by_uid
@@ -94,6 +127,9 @@ class DocumentIndex:
                     prev_sibling[right] = left
             if isinstance(node, ElementNode):
                 self.ids_by_tag.setdefault(node.tag, []).append(i)
+                self.element_ids.append(i)
+            else:
+                self._ids_by_kind.setdefault(node.node_type.value, []).append(i)
 
         # Descendants form a contiguous pre-order interval; the subtree of i
         # ends where the next node at depth <= depth[i] begins.  A single
@@ -141,7 +177,7 @@ class DocumentIndex:
         """Return the node with document-order id ``node_id``."""
         return self.nodes[node_id]
 
-    def nodes_to_ids(self, nodes: Iterable[XMLNode]) -> IdSet:
+    def nodes_to_ids(self, nodes: Iterable[XMLNode]) -> RawIdSet:
         """Convert a collection of nodes to a set of ids."""
         id_by_uid = self._id_by_uid
         return {id_by_uid[node.uid] for node in nodes}
@@ -172,7 +208,7 @@ class DocumentIndex:
 
     # -- set-at-a-time axis application ---------------------------------------
 
-    def axis_id_set(self, axis: str, ids: IdSet) -> IdSet:
+    def axis_id_set(self, axis: str, ids: RawIdSet) -> RawIdSet:
         """Apply a navigational axis to a set of ids; return the result set.
 
         Every operation is linear in ``|ids| + |result|`` (plus O(|D|) for
@@ -186,13 +222,13 @@ class DocumentIndex:
             ) from None
         return function(self, ids)
 
-    def _self_ids(self, ids: IdSet) -> IdSet:
+    def _self_ids(self, ids: RawIdSet) -> RawIdSet:
         return set(ids)
 
-    def _child_ids(self, ids: IdSet) -> IdSet:
+    def _child_ids(self, ids: RawIdSet) -> RawIdSet:
         first_child = self.first_child
         next_sibling = self.next_sibling
-        result: IdSet = set()
+        result: RawIdSet = set()
         for i in ids:
             j = first_child[i]
             while j != -1:
@@ -200,11 +236,11 @@ class DocumentIndex:
                 j = next_sibling[j]
         return result
 
-    def _parent_ids(self, ids: IdSet) -> IdSet:
+    def _parent_ids(self, ids: RawIdSet) -> RawIdSet:
         parent = self.parent
         return {parent[i] for i in ids if parent[i] != -1}
 
-    def _descendant_ids(self, ids: IdSet) -> IdSet:
+    def _descendant_ids(self, ids: RawIdSet) -> RawIdSet:
         """Union of pre-order intervals; nested members are skipped outright.
 
         Subtree intervals are laminar (nested or disjoint), so after sorting
@@ -212,7 +248,7 @@ class DocumentIndex:
         entirely inside it.
         """
         subtree_end = self.subtree_end
-        result: IdSet = set()
+        result: RawIdSet = set()
         covered_end = -1
         for i in sorted(ids):
             if i <= covered_end:
@@ -222,13 +258,13 @@ class DocumentIndex:
             covered_end = end
         return result
 
-    def _descendant_or_self_ids(self, ids: IdSet) -> IdSet:
+    def _descendant_or_self_ids(self, ids: RawIdSet) -> RawIdSet:
         return set(ids) | self._descendant_ids(ids)
 
-    def _ancestor_ids(self, ids: IdSet) -> IdSet:
+    def _ancestor_ids(self, ids: RawIdSet) -> RawIdSet:
         """Parent-chain walks; stop as soon as a chain joins the result."""
         parent = self.parent
-        result: IdSet = set()
+        result: RawIdSet = set()
         for i in ids:
             j = parent[i]
             while j != -1 and j not in result:
@@ -236,13 +272,13 @@ class DocumentIndex:
                 j = parent[j]
         return result
 
-    def _ancestor_or_self_ids(self, ids: IdSet) -> IdSet:
+    def _ancestor_or_self_ids(self, ids: RawIdSet) -> RawIdSet:
         return set(ids) | self._ancestor_ids(ids)
 
-    def _following_sibling_ids(self, ids: IdSet) -> IdSet:
+    def _following_sibling_ids(self, ids: RawIdSet) -> RawIdSet:
         """Sibling-chain walks; a chain already in the result is closed rightward."""
         next_sibling = self.next_sibling
-        result: IdSet = set()
+        result: RawIdSet = set()
         for i in ids:
             j = next_sibling[i]
             while j != -1 and j not in result:
@@ -250,9 +286,9 @@ class DocumentIndex:
                 j = next_sibling[j]
         return result
 
-    def _preceding_sibling_ids(self, ids: IdSet) -> IdSet:
+    def _preceding_sibling_ids(self, ids: RawIdSet) -> RawIdSet:
         prev_sibling = self.prev_sibling
-        result: IdSet = set()
+        result: RawIdSet = set()
         for i in ids:
             j = prev_sibling[i]
             while j != -1 and j not in result:
@@ -260,14 +296,14 @@ class DocumentIndex:
                 j = prev_sibling[j]
         return result
 
-    def _following_ids(self, ids: IdSet) -> IdSet:
+    def _following_ids(self, ids: RawIdSet) -> RawIdSet:
         """following(S) = every id past the earliest member's subtree end."""
         if not ids:
             return set()
         cutoff = min(self.subtree_end[i] for i in ids)
         return set(range(cutoff + 1, self.size))
 
-    def _preceding_ids(self, ids: IdSet) -> IdSet:
+    def _preceding_ids(self, ids: RawIdSet) -> RawIdSet:
         """preceding(S) = ids whose subtree closes before the latest member."""
         if not ids:
             return set()
@@ -431,6 +467,219 @@ class DocumentIndex:
         if not partition:
             return []
         return partition[bisect_left(partition, lo) : bisect_left(partition, hi)]
+
+    # -- id-native axis kernels (IdSet in, IdSet out) --------------------------
+    #
+    # These are the hot path of the id-native Core XPath evaluator: node
+    # sets stay :class:`~repro.xmlmodel.idset.IdSet` values end-to-end, so
+    # a step is interval arithmetic (descendant/following/preceding),
+    # array-chain sweeps (child/parent/sibling/ancestor) or a
+    # sorted-partition intersection (name tests), never a walk over node
+    # objects.
+
+    def idset_from_nodes(self, nodes_in: Iterable[XMLNode]) -> IdSet:
+        """Convert nodes to an :class:`IdSet` (KeyError for non-tree nodes)."""
+        id_by_uid = self._id_by_uid
+        return IdSet.from_iterable(
+            (id_by_uid[node.uid] for node in nodes_in), self.size
+        )
+
+    def idset_to_node_list(self, ids: IdSet) -> List[XMLNode]:
+        """Materialise an :class:`IdSet` as nodes in document order.
+
+        Ids are pre-order ranks, so ascending id order *is* document
+        order — no sort is needed.  This is the single node
+        materialisation of the id-native evaluation path.
+        """
+        nodes = self.nodes
+        members = ids.ids
+        if isinstance(members, range):
+            return nodes[members.start : members.stop]
+        return [nodes[i] for i in members]
+
+    def axis_idset(self, axis: str, ids: IdSet) -> IdSet:
+        """Apply a navigational axis to an :class:`IdSet`, id-natively."""
+        try:
+            function = self._AXIS_IDSET_FUNCTIONS[axis]
+        except KeyError:
+            raise XPathEvaluationError(
+                f"axis {axis!r} is not a navigational axis"
+            ) from None
+        return function(self, ids)
+
+    def _idset_self(self, ids: IdSet) -> IdSet:
+        return ids
+
+    def _idset_child(self, ids: IdSet) -> IdSet:
+        first_child = self.first_child
+        next_sibling = self.next_sibling
+        out: list[int] = []
+        append = out.append
+        for i in ids:
+            j = first_child[i]
+            while j != -1:
+                append(j)
+                j = next_sibling[j]
+        # Children of distinct parents are distinct, so only sorting is
+        # needed (sibling runs interleave when one member sits inside
+        # another member's subtree).
+        out.sort()
+        return IdSet.from_sorted(out, self.size)
+
+    def _idset_parent(self, ids: IdSet) -> IdSet:
+        return IdSet.from_sorted(sorted(self._parent_ids(ids)), self.size)
+
+    def _descendant_parts(self, ids: IdSet, include_self: bool) -> list[range]:
+        """The laminar-interval decomposition of a (or-self) descendant set.
+
+        Members are visited in ascending id order; a member inside the
+        interval already covered is skipped outright, so the returned
+        ranges are disjoint and ascending.
+        """
+        subtree_end = self.subtree_end
+        parts: list[range] = []
+        covered_end = -1
+        for i in ids:
+            if i <= covered_end:
+                continue
+            covered_end = subtree_end[i]
+            lo = i if include_self else i + 1
+            if lo <= covered_end:
+                parts.append(range(lo, covered_end + 1))
+        return parts
+
+    def _idset_from_parts(self, parts: list[range]) -> IdSet:
+        if not parts:
+            return IdSet.empty(self.size)
+        if len(parts) == 1:
+            only = parts[0]
+            return IdSet.from_range(only.start, only.stop, self.size)
+        out: list[int] = []
+        for part in parts:
+            out.extend(part)
+        return IdSet.from_sorted(out, self.size)
+
+    def _idset_descendant(self, ids: IdSet) -> IdSet:
+        return self._idset_from_parts(self._descendant_parts(ids, False))
+
+    def _idset_descendant_or_self(self, ids: IdSet) -> IdSet:
+        return self._idset_from_parts(self._descendant_parts(ids, True))
+
+    def _idset_ancestor(self, ids: IdSet) -> IdSet:
+        # Same parent-chain sweep as the raw-id kernel; only the wrapper differs.
+        return IdSet.from_sorted(sorted(self._ancestor_ids(ids)), self.size)
+
+    def _idset_ancestor_or_self(self, ids: IdSet) -> IdSet:
+        return ids | self._idset_ancestor(ids)
+
+    def _idset_following_sibling(self, ids: IdSet) -> IdSet:
+        return IdSet.from_sorted(
+            sorted(self._following_sibling_ids(ids)), self.size
+        )
+
+    def _idset_preceding_sibling(self, ids: IdSet) -> IdSet:
+        return IdSet.from_sorted(
+            sorted(self._preceding_sibling_ids(ids)), self.size
+        )
+
+    def _idset_following(self, ids: IdSet) -> IdSet:
+        """following(S) = the contiguous interval past the earliest subtree end."""
+        if not ids:
+            return IdSet.empty(self.size)
+        subtree_end = self.subtree_end
+        cutoff = min(subtree_end[i] for i in ids)
+        return IdSet.from_range(cutoff + 1, self.size, self.size)
+
+    def _idset_preceding(self, ids: IdSet) -> IdSet:
+        """preceding(S) = [0, max S) minus the ancestors of max S.
+
+        An id ``j < c`` has ``subtree_end[j] >= c`` exactly when it is an
+        ancestor of ``c``, so the preceding set is the prefix interval with
+        the ancestor chain punched out — O(depth) ranges.
+        """
+        if not ids:
+            return IdSet.empty(self.size)
+        members = ids.ids
+        cutoff = members[-1]
+        parent = self.parent
+        chain = []
+        j = parent[cutoff]
+        while j != -1:
+            chain.append(j)
+            j = parent[j]
+        chain.reverse()
+        bounds = chain + [cutoff]
+        parts = [
+            range(bounds[t] + 1, bounds[t + 1]) for t in range(len(bounds) - 1)
+        ]
+        return self._idset_from_parts([part for part in parts if len(part)])
+
+    _AXIS_IDSET_FUNCTIONS = {
+        "self": _idset_self,
+        "child": _idset_child,
+        "parent": _idset_parent,
+        "descendant": _idset_descendant,
+        "descendant-or-self": _idset_descendant_or_self,
+        "ancestor": _idset_ancestor,
+        "ancestor-or-self": _idset_ancestor_or_self,
+        "following": _idset_following,
+        "following-sibling": _idset_following_sibling,
+        "preceding": _idset_preceding,
+        "preceding-sibling": _idset_preceding_sibling,
+    }
+
+    # -- id-native node tests ---------------------------------------------------
+
+    def test_idset(self, node_test: str) -> Optional[IdSet]:
+        """The partition of ids passing ``node_test``, as a cached IdSet.
+
+        Covers the node tests whose members form a static partition of the
+        document: names, ``*``, ``node()``, ``text()``, ``comment()`` and
+        ``processing-instruction()``.  Returns ``None`` for tests that need
+        per-node inspection (``processing-instruction('target')``).  The
+        IdSets are cached, so their bitmask materialisation is shared by
+        every query on this document.
+        """
+        cached = self._test_idsets.get(node_test)
+        if cached is not None:
+            return cached
+        if node_test == "node()":
+            result = IdSet.full(self.size)
+        elif node_test == "*":
+            result = IdSet.from_sorted(self.element_ids, self.size)
+        elif node_test in ("text()", "comment()", "processing-instruction()"):
+            kind = node_test[:-2]
+            result = IdSet.from_sorted(
+                self._ids_by_kind.get(kind, []), self.size
+            )
+        elif node_test.endswith(")"):
+            return None  # parametrised test: filter per node
+        else:
+            result = IdSet.from_sorted(
+                self.ids_by_tag.get(node_test, []), self.size
+            )
+        self._test_idsets[node_test] = result
+        return result
+
+    def filter_idset(self, ids: IdSet, axis: str, node_test: str) -> IdSet:
+        """Restrict ``ids`` to the members passing ``node_test`` on ``axis``.
+
+        Name tests intersect with the sorted per-tag partition (a bitmask
+        ``&`` once either side is dense); only parametrised tests such as
+        ``processing-instruction('target')`` fall back to per-node checks.
+        """
+        if node_test == "node()":
+            return ids
+        partition = self.test_idset(node_test)
+        if partition is not None:
+            return ids & partition
+        from repro.xmlmodel.axes import node_test_matches
+
+        nodes = self.nodes
+        return IdSet.from_sorted(
+            [i for i in ids if node_test_matches(nodes[i], axis, node_test)],
+            self.size,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<DocumentIndex size={self.size} tags={len(self.ids_by_tag)}>"

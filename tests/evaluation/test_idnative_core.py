@@ -1,0 +1,131 @@
+"""Unit and edge-case tests for the id-native Core XPath evaluator.
+
+The differential properties live in
+``tests/properties/test_property_idnative_core.py``; this module pins the
+corners the issue calls out explicitly — empty frontiers, root-only
+documents, and single-tag documents whose frontiers are dense enough to
+ride the bitmask path — plus the id-level API surface.
+"""
+
+import pytest
+
+from repro.errors import FragmentViolationError
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.core_nodeset import NodeSetCoreXPathEvaluator
+from repro.xmlmodel import chain_document, parse_xml, wide_document
+from repro.xmlmodel.idset import DENSITY_FACTOR, IdSet
+
+
+class TestEmptyFrontier:
+    def test_no_match_returns_empty_list(self):
+        document = parse_xml("<a><b/></a>")
+        assert CoreXPathEvaluator(document).evaluate_nodes("//zzz") == []
+
+    def test_empty_frontier_short_circuits_later_steps(self):
+        document = parse_xml("<a><b/></a>")
+        evaluator = CoreXPathEvaluator(document)
+        assert evaluator.evaluate_nodes("//zzz/child::b/child::b") == []
+        # Only the steps up to the empty frontier are charged: the
+        # descendant-or-self step of the // abbreviation plus child::zzz,
+        # never the two child::b steps.
+        assert evaluator.axis_applications == 2
+
+    def test_empty_context_ids(self):
+        document = parse_xml("<a><b/></a>")
+        assert CoreXPathEvaluator(document).evaluate_ids("child::b", []) == []
+
+    def test_condition_against_empty_set(self):
+        document = parse_xml("<a><b/></a>")
+        nodes = CoreXPathEvaluator(document).evaluate_nodes("//b[child::zzz]")
+        assert nodes == []
+
+
+class TestRootOnlyDocument:
+    def test_single_element_document(self):
+        document = parse_xml("<a/>")
+        evaluator = CoreXPathEvaluator(document)
+        assert [n.tag for n in evaluator.evaluate_nodes("/child::a")] == ["a"]
+        assert evaluator.evaluate_nodes("//a/child::a") == []
+        assert evaluator.evaluate_nodes("/descendant-or-self::node()") == list(
+            document.nodes
+        )
+
+    def test_negation_over_tiny_universe(self):
+        document = parse_xml("<a/>")
+        nodes = CoreXPathEvaluator(document).evaluate_nodes("//a[not(child::a)]")
+        assert [n.tag for n in nodes] == ["a"]
+
+
+class TestDenseSingleTagDocuments:
+    """Single-tag documents make every frontier a large fraction of the
+    universe, forcing the IdSet algebra onto the bitmask path."""
+
+    def test_wide_single_tag(self):
+        document = wide_document(4 * DENSITY_FACTOR, tag="a")
+        idnative = CoreXPathEvaluator(document)
+        nodeset = NodeSetCoreXPathEvaluator(document)
+        for query in ("//a", "//a[not(child::a)]", "//a[following-sibling::a]"):
+            assert idnative.evaluate_nodes(query) == nodeset.evaluate_nodes(query)
+
+    def test_deep_single_tag(self):
+        document = chain_document(4 * DENSITY_FACTOR)
+        idnative = CoreXPathEvaluator(document)
+        nodeset = NodeSetCoreXPathEvaluator(document)
+        for query in ("//a[child::a]", "//a/ancestor::a", "//a[not(descendant::a)]"):
+            assert idnative.evaluate_nodes(query) == nodeset.evaluate_nodes(query)
+
+    def test_full_universe_frontier_is_dense(self):
+        document = wide_document(4 * DENSITY_FACTOR, tag="a")
+        index = document.index
+        everything = index.axis_idset(
+            "descendant-or-self", IdSet.from_sorted([0], index.size)
+        )
+        assert len(everything) == index.size
+        assert everything.is_dense
+
+
+class TestIdLevelApi:
+    def test_evaluate_ids_are_preorder_ranks(self):
+        document = parse_xml("<a><b/><c><b/></c></a>")
+        assert CoreXPathEvaluator(document).evaluate_ids("//b") == [2, 4]
+
+    def test_context_ids_relative_query(self):
+        document = parse_xml("<a><b><c/></b><b/></a>")
+        evaluator = CoreXPathEvaluator(document)
+        b_ids = evaluator.evaluate_ids("//b")
+        assert evaluator.evaluate_ids("child::c", context_ids=b_ids) == [3]
+
+    def test_axis_applications_counter_matches_nodeset(self):
+        document = parse_xml("<a><b><c/></b><b/></a>")
+        query = "//b[child::c and not(child::d)]/descendant::c"
+        idnative = CoreXPathEvaluator(document)
+        nodeset = NodeSetCoreXPathEvaluator(document)
+        idnative.evaluate_nodes(query)
+        nodeset.evaluate_nodes(query)
+        assert idnative.axis_applications == nodeset.axis_applications
+
+
+class TestFallbacks:
+    def test_attribute_context_uses_nodeset_baseline(self):
+        document = parse_xml('<a x="1"><b/></a>')
+        attribute = document.attributes[0]
+        evaluator = CoreXPathEvaluator(document)
+        nodes = evaluator.evaluate_nodes("parent::a", [attribute])
+        assert [n.tag for n in nodes] == ["a"]
+
+    def test_out_of_range_context_ids_rejected(self):
+        from repro.errors import XPathEvaluationError
+
+        document = parse_xml("<a><b/></a>")
+        evaluator = CoreXPathEvaluator(document)
+        with pytest.raises(XPathEvaluationError):
+            evaluator.evaluate_ids("child::b", context_ids=[999])
+        with pytest.raises(XPathEvaluationError):
+            evaluator.evaluate_ids("child::b", context_ids=[-2])
+
+    def test_non_core_query_still_rejected(self):
+        document = parse_xml("<a><b/></a>")
+        with pytest.raises(FragmentViolationError):
+            CoreXPathEvaluator(document).evaluate_nodes("//b[position() = 1]")
+        with pytest.raises(FragmentViolationError):
+            CoreXPathEvaluator(document).evaluate_ids("count(//b)")

@@ -108,6 +108,28 @@ class TestPlanRun:
         assert evaluators["core"] is first_instance
 
 
+class TestPlanRunIds:
+    def test_core_plan_returns_preorder_ids(self):
+        plan = plan_query("//a[child::b]")
+        ids = plan.run_ids(DOC)
+        assert ids == [DOC.index.id_of(node) for node in plan.run(DOC)]
+
+    def test_non_core_plan_converts_at_boundary(self):
+        plan = plan_query("//a[position() = 1]")
+        assert plan.engine != "core"
+        ids = plan.run_ids(DOC)
+        assert DOC.index.ids_to_node_list(ids) == plan.run(DOC)
+
+    def test_scalar_result_rejected(self):
+        with pytest.raises(XPathEvaluationError):
+            plan_query("count(//a)").run_ids(DOC)
+
+    def test_attribute_results_rejected_with_typed_error(self):
+        document = parse_xml('<a id="1"><b x="2"/></a>')
+        with pytest.raises(XPathEvaluationError):
+            plan_query("//@x").run_ids(document)
+
+
 class TestEvaluateMany:
     def test_matches_individual_evaluation(self):
         queries = ["//a", "count(//a)", "//a[child::b]", "string(//c)"]

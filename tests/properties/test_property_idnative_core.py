@@ -1,0 +1,81 @@
+"""Differential suite: id-native core ≡ node-set core ≡ naive.
+
+The id-native :class:`CoreXPathEvaluator` must be observationally
+identical to the PR-1 node-set implementation
+(:class:`NodeSetCoreXPathEvaluator`) on every Core XPath query, and both
+must match the literal functional-semantics :class:`NaiveEvaluator` on
+the positive fragment (the naive evaluator is the semantic ground truth;
+negation-free queries keep it fast enough to run under Hypothesis).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import NaiveEvaluator
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.core_nodeset import NodeSetCoreXPathEvaluator
+from repro.xmlmodel.idset import DENSITY_FACTOR
+
+from tests.properties.strategies import core_xpath_queries, documents
+
+
+def _orders(nodes):
+    return [node.order for node in nodes]
+
+
+class TestIdNativeAgainstNodeSet:
+    @given(documents(max_nodes=30), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=60, deadline=None)
+    def test_same_result_from_root(self, document, query):
+        idnative = CoreXPathEvaluator(document).evaluate_nodes(query)
+        nodeset = NodeSetCoreXPathEvaluator(document).evaluate_nodes(query)
+        assert _orders(idnative) == _orders(nodeset)
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=40, deadline=None)
+    def test_same_result_from_random_context(self, document, query):
+        context = document.nodes[len(document.nodes) // 2 :: 2]
+        idnative = CoreXPathEvaluator(document).evaluate_nodes(query, context)
+        nodeset = NodeSetCoreXPathEvaluator(document).evaluate_nodes(query, context)
+        assert _orders(idnative) == _orders(nodeset)
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=40, deadline=None)
+    def test_condition_sets_agree(self, document, query):
+        idnative = CoreXPathEvaluator(document).condition_nodes(query)
+        nodeset = NodeSetCoreXPathEvaluator(document).condition_nodes(query)
+        assert _orders(idnative) == _orders(nodeset)
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=40, deadline=None)
+    def test_evaluate_ids_matches_node_orders(self, document, query):
+        evaluator = CoreXPathEvaluator(document)
+        ids = evaluator.evaluate_ids(query)
+        nodes = evaluator.evaluate_nodes(query)
+        assert ids == sorted(ids)
+        assert document.index.ids_to_node_list(ids) == nodes
+
+
+class TestIdNativeAgainstNaive:
+    @given(documents(max_nodes=18), core_xpath_queries(allow_negation=False))
+    @settings(max_examples=30, deadline=None)
+    def test_naive_agrees_on_positive_queries(self, document, query):
+        idnative = CoreXPathEvaluator(document).evaluate_nodes(query)
+        naive = NaiveEvaluator(document).evaluate_nodes(query)
+        assert _orders(idnative) == _orders(naive)
+
+
+class TestDensityTransitions:
+    @given(
+        documents(max_nodes=DENSITY_FACTOR * 8),
+        core_xpath_queries(allow_negation=True),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_survives_repeated_evaluation(self, document, query, repeats):
+        # Repeated evaluation exercises the cached (bitmask-materialised)
+        # condition sets against a fresh node-set evaluator every time.
+        evaluator = CoreXPathEvaluator(document)
+        expected = _orders(NodeSetCoreXPathEvaluator(document).evaluate_nodes(query))
+        for _ in range(repeats):
+            assert _orders(evaluator.evaluate_nodes(query)) == expected

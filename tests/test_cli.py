@@ -60,6 +60,27 @@ class TestClassifyCommand:
         assert "Core XPath" in out
 
 
+class TestPlanCommand:
+    def test_plan_explains_engine_choice(self, capsys):
+        assert main(["plan", "//a[not(child::b)]"]) == 0
+        out = capsys.readouterr().out
+        assert "selected engine     : core" in out
+        assert "fallback chain      : cvt -> naive" in out
+
+    def test_stats_prints_plan_cache_counters(self, capsys):
+        query = "//a[child::stats-probe]"
+        assert main(["plan", query, "--stats"]) == 0
+        first = capsys.readouterr().out
+        assert "plan cache          :" in first
+        assert "hit rate" in first
+        # The second run of the same query must be served from the cache.
+        from repro.planner import default_plan_cache
+
+        hits_before = default_plan_cache().stats().hits
+        assert main(["plan", query, "--stats"]) == 0
+        assert default_plan_cache().stats().hits == hits_before + 1
+
+
 class TestFigure1Command:
     def test_prints_lattice(self, capsys):
         assert main(["figure1"]) == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the IdSet sorted-array / bitmask hybrid."""
+
+import pytest
+
+from repro.xmlmodel.idset import DENSITY_FACTOR, IdSet
+
+
+class TestConstruction:
+    def test_empty_and_full(self):
+        empty = IdSet.empty(10)
+        full = IdSet.full(10)
+        assert len(empty) == 0 and not empty
+        assert len(full) == 10 and list(full.ids) == list(range(10))
+        assert full.bits == (1 << 10) - 1
+
+    def test_from_range(self):
+        s = IdSet.from_range(3, 7, universe=10)
+        assert list(s.ids) == [3, 4, 5, 6]
+        assert s.bits == 0b1111000
+
+    def test_from_range_empty_interval(self):
+        assert len(IdSet.from_range(5, 5, universe=10)) == 0
+        assert len(IdSet.from_range(7, 3, universe=10)) == 0
+
+    def test_from_iterable_normalises(self):
+        s = IdSet.from_iterable([5, 1, 3, 1, 5], universe=8)
+        assert list(s.ids) == [1, 3, 5]
+
+    def test_zero_universe(self):
+        assert len(IdSet.empty(0)) == 0
+        assert len(IdSet.full(0)) == 0
+
+
+class TestMaterialisations:
+    def test_bits_roundtrip(self):
+        members = [0, 7, 8, 63, 64, 99]
+        s = IdSet.from_sorted(members, universe=100)
+        assert IdSet.from_bits(s.bits, 100).ids == members
+
+    def test_ids_from_bits_is_sorted(self):
+        bits = (1 << 0) | (1 << 42) | (1 << 13)
+        assert IdSet.from_bits(bits, 64).ids == [0, 13, 42]
+
+    def test_density_threshold(self):
+        universe = 8 * DENSITY_FACTOR
+        sparse = IdSet.from_sorted(list(range(7)), universe)
+        dense = IdSet.from_sorted(list(range(8)), universe)
+        assert not sparse.is_dense
+        assert dense.is_dense
+        # A bitmask-backed set is dense regardless of cardinality.
+        assert IdSet.from_bits(1, universe).is_dense
+
+
+class TestAlgebra:
+    @pytest.mark.parametrize("as_bits", [False, True])
+    def test_and_or_sub(self, as_bits):
+        universe = 200  # large enough that 4-member sets stay sparse
+        def build(members):
+            s = IdSet.from_iterable(members, universe)
+            return IdSet.from_bits(s.bits, universe) if as_bits else s
+
+        a, b = build([1, 2, 3, 50]), build([2, 50, 60])
+        assert list((a & b).ids) == [2, 50]
+        assert list((a | b).ids) == [1, 2, 3, 50, 60]
+        assert list((a - b).ids) == [1, 3]
+
+    def test_mixed_representations_agree(self):
+        universe = 100
+        sparse = IdSet.from_sorted([4, 9, 77], universe)
+        dense = IdSet.from_range(0, 60, universe)
+        assert list((sparse & dense).ids) == [4, 9]
+        assert len(sparse | dense) == 61
+
+    def test_complement(self):
+        s = IdSet.from_iterable([0, 2], universe=4)
+        assert list(s.complement().ids) == [1, 3]
+        assert s.complement().complement() == s
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IdSet.full(3) & IdSet.full(4)
+
+
+class TestProtocol:
+    def test_contains_on_both_representations(self):
+        members = [2, 5, 11]
+        sparse = IdSet.from_sorted(members, universe=16)
+        dense = IdSet.from_bits(sparse.bits, universe=16)
+        for s in (sparse, dense):
+            assert all(i in s for i in members)
+            assert 3 not in s
+            assert -1 not in s and 99 not in s
+
+    def test_eq_and_hash_cross_representation(self):
+        sparse = IdSet.from_sorted([1, 2], universe=8)
+        dense = IdSet.from_bits(0b110, universe=8)
+        assert sparse == dense
+        assert hash(sparse) == hash(dense)
+        assert sparse != IdSet.from_sorted([1, 2], universe=9)
+
+    def test_iteration_is_sorted(self):
+        s = IdSet.from_bits((1 << 30) | (1 << 2) | (1 << 17), universe=40)
+        assert list(s) == [2, 17, 30]
