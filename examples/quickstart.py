@@ -1,9 +1,11 @@
-"""Quickstart: parse, evaluate with every engine, plan with ``engine="auto"``.
+"""Quickstart: the ``XPathEngine`` session façade, engines, and planning.
 
-Run with ``python examples/quickstart.py``.  The last section shows the
-query planner: ``engine="auto"`` classifies each query once, picks the
-cheapest sound evaluator, and caches the compiled plan — the plan-cache
-counters at the end show the repeat queries being served from cache.
+Run with ``python examples/quickstart.py``.  The engine is the one
+stateful entry point: it registers documents (index forced once), plans
+queries through its own LRU cache, pools evaluators per document, and
+answers with ``QueryResult`` objects carrying the payload plus metadata
+(engine chosen, fragment, cache hit, wall time).  The final section
+shows the batch/concurrent serving layer and the engine's counters.
 """
 
 import pathlib
@@ -11,8 +13,7 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro import classify, evaluate, evaluate_nodes, get_plan, parse_xml  # noqa: E402
-from repro.planner import default_plan_cache  # noqa: E402
+from repro import XPathEngine, evaluate_nodes, parse_xml  # noqa: E402
 
 LIBRARY_XML = """
 <library city="Vienna">
@@ -28,8 +29,9 @@ LIBRARY_XML = """
 
 
 def main() -> None:
-    document = parse_xml(LIBRARY_XML)
-    print(f"Parsed document with {document.size} nodes\n")
+    engine = XPathEngine()
+    doc = engine.add(LIBRARY_XML)
+    print(f"Registered document with {doc.size} nodes\n")
 
     queries = [
         "/descendant::book[child::title]",
@@ -38,38 +40,43 @@ def main() -> None:
         "/child::library/child::shelf[position() = last()]/child::book",
     ]
     for query in queries:
-        result = evaluate(query, document)
-        if isinstance(result, list):
-            rendered = [node.name() or node.node_type.value for node in result]
+        result = engine.evaluate(query, doc)
+        if result.is_node_set:
+            rendered = [node.name() or node.node_type.value for node in result.nodes]
         else:
-            rendered = result
-        classification = classify(query)
+            rendered = result.value
         print(f"query     : {query}")
-        print(f"fragment  : {classification.most_specific} "
-              f"({classification.combined_complexity} combined complexity)")
+        print(f"fragment  : {result.classification.most_specific} "
+              f"({result.classification.combined_complexity} combined complexity)")
+        print(f"engine    : {result.engine} "
+              f"({'plan cache hit' if result.cache_hit else 'compiled'}, "
+              f"{result.wall_time * 1e3:.2f} ms)")
         print(f"result    : {rendered}\n")
 
-    # The same node-set query evaluated by each engine that accepts it.
+    # The same node-set query evaluated by each engine that accepts it —
+    # both through the engine façade and the legacy free function.
     core_query = "/descendant::book[child::title]"
-    for engine in ("cvt", "naive", "core", "singleton"):
-        nodes = evaluate_nodes(core_query, document, engine=engine)
+    document = parse_xml(LIBRARY_XML)
+    for kind in ("cvt", "naive", "core", "singleton"):
+        nodes = evaluate_nodes(core_query, document, engine=kind)
         years = [node.get_attribute("year") for node in nodes]
-        print(f"{engine:<10} engine selects books from years {years}")
+        print(f"{kind:<10} engine selects books from years {years}")
 
-    # engine="auto": classify once, pick the cheapest sound engine, cache
-    # the plan.  Re-running the earlier queries now hits the plan cache.
-    print("\nauto-dispatch (query -> selected engine):")
-    for query in queries:
-        evaluate(query, document, engine="auto")
-        plan = get_plan(query)
-        print(f"  {plan.engine:<5} <- {query}")
-
-    stats = default_plan_cache().stats()
-    print(
-        f"\nplan cache: {stats.size}/{stats.maxsize} plans, "
-        f"{stats.hits} hit(s), {stats.misses} miss(es), "
-        f"{stats.evictions} eviction(s), hit rate {stats.hit_rate:.0%}"
+    # Batch + concurrent serving: one shared registry / plan cache /
+    # evaluator pool; identical requests in flight coalesce onto one
+    # evaluation (r.coalesced marks the requests that shared a result).
+    requests = [(query, doc) for query in queries] * 8
+    serial = engine.evaluate_batch(requests)
+    concurrent = engine.evaluate_concurrent(requests, max_workers=8)
+    identical = all(
+        a.value == b.value for a, b in zip(serial, concurrent)
     )
+    print(f"\nconcurrent batch of {len(requests)}: identical to serial: {identical}, "
+          f"{sum(r.coalesced for r in concurrent)} coalesced")
+
+    print("\nengine counters after the session:")
+    for line in engine.stats().describe().splitlines():
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -8,17 +8,29 @@ results, and a benchmark harness regenerating every figure/claim.
 
 Quickstart::
 
-    from repro import parse_xml, evaluate_nodes
+    from repro import XPathEngine
 
-    document = parse_xml("<a><b/><b><c/></b></a>")
-    nodes = evaluate_nodes("/descendant::b[child::c]", document)
+    engine = XPathEngine()
+    doc = engine.add("<a><b/><b><c/></b></a>")
+    result = engine.evaluate("/descendant::b[child::c]", doc)
+    nodes, ids = result.nodes, result.ids
 
-See README.md for the overview, docs/architecture.md for the data flow
-(parser → index → planner → evaluators) and the id-set representation,
-docs/complexity.md for the theorem-to-module map, and docs/benchmarks.md
-for running the experiment harness.
+See README.md for the overview, docs/engine.md for the session façade
+(lifecycle, thread-safety, migration from the free functions),
+docs/architecture.md for the data flow (parser → index → planner →
+evaluators) and the id-set representation, docs/complexity.md for the
+theorem-to-module map, and docs/benchmarks.md for running the experiment
+harness.
 """
 
+from repro.engine import (
+    DocHandle,
+    EngineStats,
+    QueryRequest,
+    QueryResult,
+    XPathEngine,
+    default_engine,
+)
 from repro.evaluation import (
     Context,
     ContextValueTableEvaluator,
@@ -51,24 +63,30 @@ from repro.xmlmodel import (
 )
 from repro.xpath import parse, unparse
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Classification",
     "Context",
     "ContextValueTableEvaluator",
     "CoreXPathEvaluator",
+    "DocHandle",
     "Document",
     "DocumentBuilder",
     "DocumentIndex",
+    "EngineStats",
     "IdSet",
     "NaiveEvaluator",
     "NodeSetCoreXPathEvaluator",
     "PlanCache",
     "QueryPlan",
+    "QueryRequest",
+    "QueryResult",
     "SingletonSuccessChecker",
+    "XPathEngine",
     "build_tree",
     "classify",
+    "default_engine",
     "evaluate",
     "evaluate_many",
     "evaluate_many_ids",

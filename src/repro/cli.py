@@ -2,20 +2,23 @@
 
 Usage (also available as ``python -m repro``)::
 
+    python -m repro query "//book[child::title]" catalogue.xml --stats
     python -m repro eval "//book[child::title]" catalogue.xml --engine auto
     python -m repro classify "//a[not(b)]"
     python -m repro plan "//a[not(b)]" --stats
     python -m repro figure1
 
-``eval`` prints the result of the query (node names / scalar value), the
-engine used, and basic cost counters; ``classify`` prints the Figure 1
-fragment and combined complexity of a query together with the reasons it
-falls outside smaller fragments; ``plan`` shows how the query planner
-compiles a query (fragment, selected evaluator, fallback chain), and with
-``--stats`` also the process-wide plan-cache counters (size, hits,
-misses, evictions, hit rate — see
-:meth:`repro.planner.cache.PlanCache.stats`); ``figure1`` prints the
-fragment lattice.
+``query`` evaluates through the session façade
+(:class:`repro.engine.XPathEngine`) and prints the full per-query
+metadata (engine chosen, fragment, plan-cache hit, wall time), plus —
+with ``--stats`` — the engine's counters (plan-cache hit rate, registry
+occupancy, per-engine dispatch counts); ``eval`` is the legacy
+per-engine form; ``classify`` prints the Figure 1 fragment and combined
+complexity of a query together with the reasons it falls outside smaller
+fragments; ``plan`` shows how the query planner compiles a query
+(fragment, selected evaluator, fallback chain), and with ``--stats``
+also the process-default engine's plan-cache counters and dispatch
+counts; ``figure1`` prints the fragment lattice.
 """
 
 from __future__ import annotations
@@ -25,11 +28,11 @@ import sys
 from typing import Sequence
 
 from repro.complexity import render_figure1
+from repro.engine import default_engine
 from repro.errors import ReproError
-from repro.evaluation import ENGINES, evaluate, make_evaluator
-from repro.evaluation.values import NodeSet
+from repro.evaluation import ENGINES, evaluate
 from repro.fragments import classify
-from repro.planner import default_plan_cache, get_plan
+from repro.planner import get_plan
 from repro.xmlmodel import parse_xml
 from repro.xmlmodel.nodes import XMLNode
 
@@ -39,6 +42,40 @@ def _describe_node(node: XMLNode) -> str:
     if name:
         return f"{node.node_type.value}({name})@{node.order}"
     return f"{node.node_type.value}@{node.order}"
+
+
+def _print_node_set(nodes: list, limit: int) -> None:
+    print(f"result   : node-set of {len(nodes)} node(s)")
+    limit = limit if limit > 0 else len(nodes)
+    for node in nodes[:limit]:
+        print(f"  - {_describe_node(node)}")
+    if len(nodes) > limit:
+        print(f"  … and {len(nodes) - limit} more")
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    with open(args.document, "r", encoding="utf-8") as handle:
+        doc = engine.add(handle.read())
+    result = engine.evaluate(args.query, doc, engine=args.engine)
+    print(f"document : {args.document} ({doc.document.size} nodes)")
+    if args.engine == "auto":
+        print(f"engine   : auto ({result.engine} selected)")
+    else:
+        print(f"engine   : {result.engine}")
+    print(f"query    : {result.query}")
+    print(f"fragment : {result.classification.most_specific}")
+    print(f"plan     : {'cache hit' if result.cache_hit else 'compiled'}, "
+          f"{result.wall_time * 1e3:.2f} ms")
+    if result.is_node_set:
+        _print_node_set(result.nodes, args.limit)
+    else:
+        print(f"result   : {result.value!r}")
+    if args.stats:
+        print("engine stats:")
+        for line in engine.stats().describe().splitlines():
+            print(f"  {line}")
+    return 0
 
 
 def _command_eval(args: argparse.Namespace) -> int:
@@ -52,12 +89,7 @@ def _command_eval(args: argparse.Namespace) -> int:
     print(f"engine   : {engine}")
     print(f"query    : {args.query}")
     if isinstance(result, list):
-        print(f"result   : node-set of {len(result)} node(s)")
-        limit = args.limit if args.limit > 0 else len(result)
-        for node in result[:limit]:
-            print(f"  - {_describe_node(node)}")
-        if len(result) > limit:
-            print(f"  … and {len(result) - limit} more")
+        _print_node_set(result, args.limit)
     else:
         print(f"result   : {result!r}")
     return 0
@@ -82,12 +114,7 @@ def _command_plan(args: argparse.Namespace) -> int:
     plan = get_plan(args.query)
     print(plan.explain())
     if args.stats:
-        stats = default_plan_cache().stats()
-        print(
-            f"plan cache          : {stats.size}/{stats.maxsize} plans, "
-            f"{stats.hits} hit(s), {stats.misses} miss(es), "
-            f"{stats.evictions} eviction(s), hit rate {stats.hit_rate:.0%}"
-        )
+        print(default_engine().stats().describe())
     return 0
 
 
@@ -104,6 +131,27 @@ def build_parser() -> argparse.ArgumentParser:
         "(reproduction of Gottlob/Koch/Pichler, PODS 2003)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    query_parser = subparsers.add_parser(
+        "query", help="evaluate a query via the XPathEngine session façade"
+    )
+    query_parser.add_argument("query", help="the XPath 1.0 query")
+    query_parser.add_argument("document", help="path to the XML document")
+    query_parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="evaluation engine (default: auto — planner dispatch)",
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=20, help="maximum number of result nodes to print"
+    )
+    query_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the engine's counters (plan cache, registry, dispatch)",
+    )
+    query_parser.set_defaults(func=_command_query)
 
     eval_parser = subparsers.add_parser("eval", help="evaluate a query on an XML file")
     eval_parser.add_argument("query", help="the XPath 1.0 query")

@@ -1,0 +1,38 @@
+"""The session façade: one stateful entry point for the whole pipeline.
+
+:class:`XPathEngine` owns the state the free-function API used to scatter
+across module globals and per-call construction — a document registry, a
+plan cache, per-(document, engine-kind) evaluator pools — plus the
+concurrent serving layer (`evaluate_batch` / `evaluate_concurrent`) and a
+:meth:`~XPathEngine.stats` snapshot.  The legacy entry points
+(:func:`repro.evaluate`, :func:`repro.evaluate_many`, …) are thin
+wrappers over the process-default engine returned by
+:func:`default_engine`.
+
+See ``docs/engine.md`` for the lifecycle, the thread-safety contract and
+the old-call → new-call migration table.
+"""
+
+from repro.engine.engine import (
+    ENGINE_KINDS,
+    EngineStats,
+    QueryRequest,
+    XPathEngine,
+    default_engine,
+    reset_default_engine,
+)
+from repro.engine.registry import DocHandle, DocumentRegistry, RegistryStats
+from repro.engine.result import QueryResult
+
+__all__ = [
+    "ENGINE_KINDS",
+    "DocHandle",
+    "DocumentRegistry",
+    "EngineStats",
+    "QueryRequest",
+    "QueryResult",
+    "RegistryStats",
+    "XPathEngine",
+    "default_engine",
+    "reset_default_engine",
+]

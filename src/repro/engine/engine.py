@@ -1,0 +1,631 @@
+"""`XPathEngine`: the stateful session façade over the whole pipeline.
+
+One engine object owns everything a serving process accumulates across
+queries — the document registry (LRU-bounded, index forced once per
+document), the plan cache, and per-(document, engine-kind) evaluator
+pools — and exposes one uniform result type
+(:class:`~repro.engine.result.QueryResult`) in place of the legacy
+``XPathValue | list[XMLNode] | bool`` union.
+
+Thread-safety contract
+----------------------
+
+Every public method is safe to call from any number of threads sharing
+one engine:
+
+* the plan cache is guarded by one engine-level lock (lookups are
+  dict-speed, so one lock is cheaper than striping them);
+* per-document state is lock-striped in the registry
+  (:mod:`repro.engine.registry`): evaluators are *checked out* while in
+  use, so no two threads ever share an evaluator instance;
+* :meth:`XPathEngine.evaluate_concurrent` additionally *coalesces*
+  identical in-flight requests (same document, query and mode): when
+  eight workers ask for the same hot query at once, one evaluation runs
+  and the other seven wait on it and share the result — the classic
+  single-flight pattern of production serving layers, and the reason the
+  concurrency benchmark's throughput scales with workers even under the
+  GIL.
+
+Examples
+--------
+>>> from repro.engine import XPathEngine
+>>> engine = XPathEngine()
+>>> doc = engine.add("<a><b/><b><c/></b></a>")
+>>> result = engine.evaluate("//b[child::c]", doc)
+>>> [node.tag for node in result.nodes], result.engine
+(['b'], 'core')
+>>> engine.evaluate("count(//b)", doc).value
+2.0
+>>> [r.ids for r in engine.evaluate_batch([("//b", doc), ("//c", doc)])]
+[[2, 3], [4]]
+>>> engine.evaluate("//b[child::c]", doc).cache_hit
+True
+>>> stats = engine.stats()
+>>> (stats.documents.size, stats.dispatch["core"] >= 2)
+(1, True)
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.errors import XPathEvaluationError
+from repro.evaluation.context import Context
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.evaluation.singleton import (
+    DEFAULT_MAX_NEGATION_DEPTH,
+    SingletonSuccessChecker,
+)
+from repro.evaluation.values import XPathValue
+from repro.engine.registry import DocHandle, DocumentRegistry, RegistryStats
+from repro.engine.result import QueryResult
+from repro.fragments.classify import DEFAULT_NESTING_BOUND
+from repro.planner.cache import CacheStats, PlanCache
+from repro.planner.plan import QueryPlan
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.parser import parse_xml
+from repro.xpath.ast import XPathExpr
+from repro.xpath.functions import NODESET, static_type
+
+#: Engines an explicit ``engine=`` override may name (mirrors the legacy API).
+ENGINE_KINDS = ("auto", "cvt", "naive", "core", "singleton")
+
+#: Interpreter thread-switch interval (seconds) while a concurrent batch is
+#: in flight.  CPython's default of 5 ms is tuned for throughput of
+#: long-running compute threads; a serving batch wants the opposite trade:
+#: finished evaluations must propagate to their waiting coalesced followers
+#: quickly so the followers can pull (and coalesce) the next requests.  The
+#: original interval is restored when the outermost batch finishes.
+CONCURRENT_SWITCH_INTERVAL = 0.001
+
+_switch_lock = threading.Lock()
+_switch_depth = 0
+_switch_saved = 0.0
+_switch_applied = 0.0
+
+
+def _enter_concurrent_regime(interval: Optional[float]) -> None:
+    """Lower the interpreter switch interval for the outermost batch.
+
+    The interval is process-global state: overlapping batches share one
+    depth counter (the first batch's interval wins until all are done).
+    """
+    global _switch_depth, _switch_saved, _switch_applied
+    if interval is None:
+        return
+    with _switch_lock:
+        if _switch_depth == 0:
+            _switch_saved = sys.getswitchinterval()
+            sys.setswitchinterval(interval)
+            # Re-read rather than trust `interval`: CPython stores the
+            # interval with microsecond truncation, and the restore guard
+            # below must compare against what was actually applied.
+            _switch_applied = sys.getswitchinterval()
+        _switch_depth += 1
+
+
+def _exit_concurrent_regime(interval: Optional[float]) -> None:
+    global _switch_depth
+    if interval is None:
+        return
+    with _switch_lock:
+        _switch_depth -= 1
+        if _switch_depth == 0 and sys.getswitchinterval() == _switch_applied:
+            # Restore only if nobody else changed the interval meanwhile —
+            # an external sys.setswitchinterval() call wins over our undo.
+            sys.setswitchinterval(_switch_saved)
+
+DocumentLike = Union[Document, DocHandle, str]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of work for the batch/concurrent entry points."""
+
+    query: Union[XPathExpr, str]
+    document: DocumentLike
+    context: Optional[Context] = None
+    variables: Optional[Mapping[str, XPathValue]] = None
+    engine: str = "auto"
+    ids: bool = False
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A point-in-time snapshot of an engine's counters.
+
+    ``dispatch`` counts evaluations by the engine that answered them (the
+    planner's pick for auto runs); ``coalesced`` counts concurrent
+    requests that joined an identical in-flight evaluation instead of
+    running their own.
+    """
+
+    plans: CacheStats
+    documents: RegistryStats
+    dispatch: Mapping[str, int]
+    queries: int = 0
+    coalesced: int = 0
+
+    def describe(self) -> str:
+        """Render the snapshot as the CLI's ``--stats`` block."""
+        plans, docs = self.plans, self.documents
+        dispatch = (
+            " ".join(f"{name}={count}" for name, count in sorted(self.dispatch.items()))
+            or "(none)"
+        )
+        return "\n".join(
+            [
+                f"plan cache          : {plans.size}/{plans.maxsize} plans, "
+                f"{plans.hits} hit(s), {plans.misses} miss(es), "
+                f"{plans.evictions} eviction(s), hit rate {plans.hit_rate:.0%}",
+                f"documents           : {docs.size}/{docs.maxsize} registered, "
+                f"{docs.adds} add(s), {docs.reuses} reuse(s), "
+                f"{docs.evictions} eviction(s)",
+                f"dispatch counts     : {dispatch}",
+                f"queries             : {self.queries} total, "
+                f"{self.coalesced} coalesced",
+            ]
+        )
+
+
+class _InFlight:
+    """A single-flight slot: one leader computes, followers wait and share."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[QueryResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class XPathEngine:
+    """A thread-safe session façade over documents, plans and evaluators.
+
+    Parameters
+    ----------
+    max_documents:
+        LRU bound on the document registry; the least recently used
+        document (and its pooled evaluators) is dropped beyond it.
+    plan_cache_size:
+        LRU bound on this engine's own :class:`PlanCache`.
+    max_negation_depth:
+        The ``not(…)`` nesting bound handed to ``singleton`` evaluators
+        (one documented default for the whole public surface:
+        :data:`~repro.evaluation.singleton.DEFAULT_MAX_NEGATION_DEPTH`).
+    nesting_bound:
+        Arithmetic-nesting bound forwarded to the fragment classifiers.
+    stripes:
+        Number of per-document lock stripes in the registry.
+    """
+
+    def __init__(
+        self,
+        max_documents: int = 64,
+        plan_cache_size: int = 512,
+        max_negation_depth: int = DEFAULT_MAX_NEGATION_DEPTH,
+        nesting_bound: int = DEFAULT_NESTING_BOUND,
+        stripes: int = 8,
+        switch_interval: Optional[float] = CONCURRENT_SWITCH_INTERVAL,
+    ) -> None:
+        self.max_negation_depth = max_negation_depth
+        self.switch_interval = switch_interval
+        self._plan_cache = PlanCache(plan_cache_size, nesting_bound)
+        self._plan_lock = threading.Lock()
+        self._registry = DocumentRegistry(max_documents, stripes, engine=self)
+        self._stats_lock = threading.Lock()
+        self._dispatch: dict[str, int] = {}
+        self._queries = 0
+        self._coalesced = 0
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+
+    # -- documents -------------------------------------------------------------
+
+    def add(self, source: DocumentLike) -> DocHandle:
+        """Register a document (or parse and register XML text).
+
+        Registration is idempotent per document object and forces the
+        :class:`~repro.xmlmodel.index.DocumentIndex` exactly once, off
+        the evaluation hot path.
+        """
+        if isinstance(source, DocHandle):
+            return self._registry.add(source.document)
+        if isinstance(source, str):
+            source = parse_xml(source)
+        return self._registry.add(source)
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """This engine's plan cache (shared by every evaluation)."""
+        return self._plan_cache
+
+    @property
+    def documents(self) -> DocumentRegistry:
+        """The engine's document registry."""
+        return self._registry
+
+    # -- planning --------------------------------------------------------------
+
+    def get_plan(self, query: Union[XPathExpr, str]) -> QueryPlan:
+        """Return the (cached) plan for ``query`` from this engine's cache."""
+        with self._plan_lock:
+            return self._plan_cache.plan(query)
+
+    def clear_plan_cache(self) -> None:
+        """Clear the plan cache (under the same lock evaluations take)."""
+        with self._plan_lock:
+            self._plan_cache.clear()
+
+    def _plan(self, query: Union[XPathExpr, str]) -> tuple[QueryPlan, bool]:
+        key = query if isinstance(query, str) else query.unparse()
+        with self._plan_lock:
+            hit = key in self._plan_cache
+            return self._plan_cache.plan(query), hit
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: Union[XPathExpr, str],
+        document: DocumentLike,
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        engine: str = "auto",
+        ids: bool = False,
+    ) -> QueryResult:
+        """Evaluate one query and return a :class:`QueryResult`.
+
+        ``engine="auto"`` (the default) goes through the planner;
+        explicit engine names reproduce the legacy per-engine semantics.
+        ``ids=True`` keeps core-engine node-sets id-native end-to-end.
+        """
+        request = QueryRequest(query, document, context, variables, engine, ids)
+        return self._evaluate_request(request, coalesce=False)
+
+    def evaluate_detached(
+        self,
+        query: Union[XPathExpr, str],
+        document: Union[Document, DocHandle],
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        engine: str = "auto",
+        ids: bool = False,
+        evaluators: Optional[dict] = None,
+    ) -> QueryResult:
+        """Evaluate without registering ``document`` in the registry.
+
+        The evaluation shares this engine's plan cache and counters but
+        leaves no trace in the document registry — the engine keeps no
+        reference to the document, so a transient document is garbage-
+        collected as soon as the caller drops it.  This is the path the
+        legacy free functions use: they must not grow process-lifetime
+        state on behalf of callers that never asked for a session.
+
+        There is no cross-call evaluator pooling; pass one ``evaluators``
+        mapping across several calls (as :func:`repro.planner.evaluate_many`
+        does for a batch) to reuse instances within a scope you control.
+        """
+        if isinstance(document, DocHandle):
+            document = document.document
+        request = QueryRequest(query, document, context, variables, engine, ids)
+        return self._evaluate_now(
+            request, document, {} if evaluators is None else evaluators
+        )
+
+    def evaluate_batch(
+        self,
+        requests: Iterable[Union[QueryRequest, tuple]],
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        engine: str = "auto",
+        ids: bool = False,
+    ) -> list[QueryResult]:
+        """Evaluate a batch sequentially, sharing plans, indexes and pools.
+
+        Requests are ``(query, document)`` pairs or :class:`QueryRequest`
+        objects; the keyword arguments are defaults applied to the pair
+        form.  Results come back in input order.
+        """
+        items = self._resolve_requests(
+            self._as_request(item, context, variables, engine, ids)
+            for item in requests
+        )
+        return [self._evaluate_request(item, coalesce=False) for item in items]
+
+    def evaluate_concurrent(
+        self,
+        requests: Iterable[Union[QueryRequest, tuple]],
+        max_workers: int = 4,
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        engine: str = "auto",
+        ids: bool = False,
+    ) -> list[QueryResult]:
+        """Evaluate a batch on a thread pool, coalescing identical requests.
+
+        Results come back in input order and are identical to
+        :meth:`evaluate_batch` on the same requests.  Identical requests
+        in flight at the same moment share a single evaluation (their
+        results are marked ``coalesced=True``), which is what makes a hot
+        repeated-query workload scale with ``max_workers`` even though
+        the evaluators themselves are pure Python.
+
+        Note the deliberate process-wide side effect: while the batch is
+        in flight, the interpreter's thread-switch interval is lowered to
+        this engine's ``switch_interval`` (default
+        :data:`CONCURRENT_SWITCH_INTERVAL`, restored afterwards), which
+        also makes *unrelated* threads in the host process switch more
+        often.  Construct the engine with ``switch_interval=None`` to
+        opt out when embedding alongside other CPU-bound threads.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        items = self._resolve_requests(
+            self._as_request(item, context, variables, engine, ids)
+            for item in requests
+        )
+        if not items:
+            return []
+        _enter_concurrent_regime(self.switch_interval)
+        try:
+            with ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-engine"
+            ) as executor:
+                futures = [
+                    executor.submit(self._evaluate_request, request, True)
+                    for request in items
+                ]
+                return [future.result() for future in futures]
+        finally:
+            _exit_concurrent_regime(self.switch_interval)
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Return a consistent snapshot of every engine counter."""
+        with self._plan_lock:
+            plans = self._plan_cache.stats()
+        with self._stats_lock:
+            dispatch = dict(self._dispatch)
+            queries = self._queries
+            coalesced = self._coalesced
+        return EngineStats(
+            plans=plans,
+            documents=self._registry.stats(),
+            dispatch=dispatch,
+            queries=queries,
+            coalesced=coalesced,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _as_request(
+        item,
+        context: Optional[Context],
+        variables: Optional[Mapping[str, XPathValue]],
+        engine: str,
+        ids: bool,
+    ) -> QueryRequest:
+        if isinstance(item, QueryRequest):
+            return item
+        if isinstance(item, tuple) and len(item) == 2:
+            return QueryRequest(item[0], item[1], context, variables, engine, ids)
+        raise TypeError(
+            "request must be a QueryRequest or a (query, document) pair, "
+            f"got {item!r}"
+        )
+
+    def _resolve_requests(self, items) -> list[QueryRequest]:
+        """Normalise a batch's documents to handles before any work runs.
+
+        In particular, equal XML *text* must resolve to one registered
+        document per batch — parsing it per request would yield distinct
+        trees, so identical requests could never coalesce and the
+        registry would fill with duplicates.
+        """
+        parsed: dict[str, DocHandle] = {}
+        resolved = []
+        for item in items:
+            document = item.document
+            if isinstance(document, str):
+                handle = parsed.get(document)
+                if handle is None:
+                    handle = parsed[document] = self.add(document)
+                item = replace(item, document=handle)
+            resolved.append(item)
+        return resolved
+
+    def _record(self, engine: str) -> None:
+        with self._stats_lock:
+            self._dispatch[engine] = self._dispatch.get(engine, 0) + 1
+            self._queries += 1
+
+    def _evaluate_request(self, request: QueryRequest, coalesce: bool) -> QueryResult:
+        handle = self.add(request.document)
+        if (
+            coalesce
+            and request.engine == "auto"
+            and request.context is None
+            and not request.variables
+        ):
+            key = (
+                handle.uid,
+                request.query
+                if isinstance(request.query, str)
+                else request.query.unparse(),
+                request.ids,
+            )
+            return self._single_flight(key, request, handle)
+        return self._evaluate_pooled(request, handle)
+
+    def _evaluate_pooled(self, request: QueryRequest, handle: DocHandle) -> QueryResult:
+        """Run one request with evaluators checked out of the handle's pool."""
+        evaluators = self._registry.checkout(handle)
+        try:
+            return self._evaluate_now(request, handle.document, evaluators)
+        finally:
+            self._registry.checkin(handle, evaluators)
+
+    def _single_flight(
+        self, key: tuple, request: QueryRequest, handle: DocHandle
+    ) -> QueryResult:
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            leader = entry is None
+            if leader:
+                entry = _InFlight()
+                self._inflight[key] = entry
+        if leader:
+            try:
+                entry.result = self._evaluate_pooled(request, handle)
+            except BaseException as error:
+                entry.error = error
+                raise
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(key, None)
+                entry.event.set()
+            return entry.result
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        result = entry.result.as_coalesced()
+        # A follower is a served request but not an evaluation: it counts
+        # toward `queries`/`coalesced`, never toward `dispatch`.
+        with self._stats_lock:
+            self._queries += 1
+            self._coalesced += 1
+        return result
+
+    def _evaluate_now(
+        self, request: QueryRequest, document: Document, evaluators: dict
+    ) -> QueryResult:
+        start = perf_counter()
+        if request.engine == "auto":
+            plan, cache_hit = self._plan(request.query)
+            payload: dict[str, object] = {}
+            if request.ids:
+                payload["ids"] = plan.run_ids(
+                    document,
+                    context=request.context,
+                    variables=request.variables,
+                    evaluators=evaluators,
+                )
+            else:
+                payload["value"] = plan.run(
+                    document,
+                    context=request.context,
+                    variables=request.variables,
+                    evaluators=evaluators,
+                )
+            self._record(plan.engine)
+            return QueryResult(
+                query=plan.query,
+                engine=plan.engine,
+                document=document,
+                classification=plan.classification,
+                cache_hit=cache_hit,
+                wall_time=perf_counter() - start,
+                **payload,
+            )
+        return self._evaluate_explicit(request, document, evaluators, start)
+
+    def _evaluate_explicit(
+        self,
+        request: QueryRequest,
+        document: Document,
+        evaluators: dict,
+        start: float,
+    ) -> QueryResult:
+        engine = request.engine
+        if engine not in ENGINE_KINDS:
+            raise XPathEvaluationError(
+                f"unknown engine {engine!r}; choose one of {ENGINE_KINDS} "
+                "(see repro.engine.XPathEngine for the session API)"
+            )
+        # The plan cache doubles as the parse cache: explicit-engine runs
+        # reuse the cached AST (so pooled evaluators memoise on one expr
+        # object per query text) and inherit the classification metadata.
+        plan, cache_hit = self._plan(request.query)
+        context, variables = request.context, request.variables
+        if engine == "core" and request.ids and context is None:
+            # Keep the explicit core path id-native for ids=True, exactly
+            # like the auto path: no node objects, no reverse mapping.
+            evaluator = evaluators.get("core")
+            if evaluator is None:
+                evaluator = CoreXPathEvaluator(document)
+            ids = evaluator.evaluate_ids(plan.expr)
+            evaluators["core"] = evaluator
+            self._record(engine)
+            return QueryResult(
+                query=plan.query,
+                engine=engine,
+                document=document,
+                ids=ids,
+                classification=plan.classification,
+                cache_hit=cache_hit,
+                wall_time=perf_counter() - start,
+            )
+        if engine == "singleton":
+            # The planner never dispatches to the checker, so its calling
+            # convention (result shape by static type) lives here.
+            checker = evaluators.get("singleton")
+            if checker is None:
+                checker = SingletonSuccessChecker(
+                    document, max_negation_depth=self.max_negation_depth
+                )
+            kind = static_type(plan.expr)
+            if kind == NODESET:
+                value = checker.evaluate_nodes(plan.expr, context)
+            elif kind == "boolean":
+                value = checker.evaluate_boolean(plan.expr, context)
+            else:
+                value = checker.evaluate_number(plan.expr, context)
+            evaluators["singleton"] = checker
+        else:
+            value = plan.run_engine(engine, document, context, variables, evaluators)
+        self._record(engine)
+        return QueryResult(
+            query=plan.query,
+            engine=engine,
+            document=document,
+            value=value,
+            classification=plan.classification,
+            cache_hit=cache_hit,
+            wall_time=perf_counter() - start,
+        )
+
+
+_default_engine: Optional[XPathEngine] = None
+_default_engine_lock = threading.Lock()
+
+
+def default_engine() -> XPathEngine:
+    """Return the process-default engine the legacy free functions share.
+
+    Created lazily on first use; :func:`reset_default_engine` replaces it
+    (mainly for tests that need pristine counters).
+    """
+    global _default_engine
+    engine = _default_engine
+    if engine is None:
+        with _default_engine_lock:
+            engine = _default_engine
+            if engine is None:
+                engine = _default_engine = XPathEngine()
+    return engine
+
+
+def reset_default_engine() -> XPathEngine:
+    """Replace the process-default engine with a fresh one and return it."""
+    global _default_engine
+    with _default_engine_lock:
+        _default_engine = XPathEngine()
+        return _default_engine

@@ -1,0 +1,195 @@
+"""The engine's document registry: handles, LRU bounds, evaluator pools.
+
+A :class:`DocumentRegistry` owns the per-document state a serving session
+accumulates:
+
+* the :class:`~repro.xmlmodel.document.Document` itself, with its
+  :class:`~repro.xmlmodel.index.DocumentIndex` forced exactly once at
+  registration time (never lazily on a hot evaluation path);
+* a per-document **evaluator pool**, one free-list per engine kind, so
+  context-value tables and id-set condition caches survive across calls
+  instead of being rebuilt per query.
+
+Thread-safety is lock-striped: one small registry lock guards only the
+LRU ordering (constant-time dict operations), while per-document work —
+index forcing, evaluator checkout/checkin — runs under one of
+``stripes`` independent locks picked by document handle.  Concurrent
+requests against different documents therefore never contend on a
+per-document lock, and requests against the same document only contend
+for the microseconds of a pool pop/push, never for the evaluation
+itself: evaluators are *checked out* (removed from the pool) while in
+use, so no two threads ever share an evaluator instance.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.xmlmodel.document import Document
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.engine.engine import XPathEngine
+    from repro.engine.result import QueryResult
+
+#: Evaluator instances kept per (document, engine kind); checkins beyond
+#: this are dropped so a burst of workers cannot pin unbounded memory.
+POOL_DEPTH = 8
+
+
+class DocHandle:
+    """A registered document: the unit the engine's API operates on.
+
+    Handles are cheap tickets — they hold the document, a stable ``uid``,
+    and the per-document evaluator pool.  They stay valid after LRU
+    eviction (the engine transparently re-registers the document on next
+    use); eviction only drops the pooled evaluators.
+    """
+
+    __slots__ = ("uid", "document", "_engine", "_pool", "_stripe")
+
+    def __init__(self, uid: int, document: Document, engine: "Optional[XPathEngine]", stripe: threading.RLock) -> None:
+        self.uid = uid
+        self.document = document
+        self._engine = engine
+        self._pool: dict[str, list[object]] = {}
+        self._stripe = stripe
+
+    @property
+    def size(self) -> int:
+        """Node count of the registered document (|D|)."""
+        return self.document.size
+
+    def evaluate(self, query, **kwargs) -> "QueryResult":
+        """Evaluate ``query`` on this document via the owning engine."""
+        if self._engine is None:
+            raise RuntimeError("handle is not attached to an engine")
+        return self._engine.evaluate(query, self, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DocHandle uid={self.uid} size={self.document.size}>"
+
+
+@dataclass(frozen=True)
+class RegistryStats:
+    """A point-in-time snapshot of a :class:`DocumentRegistry`'s counters."""
+
+    size: int
+    maxsize: int
+    adds: int
+    reuses: int
+    evictions: int
+
+
+class DocumentRegistry:
+    """LRU-bounded mapping from documents to :class:`DocHandle` entries."""
+
+    def __init__(self, maxsize: int = 64, stripes: int = 8, engine: "Optional[XPathEngine]" = None) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        if stripes < 1:
+            raise ValueError("stripes must be at least 1")
+        self.maxsize = maxsize
+        self._engine = engine
+        self._lock = threading.Lock()
+        self._stripes = tuple(threading.RLock() for _ in range(stripes))
+        self._handles: "OrderedDict[int, DocHandle]" = OrderedDict()
+        self._uids = itertools.count()
+        self.adds = 0
+        self.reuses = 0
+        self.evictions = 0
+
+    def add(self, document: Document) -> DocHandle:
+        """Register ``document`` (idempotent) and return its handle.
+
+        The document's index is forced under the handle's stripe lock, so
+        exactly one thread pays the O(|D|) build even under a concurrent
+        stampede for the same fresh document.
+        """
+        if not isinstance(document, Document):
+            raise TypeError(f"expected a Document, got {type(document).__name__}")
+        key = id(document)
+        with self._lock:
+            handle = self._handles.get(key)
+            if handle is None:
+                uid = next(self._uids)
+                handle = DocHandle(
+                    uid, document, self._engine, self._stripes[uid % len(self._stripes)]
+                )
+                self._handles[key] = handle
+                self.adds += 1
+                if len(self._handles) > self.maxsize:
+                    self._handles.popitem(last=False)
+                    self.evictions += 1
+            else:
+                self._handles.move_to_end(key)
+                self.reuses += 1
+        # Force the index on every path (the reuse path may arrive while a
+        # first registration is still building): the stripe serialises the
+        # build, and the property's cache makes the second entrant a no-op.
+        if not document.has_index:
+            with handle._stripe:
+                document.index
+        return handle
+
+    # -- evaluator pooling -----------------------------------------------------
+
+    def checkout(self, handle: DocHandle) -> dict[str, object]:
+        """Remove one pooled evaluator per engine kind and return them.
+
+        The returned mapping has the shape :meth:`QueryPlan.run` expects
+        for its ``evaluators`` argument; entries added to it during the
+        run come back to the pool via :meth:`checkin`.
+        """
+        with handle._stripe:
+            out: dict[str, object] = {}
+            for engine, free in handle._pool.items():
+                if free:
+                    out[engine] = free.pop()
+            return out
+
+    def checkin(self, handle: DocHandle, evaluators: dict[str, object]) -> None:
+        """Return checked-out (and newly built) evaluators to the pool."""
+        with handle._stripe:
+            pool = handle._pool
+            for engine, evaluator in evaluators.items():
+                free = pool.setdefault(engine, [])
+                if evaluator is not None and len(free) < POOL_DEPTH:
+                    free.append(evaluator)
+
+    def pooled(self, handle: DocHandle, engine: str) -> int:
+        """Number of idle pooled evaluators of kind ``engine`` (for tests)."""
+        with handle._stripe:
+            return len(handle._pool.get(engine, ()))
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handles)
+
+    def __contains__(self, document: Document) -> bool:
+        with self._lock:
+            return id(document) in self._handles
+
+    def stats(self) -> RegistryStats:
+        """Return a snapshot of the registry counters."""
+        with self._lock:
+            return RegistryStats(
+                size=len(self._handles),
+                maxsize=self.maxsize,
+                adds=self.adds,
+                reuses=self.reuses,
+                evictions=self.evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop every registered document, its pools, and the counters."""
+        with self._lock:
+            self._handles.clear()
+            self.adds = 0
+            self.reuses = 0
+            self.evictions = 0

@@ -1,0 +1,173 @@
+"""The uniform result object returned by :class:`~repro.engine.XPathEngine`.
+
+The legacy free functions return a bare ``XPathValue | list[XMLNode] |
+bool`` union, which forces every caller to re-discover what kind of
+answer it got and throws away everything the engine learned while
+producing it (which evaluator ran, whether the plan was cached, how long
+evaluation took).  :class:`QueryResult` keeps the payload *and* that
+metadata together, and converts lazily between the two node-set
+representations (node objects and document-order ids) so the id-native
+fast path stays id-native until a caller actually asks for nodes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import XPathEvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.fragments.classify import Classification
+    from repro.xmlmodel.document import Document
+    from repro.xmlmodel.nodes import XMLNode
+
+
+_UNSET = object()
+
+
+class QueryResult:
+    """One evaluated query: payload plus evaluation metadata.
+
+    Attributes
+    ----------
+    query:
+        The query text (the plan-cache key for ``engine="auto"`` runs).
+    engine:
+        The engine that answered: the planner's choice for auto-dispatch
+        runs, the requested engine for explicit-engine runs.
+    classification:
+        The full Figure 1 :class:`~repro.fragments.classify.Classification`
+        of the query (computed once per query text via the plan cache).
+    cache_hit:
+        True if the compiled plan (which doubles as the parse cache for
+        explicit-engine runs) came from the engine's plan cache.
+    coalesced:
+        True if this request joined an identical in-flight request in
+        :meth:`~repro.engine.XPathEngine.evaluate_concurrent` instead of
+        evaluating on its own.
+    wall_time:
+        Evaluation wall time in seconds (parse/plan + run; excludes any
+        time spent queueing in the thread pool).
+
+    The payload is reached through :attr:`value` (the legacy union),
+    :attr:`nodes` (node-set results only) and :attr:`ids` (document-order
+    ids, computed without materialising nodes when the id-native core
+    path produced them).
+    """
+
+    __slots__ = (
+        "query",
+        "engine",
+        "classification",
+        "cache_hit",
+        "coalesced",
+        "wall_time",
+        "_document",
+        "_value",
+        "_ids",
+    )
+
+    def __init__(
+        self,
+        query: str,
+        engine: str,
+        document: "Document",
+        value=_UNSET,
+        ids: Optional[list[int]] = None,
+        classification: Optional["Classification"] = None,
+        cache_hit: bool = False,
+        coalesced: bool = False,
+        wall_time: float = 0.0,
+    ) -> None:
+        if value is _UNSET and ids is None:
+            raise ValueError("QueryResult needs a value or an id list")
+        self.query = query
+        self.engine = engine
+        self.classification = classification
+        self.cache_hit = cache_hit
+        self.coalesced = coalesced
+        self.wall_time = wall_time
+        self._document = document
+        self._value = value
+        self._ids = ids
+
+    # -- payload ---------------------------------------------------------------
+
+    @property
+    def is_node_set(self) -> bool:
+        """True if the query produced a node-set (rather than a scalar)."""
+        return self._ids is not None or isinstance(self._value, list)
+
+    @property
+    def value(self):
+        """The result in the legacy convention: node list or plain scalar.
+
+        Id-native results materialise their node objects on first access
+        (and cache them), so callers that only ever read :attr:`ids` never
+        pay for node materialisation.
+        """
+        if self._value is _UNSET:
+            self._value = self._document.index.ids_to_node_list(self._ids)
+        return self._value
+
+    @property
+    def nodes(self) -> "list[XMLNode]":
+        """The node-set payload; raises if the query produced a scalar."""
+        value = self.value
+        if not isinstance(value, list):
+            raise XPathEvaluationError(
+                f"query produced a {type(value).__name__}, not a node-set"
+            )
+        return value
+
+    @property
+    def ids(self) -> list[int]:
+        """The node-set payload as document-order ids.
+
+        Results produced by the id-native core path return their ids
+        directly; node-materialised results convert at this boundary
+        (attribute nodes have no id and raise, exactly like
+        :meth:`~repro.planner.plan.QueryPlan.run_ids`).
+        """
+        if self._ids is None:
+            index = self._document.index
+            try:
+                self._ids = [index.id_of(node) for node in self.nodes]
+            except KeyError:
+                raise XPathEvaluationError(
+                    "result contains nodes without a document-order id "
+                    "(attribute nodes); use .value for this query"
+                ) from None
+        return self._ids
+
+    @property
+    def document(self) -> "Document":
+        """The document the query was evaluated against."""
+        return self._document
+
+    # -- coalescing ------------------------------------------------------------
+
+    def as_coalesced(self) -> "QueryResult":
+        """A copy marked ``coalesced=True``, sharing this result's payload."""
+        return QueryResult(
+            query=self.query,
+            engine=self.engine,
+            document=self._document,
+            value=self._value,
+            ids=self._ids,
+            classification=self.classification,
+            cache_hit=self.cache_hit,
+            coalesced=True,
+            wall_time=self.wall_time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_node_set:
+            count = len(self._ids if self._ids is not None else self._value)
+            payload = f"node-set of {count}"
+        else:
+            payload = repr(self._value)
+        return (
+            f"<QueryResult {self.query!r} engine={self.engine} "
+            f"{payload} cache_hit={self.cache_hit}>"
+        )

@@ -1,12 +1,22 @@
 """Evaluation engines: values, contexts, and the four evaluators of the paper."""
 
-from repro.evaluation.api import ENGINES, evaluate, evaluate_nodes, make_evaluator, query_selects
+from repro.evaluation.api import (
+    ENGINES,
+    PlannedEvaluator,
+    evaluate,
+    evaluate_nodes,
+    make_evaluator,
+    query_selects,
+)
 from repro.evaluation.context import Context, Environment, initial_context
 from repro.evaluation.core import CoreXPathEvaluator
 from repro.evaluation.core_nodeset import NodeSetCoreXPathEvaluator
 from repro.evaluation.cvt import ContextValueTableEvaluator
 from repro.evaluation.naive import NaiveEvaluator
-from repro.evaluation.singleton import SingletonSuccessChecker
+from repro.evaluation.singleton import (
+    DEFAULT_MAX_NEGATION_DEPTH,
+    SingletonSuccessChecker,
+)
 from repro.evaluation.values import (
     NodeSet,
     XPathValue,
@@ -19,6 +29,7 @@ from repro.evaluation.values import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_NEGATION_DEPTH",
     "ENGINES",
     "Context",
     "ContextValueTableEvaluator",
@@ -27,6 +38,7 @@ __all__ = [
     "NaiveEvaluator",
     "NodeSet",
     "NodeSetCoreXPathEvaluator",
+    "PlannedEvaluator",
     "SingletonSuccessChecker",
     "XPathValue",
     "arithmetic",

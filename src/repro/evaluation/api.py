@@ -1,5 +1,13 @@
 """Convenience entry points: evaluate a query with a chosen engine.
 
+These free functions are thin wrappers over the process-default
+:class:`repro.engine.XPathEngine` (see :func:`repro.engine.default_engine`),
+which owns the plan cache, the document registry and the per-document
+evaluator pools.  New code should talk to an engine directly — it gets
+the richer :class:`~repro.engine.result.QueryResult` (metadata, ids) and
+the batch/concurrent entry points; these wrappers keep the historic
+"bare value" convention.
+
 Five engines are available, matching the paper's algorithmic landscape:
 
 ``"cvt"`` (default)
@@ -15,7 +23,8 @@ Five engines are available, matching the paper's algorithmic landscape:
     materialises nodes once, at this API boundary.
 ``"singleton"``
     The Singleton-Success checker of Lemma 5.4 — only accepts pWF/pXPath
-    (optionally with bounded negation).
+    (with negation nesting bounded by
+    :data:`~repro.evaluation.singleton.DEFAULT_MAX_NEGATION_DEPTH`).
 ``"auto"``
     The query planner (:mod:`repro.planner`): classifies the query once,
     picks the cheapest sound evaluator (``core`` → ``cvt`` → ``naive``)
@@ -24,31 +33,86 @@ Five engines are available, matching the paper's algorithmic landscape:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.errors import XPathEvaluationError
 from repro.evaluation.context import Context
 from repro.evaluation.core import CoreXPathEvaluator
 from repro.evaluation.cvt import ContextValueTableEvaluator
 from repro.evaluation.naive import NaiveEvaluator
-from repro.evaluation.singleton import SingletonSuccessChecker
-from repro.evaluation.values import NodeSet, XPathValue
+from repro.evaluation.singleton import (
+    DEFAULT_MAX_NEGATION_DEPTH,
+    SingletonSuccessChecker,
+)
+from repro.evaluation.values import XPathValue
 from repro.xmlmodel.document import Document
 from repro.xmlmodel.nodes import XMLNode
 from repro.xpath.ast import XPathExpr
-from repro.xpath.functions import NODESET, static_type
-from repro.xpath.parser import parse
 
 ENGINES = ("cvt", "naive", "core", "singleton", "auto")
+
+
+class PlannedEvaluator:
+    """The evaluator object for ``engine="auto"``: a planner-backed callable.
+
+    Binds a document (and optional construction-time variable bindings,
+    like the other evaluator classes) to the process-default engine's
+    planner, so it slots into any code written against the
+    ``make_evaluator(...)`` protocol: call it (or its :meth:`evaluate`
+    method) with a query and it runs the auto-dispatched plan, returning
+    results in the legacy convention.
+    """
+
+    def __init__(
+        self,
+        document: Document,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> None:
+        self.document = document
+        self.variables = dict(variables or {})
+        # Evaluator instances reused across this object's calls; dropped
+        # with it (the default engine never retains the document).
+        self._evaluators: dict[str, object] = {}
+
+    def evaluate(
+        self,
+        query: XPathExpr | str,
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> XPathValue | list[XMLNode] | bool:
+        """Plan ``query`` via the default engine and evaluate it.
+
+        Call-time ``variables`` override the construction-time bindings.
+        """
+        from repro.engine import default_engine
+
+        bindings = self.variables if variables is None else variables
+        return default_engine().evaluate_detached(
+            query,
+            self.document,
+            context=context,
+            variables=bindings or None,
+            evaluators=self._evaluators,
+        ).value
+
+    __call__ = evaluate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PlannedEvaluator document={self.document!r}>"
 
 
 def make_evaluator(
     document: Document,
     engine: str = "cvt",
     variables: Optional[Mapping[str, XPathValue]] = None,
-    max_negation_depth: int = 0,
+    max_negation_depth: int = DEFAULT_MAX_NEGATION_DEPTH,
 ):
-    """Instantiate the evaluator object for ``engine`` on ``document``."""
+    """Instantiate the evaluator object for ``engine`` on ``document``.
+
+    ``engine="auto"`` returns a :class:`PlannedEvaluator` — the default
+    engine's planner bound to ``document`` — so every member of
+    :data:`ENGINES` produces a working evaluator object.
+    """
     if engine == "cvt":
         return ContextValueTableEvaluator(document, variables)
     if engine == "naive":
@@ -58,11 +122,13 @@ def make_evaluator(
     if engine == "singleton":
         return SingletonSuccessChecker(document, max_negation_depth=max_negation_depth)
     if engine == "auto":
-        raise XPathEvaluationError(
-            "engine 'auto' has no standalone evaluator object; use evaluate() "
-            "or repro.planner.get_plan() instead"
-        )
-    raise XPathEvaluationError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+        # The planner never dispatches to the singleton checker, so
+        # max_negation_depth plays no role on this path.
+        return PlannedEvaluator(document, variables)
+    raise XPathEvaluationError(
+        f"unknown engine {engine!r}; choose one of {ENGINES} "
+        "(or use repro.engine.XPathEngine, which owns evaluators itself)"
+    )
 
 
 def evaluate(
@@ -75,7 +141,12 @@ def evaluate(
     """Evaluate ``query`` on ``document`` with the chosen engine.
 
     Node-set results are returned as a plain list of nodes in document
-    order; other results as Python ``float`` / ``str`` / ``bool``.
+    order; other results as Python ``float`` / ``str`` / ``bool``.  This
+    delegates to the process-default :class:`~repro.engine.XPathEngine`
+    (sharing its plan cache and counters) but evaluates *detached*: the
+    engine keeps no reference to ``document``.  Use the engine directly
+    to get the full :class:`~repro.engine.result.QueryResult`, evaluator
+    pooling and the batch/concurrent entry points.
 
     Examples
     --------
@@ -86,28 +157,11 @@ def evaluate(
     >>> evaluate("count(//b)", document)
     2.0
     """
-    if engine == "auto":
-        # Imported lazily: the planner builds on this module's evaluators.
-        from repro.planner import get_plan
+    from repro.engine import default_engine
 
-        return get_plan(query).run(document, context=context, variables=variables)
-    expr = parse(query) if isinstance(query, str) else query
-    if engine in ("cvt", "naive"):
-        evaluator = make_evaluator(document, engine, variables)
-        value = evaluator.evaluate(expr, context)
-        return list(value.nodes) if isinstance(value, NodeSet) else value
-    if engine == "core":
-        evaluator = CoreXPathEvaluator(document)
-        context_nodes = [context.node] if context is not None else None
-        return evaluator.evaluate_nodes(expr, context_nodes)
-    if engine == "singleton":
-        checker = SingletonSuccessChecker(document, max_negation_depth=64)
-        if static_type(expr) == NODESET:
-            return checker.evaluate_nodes(expr, context)
-        if static_type(expr) == "boolean":
-            return checker.evaluate_boolean(expr, context)
-        return checker.evaluate_number(expr, context)
-    raise XPathEvaluationError(f"unknown engine {engine!r}; choose one of {ENGINES}")
+    return default_engine().evaluate_detached(
+        query, document, context=context, variables=variables, engine=engine
+    ).value
 
 
 def evaluate_nodes(

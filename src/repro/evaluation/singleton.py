@@ -44,6 +44,17 @@ from repro.xpath.functions import NODESET, static_type
 from repro.xpath.parser import parse
 from repro.xpath.transform import push_negations
 
+#: The negation-nesting bound the public API threads through by default.
+#:
+#: ``SingletonSuccessChecker`` itself defaults to 0 (plain pWF/pXPath, the
+#: fragments of Theorems 5.5/6.2); the convenience layer —
+#: :func:`repro.evaluation.api.make_evaluator`,
+#: :func:`repro.evaluation.api.evaluate` and
+#: :class:`repro.engine.XPathEngine` — uses this far-above-any-real-query
+#: bound instead, so ``engine="singleton"`` accepts the bounded-negation
+#: extension of Theorem 5.9 without per-call tuning.
+DEFAULT_MAX_NEGATION_DEPTH = 64
+
 #: Scalar functions the checker can evaluate deterministically in place.
 _DETERMINISTIC_FUNCTIONS = {
     "concat": lambda args: "".join(str(a) for a in args),

@@ -9,10 +9,12 @@ it.  This package turns that observation into infrastructure:
   ``core → cvt → naive`` chain;
 * :mod:`repro.planner.cache` — :class:`PlanCache`: an LRU cache of plans
   keyed by query text, with hit/miss/eviction accounting;
-* :mod:`repro.planner.batch` — :func:`evaluate_many` and the module-wide
-  default cache: many queries against one document share a single
-  :class:`~repro.xmlmodel.index.DocumentIndex` and per-engine evaluator
-  instances.
+* :mod:`repro.planner.batch` — :func:`evaluate_many` /
+  :func:`evaluate_many_ids`: many queries against one document share a
+  single :class:`~repro.xmlmodel.index.DocumentIndex` and per-engine
+  evaluator instances.  These (and the default cache accessors) are thin
+  wrappers over the process-default :class:`repro.engine.XPathEngine`,
+  which owns the plan cache and the evaluator pools.
 """
 
 from repro.planner.batch import (

@@ -1,15 +1,27 @@
-"""Batch evaluation and the module-wide default plan cache.
+"""Batch evaluation wrappers over the process-default engine.
 
-:func:`evaluate_many` is the high-throughput entry point: it compiles (or
-recalls) a plan per query, forces the shared
+:func:`evaluate_many` is the classic high-throughput entry point: it
+compiles (or recalls) a plan per query, forces the shared
 :class:`~repro.xmlmodel.index.DocumentIndex` to exist before the first
-query runs, and reuses one evaluator instance per engine across the whole
-batch so context-value tables accumulate instead of being rebuilt.
+query runs, and reuses evaluator instances across the whole batch so
+context-value tables accumulate instead of being rebuilt.
+
+Since the :class:`~repro.engine.XPathEngine` façade landed, the plan
+cache and counters live on the process-default engine
+(:func:`repro.engine.default_engine`) rather than in module globals: the
+functions here are thin wrappers that keep the historic
+list-of-bare-values signature.  They evaluate *detached* — the engine
+never retains the document, so transient documents stay collectable
+exactly as before the façade existed; register documents with an engine
+(`engine.add`) to opt into cross-call evaluator pooling.  Passing an
+explicit ``cache`` opts out of the default engine entirely and runs the
+batch against that cache alone (no stats) — mainly for tests that need
+isolated counters.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional
 
 from repro.evaluation.context import Context
 from repro.evaluation.values import XPathValue
@@ -19,17 +31,25 @@ from repro.xmlmodel.document import Document
 from repro.xmlmodel.nodes import XMLNode
 from repro.xpath.ast import XPathExpr
 
-_DEFAULT_CACHE = PlanCache(maxsize=512)
-
 
 def default_plan_cache() -> PlanCache:
-    """Return the process-wide plan cache used when none is passed."""
-    return _DEFAULT_CACHE
+    """Return the process-default plan cache (the default engine's).
+
+    The returned object is shared with concurrently running evaluations;
+    read its :meth:`~repro.planner.cache.PlanCache.stats` freely, but
+    mutate it through :func:`clear_plan_cache` (which takes the engine's
+    plan lock) rather than calling ``.clear()`` on it directly.
+    """
+    from repro.engine import default_engine
+
+    return default_engine().plan_cache
 
 
 def clear_plan_cache() -> None:
-    """Clear the process-wide plan cache (mainly for tests)."""
-    _DEFAULT_CACHE.clear()
+    """Clear the process-default plan cache (mainly for tests)."""
+    from repro.engine import default_engine
+
+    default_engine().clear_plan_cache()
 
 
 def get_plan(
@@ -37,9 +57,13 @@ def get_plan(
 ) -> QueryPlan:
     """Return the (cached) plan for ``query``.
 
-    Uses the process-wide default cache unless ``cache`` is given.
+    Uses the process-default engine's cache unless ``cache`` is given.
     """
-    return (_DEFAULT_CACHE if cache is None else cache).plan(query)
+    if cache is not None:
+        return cache.plan(query)
+    from repro.engine import default_engine
+
+    return default_engine().get_plan(query)
 
 
 def evaluate_many(
@@ -67,13 +91,20 @@ def evaluate_many(
     ...  evaluate_many(document, ["//b", "//b[child::c]", "count(//b)"])]
     [2, 1, 2.0]
     """
-    plan_cache = _DEFAULT_CACHE if cache is None else cache
-    document.index  # build the shared index before the first query
-    evaluators: dict[str, object] = {}
-    return [
-        plan_cache.plan(query).run(
-            document, context=context, variables=variables, evaluators=evaluators
+    if cache is not None:
+        return _evaluate_many_with_cache(
+            document, queries, cache, context, variables, ids=False
         )
+    from repro.engine import default_engine
+
+    engine = default_engine()
+    document.index  # build the shared index before the first query
+    evaluators: dict[str, object] = {}  # shared for the batch, then dropped
+    return [
+        engine.evaluate_detached(
+            query, document, context=context, variables=variables,
+            evaluators=evaluators,
+        ).value
         for query in queries
     ]
 
@@ -93,11 +124,38 @@ def evaluate_many_ids(
     pipelines).  Queries must all produce node-sets; a scalar-producing
     query raises :class:`~repro.errors.XPathEvaluationError`.
     """
-    plan_cache = _DEFAULT_CACHE if cache is None else cache
+    if cache is not None:
+        return _evaluate_many_with_cache(
+            document, queries, cache, context, variables, ids=True
+        )
+    from repro.engine import default_engine
+
+    engine = default_engine()
+    document.index  # build the shared index before the first query
+    evaluators: dict[str, object] = {}  # shared for the batch, then dropped
+    return [
+        engine.evaluate_detached(
+            query, document, context=context, variables=variables,
+            evaluators=evaluators, ids=True,
+        ).ids
+        for query in queries
+    ]
+
+
+def _evaluate_many_with_cache(
+    document: Document,
+    queries: Iterable[XPathExpr | str],
+    cache: PlanCache,
+    context: Optional[Context],
+    variables: Optional[Mapping[str, XPathValue]],
+    ids: bool,
+) -> list:
+    """The engine-free batch path used when an explicit cache is supplied."""
     document.index  # build the shared index before the first query
     evaluators: dict[str, object] = {}
+    runner = "run_ids" if ids else "run"
     return [
-        plan_cache.plan(query).run_ids(
+        getattr(cache.plan(query), runner)(
             document, context=context, variables=variables, evaluators=evaluators
         )
         for query in queries

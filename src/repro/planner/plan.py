@@ -127,6 +127,24 @@ class QueryPlan:
                 last_error = error
         raise last_error  # unreachable while "naive" accepts full XPath
 
+    def run_engine(
+        self,
+        engine: str,
+        document: Document,
+        context: Optional[Context] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        evaluators: Optional[MutableMapping[str, object]] = None,
+    ) -> XPathValue | list[XMLNode] | bool:
+        """Run exactly ``engine`` on this plan's query — no fallback chain.
+
+        This is the single home of the per-engine execution conventions
+        (evaluator reuse from the ``evaluators`` mapping, the stale
+        variable-bindings guard, node-set materialisation): both the
+        auto-dispatch chain of :meth:`run` and the explicit-engine path
+        of :class:`repro.engine.XPathEngine` go through it.
+        """
+        return self._execute(engine, document, context, variables, evaluators)
+
     def _execute(
         self,
         engine: str,

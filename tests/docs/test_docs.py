@@ -31,6 +31,7 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Public-API modules whose docstring examples the README advertises.
 DOCTESTED_MODULES = (
+    "repro.engine.engine",
     "repro.evaluation.api",
     "repro.evaluation.core",
     "repro.planner.batch",

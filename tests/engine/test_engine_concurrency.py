@@ -1,0 +1,152 @@
+"""Concurrency tests: one shared engine hammered from many threads.
+
+The thread-safety contract (docs/engine.md) promises that any number of
+threads may share one :class:`~repro.engine.XPathEngine` and observe
+exactly the results serial evaluation would produce.  These tests stress
+that promise directly with ``threading.Thread`` workers and through
+:meth:`~repro.engine.XPathEngine.evaluate_concurrent`.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.errors import XPathSyntaxError
+from repro.xmlmodel import parse_xml
+
+THREADS = 8
+ROUNDS = 25
+
+XMLS = [
+    "<r><a><b/></a><a/><c>5</c></r>",
+    "<r><a/><a><b/><b><c/></b></a></r>",
+    "<library><shelf><book/><book/></shelf><shelf/></library>",
+]
+
+QUERIES = [
+    "//a[child::b]",
+    "//a[not(child::b)]",
+    "count(//a)",
+    "/descendant::*[not(child::*)]",
+    "//b/ancestor::a",
+    "string(//c)",
+]
+
+
+def test_shared_engine_stress_matches_serial():
+    """≥8 threads × mixed queries/documents ≡ serial evaluation."""
+    engine = XPathEngine()
+    docs = [engine.add(xml) for xml in XMLS]
+    serial = {
+        (d, q): engine.evaluate(QUERIES[q], docs[d]).value
+        for d in range(len(docs))
+        for q in range(len(QUERIES))
+    }
+    results: dict[int, list] = {}
+    errors: list[BaseException] = []
+
+    def worker(seed: int) -> None:
+        mine = []
+        try:
+            for i in range(ROUNDS * len(QUERIES)):
+                d = (seed + i) % len(docs)
+                q = (seed * 3 + i) % len(QUERIES)
+                mine.append((d, q, engine.evaluate(QUERIES[q], docs[d]).value))
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+        results[seed] = mine
+
+    threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert len(results) == THREADS
+    for seed, mine in results.items():
+        assert len(mine) == ROUNDS * len(QUERIES)
+        for d, q, value in mine:
+            assert value == serial[(d, q)], (seed, d, q)
+
+
+def test_evaluate_concurrent_matches_batch():
+    engine = XPathEngine()
+    docs = [engine.add(xml) for xml in XMLS]
+    requests = [
+        (query, doc) for doc in docs for query in QUERIES
+    ] * 4
+    serial = engine.evaluate_batch(requests)
+    for workers in (1, 3, 8):
+        concurrent = engine.evaluate_concurrent(requests, max_workers=workers)
+        assert [r.value for r in concurrent] == [r.value for r in serial]
+
+
+def test_coalesced_results_are_flagged_and_counted():
+    engine = XPathEngine()
+    doc = engine.add(XMLS[0])
+    # Tiny queries can finish inside one interpreter time slice, leaving no
+    # window for requests to overlap; slow evaluation down (the sleep also
+    # releases the GIL) so the in-flight overlap is deterministic.
+    inner = engine._evaluate_pooled
+
+    def slow_evaluate(request, handle):
+        import time
+
+        time.sleep(0.005)
+        return inner(request, handle)
+
+    engine._evaluate_pooled = slow_evaluate
+    requests = [("//a[child::b]", doc)] * 64
+    results = engine.evaluate_concurrent(requests, max_workers=8)
+    values = [r.value for r in results]
+    assert all(value == values[0] for value in values)
+    coalesced = sum(r.coalesced for r in results)
+    stats = engine.stats()
+    assert coalesced == stats.coalesced
+    # With 64 identical requests and 8 workers some must have coalesced …
+    assert coalesced > 0
+    # … every coalesced result shares the leader's payload verbatim …
+    assert all(r.value == values[0] for r in results if r.coalesced)
+    # … and dispatch counts only the evaluations that actually ran.
+    assert stats.dispatch["core"] == stats.queries - stats.coalesced
+
+
+def test_errors_propagate_to_every_waiter():
+    engine = XPathEngine()
+    doc = engine.add(XMLS[0])
+    requests = [("//a[", doc)] * 16
+    with pytest.raises(XPathSyntaxError):
+        engine.evaluate_concurrent(requests, max_workers=8)
+
+
+def test_switch_interval_is_restored_after_batch():
+    import sys
+
+    before = sys.getswitchinterval()
+    engine = XPathEngine()
+    doc = engine.add(XMLS[0])
+    engine.evaluate_concurrent([("//a", doc)] * 8, max_workers=4)
+    assert sys.getswitchinterval() == before
+    # Also with an interval CPython truncates (microsecond storage): the
+    # restore guard must compare against the value actually applied.
+    odd = XPathEngine(switch_interval=1 / 3000)
+    odd.evaluate_concurrent([("//a", odd.add(XMLS[0]))] * 4, max_workers=2)
+    assert sys.getswitchinterval() == before
+
+
+def test_xml_text_documents_resolve_once_per_batch():
+    engine = XPathEngine()
+    requests = [("//a", XMLS[0]), ("//a[child::b]", XMLS[0])] * 4
+    results = engine.evaluate_concurrent(requests, max_workers=4)
+    assert [len(r.nodes) for r in results[:2]] == [2, 1]
+    # One parse + one registration for the repeated text, not eight.
+    assert engine.stats().documents.size == 1
+    assert engine.stats().documents.adds == 1
+
+
+def test_max_workers_validation():
+    engine = XPathEngine()
+    with pytest.raises(ValueError):
+        engine.evaluate_concurrent([("//a", engine.add(XMLS[0]))], max_workers=0)

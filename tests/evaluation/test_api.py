@@ -28,15 +28,36 @@ class TestMakeEvaluator:
         assert isinstance(make_evaluator(DOC, "singleton"), SingletonSuccessChecker)
 
     def test_unknown_engine(self):
-        with pytest.raises(XPathEvaluationError):
+        with pytest.raises(XPathEvaluationError) as excinfo:
             make_evaluator(DOC, "quantum")
+        assert "XPathEngine" in str(excinfo.value)
 
-    def test_auto_engine_has_no_evaluator_object(self):
-        with pytest.raises(XPathEvaluationError):
-            make_evaluator(DOC, "auto")
+    def test_auto_engine_returns_planner_backed_callable(self):
+        evaluator = make_evaluator(DOC, "auto")
+        assert [n.tag for n in evaluator("/child::r/child::a[child::b]")] == ["a"]
+        assert evaluator.evaluate("count(//a)") == 2.0
+
+    def test_auto_engine_keeps_construction_time_variables(self):
+        evaluator = make_evaluator(DOC, "auto", variables={"x": 21.0})
+        assert evaluator("$x * 2") == 42.0
+        # Call-time bindings override, as with a fresh cvt evaluator.
+        assert evaluator("$x * 2", variables={"x": 4.0}) == 8.0
 
     def test_engines_constant_is_complete(self):
         assert set(ENGINES) == {"cvt", "naive", "core", "singleton", "auto"}
+
+    def test_singleton_negation_default_is_shared(self):
+        """One documented default threads through make_evaluator, evaluate
+        and XPathEngine (it used to be 0 here and a hardcoded 64 there)."""
+        from repro.engine import XPathEngine
+        from repro.evaluation import DEFAULT_MAX_NEGATION_DEPTH
+
+        checker = make_evaluator(DOC, "singleton")
+        assert checker.max_negation_depth == DEFAULT_MAX_NEGATION_DEPTH
+        assert XPathEngine().max_negation_depth == DEFAULT_MAX_NEGATION_DEPTH
+        # evaluate(engine="singleton") accepts bounded negation by default.
+        nodes = evaluate("descendant::a[not(child::b)]", DOC, engine="singleton")
+        assert len(nodes) == 1
 
 
 class TestEvaluate:

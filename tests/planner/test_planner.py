@@ -165,8 +165,9 @@ class TestAutoEngineThroughApi:
         assert plan_a is plan_b
         assert isinstance(plan_a, QueryPlan)
 
-    def test_make_evaluator_rejects_auto(self):
-        from repro.evaluation import make_evaluator
+    def test_make_evaluator_auto_is_planner_backed(self):
+        from repro.evaluation import PlannedEvaluator, make_evaluator
 
-        with pytest.raises(XPathEvaluationError):
-            make_evaluator(DOC, "auto")
+        evaluator = make_evaluator(DOC, "auto")
+        assert isinstance(evaluator, PlannedEvaluator)
+        assert evaluator("//a[child::b]") == evaluate("//a[child::b]", DOC, engine="auto")

@@ -1,0 +1,52 @@
+"""Property: the engine façade ≡ the legacy free-function surface.
+
+:class:`~repro.engine.XPathEngine` adds a registry, evaluator pools, a
+private plan cache and result wrapping on top of the planner — none of
+which may change a single answer.  Random documents and Core XPath
+queries check the whole sandwich: a fresh engine (pools and caches
+exercised across examples via a shared instance) must agree with the
+legacy ``evaluate(engine="auto")`` wrapper and with a freshly compiled,
+uncached :class:`~repro.planner.plan.QueryPlan`.
+"""
+
+from hypothesis import given, settings
+
+from repro.engine import XPathEngine
+from repro.evaluation import evaluate
+from repro.planner import plan_query
+
+from tests.properties.strategies import core_xpath_queries, documents
+
+#: One engine shared across every drawn example, so plan-cache reuse and
+#: evaluator pooling are themselves under test (a fresh engine per example
+#: would never hit its own caches).
+SHARED_ENGINE = XPathEngine(max_documents=16)
+
+
+def _normalise(value):
+    return [node.order for node in value] if isinstance(value, list) else value
+
+
+class TestEngineMatchesLegacySurface:
+    @given(documents(max_nodes=30), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=60, deadline=None)
+    def test_engine_equals_legacy_auto_and_fresh_plan(self, document, query):
+        engine_value = SHARED_ENGINE.evaluate(query, document).value
+        legacy_value = evaluate(query, document, engine="auto")
+        fresh_value = plan_query(query).run(document)
+        assert _normalise(engine_value) == _normalise(legacy_value)
+        assert _normalise(engine_value) == _normalise(fresh_value)
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=40, deadline=None)
+    def test_ids_mode_matches_node_mode(self, document, query):
+        ids = SHARED_ENGINE.evaluate(query, document, ids=True).ids
+        nodes = SHARED_ENGINE.evaluate(query, document).nodes
+        assert document.index.ids_to_node_list(ids) == nodes
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=30, deadline=None)
+    def test_batch_matches_serial(self, document, query):
+        [batched] = SHARED_ENGINE.evaluate_batch([(query, document)])
+        serial = SHARED_ENGINE.evaluate(query, document)
+        assert _normalise(batched.value) == _normalise(serial.value)

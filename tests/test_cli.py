@@ -46,6 +46,39 @@ class TestEvalCommand:
         assert "Core XPath" in capsys.readouterr().err
 
 
+class TestQueryCommand:
+    def test_metadata_and_node_set_output(self, xml_file, capsys):
+        assert main(["query", "//a[child::b]", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "engine   : auto (core selected)" in out
+        assert "fragment : positive Core XPath" in out
+        assert "plan     :" in out
+        assert "node-set of 1 node(s)" in out
+
+    def test_scalar_output(self, xml_file, capsys):
+        assert main(["query", "count(//a)", xml_file]) == 0
+        out = capsys.readouterr().out
+        assert "engine   : auto (cvt selected)" in out
+        assert "2.0" in out
+
+    def test_explicit_engine(self, xml_file, capsys):
+        assert main(["query", "//a", xml_file, "--engine", "cvt"]) == 0
+        assert "engine   : cvt" in capsys.readouterr().out
+
+    def test_stats_prints_engine_counters(self, xml_file, capsys):
+        assert main(["query", "//a[child::b]", xml_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "plan cache          :" in out
+        assert "documents           :" in out
+        assert "dispatch counts     : core=" in out
+        assert "hit rate" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["query", "//a", "/nonexistent/file.xml"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
 class TestClassifyCommand:
     def test_basic_classification(self, capsys):
         assert main(["classify", "//a[child::b]"]) == 0
@@ -79,6 +112,12 @@ class TestPlanCommand:
         hits_before = default_plan_cache().stats().hits
         assert main(["plan", query, "--stats"]) == 0
         assert default_plan_cache().stats().hits == hits_before + 1
+
+    def test_stats_includes_engine_dispatch_counts(self, capsys):
+        assert main(["plan", "//a", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch counts     :" in out
+        assert "queries             :" in out
 
 
 class TestFigure1Command:
