@@ -1,0 +1,183 @@
+"""E16 — snapshot hydration vs. parse + index construction.
+
+The ``repro.store`` snapshot codec packs a document's node data *and*
+its evaluation-ready :class:`~repro.xmlmodel.index.DocumentIndex` arrays
+into one framed binary blob, so serving a stored document costs one
+linear reconstruction pass instead of the XML scanner plus the O(|D|)
+index build.  This bench measures that gap on 10k-node documents and
+asserts the two store acceptance gates:
+
+* **speed** — ``load_snapshot(dump_snapshot(doc))`` must be at least 2×
+  faster than ``parse_xml(text)`` + index construction on every
+  10k-node shape (measured ~6–10×);
+* **fidelity** — an engine serving a store-hydrated document must
+  produce results identical to one serving a freshly parsed document:
+  same ids, same node structure, same scalar values, and the hydrated
+  document re-serialises to the same XML text.
+
+Unlike the wall-clock ratios of the concurrency bench, both sides here
+are single-threaded, deterministic work with a large margin, so the
+floor is asserted unconditionally (CI included).
+"""
+
+import sys
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.engine import XPathEngine
+from repro.store import CorpusStore, dump_snapshot, load_snapshot, snapshot_hash
+from repro.xmlmodel import (
+    auction_document,
+    chain_document,
+    complete_tree_document,
+    serialize,
+    wide_document,
+)
+from repro.xmlmodel.parser import parse_xml
+
+_DOCUMENTS = {
+    "chain-10k": lambda: chain_document(10_000),
+    "wide-10k": lambda: wide_document(10_000, tag="a"),
+    "complete-2x13": lambda: complete_tree_document(2, 13),
+}
+
+#: The mixed workload evaluated to prove store-hydrated fidelity — axis
+#: arithmetic, negation, and scalar aggregates (cvt engine) included.
+_WORKLOAD = (
+    "//a[child::a]",
+    "//a[not(child::a)]",
+    "/descendant::a[child::a and not(child::b)]",
+    "//a/ancestor::a",
+    "//b[ancestor::a]/descendant::c",
+    "count(//a)",
+)
+
+#: Acceptance floor: snapshot load vs parse+index on every 10k shape.
+SPEEDUP_FLOOR = 2.0
+
+_FIXTURES = {}
+
+
+def _fixture(shape):
+    """(xml_text, snapshot_bytes) for a shape, built once per session."""
+    if shape not in _FIXTURES:
+        document = _DOCUMENTS[shape]()
+        # The serializer recurses per depth level; the 10k chain needs
+        # headroom far beyond the interpreter default.
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 3 * len(document.nodes) + 1000))
+        try:
+            text = serialize(document)
+        finally:
+            sys.setrecursionlimit(limit)
+        _FIXTURES[shape] = (text, dump_snapshot(document))
+    return _FIXTURES[shape]
+
+
+def _parse_and_index(text):
+    document = parse_xml(text)
+    document.index
+    return document
+
+
+def _best_time(function, repeats=7):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("shape", sorted(_DOCUMENTS))
+def test_parse_and_index_timings(benchmark, shape):
+    """pytest-benchmark timings for the cold path: parse + index build."""
+    text, _ = _fixture(shape)
+    benchmark(_parse_and_index, text)
+
+
+@pytest.mark.parametrize("shape", sorted(_DOCUMENTS))
+def test_snapshot_load_timings(benchmark, shape):
+    """pytest-benchmark timings for the store path: snapshot load."""
+    _, blob = _fixture(shape)
+    benchmark(load_snapshot, blob)
+
+
+def test_snapshot_load_speedup_floor():
+    """Acceptance gate: load ≥2× faster than parse+index on every 10k shape."""
+    rows = []
+    ratios = {}
+    for shape in sorted(_DOCUMENTS):
+        text, blob = _fixture(shape)
+        parse_time = _best_time(lambda: _parse_and_index(text))
+        load_time = _best_time(lambda: load_snapshot(blob))
+        lazy_time = _best_time(lambda: load_snapshot(blob, lazy=True))
+        ratios[shape] = parse_time / load_time if load_time else float("inf")
+        rows.append(
+            f"{shape:>14}  {parse_time * 1e3:10.2f} ms  {load_time * 1e3:9.2f} ms  "
+            f"{lazy_time * 1e3:9.2f} ms  {ratios[shape]:6.1f}x"
+        )
+    header = (
+        f"{'document':>14}  {'parse+index':>13}  {'load':>12}  "
+        f"{'load-lazy':>12}  {'ratio':>7}"
+    )
+    report(
+        "E16 — snapshot hydration vs parse+index (10k-node documents)",
+        "\n".join([header] + rows),
+    )
+    for shape, ratio in ratios.items():
+        assert ratio >= SPEEDUP_FLOOR, (shape, ratios)
+
+
+def test_store_hydrated_results_identical(tmp_path):
+    """Acceptance gate: store-hydrated serving ≡ fresh parse, exactly."""
+    store = CorpusStore(tmp_path / "corpus")
+    for shape in sorted(_DOCUMENTS):
+        text, blob = _fixture(shape)
+        store.put(text, key=shape)
+        fresh_engine = XPathEngine()
+        fresh = fresh_engine.add(parse_xml(text))
+        store_engine = XPathEngine().attach_store(store)
+        hydrated = store_engine.add_from_store(shape)
+
+        # The hydrated document is byte-identical at every level that
+        # matters: XML serialisation, snapshot bytes, and result ids,
+        # node structure and scalar values for the whole workload.
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 3 * hydrated.document.size + 1000))
+        try:
+            assert serialize(hydrated.document) == text
+        finally:
+            sys.setrecursionlimit(limit)
+        assert dump_snapshot(hydrated.document) == blob
+        assert snapshot_hash(dump_snapshot(hydrated.document)) == snapshot_hash(blob)
+        for query in _WORKLOAD:
+            expected = fresh_engine.evaluate(query, fresh)
+            got = store_engine.evaluate(query, hydrated)
+            if expected.is_node_set:
+                assert got.ids == expected.ids, (shape, query)
+                assert [n.tag for n in got.nodes] == [
+                    n.tag for n in expected.nodes
+                ], (shape, query)
+            else:
+                assert got.value == expected.value, (shape, query)
+        stats = store_engine.stats().store
+        assert stats is not None and stats.hits >= 1 and stats.misses == 0
+
+
+def test_mmap_hydration_identical(tmp_path):
+    """The mmap/lazy residency answers exactly like the eager one."""
+    store = CorpusStore(tmp_path / "corpus")
+    text, _ = _fixture("complete-2x13")
+    store.put(text, key="doc")
+    eager = store.get("doc")
+    lazy = store.get("doc", mmap=True)
+    engine = XPathEngine()
+    for query in _WORKLOAD:
+        a = engine.evaluate(query, eager)
+        b = engine.evaluate(query, lazy)
+        assert (a.ids if a.is_node_set else a.value) == (
+            b.ids if b.is_node_set else b.value
+        ), query

@@ -1,9 +1,11 @@
 """Pytest bootstrap: make the in-tree ``src`` layout importable.
 
-The offline environment for this reproduction has no ``wheel`` package, so
-``pip install -e .`` cannot build the PEP 660 editable wheel.  Adding the
-``src`` directory to ``sys.path`` here gives tests, benchmarks and examples
-the same import behaviour an editable install would provide.
+The package is installable (``pip install -e .`` via ``pyproject.toml``,
+which is what CI does), but the test suite must also run straight from a
+checkout — including offline environments where the PEP 660 editable
+wheel cannot be built.  Adding ``src`` to ``sys.path`` here gives tests,
+benchmarks and examples the same import behaviour either way; an
+installed copy simply shadows nothing because this path comes first.
 """
 
 import os

@@ -49,8 +49,16 @@ from repro.planner import (
     QueryPlan,
     evaluate_many,
     evaluate_many_ids,
+    evaluate_many_stored,
     get_plan,
     plan_query,
+)
+from repro.store import (
+    CorpusStore,
+    StoreKey,
+    dump_snapshot,
+    load_snapshot,
+    snapshot_hash,
 )
 from repro.xmlmodel import (
     Document,
@@ -70,6 +78,7 @@ __all__ = [
     "Context",
     "ContextValueTableEvaluator",
     "CoreXPathEvaluator",
+    "CorpusStore",
     "DocHandle",
     "Document",
     "DocumentBuilder",
@@ -83,21 +92,26 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "SingletonSuccessChecker",
+    "StoreKey",
     "XPathEngine",
     "build_tree",
     "classify",
     "default_engine",
+    "dump_snapshot",
     "evaluate",
     "evaluate_many",
     "evaluate_many_ids",
+    "evaluate_many_stored",
     "evaluate_nodes",
     "get_plan",
+    "load_snapshot",
     "make_evaluator",
     "parse",
     "parse_xml",
     "plan_query",
     "query_selects",
     "serialize",
+    "snapshot_hash",
     "unparse",
     "__version__",
 ]

@@ -7,6 +7,9 @@ Usage (also available as ``python -m repro``)::
     python -m repro classify "//a[not(b)]"
     python -m repro plan "//a[not(b)]" --stats
     python -m repro figure1
+    python -m repro store build catalogue.xml --store ./corpus
+    python -m repro store ls --store ./corpus
+    python -m repro store query "//book" catalogue --store ./corpus --stats
 
 ``query`` evaluates through the session façade
 (:class:`repro.engine.XPathEngine`) and prints the full per-query
@@ -19,6 +22,12 @@ fragments; ``plan`` shows how the query planner compiles a query
 (fragment, selected evaluator, fallback chain), and with ``--stats``
 also the process-default engine's plan-cache counters and dispatch
 counts; ``figure1`` prints the fragment lattice.
+
+``store`` manages a :class:`repro.store.CorpusStore` of persistent index
+snapshots: ``store build`` snapshots XML files once (parse + index paid
+here, never again), ``store ls`` lists the manifest, and ``store query``
+serves a query over a snapshot-hydrated document — zero rebuild — with
+``--stats`` showing the engine's store hit/miss/load counters.
 """
 
 from __future__ import annotations
@@ -53,12 +62,8 @@ def _print_node_set(nodes: list, limit: int) -> None:
         print(f"  … and {len(nodes) - limit} more")
 
 
-def _command_query(args: argparse.Namespace) -> int:
-    engine = default_engine()
-    with open(args.document, "r", encoding="utf-8") as handle:
-        doc = engine.add(handle.read())
-    result = engine.evaluate(args.query, doc, engine=args.engine)
-    print(f"document : {args.document} ({doc.document.size} nodes)")
+def _print_query_result(args: argparse.Namespace, result, engine) -> None:
+    """The shared `query` / `store query` result block (after the document line)."""
     if args.engine == "auto":
         print(f"engine   : auto ({result.engine} selected)")
     else:
@@ -75,6 +80,15 @@ def _command_query(args: argparse.Namespace) -> int:
         print("engine stats:")
         for line in engine.stats().describe().splitlines():
             print(f"  {line}")
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    engine = default_engine()
+    with open(args.document, "r", encoding="utf-8") as handle:
+        doc = engine.add(handle.read())
+    result = engine.evaluate(args.query, doc, engine=args.engine)
+    print(f"document : {args.document} ({doc.document.size} nodes)")
+    _print_query_result(args, result, engine)
     return 0
 
 
@@ -120,6 +134,76 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 def _command_figure1(args: argparse.Namespace) -> int:
     print(render_figure1())
+    return 0
+
+
+def _command_store_build(args: argparse.Namespace) -> int:
+    from repro.store import CorpusStore
+
+    if args.key is not None and len(args.documents) > 1:
+        print("error: --key is only valid with a single document", file=sys.stderr)
+        return 2
+    import os
+
+    keys = [
+        args.key
+        if args.key is not None
+        else os.path.splitext(os.path.basename(path))[0]
+        for path in args.documents
+    ]
+    duplicates = sorted({key for key in keys if keys.count(key) > 1})
+    if duplicates:
+        print(
+            "error: colliding document basenames would overwrite manifest "
+            f"key(s) {', '.join(duplicates)}; pass distinct files or use "
+            "--key per invocation",
+            file=sys.stderr,
+        )
+        return 2
+    store = CorpusStore(args.store)
+    for path, key in zip(args.documents, keys):
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        entry = store.put(text, key=key)
+        print(
+            f"stored   : {path} -> {entry.key} "
+            f"({entry.nodes} nodes, {entry.bytes} snapshot bytes, "
+            f"hash {entry.hash[:12]}…)"
+        )
+    return 0
+
+
+def _command_store_ls(args: argparse.Namespace) -> int:
+    from repro.store import CorpusStore
+
+    store = CorpusStore(args.store)
+    entries = store.list()
+    if not entries:
+        print("(store is empty)")
+        return 0
+    width = max(len(entry.key) for entry in entries)
+    print(f"{'key':<{width}}  {'nodes':>8}  {'bytes':>10}  root tag      hash")
+    for entry in entries:
+        root_tag = entry.root_tag or "-"
+        print(
+            f"{entry.key:<{width}}  {entry.nodes:>8}  {entry.bytes:>10}  "
+            f"{root_tag:<12}  {entry.hash[:12]}…"
+        )
+    return 0
+
+
+def _command_store_query(args: argparse.Namespace) -> int:
+    from repro.engine import XPathEngine
+    from repro.store import CorpusStore
+
+    # A command-local engine: attaching the store (and its mmap default)
+    # to the process-default engine would leak past this command into
+    # in-process callers of main().
+    engine = XPathEngine().attach_store(CorpusStore(args.store), mmap=args.mmap)
+    doc = engine.add_from_store(args.key)
+    result = engine.evaluate(args.query, doc, engine=args.engine)
+    print(f"document : {args.key} ({doc.document.size} nodes, snapshot-hydrated)")
+    _print_query_result(args, result, engine)
     return 0
 
 
@@ -182,6 +266,64 @@ def build_parser() -> argparse.ArgumentParser:
 
     figure1_parser = subparsers.add_parser("figure1", help="print the Figure 1 lattice")
     figure1_parser.set_defaults(func=_command_figure1)
+
+    store_parser = subparsers.add_parser(
+        "store", help="manage a corpus store of persistent index snapshots"
+    )
+    store_subparsers = store_parser.add_subparsers(
+        dest="store_command", required=True
+    )
+
+    build_parser = store_subparsers.add_parser(
+        "build", help="snapshot XML documents into the store (parse+index once)"
+    )
+    build_parser.add_argument(
+        "documents", nargs="+", help="XML file(s) to snapshot"
+    )
+    build_parser.add_argument(
+        "--store", required=True, help="store directory (created if missing)"
+    )
+    build_parser.add_argument(
+        "--key",
+        default=None,
+        help="manifest key (single document only; default: file basename)",
+    )
+    build_parser.set_defaults(func=_command_store_build)
+
+    ls_parser = store_subparsers.add_parser(
+        "ls", help="list the store manifest"
+    )
+    ls_parser.add_argument("--store", required=True, help="store directory")
+    ls_parser.set_defaults(func=_command_store_ls)
+
+    store_query_parser = store_subparsers.add_parser(
+        "query", help="evaluate a query over a snapshot-hydrated document"
+    )
+    store_query_parser.add_argument("query", help="the XPath 1.0 query")
+    store_query_parser.add_argument("key", help="store key (or content hash)")
+    store_query_parser.add_argument(
+        "--store", required=True, help="store directory"
+    )
+    store_query_parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="auto",
+        help="evaluation engine (default: auto — planner dispatch)",
+    )
+    store_query_parser.add_argument(
+        "--limit", type=int, default=20, help="maximum number of result nodes to print"
+    )
+    store_query_parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map the snapshot instead of copying it into the heap",
+    )
+    store_query_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print the engine's counters (incl. store hits/misses/loads)",
+    )
+    store_query_parser.set_defaults(func=_command_store_query)
 
     return parser
 

@@ -17,6 +17,7 @@ from repro.engine.engine import (
     ENGINE_KINDS,
     EngineStats,
     QueryRequest,
+    StoreStats,
     XPathEngine,
     default_engine,
     reset_default_engine,
@@ -32,6 +33,7 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "RegistryStats",
+    "StoreStats",
     "XPathEngine",
     "default_engine",
     "reset_default_engine",

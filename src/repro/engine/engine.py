@@ -49,10 +49,11 @@ from __future__ import annotations
 
 import sys
 import threading
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Iterable, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Union
 
 from repro.errors import XPathEvaluationError
 from repro.evaluation.context import Context
@@ -67,10 +68,14 @@ from repro.engine.result import QueryResult
 from repro.fragments.classify import DEFAULT_NESTING_BOUND
 from repro.planner.cache import CacheStats, PlanCache
 from repro.planner.plan import QueryPlan
+from repro.store import StoreKey
 from repro.xmlmodel.document import Document
 from repro.xmlmodel.parser import parse_xml
 from repro.xpath.ast import XPathExpr
 from repro.xpath.functions import NODESET, static_type
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.store import CorpusStore
 
 #: Engines an explicit ``engine=`` override may name (mirrors the legacy API).
 ENGINE_KINDS = ("auto", "cvt", "naive", "core", "singleton")
@@ -136,13 +141,30 @@ class QueryRequest:
 
 
 @dataclass(frozen=True)
+class StoreStats:
+    """Counters of the engine's corpus-store hydration path.
+
+    ``hits`` counts :meth:`XPathEngine.add_from_store` requests that were
+    served (from the live registry or from a snapshot load); ``loads``
+    counts the subset that actually deserialised a snapshot from disk
+    (cold hydrations); ``misses`` counts requests whose key was absent
+    from the store.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    loads: int = 0
+
+
+@dataclass(frozen=True)
 class EngineStats:
     """A point-in-time snapshot of an engine's counters.
 
     ``dispatch`` counts evaluations by the engine that answered them (the
     planner's pick for auto runs); ``coalesced`` counts concurrent
     requests that joined an identical in-flight evaluation instead of
-    running their own.
+    running their own.  ``store`` is None until a corpus store is
+    attached.
     """
 
     plans: CacheStats
@@ -150,6 +172,7 @@ class EngineStats:
     dispatch: Mapping[str, int]
     queries: int = 0
     coalesced: int = 0
+    store: Optional[StoreStats] = None
 
     def describe(self) -> str:
         """Render the snapshot as the CLI's ``--stats`` block."""
@@ -158,19 +181,24 @@ class EngineStats:
             " ".join(f"{name}={count}" for name, count in sorted(self.dispatch.items()))
             or "(none)"
         )
-        return "\n".join(
-            [
-                f"plan cache          : {plans.size}/{plans.maxsize} plans, "
-                f"{plans.hits} hit(s), {plans.misses} miss(es), "
-                f"{plans.evictions} eviction(s), hit rate {plans.hit_rate:.0%}",
-                f"documents           : {docs.size}/{docs.maxsize} registered, "
-                f"{docs.adds} add(s), {docs.reuses} reuse(s), "
-                f"{docs.evictions} eviction(s)",
-                f"dispatch counts     : {dispatch}",
-                f"queries             : {self.queries} total, "
-                f"{self.coalesced} coalesced",
-            ]
-        )
+        lines = [
+            f"plan cache          : {plans.size}/{plans.maxsize} plans, "
+            f"{plans.hits} hit(s), {plans.misses} miss(es), "
+            f"{plans.evictions} eviction(s), hit rate {plans.hit_rate:.0%}",
+            f"documents           : {docs.size}/{docs.maxsize} registered, "
+            f"{docs.adds} add(s), {docs.reuses} reuse(s), "
+            f"{docs.evictions} eviction(s)",
+            f"dispatch counts     : {dispatch}",
+            f"queries             : {self.queries} total, "
+            f"{self.coalesced} coalesced",
+        ]
+        if self.store is not None:
+            lines.append(
+                f"store               : {self.store.hits} hit(s), "
+                f"{self.store.misses} miss(es), "
+                f"{self.store.loads} snapshot load(s)"
+            )
+        return "\n".join(lines)
 
 
 class _InFlight:
@@ -224,6 +252,21 @@ class XPathEngine:
         self._coalesced = 0
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
+        self._store: "Optional[CorpusStore]" = None
+        self._store_mmap = False
+        self._store_lock = threading.Lock()
+        # Hydrated documents keyed by (snapshot hash, mmap residency),
+        # weakly: re-requests of a live (still-registered) document reuse
+        # it — and its evaluator pools and cached IdSet partitions —
+        # without re-reading the snapshot (a warm request costs one
+        # manifest mtime check), while evicted documents stay collectable
+        # (the WeakValueDictionary drops entries with them).
+        self._store_docs: "weakref.WeakValueDictionary[tuple[str, bool], Document]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._store_hits = 0
+        self._store_misses = 0
+        self._store_loads = 0
 
     # -- documents -------------------------------------------------------------
 
@@ -236,9 +279,88 @@ class XPathEngine:
         """
         if isinstance(source, DocHandle):
             return self._registry.add(source.document)
+        if isinstance(source, StoreKey):
+            return self.add_from_store(source)
         if isinstance(source, str):
             source = parse_xml(source)
         return self._registry.add(source)
+
+    # -- corpus store ----------------------------------------------------------
+
+    def attach_store(
+        self, store: "CorpusStore", mmap: bool = False
+    ) -> "XPathEngine":
+        """Attach a :class:`~repro.store.CorpusStore` and return the engine.
+
+        Once attached, :meth:`add_from_store` (and
+        :class:`~repro.store.StoreKey` documents passed to any evaluate
+        entry point) hydrate documents from snapshots instead of parsing
+        and re-indexing.  ``mmap=True`` makes hydrations map snapshot
+        files zero-copy by default.
+        """
+        self._store = store
+        self._store_mmap = mmap
+        return self
+
+    @property
+    def store(self) -> "Optional[CorpusStore]":
+        """The attached corpus store, if any."""
+        return self._store
+
+    def add_from_store(
+        self,
+        key: str,
+        store: "Optional[CorpusStore]" = None,
+        mmap: Optional[bool] = None,
+    ) -> DocHandle:
+        """Register the document stored under ``key``, hydrating if cold.
+
+        A key whose document is still registered (tracked weakly by
+        snapshot hash and residency, so two keys naming identical
+        content share one hydration) is reused together with its
+        evaluator pools; an evicted or never-seen key costs one snapshot
+        load — never an XML parse, never an index build.  Raises
+        :class:`~repro.store.StoreKeyError` for unknown keys.
+        """
+        store = store if store is not None else self._store
+        if store is None:
+            raise RuntimeError(
+                "no corpus store attached; call engine.attach_store(store) "
+                "or pass store=..."
+            )
+        use_mmap = self._store_mmap if mmap is None else mmap
+        try:
+            entry = store.stat(key)
+        except KeyError:
+            with self._stats_lock:
+                self._store_misses += 1
+            raise
+        cache_key = (entry.hash, use_mmap)
+        loaded = False
+        handle = None
+        with self._store_lock:
+            # Any live entry is reusable, registered or not: content is
+            # immutable per hash, and re-registering an evicted-but-alive
+            # document is cheaper than a reload and preserves node-object
+            # identity with results callers may still hold.
+            document = self._store_docs.get(cache_key)
+        if document is None:
+            # Load outside the lock (a stampede may duplicate the work),
+            # then publish *and register* under it, so every racer ends
+            # up registering the same document object.
+            fresh = store.get(key, mmap=use_mmap)
+            with self._store_lock:
+                document = self._store_docs.get(cache_key)
+                if document is None:
+                    document = fresh
+                    self._store_docs[cache_key] = fresh
+                    handle = self._registry.add(fresh)
+                    loaded = True
+        with self._stats_lock:
+            self._store_hits += 1
+            if loaded:
+                self._store_loads += 1
+        return handle if handle is not None else self._registry.add(document)
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -395,12 +517,22 @@ class XPathEngine:
             dispatch = dict(self._dispatch)
             queries = self._queries
             coalesced = self._coalesced
+            store = (
+                StoreStats(
+                    hits=self._store_hits,
+                    misses=self._store_misses,
+                    loads=self._store_loads,
+                )
+                if self._store is not None
+                else None
+            )
         return EngineStats(
             plans=plans,
             documents=self._registry.stats(),
             dispatch=dispatch,
             queries=queries,
             coalesced=coalesced,
+            store=store,
         )
 
     # -- internals -------------------------------------------------------------

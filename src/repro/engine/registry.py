@@ -49,7 +49,7 @@ class DocHandle:
     use); eviction only drops the pooled evaluators.
     """
 
-    __slots__ = ("uid", "document", "_engine", "_pool", "_stripe")
+    __slots__ = ("uid", "document", "_engine", "_pool", "_stripe", "_retired")
 
     def __init__(self, uid: int, document: Document, engine: "Optional[XPathEngine]", stripe: threading.RLock) -> None:
         self.uid = uid
@@ -57,6 +57,7 @@ class DocHandle:
         self._engine = engine
         self._pool: dict[str, list[object]] = {}
         self._stripe = stripe
+        self._retired = False
 
     @property
     def size(self) -> int:
@@ -112,6 +113,7 @@ class DocumentRegistry:
         if not isinstance(document, Document):
             raise TypeError(f"expected a Document, got {type(document).__name__}")
         key = id(document)
+        evicted: Optional[DocHandle] = None
         with self._lock:
             handle = self._handles.get(key)
             if handle is None:
@@ -122,11 +124,13 @@ class DocumentRegistry:
                 self._handles[key] = handle
                 self.adds += 1
                 if len(self._handles) > self.maxsize:
-                    self._handles.popitem(last=False)
+                    _, evicted = self._handles.popitem(last=False)
                     self.evictions += 1
             else:
                 self._handles.move_to_end(key)
                 self.reuses += 1
+        if evicted is not None:
+            self._retire(evicted)
         # Force the index on every path (the reuse path may arrive while a
         # first registration is still building): the stripe serialises the
         # build, and the property's cache makes the second entrant a no-op.
@@ -136,6 +140,22 @@ class DocumentRegistry:
         return handle
 
     # -- evaluator pooling -----------------------------------------------------
+
+    def _retire(self, handle: DocHandle) -> None:
+        """Mark an evicted handle dead for pooling purposes.
+
+        Eviction can race an in-flight evaluation that checked evaluators
+        out of this handle's pool.  Retiring (under the handle's own
+        stripe, so it serialises with checkout/checkin) empties the pool
+        and makes every later :meth:`checkin` drop its evaluators instead
+        of re-pooling them — otherwise the orphaned handle would silently
+        pin evaluators (and through them the document) that no future
+        request can ever reach, while the re-registered document starts a
+        *second* pool for the same document.
+        """
+        with handle._stripe:
+            handle._retired = True
+            handle._pool.clear()
 
     def checkout(self, handle: DocHandle) -> dict[str, object]:
         """Remove one pooled evaluator per engine kind and return them.
@@ -152,8 +172,14 @@ class DocumentRegistry:
             return out
 
     def checkin(self, handle: DocHandle, evaluators: dict[str, object]) -> None:
-        """Return checked-out (and newly built) evaluators to the pool."""
+        """Return checked-out (and newly built) evaluators to the pool.
+
+        Checkins to a handle that was evicted while the evaluation ran
+        are dropped on the floor — see :meth:`_retire`.
+        """
         with handle._stripe:
+            if handle._retired:
+                return
             pool = handle._pool
             for engine, evaluator in evaluators.items():
                 free = pool.setdefault(engine, [])
@@ -189,7 +215,10 @@ class DocumentRegistry:
     def clear(self) -> None:
         """Drop every registered document, its pools, and the counters."""
         with self._lock:
+            dropped = list(self._handles.values())
             self._handles.clear()
             self.adds = 0
             self.reuses = 0
             self.evictions = 0
+        for handle in dropped:
+            self._retire(handle)

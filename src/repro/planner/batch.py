@@ -142,6 +142,48 @@ def evaluate_many_ids(
     ]
 
 
+def evaluate_many_stored(
+    store,
+    key: str,
+    queries: Iterable[XPathExpr | str],
+    context: Optional[Context] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    ids: bool = False,
+    mmap: bool = False,
+) -> list:
+    """Hydrate ``key`` from a corpus store and evaluate the batch on it.
+
+    The zero-rebuild batch path: the document (and its evaluation-ready
+    index) comes out of ``store`` as a snapshot load — no XML parse, no
+    index construction — and is registered with the process-default
+    engine keyed by its snapshot hash, so consecutive batches against the
+    same key share the hydration, its evaluator pools and the compiled
+    plans.  With ``ids=True`` results are document-order id lists (the
+    id-native wire format); otherwise the :meth:`QueryPlan.run` value
+    convention applies.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.store import CorpusStore
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     entry = CorpusStore(root).put("<a><b/><b><c/></b></a>", key="doc")
+    ...     evaluate_many_stored(CorpusStore(root), "doc", ["//b", "//b[child::c]"], ids=True)
+    [[2, 3], [3]]
+    """
+    from repro.engine import default_engine
+
+    engine = default_engine()
+    handle = engine.add_from_store(key, store=store, mmap=mmap)
+    results = [
+        engine.evaluate(
+            query, handle, context=context, variables=variables, ids=ids
+        )
+        for query in queries
+    ]
+    return [result.ids if ids else result.value for result in results]
+
+
 def _evaluate_many_with_cache(
     document: Document,
     queries: Iterable[XPathExpr | str],

@@ -1,0 +1,461 @@
+"""The snapshot codec: ``Document`` + ``DocumentIndex`` as flat bytes.
+
+A snapshot is the id-native design taken to disk.  The arrays the
+evaluators consume at run time — ``parent`` / ``subtree_end`` / ``post``
+/ ``first_child`` / ``next_sibling`` / ``prev_sibling``, the per-tag and
+per-kind partitions, ``element_ids`` — are packed verbatim as
+little-endian int32 buffers behind a framed header, together with one
+interned string table for tags, attribute names/values and character
+data.  :func:`load_snapshot` therefore reconstructs the node tree and
+the :class:`~repro.xmlmodel.index.DocumentIndex` in one linear pass over
+those buffers, without ever invoking the XML parser or re-running index
+construction.
+
+Framing (all integers little-endian)::
+
+    magic    8 bytes   b"REPROSNP"
+    version  u32       format version (1)
+    sections u32       number of sections
+    table    sections × (tag 4 bytes ASCII, offset u64, length u64)
+    payload  the section bodies, 8-byte aligned, in table order
+
+Sections of version 1 (``n`` = tree-node count, ``m`` = attribute count,
+``t`` = tag-partition count, ``k`` = kind-partition count):
+
+=========  =====================================================================
+``KIND``   ``n`` bytes — node kind per id (0 root, 1 element, 2 text, 3
+           comment, 4 processing instruction)
+``PAR``    int32[n] — ``DocumentIndex.parent``
+``SUB``    int32[n] — ``DocumentIndex.subtree_end``
+``POST``   int32[n] — ``DocumentIndex.post``
+``FCH``    int32[n] — ``DocumentIndex.first_child``
+``NSIB``   int32[n] — ``DocumentIndex.next_sibling``
+``PSIB``   int32[n] — ``DocumentIndex.prev_sibling``
+``NAME``   int32[n] — string id of the element tag / PI target, else -1
+``TEXT``   int32[n] — string id of text/comment data / PI data, else -1
+``ATTO``   int32[n+1] — per-node cumulative attribute offsets into ATTN/ATTV
+``ATTN``   int32[m] — attribute-name string ids, document order
+``ATTV``   int32[m] — attribute-value string ids, document order
+``ELEM``   int32[*] — ``DocumentIndex.element_ids``
+``TPRT``   u32 count ``t``, then int32[2t] (tag string id, length) pairs,
+           then the ``t`` concatenated sorted id partitions
+``KPRT``   same shape keyed by kind byte — the non-element partitions
+``STAB``   u32 count, int32[count+1] byte offsets, UTF-8 blob — the
+           interned string table (ids assigned in first-use order)
+=========  =====================================================================
+
+Determinism: the walk order, interning order, section order and padding
+are all fixed, so the same document always produces the same snapshot
+bytes — ``sha256(dump_snapshot(doc))`` is a usable content key, exposed
+as :func:`snapshot_hash`.
+
+Loading supports two residencies.  The default (*eager*) copies the
+buffers into :class:`array.array` objects so the snapshot bytes can be
+released immediately.  With ``lazy=True`` the index arrays and
+partitions stay zero-copy ``memoryview`` slices of the caller's buffer —
+hand :func:`load_snapshot` an :mod:`mmap`-ed file and the index pages in
+on demand (node *objects* are always materialised; they are what the
+evaluators walk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import sys
+from array import array
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.index import DocumentIndex
+from repro.xmlmodel.nodes import (
+    AttributeNode,
+    CommentNode,
+    ElementNode,
+    NodeType,
+    ProcessingInstructionNode,
+    RootNode,
+    TextNode,
+    XMLNode,
+    _node_counter,
+)
+
+MAGIC = b"REPROSNP"
+VERSION = 1
+
+_KIND_ROOT = 0
+_KIND_ELEMENT = 1
+_KIND_TEXT = 2
+_KIND_COMMENT = 3
+_KIND_PI = 4
+
+_KIND_BY_TYPE = {
+    NodeType.ROOT: _KIND_ROOT,
+    NodeType.ELEMENT: _KIND_ELEMENT,
+    NodeType.TEXT: _KIND_TEXT,
+    NodeType.COMMENT: _KIND_COMMENT,
+    NodeType.PROCESSING_INSTRUCTION: _KIND_PI,
+}
+
+#: ``KPRT`` keys: the byte value identifying each non-element kind
+#: partition, mapped to the key of ``DocumentIndex._ids_by_kind``.
+_KIND_PARTITION_NAMES = {
+    _KIND_ROOT: NodeType.ROOT.value,
+    _KIND_TEXT: NodeType.TEXT.value,
+    _KIND_COMMENT: NodeType.COMMENT.value,
+    _KIND_PI: NodeType.PROCESSING_INSTRUCTION.value,
+}
+
+_HEADER = struct.Struct("<8sII")
+_SECTION_ENTRY = struct.Struct("<4sQQ")
+_U32 = struct.Struct("<I")
+
+#: Fixed section order of version 1 (also the payload order).
+_SECTION_ORDER = (
+    b"KIND", b"PAR ", b"SUB ", b"POST", b"FCH ", b"NSIB", b"PSIB",
+    b"NAME", b"TEXT", b"ATTO", b"ATTN", b"ATTV", b"ELEM", b"TPRT",
+    b"KPRT", b"STAB",
+)
+
+
+class SnapshotError(ReproError):
+    """A snapshot could not be encoded or decoded."""
+
+
+def _int32_bytes(values: Sequence[int]) -> bytes:
+    buffer = array("i", values)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        buffer.byteswap()
+    return buffer.tobytes()
+
+
+class _StringTable:
+    """First-use-order string interner (the determinism anchor)."""
+
+    __slots__ = ("_ids", "_strings")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+
+    def intern(self, value: str) -> int:
+        string_id = self._ids.get(value)
+        if string_id is None:
+            string_id = self._ids[value] = len(self._strings)
+            self._strings.append(value)
+        return string_id
+
+    def encode(self) -> bytes:
+        blobs = [value.encode("utf-8") for value in self._strings]
+        offsets = [0]
+        for blob in blobs:
+            offsets.append(offsets[-1] + len(blob))
+        return b"".join(
+            [_U32.pack(len(blobs)), _int32_bytes(offsets), *blobs]
+        )
+
+
+def dump_snapshot(document: Document) -> bytes:
+    """Serialise ``document`` (and its index) to deterministic snapshot bytes.
+
+    The document's :class:`~repro.xmlmodel.index.DocumentIndex` is forced
+    if it has not been built yet — the snapshot *is* those arrays.
+    """
+    index = document.index
+    nodes = index.nodes
+    n = index.size
+    strings = _StringTable()
+
+    kinds = bytearray(n)
+    names = [-1] * n
+    texts = [-1] * n
+    attr_offsets = [0] * (n + 1)
+    attr_names: list[int] = []
+    attr_values: list[int] = []
+
+    for i, node in enumerate(nodes):
+        kind = _KIND_BY_TYPE[node.node_type]
+        kinds[i] = kind
+        if kind == _KIND_ELEMENT:
+            names[i] = strings.intern(node.tag)
+            for attribute in node.attributes:
+                attr_names.append(strings.intern(attribute.attr_name))
+                attr_values.append(strings.intern(attribute.value))
+        elif kind == _KIND_TEXT or kind == _KIND_COMMENT:
+            texts[i] = strings.intern(node.text)
+        elif kind == _KIND_PI:
+            names[i] = strings.intern(node.target)
+            texts[i] = strings.intern(node.data)
+        attr_offsets[i + 1] = len(attr_names)
+
+    tag_parts: list[bytes] = [_U32.pack(len(index.ids_by_tag))]
+    tag_ids: list[bytes] = []
+    # Tag partitions in interning order (== first document occurrence), so
+    # the section bytes never depend on dict iteration history.
+    for tag in sorted(index.ids_by_tag, key=strings.intern):
+        partition = index.ids_by_tag[tag]
+        tag_parts.append(_int32_bytes([strings.intern(tag), len(partition)]))
+        tag_ids.append(_int32_bytes(partition))
+
+    kind_parts: list[bytes] = [_U32.pack(len(_KIND_PARTITION_NAMES))]
+    kind_ids: list[bytes] = []
+    for kind_byte in sorted(_KIND_PARTITION_NAMES):
+        partition = index._ids_by_kind.get(_KIND_PARTITION_NAMES[kind_byte], [])
+        kind_parts.append(_int32_bytes([kind_byte, len(partition)]))
+        kind_ids.append(_int32_bytes(partition))
+
+    sections = {
+        b"KIND": bytes(kinds),
+        b"PAR ": _int32_bytes(index.parent),
+        b"SUB ": _int32_bytes(index.subtree_end),
+        b"POST": _int32_bytes(index.post),
+        b"FCH ": _int32_bytes(index.first_child),
+        b"NSIB": _int32_bytes(index.next_sibling),
+        b"PSIB": _int32_bytes(index.prev_sibling),
+        b"NAME": _int32_bytes(names),
+        b"TEXT": _int32_bytes(texts),
+        b"ATTO": _int32_bytes(attr_offsets),
+        b"ATTN": _int32_bytes(attr_names),
+        b"ATTV": _int32_bytes(attr_values),
+        b"ELEM": _int32_bytes(index.element_ids),
+        b"TPRT": b"".join(tag_parts + tag_ids),
+        b"KPRT": b"".join(kind_parts + kind_ids),
+        b"STAB": strings.encode(),
+    }
+
+    table_size = _HEADER.size + _SECTION_ENTRY.size * len(_SECTION_ORDER)
+    offset = table_size
+    table: list[bytes] = []
+    payload: list[bytes] = []
+    for tag in _SECTION_ORDER:
+        body = sections[tag]
+        padding = (-offset) % 8
+        if padding:
+            payload.append(b"\x00" * padding)
+            offset += padding
+        table.append(_SECTION_ENTRY.pack(tag, offset, len(body)))
+        payload.append(body)
+        offset += len(body)
+    return b"".join(
+        [_HEADER.pack(MAGIC, VERSION, len(_SECTION_ORDER)), *table, *payload]
+    )
+
+
+def snapshot_hash(data) -> str:
+    """The content key of snapshot bytes: their SHA-256 hex digest.
+
+    Accepts any bytes-like object (bytes, memoryview, mmap).
+    """
+    return hashlib.sha256(data).hexdigest()
+
+
+class _Reader:
+    """Section access over snapshot bytes (zero-copy via memoryview)."""
+
+    def __init__(self, data) -> None:
+        view = memoryview(data)
+        if len(view) < _HEADER.size:
+            raise SnapshotError("snapshot truncated: no header")
+        magic, version, count = _HEADER.unpack_from(view, 0)
+        if magic != MAGIC:
+            raise SnapshotError("not a repro snapshot (bad magic)")
+        if version != VERSION:
+            raise SnapshotError(
+                f"snapshot format version {version} is not supported "
+                f"(this build reads version {VERSION})"
+            )
+        self.view = view
+        self.sections: dict[bytes, tuple[int, int]] = {}
+        position = _HEADER.size
+        for _ in range(count):
+            tag, offset, length = _SECTION_ENTRY.unpack_from(view, position)
+            position += _SECTION_ENTRY.size
+            if offset + length > len(view):
+                raise SnapshotError(f"section {tag!r} overruns the snapshot")
+            self.sections[tag] = (offset, length)
+
+    def raw(self, tag: bytes) -> memoryview:
+        try:
+            offset, length = self.sections[tag]
+        except KeyError:
+            raise SnapshotError(f"snapshot is missing section {tag!r}") from None
+        return self.view[offset : offset + length]
+
+    def int32(self, tag: bytes, lazy: bool):
+        return _as_int32(self.raw(tag), lazy)
+
+
+def _as_int32(view: memoryview, lazy: bool):
+    """A view/copy of packed int32s that supports len/index/slice/bisect."""
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        out = array("i", bytes(view))
+        out.byteswap()
+        return out
+    if lazy:
+        return view.cast("i")
+    out = array("i")
+    out.frombytes(view)
+    return out
+
+
+def _decode_strings(view: memoryview) -> list[str]:
+    (count,) = _U32.unpack_from(view, 0)
+    offsets = _as_int32(view[_U32.size : _U32.size + 4 * (count + 1)], lazy=False)
+    blob = bytes(view[_U32.size + 4 * (count + 1) :])
+    return [
+        blob[offsets[i] : offsets[i + 1]].decode("utf-8") for i in range(count)
+    ]
+
+
+def _decode_partitions(view: memoryview, lazy: bool) -> list[tuple[int, object]]:
+    """Decode a TPRT/KPRT section into (key, sorted-id-sequence) pairs."""
+    (count,) = _U32.unpack_from(view, 0)
+    header = _as_int32(view[_U32.size : _U32.size + 8 * count], lazy=False)
+    body = view[_U32.size + 8 * count :]
+    out: list[tuple[int, object]] = []
+    position = 0
+    for part in range(count):
+        key, length = header[2 * part], header[2 * part + 1]
+        out.append((key, _as_int32(body[position : position + 4 * length], lazy)))
+        position += 4 * length
+    return out
+
+
+def load_snapshot(data, lazy: bool = False) -> Document:
+    """Reconstruct a :class:`Document` (index included) from snapshot bytes.
+
+    Parameters
+    ----------
+    data:
+        Snapshot bytes — anything :class:`memoryview` accepts, including
+        an :mod:`mmap` object.
+    lazy:
+        When True, the index arrays and partitions stay zero-copy views
+        of ``data`` (which must then outlive the document); when False
+        (the default) they are copied into process-private arrays.
+
+    The returned document is indistinguishable from a freshly parsed one:
+    node identity structure, document order, axes and query results all
+    match, and ``document.has_index`` is already True.
+    """
+    reader = _Reader(data)
+    strings = _decode_strings(reader.raw(b"STAB"))
+    kinds = reader.raw(b"KIND")
+    n = len(kinds)
+    parent = reader.int32(b"PAR ", lazy)
+    names = reader.int32(b"NAME", False)
+    texts = reader.int32(b"TEXT", False)
+    attr_offsets = reader.int32(b"ATTO", False)
+    attr_names = reader.int32(b"ATTN", False)
+    attr_values = reader.int32(b"ATTV", False)
+
+    if n == 0:
+        raise SnapshotError("snapshot holds no nodes")
+
+    # -- node reconstruction: one linear pass, no parser, no validation.
+    # Nodes are stored in pre-order, so every parent id precedes its
+    # children and links can be patched as objects come into existence.
+    # __new__ + direct slot writes skip the constructors' bookkeeping
+    # (uniqueness checks, attribute dict conversion) — the snapshot
+    # already encodes a frozen, validated tree.
+    document = Document.__new__(Document)
+    nodes: list[XMLNode] = [None] * n  # type: ignore[list-item]
+    attributes: list[AttributeNode] = []
+    id_by_uid: dict[int, int] = {}
+    order = 0
+    for i in range(n):
+        kind = kinds[i]
+        if kind == _KIND_ELEMENT:
+            node = ElementNode.__new__(ElementNode)
+            node.node_type = NodeType.ELEMENT
+            node.tag = strings[names[i]]
+            lo, hi = attr_offsets[i], attr_offsets[i + 1]
+            node.attributes = node_attributes = []
+        elif kind == _KIND_TEXT:
+            node = TextNode.__new__(TextNode)
+            node.node_type = NodeType.TEXT
+            node.text = strings[texts[i]]
+        elif kind == _KIND_ROOT:
+            node = RootNode.__new__(RootNode)
+            node.node_type = NodeType.ROOT
+        elif kind == _KIND_COMMENT:
+            node = CommentNode.__new__(CommentNode)
+            node.node_type = NodeType.COMMENT
+            node.text = strings[texts[i]]
+        elif kind == _KIND_PI:
+            node = ProcessingInstructionNode.__new__(ProcessingInstructionNode)
+            node.node_type = NodeType.PROCESSING_INSTRUCTION
+            node.target = strings[names[i]]
+            node.data = strings[texts[i]]
+        else:
+            raise SnapshotError(f"unknown node kind {kind} at id {i}")
+        node.children = []
+        node.order = order
+        order += 1
+        node.uid = uid = next(_node_counter)
+        node.document = document
+        id_by_uid[uid] = i
+        parent_id = parent[i]
+        if parent_id == -1:
+            node.parent = None
+        else:
+            parent_node = nodes[parent_id]
+            node.parent = parent_node
+            parent_node.children.append(node)
+        nodes[i] = node
+        if kind == _KIND_ELEMENT:
+            for j in range(lo, hi):
+                attribute = AttributeNode.__new__(AttributeNode)
+                attribute.node_type = NodeType.ATTRIBUTE
+                attribute.attr_name = strings[attr_names[j]]
+                attribute.value = strings[attr_values[j]]
+                attribute.parent = node
+                attribute.children = []
+                attribute.order = order
+                order += 1
+                attribute.uid = next(_node_counter)
+                attribute.document = document
+                node_attributes.append(attribute)
+                attributes.append(attribute)
+
+    root = nodes[0]
+    if not isinstance(root, RootNode):
+        raise SnapshotError("snapshot node 0 is not the root")
+
+    # -- index reconstruction: adopt the stored arrays wholesale.
+    index = DocumentIndex.__new__(DocumentIndex)
+    index.nodes = nodes
+    index.size = n
+    index.parent = parent
+    index.subtree_end = reader.int32(b"SUB ", lazy)
+    index.post = reader.int32(b"POST", lazy)
+    index.first_child = reader.int32(b"FCH ", lazy)
+    index.next_sibling = reader.int32(b"NSIB", lazy)
+    index.prev_sibling = reader.int32(b"PSIB", lazy)
+    index.element_ids = reader.int32(b"ELEM", lazy)
+    index.ids_by_tag = {
+        strings[string_id]: partition
+        for string_id, partition in _decode_partitions(reader.raw(b"TPRT"), lazy)
+    }
+    index._ids_by_kind = {
+        _KIND_PARTITION_NAMES[kind_byte]: partition
+        for kind_byte, partition in _decode_partitions(reader.raw(b"KPRT"), lazy)
+    }
+    index._test_idsets = {}
+    index._id_by_uid = id_by_uid
+
+    document.root = root
+    document._nodes = nodes
+    document._attributes = attributes
+    document._elements_by_tag = {
+        tag: [nodes[i] for i in partition]
+        for tag, partition in index.ids_by_tag.items()
+    }
+    document._index = index
+    return document
+
+
+def load_snapshot_with_hash(data, lazy: bool = False) -> tuple[Document, str]:
+    """:func:`load_snapshot` plus the content hash of ``data``."""
+    return load_snapshot(data, lazy=lazy), snapshot_hash(data)

@@ -466,7 +466,11 @@ class DocumentIndex:
         partition = self.ids_by_tag.get(tag)
         if not partition:
             return []
-        return partition[bisect_left(partition, lo) : bisect_left(partition, hi)]
+        block = partition[bisect_left(partition, lo) : bisect_left(partition, hi)]
+        # Snapshot-loaded indexes back partitions with array('i') /
+        # memoryview buffers whose slices are not lists; normalise so the
+        # documented list contract holds for every index residency.
+        return block if isinstance(block, list) else list(block)
 
     # -- id-native axis kernels (IdSet in, IdSet out) --------------------------
     #

@@ -1,0 +1,122 @@
+"""Regression tests: LRU eviction racing checked-out evaluator pools.
+
+Evicting a document while one of its pooled evaluators is checked out
+must not corrupt the pool: the in-flight evaluation finishes normally,
+its checkin is dropped (the handle is retired — pooling evaluators on an
+unreachable handle would pin the document for nothing), and a
+re-registered document starts a clean pool of its own.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import XPathEngine
+from repro.engine.registry import DocumentRegistry
+from repro.xmlmodel import parse_xml
+
+XML = "<r><a><b/></a><a/></r>"
+
+
+class TestEvictDuringCheckout:
+    def test_checkin_after_eviction_is_dropped(self):
+        registry = DocumentRegistry(maxsize=1)
+        document = parse_xml(XML)
+        handle = registry.add(document)
+        evaluators = registry.checkout(handle)
+        registry.add(parse_xml("<other/>"))  # evicts `handle`
+        assert handle._retired
+        evaluators["core"] = object()
+        registry.checkin(handle, evaluators)
+        assert registry.pooled(handle, "core") == 0  # dropped, not pooled
+
+    def test_pool_of_reregistered_document_stays_clean(self):
+        engine = XPathEngine(max_documents=1)
+        document = parse_xml(XML)
+        handle = engine.add(document)
+        # Check out mid-flight state, then evict while it is out.
+        evaluators = engine.documents.checkout(handle)
+        engine.add("<other/>")
+        engine.documents.checkin(handle, {"core": object(), **evaluators})
+        # Re-registering builds a fresh handle with an empty, working pool.
+        fresh = engine.add(document)
+        assert fresh is not handle
+        assert not fresh._retired
+        assert engine.documents.pooled(fresh, "core") == 0
+        engine.evaluate("//a[child::b]", fresh)
+        assert engine.documents.pooled(fresh, "core") == 1
+
+    def test_evicted_handle_still_evaluates(self):
+        engine = XPathEngine(max_documents=1)
+        first = engine.add(XML)
+        engine.add("<other/>")
+        assert engine.evaluate("//a", first).ids == [2, 4]
+
+    def test_clear_retires_outstanding_handles(self):
+        engine = XPathEngine()
+        handle = engine.add(XML)
+        evaluators = engine.documents.checkout(handle)
+        engine.documents.clear()
+        evaluators["core"] = object()
+        engine.documents.checkin(handle, evaluators)
+        assert engine.documents.pooled(handle, "core") == 0
+
+    def test_overlapping_checkouts_round_trip(self):
+        registry = DocumentRegistry(maxsize=4)
+        handle = registry.add(parse_xml(XML))
+        taken = [registry.checkout(handle) for _ in range(3)]
+        for evaluators in taken:
+            evaluators["core"] = object()
+            registry.checkin(handle, evaluators)
+        assert registry.pooled(handle, "core") == 3
+        registry.checkin(handle, {})  # spurious empty checkin is a no-op
+        assert registry.pooled(handle, "core") == 3
+
+
+class TestConcurrentAddStress:
+    def test_concurrent_adds_and_evaluations_with_tiny_lru(self):
+        engine = XPathEngine(max_documents=2, stripes=4)
+        documents = [parse_xml(f"<r n='{i}'><a><b/></a></r>") for i in range(8)]
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def worker(worker_id):
+            try:
+                barrier.wait()
+                for round_number in range(25):
+                    document = documents[(worker_id + round_number) % len(documents)]
+                    result = engine.evaluate("//a[child::b]", document)
+                    assert result.ids == [2], result.ids
+            except Exception as error:  # pragma: no cover - failure capture
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        stats = engine.stats().documents
+        assert stats.size <= 2
+        assert stats.evictions > 0
+        # Every pool on every *live* handle is bounded and usable.
+        for handle in list(engine.documents._handles.values()):
+            assert not handle._retired
+
+    def test_concurrent_add_of_same_fresh_document_registers_once(self):
+        engine = XPathEngine(max_documents=8)
+        document = parse_xml(XML)
+        handles = []
+        barrier = threading.Barrier(8)
+
+        def adder():
+            barrier.wait()
+            handles.append(engine.add(document))
+
+        threads = [threading.Thread(target=adder) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len({id(handle) for handle in handles}) == 1
+        assert engine.stats().documents.size == 1

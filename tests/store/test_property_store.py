@@ -1,0 +1,82 @@
+"""Hypothesis properties of the snapshot codec.
+
+``load(dump(doc))`` must be a perfect clone along every observable
+dimension: node identity structure (kinds, names, attribute lists,
+parent/child wiring, document order), all navigational axes, and query
+results through the id-native evaluator.  Dumping must be deterministic
+— the same document always yields the same bytes, and a round-tripped
+document re-dumps to the identical snapshot.
+"""
+
+from hypothesis import given, settings
+
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.store import dump_snapshot, load_snapshot, snapshot_hash
+from repro.xmlmodel import serialize
+from repro.xmlmodel.nodes import ElementNode
+
+from tests.properties.strategies import ALL_AXES, core_xpath_queries, documents
+
+
+def _shape(document):
+    """The identity structure of a document as comparable plain data."""
+    return [
+        (
+            node.node_type.value,
+            node.name(),
+            node.order,
+            node.parent.order if node.parent is not None else None,
+            [child.order for child in node.children],
+            [(a.attr_name, a.value, a.order) for a in node.attributes]
+            if isinstance(node, ElementNode)
+            else [],
+        )
+        for node in document.nodes
+    ]
+
+
+class TestRoundTripProperties:
+    @given(documents(max_nodes=40))
+    @settings(max_examples=60, deadline=None)
+    def test_node_identity_structure_is_preserved(self, document):
+        loaded = load_snapshot(dump_snapshot(document))
+        assert _shape(loaded) == _shape(document)
+        assert serialize(loaded) == serialize(document)
+
+    @given(documents(max_nodes=30))
+    @settings(max_examples=40, deadline=None)
+    def test_all_axes_agree_from_every_node(self, document):
+        fresh = document.index
+        for lazy in (False, True):
+            blob = dump_snapshot(document)
+            loaded = load_snapshot(memoryview(blob), lazy=lazy).index
+            for axis in ALL_AXES:
+                for node_id in range(fresh.size):
+                    assert loaded.axis_ids(node_id, axis) == fresh.axis_ids(
+                        node_id, axis
+                    ), (axis, node_id, lazy)
+
+    @given(documents(max_nodes=30), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=60, deadline=None)
+    def test_evaluate_ids_agrees(self, document, query):
+        loaded = load_snapshot(dump_snapshot(document))
+        expected = CoreXPathEvaluator(document).evaluate_ids(query)
+        assert CoreXPathEvaluator(loaded).evaluate_ids(query) == expected
+
+    @given(documents(max_nodes=30), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=30, deadline=None)
+    def test_lazy_evaluate_ids_agrees(self, document, query):
+        blob = dump_snapshot(document)
+        loaded = load_snapshot(memoryview(blob), lazy=True)
+        expected = CoreXPathEvaluator(document).evaluate_ids(query)
+        assert CoreXPathEvaluator(loaded).evaluate_ids(query) == expected
+
+
+class TestDeterminismProperties:
+    @given(documents(max_nodes=40))
+    @settings(max_examples=60, deadline=None)
+    def test_dump_is_deterministic_and_round_trip_stable(self, document):
+        first = dump_snapshot(document)
+        assert dump_snapshot(document) == first
+        assert dump_snapshot(load_snapshot(first)) == first
+        assert snapshot_hash(first) == snapshot_hash(dump_snapshot(document))

@@ -127,6 +127,80 @@ class TestFigure1Command:
         assert "P-complete" in out and "PF -> positive Core XPath" in out
 
 
+class TestStoreCommands:
+    # `store query` runs on a command-local engine (cli.py), so no
+    # process-default engine cleanup is needed here.
+
+    @pytest.fixture
+    def store_dir(self, tmp_path):
+        return str(tmp_path / "corpus")
+
+    def test_build_ls_query_round_trip(self, xml_file, store_dir, capsys):
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "stored   :" in out and "5 nodes" in out
+
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "doc" in out and "site" in out
+
+        assert main(
+            ["store", "query", "//a[child::b]", "doc", "--store", store_dir]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "snapshot-hydrated" in out
+        assert "node-set of 1 node(s)" in out
+
+    def test_query_stats_show_store_counters(self, xml_file, store_dir, capsys):
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", "count(//a)", "doc", "--store", store_dir, "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2.0" in out
+        assert "store               : 1 hit(s), 0 miss(es), 1 snapshot load(s)" in out
+
+    def test_query_mmap(self, xml_file, store_dir, capsys):
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", "//b", "doc", "--store", store_dir, "--mmap"]
+        ) == 0
+        assert "node-set of 1 node(s)" in capsys.readouterr().out
+
+    def test_build_custom_key_and_unknown_key(self, xml_file, store_dir, capsys):
+        assert main(
+            ["store", "build", xml_file, "--store", store_dir, "--key", "mine"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        assert "mine" in capsys.readouterr().out
+        assert main(["store", "query", "//a", "ghost", "--store", store_dir]) == 1
+        assert "ghost" in capsys.readouterr().err
+
+    def test_key_with_multiple_documents_rejected(self, xml_file, store_dir, capsys):
+        assert main(
+            ["store", "build", xml_file, xml_file, "--store", store_dir, "--key", "k"]
+        ) == 2
+        assert "--key" in capsys.readouterr().err
+
+    def test_colliding_basenames_rejected(self, tmp_path, store_dir, capsys):
+        first = tmp_path / "x" / "doc.xml"
+        second = tmp_path / "y" / "doc.xml"
+        for path, body in ((first, "<a/>"), (second, "<b/>")):
+            path.parent.mkdir(exist_ok=True)
+            path.write_text(body, encoding="utf-8")
+        assert main(
+            ["store", "build", str(first), str(second), "--store", store_dir]
+        ) == 2
+        assert "colliding" in capsys.readouterr().err
+
+    def test_empty_store_ls(self, store_dir, capsys):
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -135,3 +209,7 @@ class TestParser:
     def test_engine_choices_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["eval", "//a", "x.xml", "--engine", "warp"])
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
