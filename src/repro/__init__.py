@@ -49,10 +49,12 @@ from repro.planner import (
     QueryPlan,
     evaluate_many,
     evaluate_many_ids,
+    evaluate_many_sharded,
     evaluate_many_stored,
     get_plan,
     plan_query,
 )
+from repro.serving import ServingError, ServingStats, ShardedPool
 from repro.store import (
     CorpusStore,
     StoreKey,
@@ -71,7 +73,7 @@ from repro.xmlmodel import (
 )
 from repro.xpath import parse, unparse
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Classification",
@@ -91,6 +93,9 @@ __all__ = [
     "QueryPlan",
     "QueryRequest",
     "QueryResult",
+    "ServingError",
+    "ServingStats",
+    "ShardedPool",
     "SingletonSuccessChecker",
     "StoreKey",
     "XPathEngine",
@@ -101,6 +106,7 @@ __all__ = [
     "evaluate",
     "evaluate_many",
     "evaluate_many_ids",
+    "evaluate_many_sharded",
     "evaluate_many_stored",
     "evaluate_nodes",
     "get_plan",

@@ -3,13 +3,15 @@
 Usage (also available as ``python -m repro``)::
 
     python -m repro query "//book[child::title]" catalogue.xml --stats
+    python -m repro query "//book[child::title]" catalogue.xml --workers 4
     python -m repro eval "//book[child::title]" catalogue.xml --engine auto
     python -m repro classify "//a[not(b)]"
     python -m repro plan "//a[not(b)]" --stats
     python -m repro figure1
     python -m repro store build catalogue.xml --store ./corpus
-    python -m repro store ls --store ./corpus
+    python -m repro store ls --store ./corpus --workers 4
     python -m repro store query "//book" catalogue --store ./corpus --stats
+    python -m repro serve --store ./corpus --workers 4 --stats
 
 ``query`` evaluates through the session façade
 (:class:`repro.engine.XPathEngine`) and prints the full per-query
@@ -25,9 +27,17 @@ counts; ``figure1`` prints the fragment lattice.
 
 ``store`` manages a :class:`repro.store.CorpusStore` of persistent index
 snapshots: ``store build`` snapshots XML files once (parse + index paid
-here, never again), ``store ls`` lists the manifest, and ``store query``
-serves a query over a snapshot-hydrated document — zero rebuild — with
-``--stats`` showing the engine's store hit/miss/load counters.
+here, never again), ``store ls`` lists the manifest (sorted by key, with
+snapshot byte sizes and totals; ``--workers N`` previews the shard
+layout), and ``store query`` serves a query over a snapshot-hydrated
+document — zero rebuild — with ``--stats`` showing the engine's store
+hit/miss/load counters.
+
+``serve`` is the cross-process serving tier (``docs/serving.md``): it
+shards the store's documents over ``--workers`` worker processes and
+answers ``<key> <query>`` request lines from stdin over the id-native
+wire format; ``query``/``store query`` accept ``--workers N`` to run a
+single query through the same tier.
 """
 
 from __future__ import annotations
@@ -44,6 +54,17 @@ from repro.fragments import classify
 from repro.planner import get_plan
 from repro.xmlmodel import parse_xml
 from repro.xmlmodel.nodes import XMLNode
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be a positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def _describe_node(node: XMLNode) -> str:
@@ -82,13 +103,70 @@ def _print_query_result(args: argparse.Namespace, result, engine) -> None:
             print(f"  {line}")
 
 
+def _print_sharded_result(args: argparse.Namespace, result, pool, key: str) -> None:
+    """The result block of a query answered by the worker pool."""
+    print(
+        f"engine   : sharded ({pool.workers} worker process(es), "
+        f"{pool.start_method})"
+    )
+    print(f"query    : {result.query}")
+    print(f"shard    : worker {pool.shard_for(key)} "
+          f"(snapshot {pool.store.stat(key).hash[:12]}…)")
+    if result.is_node_set:
+        _print_node_set(result.nodes, args.limit)
+    else:
+        print(f"result   : {result.value!r}")
+    if args.stats:
+        print("serving stats:")
+        for line in pool.stats().describe().splitlines():
+            print(f"  {line}")
+
+
 def _command_query(args: argparse.Namespace) -> int:
+    if args.workers:
+        return _command_query_sharded(args)
     engine = default_engine()
     with open(args.document, "r", encoding="utf-8") as handle:
         doc = engine.add(handle.read())
     result = engine.evaluate(args.query, doc, engine=args.engine)
     print(f"document : {args.document} ({doc.document.size} nodes)")
     _print_query_result(args, result, engine)
+    return 0
+
+
+def _command_query_sharded(args: argparse.Namespace) -> int:
+    """``query --workers N``: serve one file through an ephemeral store + pool.
+
+    The worker pool's only document transport is a corpus store, so the
+    file is snapshotted into a temporary store first (that cost is the
+    one ``store build`` pays once in a real deployment).
+    """
+    import os
+    import tempfile
+
+    from repro.serving import ShardedPool
+    from repro.store import CorpusStore
+
+    if args.engine != "auto":
+        print(
+            "error: --workers uses planner dispatch inside each worker; "
+            "drop --engine or --workers",
+            file=sys.stderr,
+        )
+        return 2
+    with open(args.document, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    key = os.path.splitext(os.path.basename(args.document))[0]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as root:
+        store = CorpusStore(root)
+        entry = store.put(text, key=key)
+        with ShardedPool(store, workers=args.workers) as pool:
+            result = pool.evaluate(args.query, key)
+            print(
+                f"document : {args.document} ({entry.nodes} nodes, "
+                "snapshot-hydrated in workers)"
+            )
+            _print_sharded_result(args, result, pool, key)
     return 0
 
 
@@ -174,21 +252,33 @@ def _command_store_build(args: argparse.Namespace) -> int:
 
 
 def _command_store_ls(args: argparse.Namespace) -> int:
-    from repro.store import CorpusStore
+    from repro.store import CorpusStore, shard_of
 
     store = CorpusStore(args.store)
-    entries = store.list()
+    entries = store.list()  # sorted by key: ls output is deterministic
     if not entries:
         print("(store is empty)")
         return 0
     width = max(len(entry.key) for entry in entries)
-    print(f"{'key':<{width}}  {'nodes':>8}  {'bytes':>10}  root tag      hash")
+    shard_header = f"  {'shard':>5}" if args.workers else ""
+    print(
+        f"{'key':<{width}}  {'nodes':>8}  {'bytes':>10}  "
+        f"root tag      hash{shard_header}"
+    )
     for entry in entries:
         root_tag = entry.root_tag or "-"
+        shard = (
+            f"  {shard_of(entry.hash, args.workers):>5}" if args.workers else ""
+        )
         print(
             f"{entry.key:<{width}}  {entry.nodes:>8}  {entry.bytes:>10}  "
-            f"{root_tag:<12}  {entry.hash[:12]}…"
+            f"{root_tag:<12}  {entry.hash[:12]}…{shard}"
         )
+    distinct = len({entry.hash for entry in entries})
+    print(
+        f"total    : {len(entries)} key(s), {distinct} snapshot file(s), "
+        f"{store.total_bytes()} snapshot byte(s)"
+    )
     return 0
 
 
@@ -196,6 +286,26 @@ def _command_store_query(args: argparse.Namespace) -> int:
     from repro.engine import XPathEngine
     from repro.store import CorpusStore
 
+    if args.workers:
+        from repro.serving import ShardedPool
+
+        if args.engine != "auto":
+            print(
+                "error: --workers uses planner dispatch inside each worker; "
+                "drop --engine or --workers",
+                file=sys.stderr,
+            )
+            return 2
+        store = CorpusStore(args.store)
+        entry = store.stat(args.key)  # fail on unknown keys before spawning
+        with ShardedPool(store, workers=args.workers, mmap=True) as pool:
+            result = pool.evaluate(args.query, args.key)
+            print(
+                f"document : {args.key} ({entry.nodes} nodes, "
+                "snapshot-hydrated in workers)"
+            )
+            _print_sharded_result(args, result, pool, args.key)
+        return 0
     # A command-local engine: attaching the store (and its mmap default)
     # to the process-default engine would leak past this command into
     # in-process callers of main().
@@ -204,6 +314,54 @@ def _command_store_query(args: argparse.Namespace) -> int:
     result = engine.evaluate(args.query, doc, engine=args.engine)
     print(f"document : {args.key} ({doc.document.size} nodes, snapshot-hydrated)")
     _print_query_result(args, result, engine)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """``serve``: answer ``<key> <query>`` stdin lines over the worker pool.
+
+    One request line in, one tab-separated result line out
+    (``key\\tids=[...]`` / ``key\\tvalue=...`` / ``key\\terror=Type: …``);
+    request errors are reported inline and never stop the loop.  EOF
+    shuts the pool down gracefully.
+    """
+    from repro.serving import ShardedPool
+    from repro.store import CorpusStore
+
+    store = CorpusStore(args.store)
+    with ShardedPool(
+        store, workers=args.workers, mmap=not args.no_mmap, warm=not args.cold
+    ) as pool:
+        print(
+            f"serving  : {len(store)} key(s) over {pool.workers} worker "
+            f"process(es) ({pool.start_method}); send '<key> <query>' lines",
+            file=sys.stderr,
+        )
+        served = 0
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                print(f"{parts[0]}\terror=request needs '<key> <query>'")
+                continue
+            key, query = parts
+            try:
+                result = pool.evaluate(query, key, ids=args.ids)
+            except ReproError as error:
+                print(f"{key}\terror={type(error).__name__}: {error}")
+                continue
+            served += 1
+            if result.is_node_set:
+                print(f"{key}\tids={result.ids!r}")
+            else:
+                print(f"{key}\tvalue={result.value!r}")
+        if args.stats:
+            print("serving stats:")
+            for stats_line in pool.stats().describe().splitlines():
+                print(f"  {stats_line}")
+        print(f"served   : {served} request(s)", file=sys.stderr)
     return 0
 
 
@@ -234,6 +392,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="also print the engine's counters (plan cache, registry, dispatch)",
+    )
+    query_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="serve through N worker processes (cross-process sharded tier; "
+        "snapshots the document into an ephemeral corpus store first)",
     )
     query_parser.set_defaults(func=_command_query)
 
@@ -291,9 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
     build_parser.set_defaults(func=_command_store_build)
 
     ls_parser = store_subparsers.add_parser(
-        "ls", help="list the store manifest"
+        "ls", help="list the store manifest (sorted by key, with totals)"
     )
     ls_parser.add_argument("--store", required=True, help="store directory")
+    ls_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="also show which of N serving shards each key routes to",
+    )
     ls_parser.set_defaults(func=_command_store_ls)
 
     store_query_parser = store_subparsers.add_parser(
@@ -323,7 +496,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the engine's counters (incl. store hits/misses/loads)",
     )
+    store_query_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=0,
+        metavar="N",
+        help="serve through N worker processes (cross-process sharded tier)",
+    )
     store_query_parser.set_defaults(func=_command_store_query)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="shard a corpus store over worker processes and answer "
+        "'<key> <query>' lines from stdin",
+    )
+    serve_parser.add_argument("--store", required=True, help="store directory")
+    serve_parser.add_argument(
+        "--workers", type=_positive_int, default=4, metavar="N",
+        help="worker process count (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--ids",
+        action="store_true",
+        help="id-native mode: require id-array answers (scalar queries error)",
+    )
+    serve_parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="copy snapshots into each worker's heap instead of mmap sharing",
+    )
+    serve_parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="skip the warm-up hydration pass (first query per key pays it)",
+    )
+    serve_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the merged per-worker counters at shutdown",
+    )
+    serve_parser.set_defaults(func=_command_serve)
 
     return parser
 

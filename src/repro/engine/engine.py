@@ -75,6 +75,7 @@ from repro.xpath.ast import XPathExpr
 from repro.xpath.functions import NODESET, static_type
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serving import ServingStats, ShardedPool
     from repro.store import CorpusStore
 
 #: Engines an explicit ``engine=`` override may name (mirrors the legacy API).
@@ -164,7 +165,8 @@ class EngineStats:
     planner's pick for auto runs); ``coalesced`` counts concurrent
     requests that joined an identical in-flight evaluation instead of
     running their own.  ``store`` is None until a corpus store is
-    attached.
+    attached; ``serving`` is None until :meth:`XPathEngine.serve` starts
+    a worker pool (it then merges the per-worker engine counters).
     """
 
     plans: CacheStats
@@ -173,6 +175,7 @@ class EngineStats:
     queries: int = 0
     coalesced: int = 0
     store: Optional[StoreStats] = None
+    serving: "Optional[ServingStats]" = None
 
     def describe(self) -> str:
         """Render the snapshot as the CLI's ``--stats`` block."""
@@ -198,6 +201,8 @@ class EngineStats:
                 f"{self.store.misses} miss(es), "
                 f"{self.store.loads} snapshot load(s)"
             )
+        if self.serving is not None:
+            lines.append(self.serving.describe())
         return "\n".join(lines)
 
 
@@ -267,6 +272,13 @@ class XPathEngine:
         self._store_hits = 0
         self._store_misses = 0
         self._store_loads = 0
+        self._serving: "Optional[ShardedPool]" = None
+        self._serving_finalizer = None
+        # The pool is a single-dispatcher backend (one pipe conversation
+        # per worker); this lock is what upholds the engine's public
+        # thread-safety contract over it — concurrent sharded batches,
+        # stats round-trips and serve()/shutdown() calls serialise here.
+        self._serving_lock = threading.RLock()
 
     # -- documents -------------------------------------------------------------
 
@@ -361,6 +373,86 @@ class XPathEngine:
             if loaded:
                 self._store_loads += 1
         return handle if handle is not None else self._registry.add(document)
+
+    # -- cross-process serving -------------------------------------------------
+
+    def serve(
+        self,
+        workers: int = 4,
+        mmap: bool = True,
+        start_method: Optional[str] = None,
+        warm: bool = True,
+    ) -> "ShardedPool":
+        """Start (or return) this engine's cross-process serving backend.
+
+        Shards the attached store's documents across ``workers``
+        processes over the id-native wire format — see
+        :class:`repro.serving.ShardedPool` and ``docs/serving.md``.  The
+        pool is cached on the engine: a second call with the same
+        ``workers`` returns the live pool, a different ``workers`` count
+        shuts the old pool down and starts a new one.  The engine's
+        :meth:`stats` merge the workers' counters while a pool is live,
+        and the pool is closed when the engine is garbage-collected
+        (call :meth:`shutdown_serving` for deterministic shutdown).
+        """
+        if self._store is None:
+            raise RuntimeError(
+                "no corpus store attached; call engine.attach_store(store) "
+                "first — the store is the workers' document transport"
+            )
+        with self._serving_lock:
+            pool = self._serving
+            if pool is not None and not pool.closed:
+                if pool.workers == workers:
+                    return pool
+                self.shutdown_serving()
+            from repro.serving import ShardedPool
+
+            pool = ShardedPool(
+                self._store,
+                workers=workers,
+                mmap=mmap,
+                start_method=start_method,
+                warm=warm,
+            )
+            self._serving = pool
+            self._serving_finalizer = weakref.finalize(self, pool.close)
+            return pool
+
+    def evaluate_sharded(
+        self,
+        requests: Iterable[tuple],
+        workers: int = 4,
+        ids: bool = False,
+    ) -> list[QueryResult]:
+        """Evaluate ``(query, store key)`` pairs on the worker pool.
+
+        Results come back in input order and identical to evaluating the
+        same requests in process (``engine.evaluate(query,
+        StoreKey(key))``).  Reuses a live pool regardless of its worker
+        count; starts one with ``workers`` processes otherwise.  Safe
+        from any thread (batches from concurrent threads serialise on
+        the engine's serving lock — the pool is one conversation).
+        """
+        with self._serving_lock:
+            pool = self._serving
+            if pool is None or pool.closed:
+                pool = self.serve(workers=workers)
+            return pool.evaluate_batch(requests, ids=ids)
+
+    def shutdown_serving(self) -> None:
+        """Close the serving pool, if one is live (idempotent)."""
+        with self._serving_lock:
+            if self._serving_finalizer is not None:
+                self._serving_finalizer()  # runs pool.close() exactly once
+                self._serving_finalizer = None
+            self._serving = None
+
+    @property
+    def serving(self) -> "Optional[ShardedPool]":
+        """The live serving pool, if :meth:`serve` started one."""
+        pool = self._serving
+        return pool if pool is not None and not pool.closed else None
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -510,7 +602,17 @@ class XPathEngine:
     # -- statistics ------------------------------------------------------------
 
     def stats(self) -> EngineStats:
-        """Return a consistent snapshot of every engine counter."""
+        """Return a consistent snapshot of every engine counter.
+
+        While a serving pool is live (:meth:`serve`), the snapshot's
+        ``serving`` field carries the merged per-worker counters — one
+        ``stats()`` call describes the whole process tree.
+        """
+        serving = None
+        with self._serving_lock:
+            pool = self.serving
+            if pool is not None:
+                serving = pool.stats()
         with self._plan_lock:
             plans = self._plan_cache.stats()
         with self._stats_lock:
@@ -533,6 +635,7 @@ class XPathEngine:
             queries=queries,
             coalesced=coalesced,
             store=store,
+            serving=serving,
         )
 
     # -- internals -------------------------------------------------------------

@@ -25,6 +25,7 @@ from repro.planner.batch import (
     default_plan_cache,
     evaluate_many,
     evaluate_many_ids,
+    evaluate_many_sharded,
     evaluate_many_stored,
     get_plan,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "default_plan_cache",
     "evaluate_many",
     "evaluate_many_ids",
+    "evaluate_many_sharded",
     "evaluate_many_stored",
     "get_plan",
     "plan_query",

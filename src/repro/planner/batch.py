@@ -184,6 +184,54 @@ def evaluate_many_stored(
     return [result.ids if ids else result.value for result in results]
 
 
+def evaluate_many_sharded(
+    store,
+    requests: Iterable[tuple],
+    workers: int = 4,
+    ids: bool = False,
+    mmap: bool = True,
+    start_method: Optional[str] = None,
+) -> list:
+    """Evaluate ``(query, store key)`` pairs across worker processes.
+
+    The one-shot form of the cross-process serving tier
+    (:class:`repro.serving.ShardedPool`): documents are sharded over
+    ``workers`` processes by snapshot content hash, each worker hydrates
+    its shard from ``store`` (mmap'd — no parse, no index build) and
+    keeps its own plan cache, and queries/results travel as the
+    id-native wire format — the cross-process analogue of
+    :func:`evaluate_many_ids`'s batch contract.  Results come back in
+    input order under the usual conventions (``ids=True``: document-order
+    id lists; otherwise :meth:`QueryPlan.run` values, with node-sets
+    materialised from a parent-side hydration of the same snapshot).
+
+    Keeping a pool warm across many batches is the engine's job —
+    :meth:`repro.engine.XPathEngine.serve` — this function pays worker
+    startup per call.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.store import CorpusStore
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     store = CorpusStore(root)
+    ...     _ = store.put("<a><b/><b><c/></b></a>", key="doc")
+    ...     _ = store.put("<r><x/><x/></r>", key="other")
+    ...     (evaluate_many_sharded(
+    ...          store, [("//b", "doc"), ("//b[child::c]", "doc")],
+    ...          workers=2, ids=True,
+    ...      ), evaluate_many_sharded(store, [("count(//x)", "other")]))
+    ([[2, 3], [3]], [2.0])
+    """
+    from repro.serving import ShardedPool
+
+    with ShardedPool(
+        store, workers=workers, mmap=mmap, start_method=start_method
+    ) as pool:
+        results = pool.evaluate_batch(requests, ids=ids)
+        return [result.ids if ids else result.value for result in results]
+
+
 def _evaluate_many_with_cache(
     document: Document,
     queries: Iterable[XPathExpr | str],

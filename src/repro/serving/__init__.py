@@ -1,0 +1,42 @@
+"""Cross-process sharded serving over the id-native wire format.
+
+The one subsystem that escapes the GIL: a :class:`ShardedPool` spreads a
+corpus store's documents across N worker processes (one shard per
+worker, assigned by snapshot content hash), ships queries and results as
+compact id-native frames (:mod:`repro.serving.wire` — query text + store
+key in, sorted int32 id arrays / scalars out, never pickled nodes), and
+warms workers by hydrating mmap'd snapshots from the shared
+:class:`~repro.store.CorpusStore`, so process startup pays no XML parse
+and no index build.
+
+Entry points, highest level first:
+
+* :meth:`repro.engine.XPathEngine.serve` /
+  :meth:`~repro.engine.XPathEngine.evaluate_sharded` — the engine façade
+  treats the pool as one more dispatch backend and merges its stats;
+* :func:`repro.planner.evaluate_many_sharded` — the one-shot batch form;
+* :class:`ShardedPool` — the backend itself, for callers that manage
+  worker lifecycle explicitly;
+* ``python -m repro serve`` / ``query --workers N`` on the command line.
+
+See ``docs/serving.md`` for the architecture, the wire-format spec, the
+worker lifecycle and the operations guide.
+"""
+
+from repro.serving.pool import (
+    DEFAULT_WINDOW,
+    ServingError,
+    ServingStats,
+    ShardedPool,
+    WorkerStats,
+)
+from repro.serving.wire import WireError
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "ServingError",
+    "ServingStats",
+    "ShardedPool",
+    "WireError",
+    "WorkerStats",
+]

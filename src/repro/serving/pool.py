@@ -1,0 +1,574 @@
+"""`ShardedPool`: documents sharded across worker processes.
+
+The in-process serving layer (:meth:`repro.engine.XPathEngine
+.evaluate_concurrent`) is bounded by the GIL: its threads share one core
+of pure-Python evaluation, and everything it gains comes from coalescing
+identical requests.  A :class:`ShardedPool` escapes that bound by putting
+*evaluation itself* on N worker processes:
+
+* **sharding** — every registered document belongs to exactly one worker,
+  assigned deterministically from its snapshot content hash
+  (:func:`repro.store.shard_of`), so each document's index, evaluator
+  pools and plan cache warm up in one process and stay there;
+* **transport** — the shared :class:`~repro.store.CorpusStore` is the
+  only document channel: the parent sends keys, workers hydrate mmap'd
+  snapshots (fork/spawn startup pays no XML parse and no index build, and
+  mapped snapshot pages are physically shared between processes);
+* **wire format** — requests and results cross as the compact id-native
+  frames of :mod:`repro.serving.wire` (query text + key in, sorted int32
+  id arrays / scalars out), never as pickled nodes;
+* **dispatch** — a batch is split by shard, streamed to each worker under
+  a bounded in-flight window (both pipe directions keep flowing, so a
+  batch larger than the OS pipe buffer cannot deadlock), and reassembled
+  in input order by correlation id.
+
+The pool is a *backend*, not a second API: results come back as the same
+:class:`~repro.engine.QueryResult` the in-process engine returns (ids
+wired through; node objects materialise lazily from a parent-side
+hydration of the same snapshot), errors re-raise as their original
+exception types, and :meth:`ShardedPool.stats` merges the per-worker
+engine counters.  See ``docs/serving.md`` for the architecture, the wire
+format spec and the operations guide.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Union
+
+import repro
+import repro.errors as _errors
+from repro.errors import ReproError
+from repro.engine.result import QueryResult
+from repro.serving import wire
+from repro.serving.worker import worker_main
+from repro.store import CorpusStore, shard_of
+from repro.store import corpus as _corpus
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.xpath.ast import XPathExpr
+
+#: Frames in flight per worker before the dispatcher waits for replies.
+#: Big enough to hide IPC latency, small enough that request and reply
+#: frames together stay far below any OS pipe buffer.
+DEFAULT_WINDOW = 32
+
+#: How long the dispatcher waits for a reply before re-checking that the
+#: owing workers are still alive (long evaluations just loop).
+_LIVENESS_POLL = 1.0
+
+#: LRU bound on the pool's parent-side document hydrations (the lazy
+#: rehydrations backing ``QueryResult.nodes``); mirrors the engine
+#: registry's default bound so a long-lived pool cannot pin the corpus.
+PARENT_DOCUMENT_BOUND = 64
+
+_env_lock = threading.Lock()
+
+
+class ServingError(ReproError):
+    """The serving tier itself failed (dead worker, protocol violation)."""
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, shares pages), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _start_with_child_importable(process) -> None:
+    """Start ``process`` with the repro checkout importable in the child.
+
+    A ``fork`` child inherits the parent's ``sys.path``; a ``spawn`` child
+    starts a fresh interpreter that must find :mod:`repro` on its own —
+    which fails when the package runs from a source checkout (the root
+    ``conftest.py`` injects ``src/`` only into the parent).  Exporting the
+    package root through ``PYTHONPATH`` for the duration of the start
+    covers both cases.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    with _env_lock:
+        saved = os.environ.get("PYTHONPATH")
+        parts = [package_root] + ([saved] if saved else [])
+        os.environ["PYTHONPATH"] = os.pathsep.join(parts)
+        try:
+            process.start()
+        finally:
+            if saved is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = saved
+
+
+def _rebuild_error(type_name: str, message: str) -> Exception:
+    """Rebuild a worker-side exception from its wire descriptor.
+
+    Exception types are looked up in the library's own namespaces only
+    (:mod:`repro.errors`, the store errors) — a worker cannot make the
+    parent instantiate arbitrary types.  Unknown or unreconstructable
+    types degrade to :class:`ServingError` with the original text.
+    """
+    for namespace in (_errors, _corpus, wire):
+        candidate = getattr(namespace, type_name, None)
+        if (
+            isinstance(candidate, type)
+            and issubclass(candidate, ReproError)
+        ):
+            try:
+                return candidate(message)
+            except TypeError:
+                break  # constructor wants more than a message
+    return ServingError(f"{type_name}: {message}")
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """One worker's counters, as reported over the wire."""
+
+    worker: int
+    pid: int
+    served: int
+    queries: int
+    dispatch: Mapping[str, int]
+    plan_hits: int
+    plan_misses: int
+    documents: int
+    store_hits: int
+    store_loads: int
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Merged counters across every worker of a :class:`ShardedPool`."""
+
+    workers: int
+    served: int
+    dispatch: Mapping[str, int]
+    plan_hits: int
+    plan_misses: int
+    documents: int
+    store_loads: int
+    per_worker: tuple[WorkerStats, ...]
+
+    def describe(self) -> str:
+        """Render the merged snapshot as the CLI's ``--stats`` block."""
+        dispatch = (
+            " ".join(f"{name}={count}" for name, count in sorted(self.dispatch.items()))
+            or "(none)"
+        )
+        shares = " ".join(
+            f"w{stats.worker}={stats.served}" for stats in self.per_worker
+        )
+        plan_total = self.plan_hits + self.plan_misses
+        hit_rate = self.plan_hits / plan_total if plan_total else 0.0
+        return "\n".join(
+            [
+                f"serving             : {self.workers} worker process(es), "
+                f"{self.served} request(s) served ({shares or 'none'})",
+                f"worker dispatch     : {dispatch}",
+                f"worker plan caches  : {self.plan_hits} hit(s), "
+                f"{self.plan_misses} miss(es), hit rate {hit_rate:.0%}",
+                f"worker documents    : {self.documents} hydrated, "
+                f"{self.store_loads} snapshot load(s)",
+            ]
+        )
+
+
+class _LazyDocument:
+    """A document that hydrates from the store on first real use.
+
+    Wired into id-native :class:`~repro.engine.result.QueryResult`
+    payloads as their document: callers that only read ``.ids`` (the
+    wire format's contract) never trigger a parent-side snapshot load —
+    the load happens on the first ``.nodes``/``.value`` access, when the
+    result object reaches for ``document.index``.
+    """
+
+    __slots__ = ("_load", "_resolved")
+
+    def __init__(self, load) -> None:
+        self._load = load
+        self._resolved = None
+
+    def _resolve(self):
+        if self._resolved is None:
+            self._resolved = self._load()
+        return self._resolved
+
+    @property
+    def index(self):
+        return self._resolve().index
+
+    @property
+    def hydrated(self) -> bool:
+        """True once the underlying snapshot load has actually happened."""
+        return self._resolved is not None
+
+    def __getattr__(self, name):
+        return getattr(self._resolve(), name)
+
+
+class _Worker:
+    """One child process plus the parent's end of its pipe."""
+
+    __slots__ = ("index", "process", "conn")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+
+
+class ShardedPool:
+    """N worker processes serving a corpus store's documents by shard.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.store.CorpusStore` (or its directory
+        path).  Workers open it read-only; it is the only channel
+        documents travel over.
+    workers:
+        Number of worker processes (= number of shards).
+    mmap:
+        Hydrate snapshots via mmap in the workers (and for the parent's
+        lazy node materialisation).  On by default: mapped pages of one
+        snapshot are shared between every process that maps it.
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default ``fork``
+        where available, else ``spawn``.  See ``docs/serving.md`` for the
+        trade-off.
+    warm:
+        Hydrate every manifest key into its shard's worker before
+        :meth:`__init__` returns, so the first query hits a warm index.
+    window:
+        Frames in flight per worker before the dispatcher waits.
+
+    The pool is **not** thread-safe: it is a single-dispatcher backend
+    (put it behind an :class:`~repro.engine.XPathEngine` or your own lock
+    to share it).  It is a context manager; :meth:`close` shuts workers
+    down gracefully and is idempotent.
+    """
+
+    def __init__(
+        self,
+        store: Union[CorpusStore, str, os.PathLike],
+        workers: int = 4,
+        mmap: bool = True,
+        start_method: Optional[str] = None,
+        warm: bool = True,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not isinstance(store, CorpusStore):
+            store = CorpusStore(store)
+        self.store = store
+        self.workers = workers
+        self.mmap = mmap
+        self.start_method = start_method or _default_start_method()
+        self.window = window
+        self._closed = False
+        # content hash -> _LazyDocument, LRU-bounded (see _document)
+        self._documents: "OrderedDict[str, _LazyDocument]" = OrderedDict()
+        context = multiprocessing.get_context(self.start_method)
+        self._pool: list[_Worker] = []
+        try:
+            for index in range(workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=worker_main,
+                    args=(child_conn, store.root, mmap, index),
+                    name=f"repro-serve-{index}",
+                    daemon=True,
+                )
+                _start_with_child_importable(process)
+                child_conn.close()
+                self._pool.append(_Worker(index, process, parent_conn))
+            if warm:
+                self.warm_up()
+        except BaseException:
+            self.close()
+            raise
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def warm_up(self) -> list[int]:
+        """Hydrate every manifest key into its shard's worker; returns counts.
+
+        Safe to call again after new :meth:`~repro.store.CorpusStore.put`
+        calls — warm keys are registry hits inside the worker, cold ones
+        cost exactly one snapshot load each.
+        """
+        self._require_open()
+        layout = self.store.shard_layout(self.workers)
+        hydrated = []
+        for worker in self._pool:
+            keys = [entry.key for entry in layout[worker.index]]
+            self._send(worker, wire.encode_warm(keys))
+        for worker in self._pool:
+            message = self._expect(worker, wire.MSG_READY)
+            hydrated.append(message.hydrated)
+        return hydrated
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down gracefully (terminate stragglers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._pool:
+            try:
+                worker.conn.send_bytes(wire.encode_shutdown())
+            except (OSError, ValueError):
+                pass  # already dead or closed: join/terminate below
+            worker.conn.close()
+        for worker in self._pool:
+            if worker.process.is_alive():
+                worker.process.join(timeout)
+            if worker.process.is_alive():  # pragma: no cover - hang backstop
+                worker.process.terminate()
+                worker.process.join(timeout)
+
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        """The worker index serving ``key`` (deterministic, hash-based)."""
+        return shard_of(self.store.stat(key).hash, self.workers)
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, query: "Union[XPathExpr, str]", key: str, ids: bool = False
+    ) -> QueryResult:
+        """Evaluate one query against the document stored under ``key``."""
+        return self.evaluate_batch([(query, key)], ids=ids)[0]
+
+    def evaluate_batch(
+        self, requests: Iterable[tuple], ids: bool = False
+    ) -> list[QueryResult]:
+        """Evaluate ``(query, key)`` pairs across the shards.
+
+        Results come back in input order as
+        :class:`~repro.engine.QueryResult` objects and are identical to
+        evaluating each request in process.  ``ids=True`` enforces the
+        ``evaluate_many_ids`` contract (node-set answers only).  The
+        first failing request re-raises its worker-side exception — after
+        the whole batch has been drained, so the connection protocol
+        stays clean for the next call.
+        """
+        self._require_open()
+        items = []
+        for request in requests:
+            if not (isinstance(request, tuple) and len(request) == 2):
+                raise TypeError(
+                    f"request must be a (query, key) pair, got {request!r}"
+                )
+            query, key = request
+            if not isinstance(query, str):
+                query = query.unparse()
+            items.append((query, str(key)))
+        if not items:
+            return []
+
+        queues: list[deque] = [deque() for _ in self._pool]
+        hashes: list[Optional[str]] = [None] * len(items)
+        replies: list[Optional[wire.Message]] = [None] * len(items)
+        for seq, (query, key) in enumerate(items):
+            # Routing needs the manifest anyway, so an unknown key fails
+            # fast here (stat raises StoreKeyError) rather than per shard.
+            entry = self.store.stat(key)
+            hashes[seq] = entry.hash
+            shard = shard_of(entry.hash, self.workers)
+            queues[shard].append(wire.encode_query(seq, key, query, ids_only=ids))
+        self._dispatch(queues, replies)
+
+        results = []
+        failure: Optional[tuple[int, Exception]] = None
+        for seq, message in enumerate(replies):
+            query, key = items[seq]
+            if message.type == wire.MSG_ERROR:
+                if failure is None:
+                    failure = (seq, _rebuild_error(*message.error))
+                results.append(None)
+            elif message.type == wire.MSG_RESULT_IDS:
+                results.append(
+                    QueryResult(
+                        query=query,
+                        engine="sharded",
+                        document=self._document(hashes[seq]),
+                        ids=message.ids,
+                    )
+                )
+            else:
+                results.append(
+                    QueryResult(
+                        query=query, engine="sharded", document=None,
+                        value=message.value,
+                    )
+                )
+        if failure is not None:
+            raise failure[1]
+        return results
+
+    # -- statistics --------------------------------------------------------
+
+    def stats(self) -> ServingStats:
+        """Merge every worker's engine counters into one snapshot."""
+        self._require_open()
+        per_worker = []
+        for worker in self._pool:
+            self._send(worker, wire.encode_stats_request())
+        for worker in self._pool:
+            payload = self._expect(worker, wire.MSG_STATS_REPLY).payload
+            per_worker.append(WorkerStats(**payload))
+        dispatch: dict[str, int] = {}
+        for stats in per_worker:
+            for engine, count in stats.dispatch.items():
+                dispatch[engine] = dispatch.get(engine, 0) + count
+        return ServingStats(
+            workers=self.workers,
+            served=sum(stats.served for stats in per_worker),
+            dispatch=dispatch,
+            plan_hits=sum(stats.plan_hits for stats in per_worker),
+            plan_misses=sum(stats.plan_misses for stats in per_worker),
+            documents=sum(stats.documents for stats in per_worker),
+            store_loads=sum(stats.store_loads for stats in per_worker),
+            per_worker=tuple(per_worker),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServingError("the pool is closed")
+
+    def _document(self, content_hash: str) -> _LazyDocument:
+        """The parent-side document for lazy node materialisation.
+
+        A :class:`_LazyDocument`: nothing loads until a caller actually
+        materialises nodes (``.nodes``/``.value``), at which point the
+        snapshot is hydrated from the same bytes the worker evaluated
+        against (mmap'd by default, so the pages are the worker's
+        pages).  Hydrations are shared per content hash and LRU-bounded
+        at :data:`PARENT_DOCUMENT_BOUND` — results handed out before an
+        eviction keep their own reference and stay valid.
+        """
+        document = self._documents.get(content_hash)
+        if document is None:
+            document = _LazyDocument(
+                lambda: self.store.get(content_hash, mmap=self.mmap)
+            )
+            self._documents[content_hash] = document
+            if len(self._documents) > PARENT_DOCUMENT_BOUND:
+                self._documents.popitem(last=False)
+        else:
+            self._documents.move_to_end(content_hash)
+        return document
+
+    def _dispatch(self, queues: list[deque], replies: list) -> None:
+        """Stream queued frames to the workers and collect every reply.
+
+        Windowed duplex pumping: each worker has at most ``window``
+        unanswered frames, replies are read as they arrive (so neither
+        pipe direction can fill up and deadlock), and a worker dying
+        mid-batch raises :class:`ServingError` instead of hanging.
+        """
+        inflight = [0] * len(self._pool)
+        outstanding = sum(len(queue) for queue in queues)
+        while outstanding:
+            for worker in self._pool:
+                queue = queues[worker.index]
+                while queue and inflight[worker.index] < self.window:
+                    self._send(worker, queue.popleft())
+                    inflight[worker.index] += 1
+            owing = [
+                worker for worker in self._pool if inflight[worker.index] > 0
+            ]
+            ready = connection_wait(
+                [worker.conn for worker in owing], timeout=_LIVENESS_POLL
+            )
+            if not ready:
+                self._check_alive(owing)
+                continue
+            ready_set = set(ready)
+            for worker in owing:
+                if worker.conn not in ready_set:
+                    continue
+                message = self._receive(worker)
+                if message.type not in (
+                    wire.MSG_RESULT_IDS, wire.MSG_RESULT_VALUE, wire.MSG_ERROR
+                ):
+                    raise ServingError(
+                        f"worker {worker.index} sent frame type "
+                        f"{message.type} where a result was expected"
+                    )
+                if not 0 <= message.seq < len(replies):
+                    raise ServingError(
+                        f"worker {worker.index} answered unknown request "
+                        f"{message.seq}"
+                    )
+                replies[message.seq] = message
+                inflight[worker.index] -= 1
+                outstanding -= 1
+
+    def _send(self, worker: _Worker, frame: bytes) -> None:
+        try:
+            worker.conn.send_bytes(frame)
+        except (OSError, ValueError):
+            raise ServingError(
+                f"worker {worker.index} (pid {worker.process.pid}) died "
+                "mid-conversation"
+            ) from None
+
+    def _receive(self, worker: _Worker) -> wire.Message:
+        try:
+            return wire.decode(worker.conn.recv_bytes())
+        except (EOFError, OSError):
+            raise ServingError(
+                f"worker {worker.index} (pid {worker.process.pid}) died "
+                "mid-conversation"
+            ) from None
+
+    def _expect(self, worker: _Worker, msg_type: int) -> wire.Message:
+        while not worker.conn.poll(_LIVENESS_POLL):
+            self._check_alive([worker])
+        message = self._receive(worker)
+        if message.type != msg_type:
+            raise ServingError(
+                f"worker {worker.index} sent frame type {message.type}, "
+                f"expected {msg_type}"
+            )
+        return message
+
+    def _check_alive(self, workers: Iterable[_Worker]) -> None:
+        for worker in workers:
+            if not worker.process.is_alive():
+                raise ServingError(
+                    f"worker {worker.index} (pid {worker.process.pid}) "
+                    f"exited with code {worker.process.exitcode} while "
+                    "requests were in flight"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<ShardedPool {self.workers} worker(s) {self.start_method} "
+            f"{state} store={self.store.root!r}>"
+        )

@@ -1,0 +1,332 @@
+"""The id-native wire format of the cross-process serving tier.
+
+Queries and results cross the worker boundary as self-describing binary
+frames — never as pickled node objects or documents.  The only things on
+the wire are query text, store keys, sorted int32 id arrays, scalars and
+typed error descriptors, which is what keeps a sharded request round-trip
+cheap: a node-set answer of *n* ids costs ``17 + 4n`` bytes regardless of
+how big the nodes it denotes are.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"RPW1"  (repro wire, version 1)
+    4       1     message type (u8, one of the MSG_* constants)
+    5       ...   type-specific body
+
+Message bodies::
+
+    QUERY        u32 seq · u8 flags · u16 key-len · u32 query-len ·
+                 key utf-8 · query utf-8
+    RESULT_IDS   u32 seq · u32 count · count × int32 (sorted ids)
+    RESULT_VALUE u32 seq · u8 kind · payload
+                 kind "F": float64 · "B": u8 bool · "S": u32 len + utf-8
+    ERROR        u32 seq · u16 type-len · u32 msg-len · type · message
+    WARM         u32 count · count × (u16 key-len · key utf-8)
+    READY        u32 hydrated · u32 pid
+    STATS        (empty body)
+    STATS_REPLY  u32 json-len · utf-8 JSON object
+    SHUTDOWN     (empty body)
+
+``seq`` is the requester's correlation id: replies carry the seq of the
+query they answer, so a worker may answer a batch in any order (in
+practice it answers in arrival order).  ``flags`` bit 0 (``FLAG_IDS``)
+requires an id-array answer: a scalar-producing query then fails with the
+same :class:`~repro.errors.XPathEvaluationError` the in-process
+``evaluate_many_ids`` raises.
+
+Examples
+--------
+>>> frame = encode_query(7, "catalogue", "//book[child::title]")
+>>> message = decode(frame)
+>>> (message.type == MSG_QUERY, message.seq, message.key, message.query)
+(True, 7, 'catalogue', '//book[child::title]')
+>>> decode(encode_result_ids(7, [2, 3, 11])).ids
+[2, 3, 11]
+>>> decode(encode_result_value(9, 2.0)).value
+2.0
+>>> decode(encode_error(4, "XPathSyntaxError", "unexpected token")).error
+('XPathSyntaxError', 'unexpected token')
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ReproError
+
+MAGIC = b"RPW1"
+
+MSG_QUERY = 1
+MSG_RESULT_IDS = 2
+MSG_RESULT_VALUE = 3
+MSG_ERROR = 4
+MSG_WARM = 5
+MSG_READY = 6
+MSG_STATS = 7
+MSG_STATS_REPLY = 8
+MSG_SHUTDOWN = 9
+
+#: QUERY flag bit 0: the caller insists on an id-array answer (the
+#: semantics of ``evaluate_many_ids``); scalar results become errors.
+FLAG_IDS = 0x01
+
+_HEADER = struct.Struct("<4sB")
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+_VALUE_FLOAT = ord("F")
+_VALUE_BOOL = ord("B")
+_VALUE_STRING = ord("S")
+
+
+class WireError(ReproError):
+    """A frame is malformed: bad magic, unknown type, or truncated body."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded frame.  Only the fields of its type are populated."""
+
+    type: int
+    seq: int = 0
+    flags: int = 0
+    key: str = ""
+    query: str = ""
+    ids: Optional[list[int]] = None
+    value: object = None
+    error: Optional[tuple[str, str]] = None
+    keys: tuple[str, ...] = ()
+    payload: Optional[dict] = None
+    hydrated: int = 0
+    pid: int = 0
+
+    @property
+    def ids_only(self) -> bool:
+        """True if a QUERY frame set :data:`FLAG_IDS`."""
+        return bool(self.flags & FLAG_IDS)
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _frame(msg_type: int, *chunks: bytes) -> bytes:
+    return b"".join((_HEADER.pack(MAGIC, msg_type), *chunks))
+
+
+def encode_query(seq: int, key: str, query: str, ids_only: bool = False) -> bytes:
+    """Encode one query request frame."""
+    key_bytes = key.encode("utf-8")
+    query_bytes = query.encode("utf-8")
+    return _frame(
+        MSG_QUERY,
+        _U32.pack(seq),
+        _U8.pack(FLAG_IDS if ids_only else 0),
+        _U16.pack(len(key_bytes)),
+        _U32.pack(len(query_bytes)),
+        key_bytes,
+        query_bytes,
+    )
+
+
+def encode_result_ids(seq: int, ids: Sequence[int]) -> bytes:
+    """Encode a node-set answer as a sorted int32 id array."""
+    packed = array("i", ids)
+    if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+        packed = array("i", packed)
+        packed.byteswap()
+    return _frame(
+        MSG_RESULT_IDS, _U32.pack(seq), _U32.pack(len(packed)), packed.tobytes()
+    )
+
+
+def encode_result_value(seq: int, value) -> bytes:
+    """Encode a scalar answer (float, bool, or string)."""
+    if isinstance(value, bool):  # before float: bool is an int subclass
+        return _frame(
+            MSG_RESULT_VALUE, _U32.pack(seq), _U8.pack(_VALUE_BOOL),
+            _U8.pack(1 if value else 0),
+        )
+    if isinstance(value, (int, float)):
+        return _frame(
+            MSG_RESULT_VALUE, _U32.pack(seq), _U8.pack(_VALUE_FLOAT),
+            _F64.pack(float(value)),
+        )
+    if isinstance(value, str):
+        data = value.encode("utf-8")
+        return _frame(
+            MSG_RESULT_VALUE, _U32.pack(seq), _U8.pack(_VALUE_STRING),
+            _U32.pack(len(data)), data,
+        )
+    raise WireError(f"cannot encode a {type(value).__name__} result")
+
+
+def encode_error(seq: int, type_name: str, message: str) -> bytes:
+    """Encode a typed error descriptor for re-raising on the other side."""
+    type_bytes = type_name.encode("utf-8")
+    message_bytes = message.encode("utf-8")
+    return _frame(
+        MSG_ERROR,
+        _U32.pack(seq),
+        _U16.pack(len(type_bytes)),
+        _U32.pack(len(message_bytes)),
+        type_bytes,
+        message_bytes,
+    )
+
+
+def encode_warm(keys: Iterable[str]) -> bytes:
+    """Encode the warm-up request: hydrate these store keys before serving."""
+    encoded = [key.encode("utf-8") for key in keys]
+    chunks = [_U32.pack(len(encoded))]
+    for key_bytes in encoded:
+        chunks.append(_U16.pack(len(key_bytes)))
+        chunks.append(key_bytes)
+    return _frame(MSG_WARM, *chunks)
+
+
+def encode_ready(hydrated: int, pid: int) -> bytes:
+    """Encode the warm-up acknowledgement."""
+    return _frame(MSG_READY, _U32.pack(hydrated), _U32.pack(pid))
+
+
+def encode_stats_request() -> bytes:
+    """Encode the stats request (empty body)."""
+    return _frame(MSG_STATS)
+
+
+def encode_stats_reply(payload: dict) -> bytes:
+    """Encode a worker's counters as a JSON object."""
+    data = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return _frame(MSG_STATS_REPLY, _U32.pack(len(data)), data)
+
+
+def encode_shutdown() -> bytes:
+    """Encode the graceful-shutdown request (empty body)."""
+    return _frame(MSG_SHUTDOWN)
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+class _Reader:
+    """A bounds-checked cursor over one frame's body."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int) -> None:
+        self.data = data
+        self.pos = pos
+
+    def take(self, size: int) -> bytes:
+        end = self.pos + size
+        if end > len(self.data):
+            raise WireError(
+                f"truncated frame: wanted {size} byte(s) at offset {self.pos}, "
+                f"frame is {len(self.data)} byte(s)"
+            )
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def text(self, size: int) -> str:
+        try:
+            return self.take(size).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(f"undecodable utf-8 in frame: {error}") from error
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise WireError(
+                f"frame has {len(self.data) - self.pos} trailing byte(s)"
+            )
+
+
+def decode(frame: bytes) -> Message:
+    """Decode one frame into a :class:`Message` (raises :class:`WireError`)."""
+    if len(frame) < _HEADER.size:
+        raise WireError(f"frame of {len(frame)} byte(s) is shorter than a header")
+    magic, msg_type = _HEADER.unpack_from(frame)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    reader = _Reader(bytes(frame), _HEADER.size)
+    if msg_type == MSG_QUERY:
+        seq = reader.u32()
+        flags = reader.u8()
+        key_len = reader.u16()
+        query_len = reader.u32()
+        key = reader.text(key_len)
+        query = reader.text(query_len)
+        reader.done()
+        return Message(MSG_QUERY, seq=seq, flags=flags, key=key, query=query)
+    if msg_type == MSG_RESULT_IDS:
+        seq = reader.u32()
+        count = reader.u32()
+        ids = array("i")
+        ids.frombytes(reader.take(4 * count))
+        if sys.byteorder == "big":  # pragma: no cover - LE everywhere we run
+            ids.byteswap()
+        reader.done()
+        return Message(MSG_RESULT_IDS, seq=seq, ids=ids.tolist())
+    if msg_type == MSG_RESULT_VALUE:
+        seq = reader.u32()
+        kind = reader.u8()
+        if kind == _VALUE_FLOAT:
+            value: object = _F64.unpack(reader.take(8))[0]
+        elif kind == _VALUE_BOOL:
+            value = bool(reader.u8())
+        elif kind == _VALUE_STRING:
+            value = reader.text(reader.u32())
+        else:
+            raise WireError(f"unknown scalar kind {kind!r}")
+        reader.done()
+        return Message(MSG_RESULT_VALUE, seq=seq, value=value)
+    if msg_type == MSG_ERROR:
+        seq = reader.u32()
+        type_len = reader.u16()
+        message_len = reader.u32()
+        type_name = reader.text(type_len)
+        message = reader.text(message_len)
+        reader.done()
+        return Message(MSG_ERROR, seq=seq, error=(type_name, message))
+    if msg_type == MSG_WARM:
+        count = reader.u32()
+        keys = tuple(reader.text(reader.u16()) for _ in range(count))
+        reader.done()
+        return Message(MSG_WARM, keys=keys)
+    if msg_type == MSG_READY:
+        hydrated = reader.u32()
+        pid = reader.u32()
+        reader.done()
+        return Message(MSG_READY, hydrated=hydrated, pid=pid)
+    if msg_type == MSG_STATS:
+        reader.done()
+        return Message(MSG_STATS)
+    if msg_type == MSG_STATS_REPLY:
+        size = reader.u32()
+        try:
+            payload = json.loads(reader.text(size))
+        except json.JSONDecodeError as error:
+            raise WireError(f"undecodable stats payload: {error}") from error
+        reader.done()
+        return Message(MSG_STATS_REPLY, payload=payload)
+    if msg_type == MSG_SHUTDOWN:
+        reader.done()
+        return Message(MSG_SHUTDOWN)
+    raise WireError(f"unknown message type {msg_type}")

@@ -1,0 +1,132 @@
+"""The worker side of the sharded serving tier.
+
+:func:`worker_main` is the entry point a
+:class:`~repro.serving.ShardedPool` runs in each child process.  A worker
+is deliberately a *complete, ordinary* serving process built from the
+in-process pieces:
+
+* one :class:`~repro.engine.XPathEngine` with its own plan cache,
+  document registry and evaluator pools (plan compilation happens at most
+  once per distinct query text **per worker**);
+* one :class:`~repro.store.CorpusStore` opened read-only on the shared
+  store directory — the store *is* the document transport: the parent
+  never ships tree bytes, only keys, and hydration uses ``mmap=True`` by
+  default so snapshot pages are shared between every process mapping
+  them;
+* a receive loop over the :mod:`~repro.serving.wire` frames, answering
+  ``QUERY`` with ``RESULT_IDS``/``RESULT_VALUE``/``ERROR``, ``WARM`` with
+  ``READY``, ``STATS`` with ``STATS_REPLY``, and exiting cleanly on
+  ``SHUTDOWN`` or a closed pipe.
+
+The loop drains its pipe without any cross-request synchronisation: the
+pool is the only writer, requests carry correlation ids (``seq``), and
+each request is answered before the next is read, so replies stream back
+in arrival order while the pool's send window keeps the pipe full — the
+wire-level batch protocol mirrors what
+:func:`repro.planner.evaluate_many_ids` does in process (shared plans,
+shared evaluator instances, id-native answers).
+
+Errors never kill a worker: any exception an evaluation raises is sent
+back as a typed ``ERROR`` frame and the loop continues with the next
+request.  Only a malformed frame (a protocol bug, not a query bug)
+terminates the worker, which the pool surfaces as a dead-worker error.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.serving import wire
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from multiprocessing.connection import Connection
+
+    from repro.engine import XPathEngine
+
+
+def worker_main(
+    conn: "Connection", store_root: str, mmap: bool, worker_id: int
+) -> None:
+    """Serve queries over ``conn`` until shutdown (runs in a child process)."""
+    # Imports happen here, not at module top: under the ``spawn`` start
+    # method the child pays them at startup, and keeping them inside the
+    # function keeps the module importable for pickling before the heavy
+    # engine modules load.
+    from repro.engine import XPathEngine
+    from repro.store import CorpusStore
+
+    engine = XPathEngine().attach_store(CorpusStore(store_root), mmap=mmap)
+    served = 0
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent went away: treat like shutdown
+        message = wire.decode(frame)
+        if message.type == wire.MSG_SHUTDOWN:
+            break
+        if message.type == wire.MSG_QUERY:
+            conn.send_bytes(_answer(engine, message))
+            served += 1
+        elif message.type == wire.MSG_WARM:
+            hydrated = 0
+            for key in message.keys:
+                engine.add_from_store(key)
+                hydrated += 1
+            conn.send_bytes(wire.encode_ready(hydrated, os.getpid()))
+        elif message.type == wire.MSG_STATS:
+            conn.send_bytes(
+                wire.encode_stats_reply(_stats_payload(engine, worker_id, served))
+            )
+        else:
+            raise wire.WireError(
+                f"worker received a reply-type frame (type {message.type})"
+            )
+    conn.close()
+
+
+def _answer(engine: "XPathEngine", message: wire.Message) -> bytes:
+    """Evaluate one QUERY message and encode its reply frame.
+
+    Node-set results go out as sorted int32 id arrays, scalars as typed
+    scalars; under :data:`~repro.serving.wire.FLAG_IDS` the evaluation
+    itself runs id-native (``evaluate_many_ids`` semantics — a scalar
+    query is an error).  Any exception becomes an ``ERROR`` frame.
+    """
+    from repro.store import StoreKey
+    from repro.xpath.functions import NODESET, static_type
+
+    try:
+        handle = engine.add(StoreKey(message.key))
+        if message.ids_only:
+            result = engine.evaluate(message.query, handle, ids=True)
+        else:
+            # Pick the id-native path whenever the query's static type
+            # says the answer is a node-set, so node objects are never
+            # materialised just to be re-encoded as ids.
+            plan = engine.get_plan(message.query)
+            wants_ids = static_type(plan.expr) == NODESET
+            result = engine.evaluate(message.query, handle, ids=wants_ids)
+        if result.is_node_set:
+            return wire.encode_result_ids(message.seq, result.ids)
+        return wire.encode_result_value(message.seq, result.value)
+    except Exception as error:  # noqa: BLE001 - every query error crosses the wire
+        return wire.encode_error(message.seq, type(error).__name__, str(error))
+
+
+def _stats_payload(engine: "XPathEngine", worker_id: int, served: int) -> dict:
+    """The counters a worker reports for the pool's merged ``stats()``."""
+    stats = engine.stats()
+    return {
+        "worker": worker_id,
+        "pid": os.getpid(),
+        "served": served,
+        "queries": stats.queries,
+        "dispatch": dict(stats.dispatch),
+        "plan_hits": stats.plans.hits,
+        "plan_misses": stats.plans.misses,
+        "documents": stats.documents.size,
+        "store_hits": stats.store.hits if stats.store else 0,
+        "store_loads": stats.store.loads if stats.store else 0,
+    }

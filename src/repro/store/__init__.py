@@ -29,6 +29,7 @@ from repro.store.corpus import (
     StoreEntry,
     StoreError,
     StoreKeyError,
+    shard_of,
 )
 
 
@@ -57,5 +58,6 @@ __all__ = [
     "dump_snapshot",
     "load_snapshot",
     "load_snapshot_with_hash",
+    "shard_of",
     "snapshot_hash",
 ]

@@ -321,6 +321,28 @@ class CorpusStore:
         """Every manifest entry, sorted by key."""
         return [entry for _, entry in sorted(self._read_manifest().items())]
 
+    # -- sharding ----------------------------------------------------------
+
+    def shard_layout(self, shards: int) -> list[list[StoreEntry]]:
+        """Partition the manifest into ``shards`` deterministic shards.
+
+        This is the worker warm-up protocol's document assignment: shard
+        ``i`` holds exactly the entries with ``shard_of(entry.hash,
+        shards) == i``, so any process that can read the manifest — the
+        serving pool routing requests, a worker hydrating its warm set, a
+        CLI previewing the layout — computes the same partition without
+        coordination.  Keys aliasing identical content land in the same
+        shard (assignment is by content hash), sorted by key within it.
+        """
+        layout: list[list[StoreEntry]] = [[] for _ in range(shards)]
+        for entry in self.list():
+            layout[shard_of(entry.hash, shards)].append(entry)
+        return layout
+
+    def total_bytes(self) -> int:
+        """Sum of snapshot byte sizes over the manifest (aliases recounted)."""
+        return sum(entry.bytes for entry in self.list())
+
     def keys(self) -> list[str]:
         """Every manifest key, sorted."""
         return sorted(self._read_manifest())
@@ -340,6 +362,26 @@ class CorpusStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CorpusStore {self.root!r} entries={len(self)}>"
+
+
+def shard_of(content_hash: str, shards: int) -> int:
+    """Deterministic shard assignment of a snapshot content hash.
+
+    The first eight hex digits of the (uniformly distributed) SHA-256
+    content hash modulo the shard count: stable across processes, Python
+    versions and hash-randomisation seeds, so a serving pool's routing
+    and a worker's warm-up set always agree.
+
+    >>> shard_of("00000003" + "0" * 56, 4)
+    3
+    >>> shard_of("a1b2c3d4" + "0" * 56, 1)
+    0
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    if not _CONTENT_HASH.match(content_hash):
+        raise StoreError(f"{content_hash!r} is not a snapshot content hash")
+    return int(content_hash[:8], 16) % shards
 
 
 def _atomic_write(path: str, data: bytes) -> None:

@@ -1,0 +1,82 @@
+"""Property: sharded serving ≡ in-process engine ≡ legacy auto dispatch.
+
+The cross-process tier adds sharding, a wire format, per-worker engines
+and parent-side rehydration on top of the planner — none of which may
+change a single answer.  Random documents are snapshotted into a shared
+corpus store (workers hydrate them on demand, exercising cross-process
+manifest freshness), then random Core XPath queries must agree across:
+
+* :class:`~repro.serving.ShardedPool` (evaluated in a worker process),
+* :meth:`XPathEngine.evaluate` on a store-hydrated document in process,
+* the legacy :func:`~repro.evaluation.evaluate` auto path on the
+  original in-memory document,
+
+including scalar results, empty node-sets, and the error contract of
+``ids=True``.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.engine import XPathEngine
+from repro.errors import XPathEvaluationError
+from repro.evaluation import evaluate
+from repro.serving import ShardedPool
+from repro.store import CorpusStore, StoreKey
+from repro.xpath.ast import FunctionCall
+
+from tests.properties.strategies import core_xpath_queries, documents
+
+
+@pytest.fixture(scope="module")
+def harness(tmp_path_factory):
+    """One store + worker pool + in-process engine shared by every example."""
+    store = CorpusStore(tmp_path_factory.mktemp("property-store"))
+    engine = XPathEngine(max_documents=256).attach_store(store)
+    with ShardedPool(store, workers=2, warm=False) as pool:
+        yield store, pool, engine
+
+
+class TestShardedAgreesEverywhere:
+    @given(documents(max_nodes=30), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=40, deadline=None)
+    def test_node_sets_agree(self, harness, document, query):
+        store, pool, engine = harness
+        key = store.put(document).key  # content-hash key, idempotent
+        sharded = pool.evaluate(query, key, ids=True)
+        in_process = engine.evaluate(query, StoreKey(key), ids=True)
+        legacy = evaluate(query, document, engine="auto")
+        assert sharded.ids == in_process.ids
+        assert sharded.ids == [document.index.id_of(node) for node in legacy]
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=20, deadline=None)
+    def test_scalars_agree(self, harness, document, query):
+        store, pool, engine = harness
+        key = store.put(document).key
+        count = FunctionCall("count", (query,))
+        sharded = pool.evaluate(count, key)
+        in_process = engine.evaluate(count, StoreKey(key))
+        legacy = evaluate(count, document, engine="auto")
+        assert sharded.value == in_process.value == legacy
+
+    @given(documents(max_nodes=25))
+    @settings(max_examples=10, deadline=None)
+    def test_empty_results_agree(self, harness, document):
+        store, pool, engine = harness
+        key = store.put(document).key
+        query = "//nosuchtag"
+        assert pool.evaluate(query, key).ids == []
+        assert engine.evaluate(query, StoreKey(key)).ids == []
+        assert evaluate(query, document, engine="auto") == []
+
+    @given(documents(max_nodes=20), core_xpath_queries(allow_negation=False))
+    @settings(max_examples=10, deadline=None)
+    def test_ids_mode_error_contract_agrees(self, harness, document, query):
+        store, pool, engine = harness
+        key = store.put(document).key
+        count = FunctionCall("count", (query,))
+        with pytest.raises(XPathEvaluationError, match="not a node-set"):
+            pool.evaluate(count, key, ids=True)
+        with pytest.raises(XPathEvaluationError, match="not a node-set"):
+            engine.evaluate(count, StoreKey(key), ids=True)

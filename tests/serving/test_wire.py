@@ -1,0 +1,131 @@
+"""Unit tests for the id-native wire format (framing, round-trips, errors)."""
+
+import pytest
+
+from repro.serving import wire
+
+
+class TestQueryFrames:
+    def test_round_trip(self):
+        frame = wire.encode_query(42, "catalogue", "//book[child::title]")
+        message = wire.decode(frame)
+        assert message.type == wire.MSG_QUERY
+        assert (message.seq, message.key, message.query) == (
+            42, "catalogue", "//book[child::title]"
+        )
+        assert not message.ids_only
+
+    def test_ids_flag(self):
+        message = wire.decode(wire.encode_query(0, "k", "//a", ids_only=True))
+        assert message.ids_only
+        assert message.flags & wire.FLAG_IDS
+
+    def test_unicode_key_and_query(self):
+        frame = wire.encode_query(1, "документы", '//a[@x="émü"]')
+        message = wire.decode(frame)
+        assert message.key == "документы"
+        assert message.query == '//a[@x="émü"]'
+
+
+class TestResultFrames:
+    @pytest.mark.parametrize(
+        "ids", [[], [0], [2, 3, 11], list(range(10_000))]
+    )
+    def test_id_arrays_round_trip(self, ids):
+        message = wire.decode(wire.encode_result_ids(7, ids))
+        assert message.type == wire.MSG_RESULT_IDS
+        assert message.seq == 7
+        assert message.ids == ids
+
+    def test_id_array_wire_size_is_four_bytes_per_id(self):
+        empty = wire.encode_result_ids(0, [])
+        thousand = wire.encode_result_ids(0, list(range(1000)))
+        assert len(thousand) - len(empty) == 4 * 1000
+
+    @pytest.mark.parametrize("value", [2.0, -1.5, float("inf"), 0.0])
+    def test_float_values(self, value):
+        assert wire.decode(wire.encode_result_value(3, value)).value == value
+
+    def test_float_nan(self):
+        decoded = wire.decode(wire.encode_result_value(3, float("nan"))).value
+        assert decoded != decoded  # NaN round-trips as NaN
+
+    @pytest.mark.parametrize("value", [True, False])
+    def test_bool_values_stay_bool(self, value):
+        decoded = wire.decode(wire.encode_result_value(1, value)).value
+        assert decoded is value
+
+    def test_string_values(self):
+        decoded = wire.decode(wire.encode_result_value(1, "héllo ")).value
+        assert decoded == "héllo "
+
+    def test_int_scalars_become_floats(self):
+        # XPath 1.0 numbers are doubles; the wire keeps that convention.
+        decoded = wire.decode(wire.encode_result_value(1, 7)).value
+        assert decoded == 7.0 and isinstance(decoded, float)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(wire.WireError, match="cannot encode"):
+            wire.encode_result_value(1, object())
+
+
+class TestControlFrames:
+    def test_error_round_trip(self):
+        frame = wire.encode_error(9, "XPathSyntaxError", "unexpected token")
+        message = wire.decode(frame)
+        assert message.type == wire.MSG_ERROR
+        assert message.seq == 9
+        assert message.error == ("XPathSyntaxError", "unexpected token")
+
+    def test_warm_and_ready(self):
+        message = wire.decode(wire.encode_warm(["a", "b", "c"]))
+        assert message.type == wire.MSG_WARM
+        assert message.keys == ("a", "b", "c")
+        ready = wire.decode(wire.encode_ready(3, 1234))
+        assert (ready.hydrated, ready.pid) == (3, 1234)
+
+    def test_warm_empty(self):
+        assert wire.decode(wire.encode_warm([])).keys == ()
+
+    def test_stats_round_trip(self):
+        assert wire.decode(wire.encode_stats_request()).type == wire.MSG_STATS
+        payload = {"worker": 0, "dispatch": {"core": 3}}
+        message = wire.decode(wire.encode_stats_reply(payload))
+        assert message.payload == payload
+
+    def test_shutdown(self):
+        assert wire.decode(wire.encode_shutdown()).type == wire.MSG_SHUTDOWN
+
+
+class TestMalformedFrames:
+    def test_bad_magic(self):
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.decode(b"XXXX" + wire.encode_shutdown()[4:])
+
+    def test_short_frame(self):
+        with pytest.raises(wire.WireError, match="shorter than a header"):
+            wire.decode(b"RPW")
+
+    def test_unknown_type(self):
+        with pytest.raises(wire.WireError, match="unknown message type"):
+            wire.decode(wire.MAGIC + bytes([250]))
+
+    def test_truncated_body(self):
+        frame = wire.encode_query(1, "key", "//a")
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode(frame[:-2])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(wire.WireError, match="trailing"):
+            wire.decode(wire.encode_shutdown() + b"\x00")
+
+    def test_truncated_id_array(self):
+        frame = wire.encode_result_ids(1, [1, 2, 3])
+        with pytest.raises(wire.WireError, match="truncated"):
+            wire.decode(frame[:-4])
+
+    def test_unknown_scalar_kind(self):
+        frame = bytearray(wire.encode_result_value(1, True))
+        frame[9] = ord("Z")  # magic(4) + type(1) + seq(4) → kind byte
+        with pytest.raises(wire.WireError, match="unknown scalar kind"):
+            wire.decode(bytes(frame))

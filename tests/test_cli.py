@@ -200,6 +200,139 @@ class TestStoreCommands:
         assert main(["store", "ls", "--store", store_dir]) == 0
         assert "empty" in capsys.readouterr().out
 
+    def test_ls_is_sorted_with_byte_sizes_and_totals(self, tmp_path, store_dir, capsys):
+        for name in ("zeta", "alpha", "mid"):
+            path = tmp_path / f"{name}.xml"
+            path.write_text(f"<{name}><x/></{name}>", encoding="utf-8")
+            assert main(["store", "build", str(path), "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        assert capsys.readouterr().out == first  # deterministic, run to run
+        lines = first.splitlines()
+        keys = [line.split()[0] for line in lines[1:-1]]
+        assert keys == sorted(keys) == ["alpha", "mid", "zeta"]
+        from repro.store import CorpusStore
+
+        for entry in CorpusStore(store_dir).list():
+            assert f"{entry.bytes:>10}" in first  # snapshot byte sizes shown
+        assert "total    : 3 key(s), 3 snapshot file(s)," in lines[-1]
+
+    def test_ls_workers_previews_shard_layout(self, xml_file, store_dir, capsys):
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store_dir, "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "shard" in out.splitlines()[0]
+        from repro.store import CorpusStore, shard_of
+
+        [entry] = CorpusStore(store_dir).list()
+        expected = shard_of(entry.hash, 4)
+        assert out.splitlines()[1].rstrip().endswith(str(expected))
+
+    def test_store_query_workers(self, xml_file, store_dir, capsys):
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", "//a[child::b]", "doc", "--store", store_dir,
+             "--workers", "2", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharded (2 worker process(es)" in out
+        assert "node-set of 1 node(s)" in out
+        assert "shard    : worker" in out
+        assert "serving             : 2 worker process(es)" in out
+
+    def test_store_query_workers_rejects_explicit_engine(
+        self, xml_file, store_dir, capsys
+    ):
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "query", "//a", "doc", "--store", store_dir,
+             "--workers", "2", "--engine", "cvt"]
+        ) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestQueryWorkers:
+    def test_query_through_worker_pool(self, xml_file, capsys):
+        assert main(["query", "//a[child::b]", xml_file, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot-hydrated in workers" in out
+        assert "sharded (2 worker process(es)" in out
+        assert "node-set of 1 node(s)" in out
+
+    def test_scalar_through_worker_pool(self, xml_file, capsys):
+        assert main(["query", "count(//a)", xml_file, "--workers", "2"]) == 0
+        assert "result   : 2.0" in capsys.readouterr().out
+
+    def test_workers_with_explicit_engine_rejected(self, xml_file, capsys):
+        assert main(
+            ["query", "//a", xml_file, "--workers", "2", "--engine", "naive"]
+        ) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["-1", "0", "two"])
+    def test_non_positive_worker_counts_rejected_by_the_parser(self, xml_file, bad):
+        for argv in (
+            ["query", "//a", xml_file, "--workers", bad],
+            ["store", "ls", "--store", "/tmp/x", "--workers", bad],
+            ["serve", "--store", "/tmp/x", "--workers", bad],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(argv)
+            assert excinfo.value.code == 2
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def served_store(self, xml_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "corpus")
+        assert main(["store", "build", xml_file, "--store", store_dir]) == 0
+        capsys.readouterr()
+        return store_dir
+
+    def _serve(self, monkeypatch, lines, argv):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        return main(argv)
+
+    def test_serves_request_lines(self, served_store, monkeypatch, capsys):
+        lines = "doc //a[child::b]\ndoc count(//a)\n\n"
+        assert self._serve(
+            monkeypatch, lines,
+            ["serve", "--store", served_store, "--workers", "2", "--stats"],
+        ) == 0
+        captured = capsys.readouterr()
+        assert "doc\tids=[2]" in captured.out
+        assert "doc\tvalue=2.0" in captured.out
+        assert "serving             : 2 worker process(es), 2 request(s)" in captured.out
+        assert "served   : 2 request(s)" in captured.err
+
+    def test_request_errors_do_not_stop_the_loop(
+        self, served_store, monkeypatch, capsys
+    ):
+        lines = "ghost //a\ndoc //a[\nonlyakey\ndoc count(//a)\n"
+        assert self._serve(
+            monkeypatch, lines, ["serve", "--store", served_store, "--workers", "1"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "ghost\terror=StoreKeyError" in captured.out
+        assert "doc\terror=XPathSyntaxError" in captured.out
+        assert "onlyakey\terror=request needs" in captured.out
+        assert "doc\tvalue=2.0" in captured.out
+        assert "served   : 1 request(s)" in captured.err
+
+    def test_ids_mode_rejects_scalars(self, served_store, monkeypatch, capsys):
+        assert self._serve(
+            monkeypatch, "doc count(//a)\n",
+            ["serve", "--store", served_store, "--workers", "1", "--ids"],
+        ) == 0
+        assert "error=XPathEvaluationError" in capsys.readouterr().out
+
 
 class TestParser:
     def test_requires_subcommand(self):
