@@ -1,0 +1,172 @@
+"""E18 — supervision overhead: a crashing pool vs. a healthy pool.
+
+The fault-tolerance layer (``docs/serving.md`` → "Fault tolerance") must
+be effectively free when nothing fails and cheap when workers die: a
+restart costs a backoff sleep, a process spawn, a shard re-warm from the
+mmap'd store, and the replay of the dead worker's in-flight window.
+This experiment prices that on the E17 workload (30 distinct heavy
+queries over 6 distinct documents, 4 workers):
+
+* ``healthy``  — the pool as E17 runs it;
+* ``crashing`` — the same pool with a fault armed in every worker (via
+  the ``REPRO_SERVING_FAULT`` environment variable the workers read at
+  startup): each worker process hard-exits on its 100th query, so the
+  timed run restarts, re-warms and replays roughly once per 100 queries
+  served — an extreme failure rate for any real deployment.
+
+Acceptance gates:
+
+* **fidelity** (always asserted, CI included): the crashing pool's
+  results are byte-identical to in-process evaluation, and the run
+  observed at least one restart (the fault genuinely fired);
+* **overhead ceiling** (asserted when the host can express it: ≥4 CPU
+  cores and strict mode — ``BENCH_SPEEDUP_STRICT=1``, the default
+  off-CI): crashing-pool wall time ≤1.5× the healthy pool.
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.bench_sharded_serving import _DOCUMENTS, _QUERY_TEMPLATES
+from benchmarks.conftest import report
+from repro.serving import ShardedPool
+from repro.serving.worker import FAULT_ENV
+from repro.store import CorpusStore, StoreKey
+
+WORKERS = 4
+#: Rounds of the 30-request E17 batch per timed run.  6 documents over 4
+#: shards put ≥2 documents (≥10 queries/round) on some worker, so every
+#: timed run pushes at least one worker past the crash threshold.
+ROUNDS = 12
+CRASH_EVERY = 100  # each worker incarnation exits on its Nth query
+OVERHEAD_CEILING = 1.5
+MIN_CORES_FOR_CEILING = 4
+
+_STATE = {}
+
+
+def _state():
+    """One store + expected ids for the whole module (mirrors E17)."""
+    if "store" not in _STATE:
+        import tempfile
+
+        from repro.engine import XPathEngine
+
+        root = tempfile.mkdtemp(prefix="repro-e18-")
+        store = CorpusStore(root)
+        documents = {key: build() for key, build in _DOCUMENTS.items()}
+        for key, document in documents.items():
+            store.put(document, key=key)
+        requests = [
+            (template, key)
+            for key in sorted(documents)
+            for template in _QUERY_TEMPLATES
+        ]
+        engine = XPathEngine().attach_store(store)
+        expected = [
+            result.ids
+            for result in engine.evaluate_batch(
+                [(query, StoreKey(key)) for query, key in requests], ids=True
+            )
+        ]
+        _STATE["store"] = store
+        _STATE["requests"] = requests
+        _STATE["expected"] = expected
+    return _STATE
+
+
+class _fault_armed:
+    """Arm ``exit:query:N`` for worker processes started in the block.
+
+    The environment is the one channel that reaches the workers the
+    supervisor restarts mid-run, so the variable stays set for the whole
+    measurement, not just pool construction.
+    """
+
+    def __enter__(self):
+        self._saved = os.environ.get(FAULT_ENV)
+        os.environ[FAULT_ENV] = f"exit:query:{CRASH_EVERY}"
+
+    def __exit__(self, *exc_info):
+        if self._saved is None:
+            os.environ.pop(FAULT_ENV, None)
+        else:
+            os.environ[FAULT_ENV] = self._saved
+
+
+def _run_rounds(pool, requests):
+    out = []
+    for _ in range(ROUNDS):
+        out = [
+            result.ids for result in pool.evaluate_batch(requests, ids=True)
+        ]
+    return out
+
+
+def _timed_run(state, crashing):
+    """Build a fresh pool, run the rounds, return (seconds, last ids, stats)."""
+    if crashing:
+        with _fault_armed():
+            with ShardedPool(
+                state["store"], workers=WORKERS, max_restarts=1_000
+            ) as pool:
+                start = time.perf_counter()
+                ids = _run_rounds(pool, state["requests"])
+                elapsed = time.perf_counter() - start
+                stats = pool.stats()
+    else:
+        with ShardedPool(state["store"], workers=WORKERS) as pool:
+            start = time.perf_counter()
+            ids = _run_rounds(pool, state["requests"])
+            elapsed = time.perf_counter() - start
+            stats = pool.stats()
+    return elapsed, ids, stats
+
+
+def test_crashing_pool_results_identical_and_restarts_observed():
+    """Fidelity gate (always asserted): replay is invisible to callers."""
+    state = _state()
+    _, ids, stats = _timed_run(state, crashing=True)
+    assert ids == state["expected"]
+    assert stats.restarts >= 1, "the injected fault never fired"
+    assert stats.retries >= 0
+    assert all(worker.alive for worker in stats.per_worker)
+
+
+def test_fault_recovery_overhead_ceiling():
+    """Overhead gate: crashes per ~100 queries cost ≤1.5× wall time."""
+    state = _state()
+    healthy = min(_timed_run(state, crashing=False)[0] for _ in range(2))
+    crashing_times = []
+    restarts = 0
+    for _ in range(2):
+        elapsed, ids, stats = _timed_run(state, crashing=True)
+        assert ids == state["expected"]
+        crashing_times.append(elapsed)
+        restarts = max(restarts, stats.restarts)
+    crashing = min(crashing_times)
+    ratio = crashing / healthy if healthy else float("inf")
+    queries = ROUNDS * len(state["requests"])
+    report(
+        f"E18 — fault recovery overhead ({queries} queries over "
+        f"{WORKERS} workers, crash every {CRASH_EVERY} queries, "
+        f"{os.cpu_count()} cores)",
+        f"     healthy  {healthy * 1e3:8.1f} ms\n"
+        f"    crashing  {crashing * 1e3:8.1f} ms ({restarts} restart(s))\n"
+        f"  overhead    {ratio:5.2f}x (ceiling {OVERHEAD_CEILING}x, gated: "
+        f"needs >= {MIN_CORES_FOR_CEILING} cores + strict mode)",
+    )
+    assert restarts >= 1, "the injected fault never fired"
+    strict = os.environ.get(
+        "BENCH_SPEEDUP_STRICT", "0" if os.environ.get("CI") else "1"
+    )
+    if strict.lower() in ("", "0", "false", "no"):
+        return
+    if (os.cpu_count() or 1) < MIN_CORES_FOR_CEILING:
+        pytest.skip(
+            f"host has {os.cpu_count()} core(s); the {OVERHEAD_CEILING}x "
+            f"ceiling needs at least {MIN_CORES_FOR_CEILING}"
+        )
+    assert ratio <= OVERHEAD_CEILING, (healthy, crashing_times)

@@ -54,7 +54,13 @@ from repro.planner import (
     get_plan,
     plan_query,
 )
-from repro.serving import ServingError, ServingStats, ShardedPool
+from repro.serving import (
+    ServingError,
+    ServingStats,
+    ServingTimeout,
+    ShardedPool,
+    WorkerCrashed,
+)
 from repro.store import (
     CorpusStore,
     StoreKey,
@@ -95,9 +101,11 @@ __all__ = [
     "QueryResult",
     "ServingError",
     "ServingStats",
+    "ServingTimeout",
     "ShardedPool",
     "SingletonSuccessChecker",
     "StoreKey",
+    "WorkerCrashed",
     "XPathEngine",
     "build_tree",
     "classify",

@@ -330,7 +330,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     store = CorpusStore(args.store)
     with ShardedPool(
-        store, workers=args.workers, mmap=not args.no_mmap, warm=not args.cold
+        store,
+        workers=args.workers,
+        mmap=not args.no_mmap,
+        warm=not args.cold,
+        max_restarts=args.max_restarts,
+        request_timeout=args.request_timeout,
     ) as pool:
         print(
             f"serving  : {len(store)} key(s) over {pool.workers} worker "
@@ -534,6 +539,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the merged per-worker counters at shutdown",
+    )
+    serve_parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="supervisor restarts per worker before its shard fails fast "
+        "(default: 3)",
+    )
+    serve_parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock bound per request; an overdue request's worker is "
+        "presumed hung, killed and restarted (default: no bound)",
     )
     serve_parser.set_defaults(func=_command_serve)
 

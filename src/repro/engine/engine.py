@@ -382,18 +382,25 @@ class XPathEngine:
         mmap: bool = True,
         start_method: Optional[str] = None,
         warm: bool = True,
+        restarts: Optional[int] = None,
+        request_timeout: Optional[float] = None,
     ) -> "ShardedPool":
         """Start (or return) this engine's cross-process serving backend.
 
         Shards the attached store's documents across ``workers``
         processes over the id-native wire format — see
         :class:`repro.serving.ShardedPool` and ``docs/serving.md``.  The
-        pool is cached on the engine: a second call with the same
-        ``workers`` returns the live pool, a different ``workers`` count
-        shuts the old pool down and starts a new one.  The engine's
-        :meth:`stats` merge the workers' counters while a pool is live,
-        and the pool is closed when the engine is garbage-collected
-        (call :meth:`shutdown_serving` for deterministic shutdown).
+        pool is supervised: a worker that dies is restarted (up to
+        ``restarts`` times per worker, default
+        :data:`repro.serving.DEFAULT_MAX_RESTARTS`) and its in-flight
+        requests are replayed; ``request_timeout`` bounds each request's
+        wall clock (``None`` = no bound).  The pool is cached on the
+        engine: a second call with the same ``workers`` returns the live
+        pool, a different ``workers`` count shuts the old pool down and
+        starts a new one.  The engine's :meth:`stats` merge the workers'
+        counters while a pool is live, and the pool is closed when the
+        engine is garbage-collected (call :meth:`shutdown_serving` for
+        deterministic shutdown).
         """
         if self._store is None:
             raise RuntimeError(
@@ -406,7 +413,7 @@ class XPathEngine:
                 if pool.workers == workers:
                     return pool
                 self.shutdown_serving()
-            from repro.serving import ShardedPool
+            from repro.serving import DEFAULT_MAX_RESTARTS, ShardedPool
 
             pool = ShardedPool(
                 self._store,
@@ -414,6 +421,10 @@ class XPathEngine:
                 mmap=mmap,
                 start_method=start_method,
                 warm=warm,
+                max_restarts=(
+                    DEFAULT_MAX_RESTARTS if restarts is None else restarts
+                ),
+                request_timeout=request_timeout,
             )
             self._serving = pool
             self._serving_finalizer = weakref.finalize(self, pool.close)

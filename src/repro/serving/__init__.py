@@ -24,19 +24,27 @@ worker lifecycle and the operations guide.
 """
 
 from repro.serving.pool import (
+    DEFAULT_MAX_RESTARTS,
+    DEFAULT_MAX_RETRIES,
     DEFAULT_WINDOW,
     ServingError,
     ServingStats,
+    ServingTimeout,
     ShardedPool,
+    WorkerCrashed,
     WorkerStats,
 )
 from repro.serving.wire import WireError
 
 __all__ = [
+    "DEFAULT_MAX_RESTARTS",
+    "DEFAULT_MAX_RETRIES",
     "DEFAULT_WINDOW",
     "ServingError",
     "ServingStats",
+    "ServingTimeout",
     "ShardedPool",
     "WireError",
+    "WorkerCrashed",
     "WorkerStats",
 ]

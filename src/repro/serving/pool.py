@@ -20,15 +20,25 @@ identical requests.  A :class:`ShardedPool` escapes that bound by putting
 * **dispatch** — a batch is split by shard, streamed to each worker under
   a bounded in-flight window (both pipe directions keep flowing, so a
   batch larger than the OS pipe buffer cannot deadlock), and reassembled
-  in input order by correlation id.
+  in input order by correlation id;
+* **supervision** — a worker that dies (crash, kill, torn frame) is
+  restarted with capped exponential backoff and re-warmed from the
+  mmap'd store, and the requests that were in flight on it are replayed
+  onto the restarted process.  Queries are read-only and idempotent, so
+  replay cannot change an answer; it is bounded by a per-request retry
+  budget and an optional wall-clock ``request_timeout``, after which the
+  caller gets a typed :class:`WorkerCrashed` / :class:`ServingTimeout`
+  carrying the worker index and attempt count.
 
 The pool is a *backend*, not a second API: results come back as the same
 :class:`~repro.engine.QueryResult` the in-process engine returns (ids
 wired through; node objects materialise lazily from a parent-side
 hydration of the same snapshot), errors re-raise as their original
 exception types, and :meth:`ShardedPool.stats` merges the per-worker
-engine counters.  See ``docs/serving.md`` for the architecture, the wire
-format spec and the operations guide.
+engine counters with the pool's supervision counters (restarts, retried
+and timed-out requests, per-worker liveness).  See ``docs/serving.md``
+for the architecture, the wire format spec, the supervision state
+machine and the operations guide.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
@@ -47,7 +58,7 @@ from repro.errors import ReproError
 from repro.engine.result import QueryResult
 from repro.serving import wire
 from repro.serving.worker import worker_main
-from repro.store import CorpusStore, shard_of
+from repro.store import CorpusStore, StoreKeyError, shard_of
 from repro.store import corpus as _corpus
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -57,6 +68,19 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
 #: Big enough to hide IPC latency, small enough that request and reply
 #: frames together stay far below any OS pipe buffer.
 DEFAULT_WINDOW = 32
+
+#: Restarts a worker may consume over the pool's lifetime before it is
+#: marked permanently failed and its shard's requests fail fast.
+DEFAULT_MAX_RESTARTS = 3
+
+#: Times one request may be *replayed* onto a restarted worker before it
+#: fails with :class:`WorkerCrashed` (total sends = 1 + this).
+DEFAULT_MAX_RETRIES = 2
+
+#: Capped exponential restart backoff: the n-th restart of a worker
+#: sleeps ``min(RESTART_BACKOFF * 2**n, RESTART_BACKOFF_CAP)`` seconds.
+RESTART_BACKOFF = 0.05
+RESTART_BACKOFF_CAP = 1.0
 
 #: How long the dispatcher waits for a reply before re-checking that the
 #: owing workers are still alive (long evaluations just loop).
@@ -72,6 +96,47 @@ _env_lock = threading.Lock()
 
 class ServingError(ReproError):
     """The serving tier itself failed (dead worker, protocol violation)."""
+
+
+class WorkerCrashed(ServingError):
+    """A worker death could not be absorbed transparently.
+
+    Raised when a request exhausts its replay budget on a crashing
+    worker, or when a worker exhausts its restart budget and is marked
+    permanently failed.  ``worker`` is the worker index, ``attempts`` the
+    number of times the request was sent (0 when the error describes the
+    worker rather than one request).
+    """
+
+    def __init__(self, message: str, worker: int = -1, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.attempts = attempts
+
+
+class ServingTimeout(ServingError):
+    """A request exceeded the pool's wall-clock ``request_timeout``.
+
+    The owning worker is presumed hung and is killed and restarted; the
+    timed-out request is *not* replayed (its budget is wall-clock, not
+    attempts).  ``worker`` is the worker index, ``attempts`` how many
+    times the request had been sent when the clock ran out.
+    """
+
+    def __init__(self, message: str, worker: int = -1, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.attempts = attempts
+
+
+class _WorkerDied(ServingError):
+    """Internal: a pipe operation found the worker dead (supervised)."""
+
+    def __init__(self, worker: "_Worker", what: str = "died mid-conversation") -> None:
+        super().__init__(
+            f"worker {worker.index} (pid {worker.process.pid}) {what}"
+        )
+        self.worker = worker
 
 
 def _default_start_method() -> str:
@@ -127,7 +192,12 @@ def _rebuild_error(type_name: str, message: str) -> Exception:
 
 @dataclass(frozen=True)
 class WorkerStats:
-    """One worker's counters, as reported over the wire."""
+    """One worker's counters, as reported over the wire.
+
+    ``alive``/``restarts`` are pool-side supervision facts: a permanently
+    failed worker reports ``alive=False`` with zeroed engine counters, and
+    a restarted worker's engine counters restart from zero with it.
+    """
 
     worker: int
     pid: int
@@ -139,6 +209,8 @@ class WorkerStats:
     documents: int
     store_hits: int
     store_loads: int
+    alive: bool = True
+    restarts: int = 0
 
 
 @dataclass(frozen=True)
@@ -153,6 +225,10 @@ class ServingStats:
     documents: int
     store_loads: int
     per_worker: tuple[WorkerStats, ...]
+    restarts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    rejected: int = 0
 
     def describe(self) -> str:
         """Render the merged snapshot as the CLI's ``--stats`` block."""
@@ -161,7 +237,8 @@ class ServingStats:
             or "(none)"
         )
         shares = " ".join(
-            f"w{stats.worker}={stats.served}" for stats in self.per_worker
+            f"w{stats.worker}={stats.served if stats.alive else 'down'}"
+            for stats in self.per_worker
         )
         plan_total = self.plan_hits + self.plan_misses
         hit_rate = self.plan_hits / plan_total if plan_total else 0.0
@@ -174,6 +251,9 @@ class ServingStats:
                 f"{self.plan_misses} miss(es), hit rate {hit_rate:.0%}",
                 f"worker documents    : {self.documents} hydrated, "
                 f"{self.store_loads} snapshot load(s)",
+                f"worker supervision  : {self.restarts} restart(s), "
+                f"{self.retries} retried request(s), {self.timeouts} "
+                f"timeout(s), {self.rejected} rejected batch(es)",
             ]
         )
 
@@ -213,14 +293,21 @@ class _LazyDocument:
 
 
 class _Worker:
-    """One child process plus the parent's end of its pipe."""
+    """One child process plus the parent's end of its pipe.
 
-    __slots__ = ("index", "process", "conn")
+    ``restarts`` counts the supervisor restarts this slot has consumed;
+    ``failed`` marks a slot whose budget is exhausted — its shard's
+    requests fail fast with :class:`WorkerCrashed` instead of hanging.
+    """
+
+    __slots__ = ("index", "process", "conn", "restarts", "failed")
 
     def __init__(self, index: int, process, conn) -> None:
         self.index = index
         self.process = process
         self.conn = conn
+        self.restarts = 0
+        self.failed = False
 
 
 class ShardedPool:
@@ -245,13 +332,30 @@ class ShardedPool:
     warm:
         Hydrate every manifest key into its shard's worker before
         :meth:`__init__` returns, so the first query hits a warm index.
+        Restarted workers are always re-warmed before rejoining rotation.
     window:
         Frames in flight per worker before the dispatcher waits.
+    max_restarts:
+        Supervisor restarts each worker slot may consume over the pool's
+        lifetime; beyond it the slot is permanently failed and its
+        requests raise :class:`WorkerCrashed`.
+    max_retries:
+        Times one in-flight request may be replayed onto a restarted
+        worker before it fails with :class:`WorkerCrashed`.
+    request_timeout:
+        Optional wall-clock bound (seconds) per request, measured from
+        its first send.  An overdue request's worker is presumed hung:
+        it is killed and restarted, the overdue request raises
+        :class:`ServingTimeout`, and the worker's other in-flight
+        requests are replayed under their retry budgets.
+    restart_backoff:
+        Base of the capped exponential restart backoff (seconds).
 
     The pool is **not** thread-safe: it is a single-dispatcher backend
     (put it behind an :class:`~repro.engine.XPathEngine` or your own lock
-    to share it).  It is a context manager; :meth:`close` shuts workers
-    down gracefully and is idempotent.
+    to share it).  It is a context manager; :meth:`drain` stops admission
+    and shuts down gracefully, :meth:`close` is drain-with-deadline and
+    is idempotent.
     """
 
     def __init__(
@@ -262,11 +366,21 @@ class ShardedPool:
         start_method: Optional[str] = None,
         warm: bool = True,
         window: int = DEFAULT_WINDOW,
+        max_restarts: int = DEFAULT_MAX_RESTARTS,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        request_timeout: Optional[float] = None,
+        restart_backoff: float = RESTART_BACKOFF,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if window < 1:
             raise ValueError("window must be at least 1")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be at least 0")
+        if max_retries < 0:
+            raise ValueError("max_retries must be at least 0")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
         if not isinstance(store, CorpusStore):
             store = CorpusStore(store)
         self.store = store
@@ -274,23 +388,23 @@ class ShardedPool:
         self.mmap = mmap
         self.start_method = start_method or _default_start_method()
         self.window = window
+        self.max_restarts = max_restarts
+        self.max_retries = max_retries
+        self.request_timeout = request_timeout
+        self.restart_backoff = restart_backoff
         self._closed = False
+        self._restarts = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._rejected = 0
         # content hash -> _LazyDocument, LRU-bounded (see _document)
         self._documents: "OrderedDict[str, _LazyDocument]" = OrderedDict()
-        context = multiprocessing.get_context(self.start_method)
+        self._context = multiprocessing.get_context(self.start_method)
         self._pool: list[_Worker] = []
         try:
             for index in range(workers):
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                process = context.Process(
-                    target=worker_main,
-                    args=(child_conn, store.root, mmap, index),
-                    name=f"repro-serve-{index}",
-                    daemon=True,
-                )
-                _start_with_child_importable(process)
-                child_conn.close()
-                self._pool.append(_Worker(index, process, parent_conn))
+                process, conn = self._spawn(index)
+                self._pool.append(_Worker(index, process, conn))
             if warm:
                 self.warm_up()
         except BaseException:
@@ -304,36 +418,125 @@ class ShardedPool:
 
         Safe to call again after new :meth:`~repro.store.CorpusStore.put`
         calls — warm keys are registry hits inside the worker, cold ones
-        cost exactly one snapshot load each.
+        cost exactly one snapshot load each.  A worker that dies while
+        warming is restarted under the supervisor's budget; past the
+        budget a :class:`WorkerCrashed` naming the worker is raised
+        (never a raw ``EOFError``/``OSError`` from the pipe).
         """
         self._require_open()
         layout = self.store.shard_layout(self.workers)
-        hydrated = []
+        counts = [0] * self.workers
+        pending = []
         for worker in self._pool:
+            if worker.failed:
+                continue
             keys = [entry.key for entry in layout[worker.index]]
-            self._send(worker, wire.encode_warm(keys))
+            try:
+                self._send(worker, wire.encode_warm(keys))
+            except _WorkerDied:
+                counts[worker.index] = self._revive(worker)
+                continue
+            pending.append(worker)
+        for worker in pending:
+            try:
+                counts[worker.index] = self._expect(
+                    worker, wire.MSG_READY
+                ).hydrated
+            except _WorkerDied:
+                counts[worker.index] = self._revive(worker)
+        return counts
+
+    def ping(self, timeout: float = 5.0) -> tuple[bool, ...]:
+        """Probe every worker with PING; returns per-worker liveness.
+
+        A worker is healthy when it answers PONG (with its own pid)
+        within the shared ``timeout``.  The probe never restarts anyone —
+        it is the read-only health check a front door polls; the next
+        evaluation supervises.  Like every pool method, call it between
+        batches (the pool is a single-dispatcher backend).
+        """
+        self._require_open()
+        deadline = time.monotonic() + timeout
+        health = []
         for worker in self._pool:
-            message = self._expect(worker, wire.MSG_READY)
-            hydrated.append(message.hydrated)
-        return hydrated
+            if worker.failed:
+                health.append(False)
+                continue
+            try:
+                self._send(worker, wire.encode_ping(worker.index))
+                message = self._expect(worker, wire.MSG_PONG, deadline=deadline)
+                health.append(message.pid == worker.process.pid)
+            except ServingError:
+                health.append(False)
+        return tuple(health)
+
+    def drain(self, timeout: float = 5.0) -> tuple[Optional[int], ...]:
+        """Stop admission, flush the workers, then shut down.
+
+        Sends ``DRAIN`` to every live worker and collects ``DRAINED``
+        acknowledgements under one pool-wide ``timeout``; because every
+        request is answered before the pool returns it (the dispatcher
+        fully drains each batch), the acknowledgement doubles as a
+        zero-lost-requests receipt.  Returns the per-worker served count
+        from each acknowledgement (``None`` for workers that were already
+        dead or missed the deadline — those are terminated).  The pool is
+        closed afterwards; further calls raise :class:`ServingError`.
+        """
+        self._require_open()
+        self._closed = True
+        return self._shutdown(timeout, graceful=True)
 
     def close(self, timeout: float = 5.0) -> None:
-        """Shut every worker down gracefully (terminate stragglers)."""
+        """Drain-with-deadline: shut every worker down within ``timeout``.
+
+        The deadline is **pool-wide**, not per worker: with N hung
+        workers the call still returns in roughly ``timeout`` (plus a
+        short kill grace), never ``N × timeout``.  Idempotent.
+        """
         if self._closed:
             return
         self._closed = True
+        self._shutdown(timeout, graceful=False)
+
+    def _shutdown(
+        self, timeout: float, graceful: bool
+    ) -> tuple[Optional[int], ...]:
+        """Common drain/close mechanics under one pool-wide deadline."""
+        deadline = time.monotonic() + timeout
+        acks: list[Optional[int]] = [None] * len(self._pool)
+        pending = []
+        frame = wire.encode_drain() if graceful else wire.encode_shutdown()
+        for worker in self._pool:
+            if worker.failed:
+                continue
+            try:
+                worker.conn.send_bytes(frame)
+            except (OSError, ValueError):
+                continue  # already dead or closed: join/terminate below
+            pending.append(worker)
+        if graceful:
+            for worker in pending:
+                try:
+                    message = self._expect(
+                        worker, wire.MSG_DRAINED, deadline=deadline
+                    )
+                    acks[worker.index] = message.served
+                except ServingError:
+                    pass  # dead or overdue: terminated below
         for worker in self._pool:
             try:
-                worker.conn.send_bytes(wire.encode_shutdown())
-            except (OSError, ValueError):
-                pass  # already dead or closed: join/terminate below
-            worker.conn.close()
+                worker.conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
         for worker in self._pool:
             if worker.process.is_alive():
-                worker.process.join(timeout)
-            if worker.process.is_alive():  # pragma: no cover - hang backstop
-                worker.process.terminate()
-                worker.process.join(timeout)
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+        stragglers = [w for w in self._pool if w.process.is_alive()]
+        for worker in stragglers:  # pragma: no cover - hang backstop
+            worker.process.kill()
+        for worker in stragglers:  # pragma: no cover - hang backstop
+            worker.process.join(1.0)
+        return tuple(acks)
 
     def __enter__(self) -> "ShardedPool":
         return self
@@ -343,7 +546,7 @@ class ShardedPool:
 
     @property
     def closed(self) -> bool:
-        """True once :meth:`close` has run."""
+        """True once :meth:`close` (or :meth:`drain`) has run."""
         return self._closed
 
     # -- routing -----------------------------------------------------------
@@ -369,9 +572,12 @@ class ShardedPool:
         :class:`~repro.engine.QueryResult` objects and are identical to
         evaluating each request in process.  ``ids=True`` enforces the
         ``evaluate_many_ids`` contract (node-set answers only).  The
-        first failing request re-raises its worker-side exception — after
-        the whole batch has been drained, so the connection protocol
-        stays clean for the next call.
+        first failing request (by input order) re-raises its worker-side
+        exception — after the whole batch has been drained, so the
+        connection protocol stays clean for the next call.  Every key is
+        validated against the manifest before anything is enqueued: an
+        unknown key rejects the whole batch (counted in
+        :class:`ServingStats` ``rejected``) without dispatching a frame.
         """
         self._require_open()
         items = []
@@ -387,23 +593,35 @@ class ShardedPool:
         if not items:
             return []
 
+        # Validate the whole batch against the manifest before enqueuing
+        # anything: a bad key must not leave earlier requests half-staged.
+        entries = []
+        for query, key in items:
+            try:
+                entries.append(self.store.stat(key))
+            except StoreKeyError:
+                self._rejected += 1
+                raise
+        self._supervise()
+
         queues: list[deque] = [deque() for _ in self._pool]
-        hashes: list[Optional[str]] = [None] * len(items)
-        replies: list[Optional[wire.Message]] = [None] * len(items)
+        hashes: list[str] = [entry.hash for entry in entries]
+        replies: list = [None] * len(items)
         for seq, (query, key) in enumerate(items):
-            # Routing needs the manifest anyway, so an unknown key fails
-            # fast here (stat raises StoreKeyError) rather than per shard.
-            entry = self.store.stat(key)
-            hashes[seq] = entry.hash
-            shard = shard_of(entry.hash, self.workers)
-            queues[shard].append(wire.encode_query(seq, key, query, ids_only=ids))
+            shard = shard_of(hashes[seq], self.workers)
+            frame = wire.encode_query(seq, key, query, ids_only=ids)
+            queues[shard].append((frame, seq))
         self._dispatch(queues, replies)
 
         results = []
         failure: Optional[tuple[int, Exception]] = None
         for seq, message in enumerate(replies):
             query, key = items[seq]
-            if message.type == wire.MSG_ERROR:
+            if isinstance(message, Exception):
+                if failure is None:
+                    failure = (seq, message)
+                results.append(None)
+            elif message.type == wire.MSG_ERROR:
                 if failure is None:
                     failure = (seq, _rebuild_error(*message.error))
                 results.append(None)
@@ -430,14 +648,36 @@ class ShardedPool:
     # -- statistics --------------------------------------------------------
 
     def stats(self) -> ServingStats:
-        """Merge every worker's engine counters into one snapshot."""
+        """Merge every worker's engine counters into one snapshot.
+
+        Dead-while-idle workers are revived first (budget permitting);
+        a permanently failed worker contributes a zeroed row with
+        ``alive=False``.  Engine counters are per *process*: a restarted
+        worker's counters restart from zero (the pool-side ``restarts``/
+        ``retries``/``timeouts`` totals persist across restarts).
+        """
         self._require_open()
+        self._supervise()
         per_worker = []
         for worker in self._pool:
-            self._send(worker, wire.encode_stats_request())
-        for worker in self._pool:
-            payload = self._expect(worker, wire.MSG_STATS_REPLY).payload
-            per_worker.append(WorkerStats(**payload))
+            payload = None
+            if not worker.failed:
+                try:
+                    payload = self._stats_roundtrip(worker)
+                except _WorkerDied:
+                    try:
+                        self._revive(worker)
+                        payload = self._stats_roundtrip(worker)
+                    except (WorkerCrashed, _WorkerDied):
+                        payload = None
+            if payload is None:
+                per_worker.append(self._dead_worker_stats(worker))
+            else:
+                per_worker.append(
+                    WorkerStats(
+                        **payload, alive=True, restarts=worker.restarts
+                    )
+                )
         dispatch: dict[str, int] = {}
         for stats in per_worker:
             for engine, count in stats.dispatch.items():
@@ -451,6 +691,30 @@ class ShardedPool:
             documents=sum(stats.documents for stats in per_worker),
             store_loads=sum(stats.store_loads for stats in per_worker),
             per_worker=tuple(per_worker),
+            restarts=self._restarts,
+            retries=self._retries,
+            timeouts=self._timeouts,
+            rejected=self._rejected,
+        )
+
+    def _stats_roundtrip(self, worker: _Worker) -> dict:
+        self._send(worker, wire.encode_stats_request())
+        return self._expect(worker, wire.MSG_STATS_REPLY).payload
+
+    def _dead_worker_stats(self, worker: _Worker) -> WorkerStats:
+        return WorkerStats(
+            worker=worker.index,
+            pid=worker.process.pid or 0,
+            served=0,
+            queries=0,
+            dispatch={},
+            plan_hits=0,
+            plan_misses=0,
+            documents=0,
+            store_hits=0,
+            store_loads=0,
+            alive=False,
+            restarts=worker.restarts,
         )
 
     # -- internals ---------------------------------------------------------
@@ -458,6 +722,76 @@ class ShardedPool:
     def _require_open(self) -> None:
         if self._closed:
             raise ServingError("the pool is closed")
+
+    def _spawn(self, index: int):
+        """Start one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=worker_main,
+            args=(child_conn, self.store.root, self.mmap, index),
+            name=f"repro-serve-{index}",
+            daemon=True,
+        )
+        _start_with_child_importable(process)
+        child_conn.close()
+        return process, parent_conn
+
+    def _supervise(self) -> None:
+        """Sentinel poll: revive workers that died while the pool was idle.
+
+        Budget-exhausted slots stay failed (their shard's requests fail
+        fast in dispatch); the batch as a whole proceeds.
+        """
+        for worker in self._pool:
+            if not worker.failed and not worker.process.is_alive():
+                try:
+                    self._revive(worker)
+                except WorkerCrashed:
+                    pass  # marked failed; dispatch attributes per request
+
+    def _revive(self, worker: _Worker) -> int:
+        """Restart a dead worker with capped exponential backoff.
+
+        Reaps the dead process, sleeps the backoff, starts a fresh
+        process on a fresh pipe and re-warms the worker's shard from the
+        store before it rejoins rotation; loops (budget-limited) if the
+        replacement dies while warming.  Returns the hydrated-document
+        count.  Past ``max_restarts`` the slot is marked ``failed`` and
+        :class:`WorkerCrashed` is raised naming the worker.
+        """
+        while True:
+            exitcode = worker.process.exitcode
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(5.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            if worker.restarts >= self.max_restarts:
+                worker.failed = True
+                raise WorkerCrashed(
+                    f"worker {worker.index} exited with code {exitcode} and "
+                    f"exhausted its restart budget "
+                    f"({worker.restarts}/{self.max_restarts} restarts used)",
+                    worker=worker.index,
+                )
+            time.sleep(
+                min(
+                    self.restart_backoff * (2 ** worker.restarts),
+                    RESTART_BACKOFF_CAP,
+                )
+            )
+            worker.restarts += 1
+            self._restarts += 1
+            worker.process, worker.conn = self._spawn(worker.index)
+            layout = self.store.shard_layout(self.workers)
+            keys = [entry.key for entry in layout[worker.index]]
+            try:
+                self._send(worker, wire.encode_warm(keys))
+                return self._expect(worker, wire.MSG_READY).hydrated
+            except _WorkerDied:
+                continue  # the replacement died warming: back off and retry
 
     def _document(self, content_hash: str) -> _LazyDocument:
         """The parent-side document for lazy node materialisation.
@@ -485,33 +819,174 @@ class ShardedPool:
     def _dispatch(self, queues: list[deque], replies: list) -> None:
         """Stream queued frames to the workers and collect every reply.
 
-        Windowed duplex pumping: each worker has at most ``window``
-        unanswered frames, replies are read as they arrive (so neither
-        pipe direction can fill up and deadlock), and a worker dying
-        mid-batch raises :class:`ServingError` instead of hanging.
+        Windowed duplex pumping with supervision: each worker has at most
+        ``window`` unanswered frames, replies are read as they arrive (so
+        neither pipe direction can fill up and deadlock), and a worker
+        dying mid-batch is restarted and its in-flight window *replayed*
+        onto the restarted process — queries are idempotent reads, so the
+        replay is invisible to the caller.  Replay is bounded by
+        ``max_retries`` per request and ``request_timeout`` wall-clock;
+        past either bound the affected request's slot in ``replies``
+        carries a typed :class:`WorkerCrashed` / :class:`ServingTimeout`
+        (surfaced by input order after the batch drains), never a hang.
         """
-        inflight = [0] * len(self._pool)
+        inflight: list[dict[int, bytes]] = [{} for _ in self._pool]
+        attempts: dict[int, int] = {}
+        deadlines: dict[int, float] = {}
         outstanding = sum(len(queue) for queue in queues)
+
+        def fail(seq: int, error: Exception) -> None:
+            nonlocal outstanding
+            replies[seq] = error
+            deadlines.pop(seq, None)
+            outstanding -= 1
+
+        def fail_worker_requests(worker: _Worker) -> None:
+            """Fail everything routed at a permanently failed worker."""
+            window = inflight[worker.index]
+            for seq in sorted(window):
+                fail(
+                    seq,
+                    WorkerCrashed(
+                        f"worker {worker.index} crashed and exhausted its "
+                        f"restart budget with this request in flight "
+                        f"(sent {attempts.get(seq, 0)} time(s))",
+                        worker=worker.index,
+                        attempts=attempts.get(seq, 0),
+                    ),
+                )
+            window.clear()
+            queue = queues[worker.index]
+            while queue:
+                _, seq = queue.popleft()
+                fail(
+                    seq,
+                    WorkerCrashed(
+                        f"worker {worker.index} is permanently failed "
+                        f"(restart budget exhausted); request was never "
+                        "dispatched",
+                        worker=worker.index,
+                        attempts=attempts.get(seq, 0),
+                    ),
+                )
+
+        def handle_death(worker: _Worker) -> None:
+            """Restart a dead worker and replay its window, budget permitting."""
+            window = sorted(inflight[worker.index].items())
+            inflight[worker.index].clear()
+            try:
+                self._revive(worker)
+            except WorkerCrashed:
+                inflight[worker.index] = {seq: frame for seq, frame in window}
+                fail_worker_requests(worker)
+                return
+            replayable = []
+            for seq, frame in window:
+                if attempts.get(seq, 0) > self.max_retries:
+                    fail(
+                        seq,
+                        WorkerCrashed(
+                            f"request exhausted its retry budget: worker "
+                            f"{worker.index} died {attempts[seq]} time(s) "
+                            f"with it in flight "
+                            f"(max_retries={self.max_retries})",
+                            worker=worker.index,
+                            attempts=attempts[seq],
+                        ),
+                    )
+                else:
+                    replayable.append((frame, seq))
+                    self._retries += 1
+            queues[worker.index].extendleft(reversed(replayable))
+
         while outstanding:
+            # 0) fail fast anything routed at a permanently failed worker
             for worker in self._pool:
+                if worker.failed and (
+                    inflight[worker.index] or queues[worker.index]
+                ):
+                    fail_worker_requests(worker)
+            # 1) wall-clock deadlines: an overdue request means its worker
+            #    is hung — time the request out, kill and restart the worker,
+            #    replay the rest of its window
+            if deadlines:
+                now = time.monotonic()
+                for worker in self._pool:
+                    window = inflight[worker.index]
+                    overdue = [
+                        seq for seq in window
+                        if deadlines.get(seq, float("inf")) <= now
+                    ]
+                    if not overdue:
+                        continue
+                    for seq in sorted(overdue):
+                        del window[seq]
+                        self._timeouts += 1
+                        fail(
+                            seq,
+                            ServingTimeout(
+                                f"request timed out after "
+                                f"{self.request_timeout:.3g}s on worker "
+                                f"{worker.index} "
+                                f"(sent {attempts.get(seq, 0)} time(s))",
+                                worker=worker.index,
+                                attempts=attempts.get(seq, 0),
+                            ),
+                        )
+                    worker.process.kill()
+                    handle_death(worker)
+            # 2) admission: top up every live worker's window
+            for worker in self._pool:
+                if worker.failed:
+                    continue
                 queue = queues[worker.index]
-                while queue and inflight[worker.index] < self.window:
-                    self._send(worker, queue.popleft())
-                    inflight[worker.index] += 1
+                while queue and len(inflight[worker.index]) < self.window:
+                    frame, seq = queue[0]
+                    try:
+                        self._send(worker, frame)
+                    except _WorkerDied:
+                        handle_death(worker)
+                        break
+                    queue.popleft()
+                    inflight[worker.index][seq] = frame
+                    attempts[seq] = attempts.get(seq, 0) + 1
+                    if (
+                        self.request_timeout is not None
+                        and seq not in deadlines
+                    ):
+                        deadlines[seq] = (
+                            time.monotonic() + self.request_timeout
+                        )
+            if not outstanding:
+                break
             owing = [
-                worker for worker in self._pool if inflight[worker.index] > 0
+                worker for worker in self._pool if inflight[worker.index]
             ]
+            if not owing:
+                continue  # a revival just requeued everything: re-admit
+            # 3) wait for replies (bounded by liveness poll and deadlines)
+            poll = _LIVENESS_POLL
+            if deadlines:
+                soonest = min(deadlines.values())
+                poll = max(0.0, min(poll, soonest - time.monotonic()))
             ready = connection_wait(
-                [worker.conn for worker in owing], timeout=_LIVENESS_POLL
+                [worker.conn for worker in owing], timeout=poll
             )
             if not ready:
-                self._check_alive(owing)
+                for worker in owing:
+                    if not worker.process.is_alive():
+                        handle_death(worker)
                 continue
+            # 4) collect replies
             ready_set = set(ready)
             for worker in owing:
                 if worker.conn not in ready_set:
                     continue
-                message = self._receive(worker)
+                try:
+                    message = self._receive(worker)
+                except _WorkerDied:
+                    handle_death(worker)
+                    continue
                 if message.type not in (
                     wire.MSG_RESULT_IDS, wire.MSG_RESULT_VALUE, wire.MSG_ERROR
                 ):
@@ -519,36 +994,47 @@ class ShardedPool:
                         f"worker {worker.index} sent frame type "
                         f"{message.type} where a result was expected"
                     )
-                if not 0 <= message.seq < len(replies):
+                if message.seq not in inflight[worker.index]:
                     raise ServingError(
                         f"worker {worker.index} answered unknown request "
                         f"{message.seq}"
                     )
+                del inflight[worker.index][message.seq]
+                deadlines.pop(message.seq, None)
                 replies[message.seq] = message
-                inflight[worker.index] -= 1
                 outstanding -= 1
 
     def _send(self, worker: _Worker, frame: bytes) -> None:
         try:
             worker.conn.send_bytes(frame)
         except (OSError, ValueError):
-            raise ServingError(
-                f"worker {worker.index} (pid {worker.process.pid}) died "
-                "mid-conversation"
-            ) from None
+            raise _WorkerDied(worker) from None
 
     def _receive(self, worker: _Worker) -> wire.Message:
         try:
             return wire.decode(worker.conn.recv_bytes())
         except (EOFError, OSError):
-            raise ServingError(
-                f"worker {worker.index} (pid {worker.process.pid}) died "
-                "mid-conversation"
-            ) from None
+            raise _WorkerDied(worker) from None
 
-    def _expect(self, worker: _Worker, msg_type: int) -> wire.Message:
-        while not worker.conn.poll(_LIVENESS_POLL):
-            self._check_alive([worker])
+    def _expect(
+        self, worker: _Worker, msg_type: int, deadline: Optional[float] = None
+    ) -> wire.Message:
+        poll = _LIVENESS_POLL
+        if deadline is not None:
+            poll = min(poll, max(0.0, deadline - time.monotonic()))
+        while not worker.conn.poll(poll):
+            if not worker.process.is_alive():
+                raise _WorkerDied(
+                    worker,
+                    f"exited with code {worker.process.exitcode} while "
+                    "a reply was expected",
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServingTimeout(
+                    f"worker {worker.index} sent no reply before the "
+                    "deadline",
+                    worker=worker.index,
+                )
         message = self._receive(worker)
         if message.type != msg_type:
             raise ServingError(
@@ -556,15 +1042,6 @@ class ShardedPool:
                 f"expected {msg_type}"
             )
         return message
-
-    def _check_alive(self, workers: Iterable[_Worker]) -> None:
-        for worker in workers:
-            if not worker.process.is_alive():
-                raise ServingError(
-                    f"worker {worker.index} (pid {worker.process.pid}) "
-                    f"exited with code {worker.process.exitcode} while "
-                    "requests were in flight"
-                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

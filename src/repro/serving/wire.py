@@ -27,6 +27,10 @@ Message bodies::
     STATS        (empty body)
     STATS_REPLY  u32 json-len · utf-8 JSON object
     SHUTDOWN     (empty body)
+    PING         u32 seq (echoed back, so probes are correlatable)
+    PONG         u32 seq · u32 pid
+    DRAIN        (empty body)
+    DRAINED      u32 served · u32 pid
 
 ``seq`` is the requester's correlation id: replies carry the seq of the
 query they answer, so a worker may answer a batch in any order (in
@@ -71,6 +75,10 @@ MSG_READY = 6
 MSG_STATS = 7
 MSG_STATS_REPLY = 8
 MSG_SHUTDOWN = 9
+MSG_PING = 10
+MSG_PONG = 11
+MSG_DRAIN = 12
+MSG_DRAINED = 13
 
 #: QUERY flag bit 0: the caller insists on an id-array answer (the
 #: semantics of ``evaluate_many_ids``); scalar results become errors.
@@ -107,6 +115,7 @@ class Message:
     payload: Optional[dict] = None
     hydrated: int = 0
     pid: int = 0
+    served: int = 0
 
     @property
     def ids_only(self) -> bool:
@@ -211,6 +220,27 @@ def encode_stats_reply(payload: dict) -> bytes:
 def encode_shutdown() -> bytes:
     """Encode the graceful-shutdown request (empty body)."""
     return _frame(MSG_SHUTDOWN)
+
+
+def encode_ping(seq: int = 0) -> bytes:
+    """Encode a liveness probe (the worker echoes ``seq`` in its PONG)."""
+    return _frame(MSG_PING, _U32.pack(seq))
+
+
+def encode_pong(seq: int, pid: int) -> bytes:
+    """Encode the liveness acknowledgement."""
+    return _frame(MSG_PONG, _U32.pack(seq), _U32.pack(pid))
+
+
+def encode_drain() -> bytes:
+    """Encode the graceful-drain request: answer everything read so far,
+    acknowledge with DRAINED, then exit."""
+    return _frame(MSG_DRAIN)
+
+
+def encode_drained(served: int, pid: int) -> bytes:
+    """Encode the drain acknowledgement (total requests the worker served)."""
+    return _frame(MSG_DRAINED, _U32.pack(served), _U32.pack(pid))
 
 
 # -- decoding ----------------------------------------------------------------
@@ -329,4 +359,21 @@ def decode(frame: bytes) -> Message:
     if msg_type == MSG_SHUTDOWN:
         reader.done()
         return Message(MSG_SHUTDOWN)
+    if msg_type == MSG_PING:
+        seq = reader.u32()
+        reader.done()
+        return Message(MSG_PING, seq=seq)
+    if msg_type == MSG_PONG:
+        seq = reader.u32()
+        pid = reader.u32()
+        reader.done()
+        return Message(MSG_PONG, seq=seq, pid=pid)
+    if msg_type == MSG_DRAIN:
+        reader.done()
+        return Message(MSG_DRAIN)
+    if msg_type == MSG_DRAINED:
+        served = reader.u32()
+        pid = reader.u32()
+        reader.done()
+        return Message(MSG_DRAINED, served=served, pid=pid)
     raise WireError(f"unknown message type {msg_type}")

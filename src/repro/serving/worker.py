@@ -15,8 +15,9 @@ in-process pieces:
   them;
 * a receive loop over the :mod:`~repro.serving.wire` frames, answering
   ``QUERY`` with ``RESULT_IDS``/``RESULT_VALUE``/``ERROR``, ``WARM`` with
-  ``READY``, ``STATS`` with ``STATS_REPLY``, and exiting cleanly on
-  ``SHUTDOWN`` or a closed pipe.
+  ``READY``, ``STATS`` with ``STATS_REPLY``, ``PING`` with ``PONG``, and
+  exiting cleanly on ``SHUTDOWN``, ``DRAIN`` (after acknowledging with
+  ``DRAINED``) or a closed pipe.
 
 The loop drains its pipe without any cross-request synchronisation: the
 pool is the only writer, requests carry correlation ids (``seq``), and
@@ -29,13 +30,44 @@ shared evaluator instances, id-native answers).
 Errors never kill a worker: any exception an evaluation raises is sent
 back as a typed ``ERROR`` frame and the loop continues with the next
 request.  Only a malformed frame (a protocol bug, not a query bug)
-terminates the worker, which the pool surfaces as a dead-worker error.
+terminates the worker, which the pool's supervisor treats like any other
+worker death: restart, re-warm, replay.
+
+Fault injection (test-only)
+---------------------------
+
+The supervision test-suite and benchmark E18 need workers that die on
+cue, under both ``fork`` and ``spawn`` start methods — including workers
+the supervisor *restarts*, which the test process never touches directly.
+The one channel that reaches all of them is the environment, so a worker
+arms an optional fault from ``REPRO_SERVING_FAULT`` at startup
+(``tests/serving/faultinject.py`` is the harness that sets it; the
+variable is unset in production and this code reduces to a no-op check
+per frame).  Spec grammar::
+
+    REPRO_SERVING_FAULT = <action>:<trigger>[:<n>]
+
+    action   exit      — os._exit(1), a hard crash (SIGKILL-equivalent)
+             midframe  — write a torn reply frame, then os._exit(1)
+             hang      — sleep forever (a live but unresponsive worker)
+    trigger  query     — fire on the n-th QUERY frame this process reads
+             warm      — fire on the n-th WARM frame
+             close     — fire on SHUTDOWN/DRAIN (hang: shutdown never
+                         completes; exercises the close deadline)
+
+``REPRO_SERVING_FAULT_ONCE`` may name a file: the fault only fires while
+the file exists and firing unlinks it, so exactly one worker process
+crashes and its restarted successor is healthy (the recovery scenario).
+Without it the fault re-arms in every restarted worker (the
+retry-exhaustion scenario).
 """
 
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING
+import struct
+import time
+from typing import TYPE_CHECKING, Optional
 
 from repro.serving import wire
 
@@ -43,6 +75,64 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from multiprocessing.connection import Connection
 
     from repro.engine import XPathEngine
+
+FAULT_ENV = "REPRO_SERVING_FAULT"
+FAULT_ONCE_ENV = "REPRO_SERVING_FAULT_ONCE"
+
+_FAULT_ACTIONS = ("exit", "midframe", "hang")
+_FAULT_TRIGGERS = ("query", "warm", "close")
+
+
+class _Fault:
+    """One armed fault: fire ``action`` on the n-th ``trigger`` frame."""
+
+    __slots__ = ("action", "trigger", "n", "once_path", "count")
+
+    def __init__(self, action: str, trigger: str, n: int, once_path) -> None:
+        self.action = action
+        self.trigger = trigger
+        self.n = n
+        self.once_path = once_path
+        self.count = 0
+
+    def _armed(self) -> bool:
+        if self.once_path is None:
+            return True
+        # One crash total across the worker's whole restart lineage: the
+        # first process to fire consumes the token file.
+        try:
+            os.unlink(self.once_path)
+        except OSError:
+            return False
+        return True
+
+    def hit(self, trigger: str, conn: "Optional[Connection]" = None,
+            reply: Optional[bytes] = None) -> None:
+        """Fire if this frame is the n-th of ``trigger`` (may not return)."""
+        if trigger != self.trigger:
+            return
+        self.count += 1
+        if self.count != self.n or not self._armed():
+            return
+        if self.action == "hang":
+            time.sleep(3600)  # pragma: no cover - the supervisor kills us
+        if self.action == "midframe" and conn is not None and reply is not None:
+            # A torn reply: the Connection length prefix promises the full
+            # frame, the body stops halfway — the parent sees EOF mid-read.
+            header = struct.pack("!i", len(reply))
+            os.write(conn.fileno(), header + reply[: len(reply) // 2])
+        os._exit(1)
+
+
+def _load_fault() -> Optional[_Fault]:
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return None
+    parts = spec.split(":")
+    if len(parts) < 2 or parts[0] not in _FAULT_ACTIONS or parts[1] not in _FAULT_TRIGGERS:
+        raise ValueError(f"malformed {FAULT_ENV} spec {spec!r}")
+    n = int(parts[2]) if len(parts) > 2 else 1
+    return _Fault(parts[0], parts[1], n, os.environ.get(FAULT_ONCE_ENV))
 
 
 def worker_main(
@@ -57,6 +147,7 @@ def worker_main(
     from repro.store import CorpusStore
 
     engine = XPathEngine().attach_store(CorpusStore(store_root), mmap=mmap)
+    fault = _load_fault()
     served = 0
     while True:
         try:
@@ -65,16 +156,33 @@ def worker_main(
             break  # parent went away: treat like shutdown
         message = wire.decode(frame)
         if message.type == wire.MSG_SHUTDOWN:
+            if fault is not None:
+                fault.hit("close")
+            break
+        if message.type == wire.MSG_DRAIN:
+            # Everything the parent sent before DRAIN has already been
+            # answered (one reply per request, in arrival order), so the
+            # acknowledgement doubles as the "nothing in flight" receipt.
+            if fault is not None:
+                fault.hit("close")
+            conn.send_bytes(wire.encode_drained(served, os.getpid()))
             break
         if message.type == wire.MSG_QUERY:
-            conn.send_bytes(_answer(engine, message))
+            reply = _answer(engine, message)
+            if fault is not None:
+                fault.hit("query", conn, reply)
+            conn.send_bytes(reply)
             served += 1
         elif message.type == wire.MSG_WARM:
+            if fault is not None:
+                fault.hit("warm")
             hydrated = 0
             for key in message.keys:
                 engine.add_from_store(key)
                 hydrated += 1
             conn.send_bytes(wire.encode_ready(hydrated, os.getpid()))
+        elif message.type == wire.MSG_PING:
+            conn.send_bytes(wire.encode_pong(message.seq, os.getpid()))
         elif message.type == wire.MSG_STATS:
             conn.send_bytes(
                 wire.encode_stats_reply(_stats_payload(engine, worker_id, served))

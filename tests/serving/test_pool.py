@@ -185,11 +185,22 @@ class TestLifecycle:
         with pytest.raises(ServingError, match="closed"):
             pool.stats()
 
-    def test_dead_worker_raises_serving_error(self, store):
+    def test_dead_worker_recovers_transparently(self, store):
+        # Supervision: a killed worker restarts and the query still answers.
         with ShardedPool(store, workers=1, warm=False) as pool:
             pool._pool[0].process.kill()
             pool._pool[0].process.join(5)
-            with pytest.raises(ServingError, match="worker 0"):
+            result = pool.evaluate("count(//x)", "row")
+            assert result.value == 4.0
+            assert pool.stats().restarts == 1
+
+    def test_dead_worker_without_restart_budget_raises(self, store):
+        from repro.serving import WorkerCrashed
+
+        with ShardedPool(store, workers=1, warm=False, max_restarts=0) as pool:
+            pool._pool[0].process.kill()
+            pool._pool[0].process.join(5)
+            with pytest.raises(WorkerCrashed, match="worker 0"):
                 pool.evaluate("//b", "letters")
 
     def test_spawn_start_method(self, store):

@@ -21,11 +21,13 @@ from hypothesis import given, settings
 from repro.engine import XPathEngine
 from repro.errors import XPathEvaluationError
 from repro.evaluation import evaluate
+from repro.planner import evaluate_many_ids
 from repro.serving import ShardedPool
 from repro.store import CorpusStore, StoreKey
 from repro.xpath.ast import FunctionCall
 
 from tests.properties.strategies import core_xpath_queries, documents
+from tests.serving.faultinject import worker_fault
 
 
 @pytest.fixture(scope="module")
@@ -80,3 +82,50 @@ class TestShardedAgreesEverywhere:
             pool.evaluate(count, key, ids=True)
         with pytest.raises(XPathEvaluationError, match="not a node-set"):
             engine.evaluate(count, StoreKey(key), ids=True)
+
+
+@pytest.fixture(scope="module")
+def faulty_harness(tmp_path_factory):
+    """A pool whose workers crash every 25th query — and keep being revived.
+
+    The fault environment stays armed for the fixture's whole lifetime,
+    so the workers the supervisor restarts mid-run inherit the same
+    crash-on-cue behaviour; the restart budget is effectively unbounded
+    and replay absorbs every death.
+    """
+    store = CorpusStore(tmp_path_factory.mktemp("faulty-property-store"))
+    with worker_fault(
+        "exit", "query", n=25, once=False,
+        tmp_path=tmp_path_factory.mktemp("fault-tokens"),
+    ):
+        with ShardedPool(
+            store, workers=2, warm=False,
+            max_restarts=100_000, max_retries=10,
+        ) as pool:
+            yield store, pool
+
+
+class TestShardedAgreesUnderFaultInjection:
+    """Supervision must be invisible: crashing pool ≡ ``evaluate_many_ids``."""
+
+    @given(documents(max_nodes=30), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=40, deadline=None)
+    def test_node_sets_agree_despite_worker_crashes(
+        self, faulty_harness, document, query
+    ):
+        store, pool = faulty_harness
+        key = store.put(document).key
+        sharded = pool.evaluate(query, key, ids=True)
+        assert sharded.ids == evaluate_many_ids(document, [query])[0]
+
+    @given(documents(max_nodes=25), core_xpath_queries(allow_negation=True))
+    @settings(max_examples=15, deadline=None)
+    def test_scalars_agree_despite_worker_crashes(
+        self, faulty_harness, document, query
+    ):
+        store, pool = faulty_harness
+        key = store.put(document).key
+        count = FunctionCall("count", (query,))
+        assert pool.evaluate(count, key).value == evaluate(
+            count, document, engine="auto"
+        )
