@@ -37,7 +37,15 @@ hit/miss/load counters.
 shards the store's documents over ``--workers`` worker processes and
 answers ``<key> <query>`` request lines from stdin over the id-native
 wire format; ``query``/``store query`` accept ``--workers N`` to run a
-single query through the same tier.
+single query through the same tier.  With ``--listen HOST:PORT`` the
+same pool is served over TCP instead (the network front door of
+``repro.serving.server``: binary ``RPW1`` protocol + JSON shim,
+admission control, graceful drain on SIGINT/SIGTERM), and ``client``
+connects to such a server and answers the same ``<key> <query>`` stdin
+lines remotely::
+
+    python -m repro serve --store ./corpus --listen 127.0.0.1:8040
+    echo 'catalogue //book' | python -m repro client --connect 127.0.0.1:8040
 """
 
 from __future__ import annotations
@@ -317,13 +325,25 @@ def _command_store_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """Split a ``HOST:PORT`` flag value (IPv6 hosts may be bracketed)."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not port_text.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not HOST:PORT (e.g. 127.0.0.1:8040)"
+        )
+    return host.strip("[]") or "127.0.0.1", int(port_text)
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """``serve``: answer ``<key> <query>`` stdin lines over the worker pool.
 
     One request line in, one tab-separated result line out
     (``key\\tids=[...]`` / ``key\\tvalue=...`` / ``key\\terror=Type: …``);
     request errors are reported inline and never stop the loop.  EOF
-    shuts the pool down gracefully.
+    shuts the pool down gracefully.  With ``--listen HOST:PORT`` the pool
+    is served over TCP instead: requests arrive as ``RPW1`` frames or
+    JSON lines from the network, and SIGINT/SIGTERM drain gracefully.
     """
     from repro.serving import ShardedPool
     from repro.store import CorpusStore
@@ -337,6 +357,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_restarts=args.max_restarts,
         request_timeout=args.request_timeout,
     ) as pool:
+        if args.listen is not None:
+            return _serve_network(args, pool, store)
         print(
             f"serving  : {len(store)} key(s) over {pool.workers} worker "
             f"process(es) ({pool.start_method}); send '<key> <query>' lines",
@@ -367,6 +389,106 @@ def _command_serve(args: argparse.Namespace) -> int:
             for stats_line in pool.stats().describe().splitlines():
                 print(f"  {stats_line}")
         print(f"served   : {served} request(s)", file=sys.stderr)
+    return 0
+
+
+def _serve_network(args: argparse.Namespace, pool, store) -> int:
+    """``serve --listen``: run the TCP front door until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from repro.serving import XPathServer
+
+    host, port = args.listen
+    server = XPathServer(
+        pool,
+        host=host,
+        port=port,
+        max_inflight=args.max_inflight,
+        idle_timeout=args.idle_timeout,
+    )
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    try:
+        bound_host, bound_port = server.start_background()
+        print(
+            f"listening: {bound_host}:{bound_port} "
+            f"({len(store)} key(s), {pool.workers} worker process(es), "
+            f"max {server.max_inflight} request(s) in flight)",
+            file=sys.stderr,
+            flush=True,
+        )
+        stop.wait()
+        print("draining : flushing connected clients", file=sys.stderr)
+        server.shutdown(graceful=True)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if args.stats:
+        print("serving stats:")
+        for stats_line in pool.stats().describe().splitlines():
+            print(f"  {stats_line}")
+    return 0
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    """``client``: answer ``<key> <query>`` stdin lines over a TCP server.
+
+    The same request/response convention as ``serve``'s stdin loop, but
+    evaluation happens wherever ``--connect`` points; request errors
+    (including typed ``OVERLOADED`` rejections) are reported inline and
+    never stop the loop.
+    """
+    from repro.serving import ServingClient
+
+    host, port = args.connect
+    with ServingClient(host, port, timeout=args.timeout) as client:
+        print(
+            f"connected: {host}:{port} (server pid {client.server_pid}"
+            + (f", {client.banner}" if client.banner else "")
+            + ")",
+            file=sys.stderr,
+        )
+        if args.ping:
+            pid, rtt = client.ping()
+            print(f"pong     : pid={pid} rtt={rtt * 1e3:.2f}ms")
+            return 0
+        served = 0
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            if len(parts) != 2:
+                print(f"{parts[0]}\terror=request needs '<key> <query>'")
+                continue
+            key, query = parts
+            try:
+                result = client.evaluate(query, key, ids=args.ids)
+            except ReproError as error:
+                print(f"{key}\terror={type(error).__name__}: {error}")
+                continue
+            served += 1
+            if result.is_node_set:
+                print(f"{key}\tids={result.ids!r}")
+            else:
+                print(f"{key}\tvalue={result.value!r}")
+        if args.stats:
+            stats = client.server_stats()
+            print("server stats:")
+            for scope in ("server", "pool"):
+                fields = " ".join(
+                    f"{name}={value}" for name, value in sorted(stats[scope].items())
+                )
+                print(f"  {scope:<7}: {fields}")
+        receipt = client.drain()
+        print(
+            f"served   : {served} request(s) this session "
+            f"({receipt} per server receipt)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -556,7 +678,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock bound per request; an overdue request's worker is "
         "presumed hung, killed and restarted (default: no bound)",
     )
+    serve_parser.add_argument(
+        "--listen",
+        type=_parse_hostport,
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over TCP instead of stdin (RPW1 binary protocol + JSON "
+        "shim; port 0 picks an ephemeral port; SIGINT/SIGTERM drain "
+        "gracefully)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="admission bound on concurrently in-flight network requests "
+        "(default: workers × dispatch window); excess requests are "
+        "rejected with a typed OVERLOADED frame, never queued",
+    )
+    serve_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="close network connections idle this long (default: never)",
+    )
     serve_parser.set_defaults(func=_command_serve)
+
+    client_parser = subparsers.add_parser(
+        "client",
+        help="connect to a 'serve --listen' server and answer "
+        "'<key> <query>' lines from stdin remotely",
+    )
+    client_parser.add_argument(
+        "--connect",
+        type=_parse_hostport,
+        required=True,
+        metavar="HOST:PORT",
+        help="the server's listen address",
+    )
+    client_parser.add_argument(
+        "--ids",
+        action="store_true",
+        help="id-native mode: require id-array answers (scalar queries error)",
+    )
+    client_parser.add_argument(
+        "--ping",
+        action="store_true",
+        help="probe the server's liveness and exit (prints pid and RTT)",
+    )
+    client_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's merged counters before disconnecting",
+    )
+    client_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="socket timeout per send/receive (default: 30)",
+    )
+    client_parser.set_defaults(func=_command_client)
 
     return parser
 

@@ -75,7 +75,7 @@ from repro.xpath.ast import XPathExpr
 from repro.xpath.functions import NODESET, static_type
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from repro.serving import ServingStats, ShardedPool
+    from repro.serving import ServingStats, ShardedPool, XPathServer
     from repro.store import CorpusStore
 
 #: Engines an explicit ``engine=`` override may name (mirrors the legacy API).
@@ -274,6 +274,7 @@ class XPathEngine:
         self._store_loads = 0
         self._serving: "Optional[ShardedPool]" = None
         self._serving_finalizer = None
+        self._network_server = None
         # The pool is a single-dispatcher backend (one pipe conversation
         # per worker); this lock is what upholds the engine's public
         # thread-safety contract over it — concurrent sharded batches,
@@ -451,9 +452,59 @@ class XPathEngine:
                 pool = self.serve(workers=workers)
             return pool.evaluate_batch(requests, ids=ids)
 
-    def shutdown_serving(self) -> None:
-        """Close the serving pool, if one is live (idempotent)."""
+    def serve_network(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        *,
+        max_inflight: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        banner: str = "repro-xpath",
+        **serve_kwargs,
+    ) -> "XPathServer":
+        """Put the network front door on this engine's serving pool.
+
+        Starts (or reuses) the engine's :meth:`serve` pool and binds an
+        :class:`repro.serving.XPathServer` over it on a background
+        thread; returns the running server (its bound address is
+        ``server.address`` — ``port=0`` picks an ephemeral port).  The
+        server shares the engine's serving lock, so
+        :meth:`evaluate_sharded` from this process stays safe while
+        network clients are being served.  A second call returns the
+        live server.  ``serve_kwargs`` go to :meth:`serve` (pool
+        construction).  :meth:`shutdown_serving` drains the server
+        before closing the pool.
+        """
         with self._serving_lock:
+            server = self._network_server
+            if server is not None and not server.draining:
+                return server
+            pool = self.serve(workers=workers, **serve_kwargs)
+            from repro.serving import XPathServer
+
+            server = XPathServer(
+                pool,
+                host=host,
+                port=port,
+                max_inflight=max_inflight,
+                idle_timeout=idle_timeout,
+                banner=banner,
+                dispatch_lock=self._serving_lock,
+            )
+            server.start_background()
+            self._network_server = server
+            return server
+
+    def shutdown_serving(self) -> None:
+        """Drain the network server (if any) and close the pool (idempotent)."""
+        server = self._network_server
+        if server is not None:
+            # Outside the serving lock: the server's dispatcher needs the
+            # lock to flush its in-flight requests during the drain.
+            server.shutdown(graceful=True)
+        with self._serving_lock:
+            self._network_server = None
             if self._serving_finalizer is not None:
                 self._serving_finalizer()  # runs pool.close() exactly once
                 self._serving_finalizer = None

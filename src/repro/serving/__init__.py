@@ -17,7 +17,12 @@ Entry points, highest level first:
 * :func:`repro.planner.evaluate_many_sharded` — the one-shot batch form;
 * :class:`ShardedPool` — the backend itself, for callers that manage
   worker lifecycle explicitly;
-* ``python -m repro serve`` / ``query --workers N`` on the command line.
+* :class:`XPathServer` / :class:`ServingClient` — the network tier: an
+  asyncio TCP front door multiplexing many client connections onto one
+  supervised pool (same frames, plus admission control and a JSON shim),
+  and the matching blocking / asyncio clients;
+* ``python -m repro serve [--listen HOST:PORT]`` / ``client`` /
+  ``query --workers N`` on the command line.
 
 See ``docs/serving.md`` for the architecture, the wire-format spec, the
 worker lifecycle and the operations guide.
@@ -34,12 +39,26 @@ from repro.serving.pool import (
     WorkerCrashed,
     WorkerStats,
 )
-from repro.serving.wire import WireError
+from repro.serving.client import (
+    AsyncServingClient,
+    ConnectionDrained,
+    Overloaded,
+    RemoteResult,
+    ServingClient,
+)
+from repro.serving.server import XPathServer
+from repro.serving.wire import PROTOCOL_VERSION, WireError
 
 __all__ = [
     "DEFAULT_MAX_RESTARTS",
     "DEFAULT_MAX_RETRIES",
     "DEFAULT_WINDOW",
+    "AsyncServingClient",
+    "ConnectionDrained",
+    "Overloaded",
+    "PROTOCOL_VERSION",
+    "RemoteResult",
+    "ServingClient",
     "ServingError",
     "ServingStats",
     "ServingTimeout",
@@ -47,4 +66,5 @@ __all__ = [
     "WireError",
     "WorkerCrashed",
     "WorkerStats",
+    "XPathServer",
 ]

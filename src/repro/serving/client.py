@@ -1,0 +1,519 @@
+"""Clients for the network serving tier (binary ``RPW1`` over TCP).
+
+Two clients for :class:`~repro.serving.server.XPathServer`'s binary
+protocol, one per concurrency model:
+
+* :class:`ServingClient` — blocking sockets, for scripts, tests and the
+  CLI.  Single-threaded use only.
+* :class:`AsyncServingClient` — asyncio streams, for callers that
+  multiplex many connections in one loop (the E19 benchmark drives the
+  server with these).
+
+Both speak the same conversation: connect, send the 4-byte ``RPW1``
+preamble, read the server's ``HELLO`` (protocol-version checked), then
+pipeline length-prefixed frames.  Batches self-window (at most
+``window`` unanswered requests on the wire) and reassemble replies by
+correlation id, so one slow query does not stall the pipe behind it.
+Worker-side failures come back as the same exception types the
+in-process engine raises (rebuilt via :func:`repro.serving.pool
+.rebuild_error`); an admission rejection raises the typed
+:class:`Overloaded` carrying the server's in-flight count and capacity
+— callers distinguish "back off and retry" from "your query is wrong"
+by exception type alone.
+
+>>> # doctest requires a running server; see docs/serving.md
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.serving import wire
+from repro.serving.pool import ServingError, rebuild_error
+
+#: Self-imposed pipelining bound: unanswered requests one client keeps
+#: on the wire before reading replies.
+DEFAULT_CLIENT_WINDOW = 64
+
+
+class Overloaded(ServingError):
+    """The server rejected a request at admission (no capacity).
+
+    The request was never queued server-side; retry after a backoff, or
+    shed load.  ``inflight`` and ``capacity`` are the server's admission
+    counter and bound at rejection time.
+    """
+
+    def __init__(self, message: str, inflight: int = 0, capacity: int = 0) -> None:
+        super().__init__(message)
+        self.inflight = inflight
+        self.capacity = capacity
+
+
+class ConnectionDrained(ServingError):
+    """The server drained the connection before answering this request."""
+
+
+@dataclass(frozen=True)
+class RemoteResult:
+    """One answer from the network tier: sorted ids or a scalar.
+
+    The network client is deliberately id-native end-to-end — there is
+    no document on this side of the wire to materialise nodes from, so
+    the result is exactly what the frames carry.
+    """
+
+    query: str
+    key: str
+    ids: Optional[list[int]] = None
+    value: object = None
+
+    @property
+    def is_node_set(self) -> bool:
+        """True if the answer is an id array (rather than a scalar)."""
+        return self.ids is not None
+
+
+def _hello_or_raise(message: "wire.Message") -> "wire.Message":
+    if message.type != wire.MSG_HELLO:
+        raise ServingError(
+            f"server opened with frame type {message.type}, expected HELLO"
+        )
+    if message.version != wire.PROTOCOL_VERSION:
+        raise ServingError(
+            f"server speaks protocol version {message.version}, "
+            f"this client speaks {wire.PROTOCOL_VERSION}"
+        )
+    return message
+
+
+def _result_from(message: "wire.Message", query: str, key: str):
+    """Map one reply frame to a RemoteResult or an exception object."""
+    if message.type == wire.MSG_RESULT_IDS:
+        return RemoteResult(query=query, key=key, ids=message.ids)
+    if message.type == wire.MSG_RESULT_VALUE:
+        return RemoteResult(query=query, key=key, value=message.value)
+    if message.type == wire.MSG_ERROR:
+        return rebuild_error(*message.error)
+    if message.type == wire.MSG_OVERLOADED:
+        return Overloaded(
+            f"server overloaded: {message.inflight}/{message.capacity} "
+            "request(s) in flight",
+            inflight=message.inflight,
+            capacity=message.capacity,
+        )
+    raise ServingError(
+        f"server sent frame type {message.type} where a reply was expected"
+    )
+
+
+class _BatchState:
+    """Shared reply-correlation bookkeeping for both client flavours."""
+
+    def __init__(self, requests: Sequence[tuple], ids: bool) -> None:
+        self.items: list[tuple[str, str]] = []
+        for request in requests:
+            if not (isinstance(request, tuple) and len(request) == 2):
+                raise TypeError(
+                    f"request must be a (query, key) pair, got {request!r}"
+                )
+            query, key = request
+            if not isinstance(query, str):
+                query = query.unparse()
+            self.items.append((query, str(key)))
+        self.ids = ids
+        self.results: list = [None] * len(self.items)
+        self.pending: set[int] = set()
+        self.next_seq = 0
+        self.drained = False
+
+    def frames(self):
+        """Yield the remaining request frames (stream-framed), in order."""
+        while self.next_seq < len(self.items):
+            seq = self.next_seq
+            query, key = self.items[seq]
+            self.next_seq += 1
+            self.pending.add(seq)
+            yield wire.encode_framed(
+                wire.encode_query(seq, key, query, ids_only=self.ids)
+            )
+
+    def absorb(self, message: "wire.Message") -> None:
+        """Record one reply frame against its pending request."""
+        if message.type == wire.MSG_DRAINED:
+            # The server is going away; everything unanswered fails typed.
+            self.drained = True
+            for seq in sorted(self.pending | set(range(self.next_seq, len(self.items)))):
+                self.results[seq] = ConnectionDrained(
+                    "server drained the connection before answering"
+                )
+            self.pending.clear()
+            self.next_seq = len(self.items)
+            return
+        if message.seq not in self.pending:
+            raise ServingError(
+                f"server answered unknown request {message.seq}"
+            )
+        self.pending.discard(message.seq)
+        query, key = self.items[message.seq]
+        self.results[message.seq] = _result_from(message, query, key)
+
+    def finish(self, return_errors: bool):
+        if not return_errors:
+            for result in self.results:
+                if isinstance(result, Exception):
+                    raise result
+        return self.results
+
+
+class ServingClient:
+    """A blocking-socket client for one :class:`XPathServer` connection.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address (e.g. from ``server.address``).
+    timeout:
+        Socket timeout applied to every send/receive (seconds).
+    window:
+        Pipelining bound for :meth:`evaluate_batch`.
+
+    Not thread-safe: one connection is one ordered conversation.  Use it
+    as a context manager, or call :meth:`drain` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        window: int = DEFAULT_CLIENT_WINDOW,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._closed = False
+        try:
+            self._sock.sendall(wire.MAGIC)
+            hello = _hello_or_raise(self._read_message())
+        except BaseException:
+            self.close()
+            raise
+        self.server_pid = hello.pid
+        self.banner = hello.banner
+
+    # -- wire plumbing -----------------------------------------------------
+
+    def _recv_exactly(self, size: int) -> bytes:
+        chunks = []
+        remaining = size
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ServingError(
+                    f"server closed the connection mid-frame "
+                    f"({size - remaining}/{size} byte(s) read)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_message(self) -> "wire.Message":
+        length = wire.framed_length(self._recv_exactly(4))
+        return wire.decode(self._recv_exactly(length))
+
+    def _send_frame(self, frame: bytes) -> None:
+        self._sock.sendall(wire.encode_framed(frame))
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, query: Union[str, object], key: str, ids: bool = False
+    ) -> RemoteResult:
+        """Evaluate one query over the wire; raises typed errors."""
+        return self.evaluate_batch([(query, key)], ids=ids)[0]
+
+    def evaluate_batch(
+        self,
+        requests: Sequence[tuple],
+        ids: bool = False,
+        return_errors: bool = False,
+    ) -> list:
+        """Pipeline ``(query, key)`` pairs; results come back in order.
+
+        At most ``window`` requests ride the wire unanswered.  With
+        ``return_errors=False`` (default) the first failing request (by
+        input order) raises after the batch drains; with ``True`` its
+        slot carries the exception object instead.
+        """
+        self._require_open()
+        state = _BatchState(requests, ids)
+        frames = state.frames()
+        exhausted = False
+        while not exhausted or state.pending:
+            while not exhausted and len(state.pending) < self.window:
+                frame = next(frames, None)
+                if frame is None:
+                    exhausted = True
+                    break
+                self._sock.sendall(frame)
+            if state.pending:
+                state.absorb(self._read_message())
+            if state.drained:
+                break
+        return state.finish(return_errors)
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self, seq: int = 0) -> tuple[int, float]:
+        """Liveness probe; returns ``(server_pid, round_trip_seconds)``."""
+        self._require_open()
+        started = time.perf_counter()
+        self._send_frame(wire.encode_ping(seq))
+        message = self._read_message()
+        elapsed = time.perf_counter() - started
+        if message.type != wire.MSG_PONG or message.seq != seq:
+            raise ServingError(
+                f"server answered PING with frame type {message.type}"
+            )
+        return message.pid, elapsed
+
+    def server_stats(self) -> dict:
+        """The server's STATS payload (server counters + pool counters)."""
+        self._require_open()
+        self._send_frame(wire.encode_stats_request())
+        message = self._read_message()
+        if message.type != wire.MSG_STATS_REPLY:
+            if message.type == wire.MSG_ERROR:
+                raise rebuild_error(*message.error)
+            raise ServingError(
+                f"server answered STATS with frame type {message.type}"
+            )
+        return message.payload
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self) -> int:
+        """Client-initiated graceful close; returns requests served here.
+
+        Sends ``DRAIN``, reads until the server's ``DRAINED`` receipt
+        (the count of requests this connection was served), closes.
+        """
+        self._require_open()
+        self._send_frame(wire.encode_drain())
+        while True:
+            message = self._read_message()
+            if message.type == wire.MSG_DRAINED:
+                self.close()
+                return message.served
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServingError("the client is closed")
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<ServingClient {state} server_pid={getattr(self, 'server_pid', '?')}>"
+
+
+class AsyncServingClient:
+    """An asyncio client for one :class:`XPathServer` connection.
+
+    Build with :meth:`connect`; the API mirrors :class:`ServingClient`
+    with every method a coroutine.  One instance belongs to one task at
+    a time (one connection is one ordered conversation) — run many
+    instances for concurrency, that is the point of the async flavour.
+    """
+
+    def __init__(self, reader, writer, window: int = DEFAULT_CLIENT_WINDOW) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.window = window
+        self._closed = False
+        self.server_pid = 0
+        self.banner = ""
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        window: int = DEFAULT_CLIENT_WINDOW,
+    ) -> "AsyncServingClient":
+        """Open a connection, shake hands, return a ready client."""
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, window=window)
+        try:
+            writer.write(wire.MAGIC)
+            await writer.drain()
+            hello = _hello_or_raise(await client._read_message())
+        except BaseException:
+            await client.aclose()
+            raise
+        client.server_pid = hello.pid
+        client.banner = hello.banner
+        return client
+
+    async def _read_message(self) -> "wire.Message":
+        try:
+            header = await self._reader.readexactly(4)
+            frame = await self._reader.readexactly(wire.framed_length(header))
+        except asyncio.IncompleteReadError as error:
+            raise ServingError(
+                f"server closed the connection mid-frame "
+                f"({len(error.partial)} byte(s) read)"
+            ) from None
+        return wire.decode(frame)
+
+    async def evaluate(
+        self, query: Union[str, object], key: str, ids: bool = False
+    ) -> RemoteResult:
+        """Evaluate one query over the wire; raises typed errors."""
+        results = await self.evaluate_batch([(query, key)], ids=ids)
+        return results[0]
+
+    async def evaluate_batch(
+        self,
+        requests: Sequence[tuple],
+        ids: bool = False,
+        return_errors: bool = False,
+    ) -> list:
+        """Pipeline ``(query, key)`` pairs; results come back in order."""
+        self._require_open()
+        state = _BatchState(requests, ids)
+        frames = state.frames()
+        exhausted = False
+        while not exhausted or state.pending:
+            while not exhausted and len(state.pending) < self.window:
+                frame = next(frames, None)
+                if frame is None:
+                    exhausted = True
+                    break
+                self._writer.write(frame)
+            await self._writer.drain()
+            if state.pending:
+                state.absorb(await self._read_message())
+            if state.drained:
+                break
+        return state.finish(return_errors)
+
+    async def ping(self, seq: int = 0) -> tuple[int, float]:
+        """Liveness probe; returns ``(server_pid, round_trip_seconds)``."""
+        self._require_open()
+        started = time.perf_counter()
+        self._writer.write(wire.encode_framed(wire.encode_ping(seq)))
+        await self._writer.drain()
+        message = await self._read_message()
+        elapsed = time.perf_counter() - started
+        if message.type != wire.MSG_PONG or message.seq != seq:
+            raise ServingError(
+                f"server answered PING with frame type {message.type}"
+            )
+        return message.pid, elapsed
+
+    async def server_stats(self) -> dict:
+        """The server's STATS payload (server counters + pool counters)."""
+        self._require_open()
+        self._writer.write(wire.encode_framed(wire.encode_stats_request()))
+        await self._writer.drain()
+        message = await self._read_message()
+        if message.type != wire.MSG_STATS_REPLY:
+            if message.type == wire.MSG_ERROR:
+                raise rebuild_error(*message.error)
+            raise ServingError(
+                f"server answered STATS with frame type {message.type}"
+            )
+        return message.payload
+
+    async def drain(self) -> int:
+        """Client-initiated graceful close; returns requests served here."""
+        self._require_open()
+        self._writer.write(wire.encode_framed(wire.encode_drain()))
+        await self._writer.drain()
+        while True:
+            message = await self._read_message()
+            if message.type == wire.MSG_DRAINED:
+                served = message.served
+                await self.aclose()
+                return served
+
+    async def aclose(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - racing close
+            pass
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServingError("the client is closed")
+
+    async def __aenter__(self) -> "AsyncServingClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+def json_roundtrip(
+    host: str,
+    port: int,
+    lines: Sequence[Union[str, dict]],
+    timeout: float = 30.0,
+) -> list[dict]:
+    """Drive the server's JSON shim: send lines, return parsed replies.
+
+    A convenience for tests and scripts exercising the curl-style
+    protocol — each element of ``lines`` (a dict, or a pre-encoded JSON
+    string) becomes one request line; the reply lines come back parsed,
+    in arrival order (one per request).
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        payload = b"".join(
+            (line if isinstance(line, str) else json.dumps(line)).encode() + b"\n"
+            for line in lines
+        )
+        sock.sendall(payload)
+        replies = []
+        buffer = b""
+        while len(replies) < len(lines):
+            while b"\n" not in buffer:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    raise ServingError(
+                        "server closed the JSON connection before answering"
+                    )
+                buffer += chunk
+            line, _, buffer = buffer.partition(b"\n")
+            replies.append(json.loads(line.decode("utf-8")))
+        return replies

@@ -169,7 +169,7 @@ def _start_with_child_importable(process) -> None:
                 os.environ["PYTHONPATH"] = saved
 
 
-def _rebuild_error(type_name: str, message: str) -> Exception:
+def rebuild_error(type_name: str, message: str) -> Exception:
     """Rebuild a worker-side exception from its wire descriptor.
 
     Exception types are looked up in the library's own namespaces only
@@ -393,6 +393,11 @@ class ShardedPool:
         self.request_timeout = request_timeout
         self.restart_backoff = restart_backoff
         self._closed = False
+        # drain()/close() may race from different threads (a front door's
+        # signal handler vs. its request loop): this lock makes the
+        # open→closed transition atomic, so exactly one caller runs
+        # _shutdown and the others observe an already-closed pool.
+        self._lifecycle_lock = threading.Lock()
         self._restarts = 0
         self._retries = 0
         self._timeouts = 0
@@ -482,21 +487,26 @@ class ShardedPool:
         dead or missed the deadline — those are terminated).  The pool is
         closed afterwards; further calls raise :class:`ServingError`.
         """
-        self._require_open()
-        self._closed = True
-        return self._shutdown(timeout, graceful=True)
+        with self._lifecycle_lock:
+            self._require_open()
+            self._closed = True
+            return self._shutdown(timeout, graceful=True)
 
     def close(self, timeout: float = 5.0) -> None:
         """Drain-with-deadline: shut every worker down within ``timeout``.
 
         The deadline is **pool-wide**, not per worker: with N hung
         workers the call still returns in roughly ``timeout`` (plus a
-        short kill grace), never ``N × timeout``.  Idempotent.
+        short kill grace), never ``N × timeout``.  Idempotent, including
+        against a concurrent :meth:`drain`/:meth:`close` from another
+        thread: exactly one caller shuts the workers down, the rest
+        return (or raise, for ``drain`` on a closed pool) once it has.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self._shutdown(timeout, graceful=False)
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._shutdown(timeout, graceful=False)
 
     def _shutdown(
         self, timeout: float, graceful: bool
@@ -564,7 +574,10 @@ class ShardedPool:
         return self.evaluate_batch([(query, key)], ids=ids)[0]
 
     def evaluate_batch(
-        self, requests: Iterable[tuple], ids: bool = False
+        self,
+        requests: Iterable[tuple],
+        ids: bool = False,
+        return_errors: bool = False,
     ) -> list[QueryResult]:
         """Evaluate ``(query, key)`` pairs across the shards.
 
@@ -578,6 +591,13 @@ class ShardedPool:
         validated against the manifest before anything is enqueued: an
         unknown key rejects the whole batch (counted in
         :class:`ServingStats` ``rejected``) without dispatching a frame.
+
+        ``return_errors=True`` is the network front door's contract (one
+        multiplexed batch carries many clients' unrelated requests):
+        nothing raises — a failing request's slot carries its rebuilt
+        exception object instead of a result, an unknown key fails only
+        its own slot (still counted in ``rejected``), and the rest of
+        the batch proceeds normally.
         """
         self._require_open()
         items = []
@@ -595,20 +615,27 @@ class ShardedPool:
 
         # Validate the whole batch against the manifest before enqueuing
         # anything: a bad key must not leave earlier requests half-staged.
-        entries = []
+        entries: list = []
         for query, key in items:
             try:
                 entries.append(self.store.stat(key))
-            except StoreKeyError:
+            except StoreKeyError as error:
                 self._rejected += 1
-                raise
+                if not return_errors:
+                    raise
+                entries.append(error)
         self._supervise()
 
         queues: list[deque] = [deque() for _ in self._pool]
-        hashes: list[str] = [entry.hash for entry in entries]
+        hashes: list[Optional[str]] = [None] * len(items)
         replies: list = [None] * len(items)
         for seq, (query, key) in enumerate(items):
-            shard = shard_of(hashes[seq], self.workers)
+            entry = entries[seq]
+            if isinstance(entry, Exception):
+                replies[seq] = entry
+                continue
+            hashes[seq] = entry.hash
+            shard = shard_of(entry.hash, self.workers)
             frame = wire.encode_query(seq, key, query, ids_only=ids)
             queues[shard].append((frame, seq))
         self._dispatch(queues, replies)
@@ -620,11 +647,12 @@ class ShardedPool:
             if isinstance(message, Exception):
                 if failure is None:
                     failure = (seq, message)
-                results.append(None)
+                results.append(message if return_errors else None)
             elif message.type == wire.MSG_ERROR:
+                error = rebuild_error(*message.error)
                 if failure is None:
-                    failure = (seq, _rebuild_error(*message.error))
-                results.append(None)
+                    failure = (seq, error)
+                results.append(error if return_errors else None)
             elif message.type == wire.MSG_RESULT_IDS:
                 results.append(
                     QueryResult(
@@ -641,7 +669,7 @@ class ShardedPool:
                         value=message.value,
                     )
                 )
-        if failure is not None:
+        if failure is not None and not return_errors:
             raise failure[1]
         return results
 

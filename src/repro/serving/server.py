@@ -1,0 +1,925 @@
+"""`XPathServer`: the asyncio network front door over the sharded pool.
+
+Until now the :class:`~repro.serving.ShardedPool` spoke only to its own
+parent process over pipes; this module puts a real ingress on it — one
+asyncio TCP server multiplexing any number of persistent client
+connections onto one supervised pool, speaking the same framed ``RPW1``
+wire format (:mod:`repro.serving.wire`) end-to-end, so a query crosses
+process *and* machine boundaries as the identical compact id-native
+frames.
+
+Protocols
+---------
+
+A connection declares its protocol with its first byte:
+
+* ``R`` — the **binary protocol**: the client sends the 4-byte magic
+  ``RPW1`` as a stream preamble, the server answers with a framed
+  ``HELLO`` (protocol version, pid, banner), and both sides then
+  exchange length-prefixed frames (:func:`~repro.serving.wire
+  .encode_framed`).  Requests are ``QUERY`` frames (the client picks the
+  ``seq``); the server answers ``RESULT_IDS`` / ``RESULT_VALUE`` /
+  ``ERROR`` / ``OVERLOADED`` carrying the same ``seq`` — responses may
+  interleave across a pipelined window, correlation is the client's job
+  (:class:`repro.serving.client.ServingClient` does it).  ``PING``,
+  ``STATS`` and ``DRAIN`` work over the same connection.
+* ``{`` — the **JSON shim** for curl/netcat-style clients: one JSON
+  object per line in (``{"key": K, "query": Q}``, optional ``"ids"`` and
+  ``"seq"``; ``{"op": "ping"}``; ``{"op": "stats"}``), one JSON object
+  per line out (``{"seq":…, "ids": […]}`` / ``{"value": …}`` /
+  ``{"error": {"type":…, "message":…}}`` / ``{"overloaded": true, …}``).
+
+Admission control and backpressure
+----------------------------------
+
+The server keeps a hard bound on concurrently admitted requests,
+``max_inflight`` (default: the pool's ``workers × window``, i.e. exactly
+what the dispatch windows can keep busy).  A request arriving above the
+bound is *rejected immediately* with a typed ``OVERLOADED`` frame (JSON:
+``{"overloaded": true}``) carrying the current in-flight count and the
+capacity — it is never queued, so offered load beyond capacity costs the
+server O(1) memory per rejection instead of an unbounded backlog.
+Admitted requests are micro-batched onto the pool by a single dispatcher
+thread (the pool is a single-dispatcher backend), so many clients' small
+requests amortise into the pool's windowed batch protocol.
+
+Slow clients cannot wedge the server: every write is bounded by
+``write_timeout`` and a connection that cannot drain within it is
+aborted (its admitted requests still complete and are discarded).  Idle
+connections are closed after ``idle_timeout`` (never while responses are
+still owed).
+
+Lifecycle
+---------
+
+``await server.start()`` binds; ``await server.drain()`` is the graceful
+path mirroring the pool's DRAIN semantics one level up: stop accepting
+connections, reject new requests as OVERLOADED, wait for the in-flight
+set to flush to every client (slow readers included, under the drain
+deadline), send each binary client a ``DRAINED`` frame carrying its
+connection's served count (JSON: ``{"drained": N}``), close the
+connections, and finally drain the pool itself if the server owns it.
+``await server.aclose()`` is the fast path.  For synchronous callers
+(:meth:`repro.engine.XPathEngine.serve_network`, the CLI, tests) the
+server also runs on a background thread with its own event loop:
+:meth:`XPathServer.start_background` / :meth:`XPathServer.shutdown`, or
+simply ``with XPathServer(...) as (host, port):``.
+
+Operations
+----------
+
+``PING`` answers ``PONG`` without touching the pool (liveness), ``STATS``
+answers a JSON payload merging the server's own counters (connections,
+served, overloaded rejections, in-flight peak) with the pool's merged
+per-worker counters — one round-trip describes the whole process tree.
+Every request emits one structured log record on the
+``repro.serving.server`` logger (``query client=… seq=… key=… status=…
+wall_ms=…``), datatracker-style: greppable key=value pairs, one line per
+event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import queue
+import threading
+import time
+from typing import Optional, Union
+
+from repro.serving import wire
+from repro.serving.pool import ServingError, ShardedPool
+
+logger = logging.getLogger("repro.serving.server")
+
+#: Fallback cap on one dispatcher micro-batch when the pool's window
+#: arithmetic is unavailable (never hit in practice).
+DEFAULT_BATCH_MAX = 128
+
+
+class _QueryJob:
+    """One admitted request travelling to the dispatcher thread."""
+
+    __slots__ = ("query", "key", "ids", "future", "loop")
+
+    def __init__(self, query, key, ids, future, loop) -> None:
+        self.query = query
+        self.key = key
+        self.ids = ids
+        self.future = future
+        self.loop = loop
+
+    def resolve(self, result) -> None:
+        """Hand the result (or exception object) back to the event loop."""
+        self.loop.call_soon_threadsafe(_set_future, self.future, result)
+
+
+class _StatsJob:
+    """A STATS request travelling to the dispatcher thread."""
+
+    __slots__ = ("future", "loop")
+
+    def __init__(self, future, loop) -> None:
+        self.future = future
+        self.loop = loop
+
+    def resolve(self, result) -> None:
+        self.loop.call_soon_threadsafe(_set_future, self.future, result)
+
+
+def _set_future(future: "asyncio.Future", result) -> None:
+    if not future.done():
+        future.set_result(result)
+
+
+class _Connection:
+    """Per-connection state: writer serialisation, flush tracking."""
+
+    __slots__ = (
+        "reader", "writer", "peer", "mode", "lock", "pending",
+        "flushed", "served", "errors", "closing", "eof",
+    )
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        peername = writer.get_extra_info("peername")
+        self.peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        self.mode = "?"
+        self.lock = asyncio.Lock()      # one in-order write stream per client
+        self.pending = 0                # responses owed to this client
+        self.flushed = asyncio.Event()  # set whenever pending == 0
+        self.flushed.set()
+        self.served = 0
+        self.errors = 0
+        self.closing = False
+        self.eof = False
+
+
+class XPathServer:
+    """An asyncio TCP front door over one supervised :class:`ShardedPool`.
+
+    Parameters
+    ----------
+    pool:
+        The :class:`ShardedPool` to serve (the server never closes a
+        pool it was given), or a :class:`~repro.store.CorpusStore` /
+        store path — then the server builds its own pool at
+        :meth:`start` with ``workers`` processes and drains it on
+        shutdown.
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read it from
+        :attr:`address` after :meth:`start`).
+    workers:
+        Worker count when the server builds its own pool.
+    max_inflight:
+        Admission bound on concurrently in-flight requests across every
+        connection.  Default: the pool's ``workers × window`` — the most
+        the dispatch windows can keep busy; anything above that would
+        only queue.
+    idle_timeout:
+        Seconds a connection may sit idle (no request in flight, nothing
+        to read) before the server closes it.  ``None`` = never.
+    write_timeout:
+        Seconds one response write may take before the client is judged
+        wedged and its connection aborted.
+    drain_timeout:
+        Deadline for :meth:`drain`'s flush-everything phase.
+    banner:
+        Free-text server identification echoed in the HELLO frame.
+    dispatch_lock:
+        Lock the dispatcher holds around every pool call.  The pool is a
+        single-dispatcher backend; pass a lock shared with any other
+        caller of the same pool (:meth:`repro.engine.XPathEngine
+        .serve_network` passes the engine's serving lock, so
+        ``evaluate_sharded`` stays safe while the server runs).
+    """
+
+    def __init__(
+        self,
+        pool: Union[ShardedPool, str, os.PathLike, "object"],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: int = 4,
+        max_inflight: Optional[int] = None,
+        idle_timeout: Optional[float] = None,
+        write_timeout: float = 30.0,
+        drain_timeout: float = 5.0,
+        banner: str = "repro-xpath",
+        dispatch_lock: Optional["threading.Lock"] = None,
+    ) -> None:
+        if isinstance(pool, ShardedPool):
+            self._pool: Optional[ShardedPool] = pool
+            self._pool_source = None
+        else:
+            self._pool = None
+            self._pool_source = pool
+        self._workers = workers
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.idle_timeout = idle_timeout
+        self.write_timeout = write_timeout
+        self.drain_timeout = drain_timeout
+        self.banner = banner
+        self._dispatch_lock = dispatch_lock or threading.Lock()
+
+        self._own_pool = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[tuple[str, int]] = None
+        self._connections: set[_Connection] = set()
+        self._jobs: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._closed = False
+        self._inflight = 0
+        self._idle_event: Optional[asyncio.Event] = None
+        # counters (mutated on the loop thread only)
+        self._connections_total = 0
+        self._served = 0
+        self._request_errors = 0
+        self._overloaded = 0
+        self._idle_closed = 0
+        self._aborted = 0
+        self._peak_inflight = 0
+        # background-thread plumbing
+        self._shutdown_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._thread_ready: Optional[threading.Event] = None
+        self._thread_error: Optional[BaseException] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stop_graceful = True
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid once :meth:`start` returned)."""
+        if self._address is None:
+            raise ServingError("the server is not started")
+        return self._address
+
+    @property
+    def pool(self) -> ShardedPool:
+        """The pool behind the front door (built at start if needed)."""
+        if self._pool is None:
+            raise ServingError("the server is not started")
+        return self._pool
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` (or :meth:`aclose`) has begun."""
+        return self._draining
+
+    # -- async lifecycle ---------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the listening socket and start the dispatcher; returns address."""
+        if self._server is not None:
+            return self.address
+        if self._closed:
+            raise ServingError("the server is closed")
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        if self._pool is None:
+            # Building a pool forks+warms workers: keep it off the loop.
+            source, workers = self._pool_source, self._workers
+            self._pool = await loop.run_in_executor(
+                None, lambda: ShardedPool(source, workers=workers)
+            )
+            self._own_pool = True
+        else:
+            self._own_pool = False
+        if self.max_inflight is None:
+            self.max_inflight = self._pool.workers * self._pool.window
+        self._batch_max = max(self.max_inflight, DEFAULT_BATCH_MAX)
+        self._dispatcher = threading.Thread(
+            target=self._dispatcher_main, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        logger.info(
+            "listening host=%s port=%d max_inflight=%d workers=%d",
+            self._address[0], self._address[1], self.max_inflight,
+            self._pool.workers,
+        )
+        return self._address
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`drain`/:meth:`aclose` (or task cancellation)."""
+        if self._server is None:
+            await self.start()
+        self._stop_event = asyncio.Event()
+        await self._stop_event.wait()
+
+    async def drain(self, timeout: Optional[float] = None) -> int:
+        """Gracefully shut down; returns the total requests served.
+
+        Mirrors the pool's DRAIN semantics one level up: stop accepting,
+        reject new requests as OVERLOADED, flush every owed response to
+        its client (under ``timeout``, default ``drain_timeout``), send
+        each client a DRAINED receipt with its connection's served
+        count, close the connections, then drain the pool if the server
+        owns it.  Idempotent.
+        """
+        if self._closed:
+            return self._served
+        deadline = time.monotonic() + (
+            self.drain_timeout if timeout is None else timeout
+        )
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Wait for the in-flight set to empty (new requests are already
+        # rejected by _admit), bounded by the drain deadline.
+        self._idle_event = asyncio.Event()
+        if self._inflight == 0:
+            self._idle_event.set()
+        try:
+            await asyncio.wait_for(
+                self._idle_event.wait(),
+                max(0.0, deadline - time.monotonic()),
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - hung pool backstop
+            logger.warning(
+                "drain deadline passed with %d request(s) in flight",
+                self._inflight,
+            )
+        # Flush + notify + close every connection (slow readers get until
+        # the deadline; a client that cannot take the receipt is aborted).
+        for conn in list(self._connections):
+            try:
+                await asyncio.wait_for(
+                    conn.flushed.wait(),
+                    max(0.05, deadline - time.monotonic()),
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - wedged client
+                pass
+            await self._send_drained(conn)
+            self._close_connection(conn)
+        logger.info(
+            "drained served=%d overloaded=%d connections=%d",
+            self._served, self._overloaded, self._connections_total,
+        )
+        await self._stop_dispatcher()
+        if self._own_pool and self._pool is not None and not self._pool.closed:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.drain
+            )
+        self._finish_close()
+        return self._served
+
+    async def aclose(self) -> None:
+        """Fast shutdown: abort connections, stop the dispatcher and pool."""
+        if self._closed:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            self._close_connection(conn, abort=True)
+        await self._stop_dispatcher()
+        if self._own_pool and self._pool is not None and not self._pool.closed:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.close
+            )
+        self._finish_close()
+
+    def _finish_close(self) -> None:
+        self._closed = True
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _stop_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            return
+        self._jobs.put(None)
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._dispatcher.join
+        )
+        self._dispatcher = None
+
+    # -- background-thread lifecycle (sync callers) ------------------------
+
+    def start_background(self) -> tuple[str, int]:
+        """Run the server on its own thread + event loop; returns address."""
+        if self._thread is not None:
+            return self.address
+        self._thread_ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-xpath-server", daemon=True
+        )
+        self._thread.start()
+        self._thread_ready.wait()
+        if self._thread_error is not None:
+            self._thread = None
+            raise self._thread_error
+        return self.address
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._background_main())
+        except BaseException as error:  # pragma: no cover - loop crash guard
+            self._thread_error = error
+            self._thread_ready.set()
+
+    async def _background_main(self) -> None:
+        try:
+            await self.start()
+        except BaseException as error:
+            self._thread_error = error
+            self._thread_ready.set()
+            return
+        self._stop_event = asyncio.Event()
+        self._thread_ready.set()
+        await self._stop_event.wait()
+
+    def shutdown(self, graceful: bool = True, timeout: float = 30.0) -> None:
+        """Stop a background server from any thread (idempotent).
+
+        ``graceful=True`` runs :meth:`drain` (clients get their owed
+        responses and a DRAINED receipt); ``False`` runs :meth:`aclose`.
+        Concurrent callers serialise: one does the work, the rest return
+        once it is done.
+        """
+        with self._shutdown_lock:
+            thread, loop = self._thread, self._loop
+            if thread is None or loop is None or not thread.is_alive():
+                return
+            coroutine = self.drain() if graceful else self.aclose()
+            try:
+                future = asyncio.run_coroutine_threadsafe(coroutine, loop)
+            except RuntimeError:  # pragma: no cover - loop died under us
+                coroutine.close()
+                thread.join(timeout)
+                return
+            try:
+                future.result(timeout)
+            except (asyncio.TimeoutError, TimeoutError):  # pragma: no cover
+                future.cancel()
+            except asyncio.CancelledError:  # pragma: no cover - loop teardown
+                pass
+            thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.start_background()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(graceful=True)
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(self) -> bool:
+        """Admit one request under the in-flight bound (loop thread only)."""
+        if self._draining or self._inflight >= self.max_inflight:
+            self._overloaded += 1
+            return False
+        self._inflight += 1
+        if self._inflight > self._peak_inflight:
+            self._peak_inflight = self._inflight
+        return True
+
+    def _release(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0 and self._idle_event is not None:
+            self._idle_event.set()
+
+    # -- the dispatcher thread ---------------------------------------------
+
+    def _dispatcher_main(self) -> None:
+        """Micro-batch admitted jobs onto the pool (the pool's one caller)."""
+        stop = False
+        while not stop:
+            job = self._jobs.get()
+            if job is None:
+                break
+            batch = [job]
+            while len(batch) < self._batch_max:
+                try:
+                    extra = self._jobs.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    stop = True
+                    break
+                batch.append(extra)
+            stats_jobs = [j for j in batch if isinstance(j, _StatsJob)]
+            for wants_ids in (False, True):
+                group = [
+                    j for j in batch
+                    if isinstance(j, _QueryJob) and j.ids is wants_ids
+                ]
+                if not group:
+                    continue
+                try:
+                    with self._dispatch_lock:
+                        results = self._pool.evaluate_batch(
+                            [(j.query, j.key) for j in group],
+                            ids=wants_ids,
+                            return_errors=True,
+                        )
+                except Exception as error:  # pool closed / ServingError
+                    results = [error] * len(group)
+                for one, result in zip(group, results):
+                    one.resolve(result)
+            for one in stats_jobs:
+                try:
+                    with self._dispatch_lock:
+                        payload = self._stats_payload()
+                    one.resolve(payload)
+                except Exception as error:
+                    one.resolve(error)
+
+    def _stats_payload(self) -> dict:
+        """The STATS answer: server counters + the pool's merged counters."""
+        pool_stats = self._pool.stats()
+        return {
+            "server": {
+                "pid": os.getpid(),
+                "served": self._served,
+                "errors": self._request_errors,
+                "overloaded": self._overloaded,
+                "connections_total": self._connections_total,
+                "connections_active": len(self._connections),
+                "inflight": self._inflight,
+                "inflight_peak": self._peak_inflight,
+                "max_inflight": self.max_inflight,
+                "idle_closed": self._idle_closed,
+                "aborted": self._aborted,
+                "draining": self._draining,
+            },
+            "pool": {
+                "workers": pool_stats.workers,
+                "served": pool_stats.served,
+                "restarts": pool_stats.restarts,
+                "retries": pool_stats.retries,
+                "timeouts": pool_stats.timeouts,
+                "rejected": pool_stats.rejected,
+                "documents": pool_stats.documents,
+                "plan_hits": pool_stats.plan_hits,
+                "plan_misses": pool_stats.plan_misses,
+            },
+        }
+
+    # -- connections -------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        self._connections_total += 1
+        try:
+            first = await self._read_with_idle(conn, reader.readexactly, 1)
+            if first == wire.MAGIC[:1]:
+                rest = await asyncio.wait_for(
+                    reader.readexactly(3), self.write_timeout
+                )
+                if first + rest != wire.MAGIC:
+                    raise wire.WireError(
+                        f"bad stream preamble {(first + rest)!r}"
+                    )
+                conn.mode = "binary"
+                logger.info("connect client=%s mode=binary", conn.peer)
+                await self._serve_binary(conn)
+            elif first == b"{":
+                conn.mode = "json"
+                logger.info("connect client=%s mode=json", conn.peer)
+                await self._serve_json(conn, first)
+            else:
+                raise wire.WireError(
+                    f"unknown protocol preamble {first!r} "
+                    "(expected RPW1 magic or a JSON line)"
+                )
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            _IdleTimeout,
+            wire.WireError,
+        ) as error:
+            if isinstance(error, _IdleTimeout):
+                self._idle_closed += 1
+                logger.info("idle-close client=%s", conn.peer)
+            elif isinstance(error, wire.WireError):
+                logger.warning(
+                    "protocol-error client=%s error=%s", conn.peer, error
+                )
+        finally:
+            conn.eof = True
+            # Flush what this connection is still owed before closing
+            # (unless the server is draining, which flushes for us).
+            if conn.pending and not self._draining:
+                try:
+                    await asyncio.wait_for(
+                        conn.flushed.wait(), self.write_timeout
+                    )
+                except asyncio.TimeoutError:  # pragma: no cover - backstop
+                    pass
+            self._close_connection(conn)
+            logger.info(
+                "disconnect client=%s served=%d errors=%d",
+                conn.peer, conn.served, conn.errors,
+            )
+
+    async def _read_with_idle(self, conn, read, *args):
+        """One read under the idle timeout (owed responses stop the clock)."""
+        while True:
+            if self.idle_timeout is None:
+                return await read(*args)
+            try:
+                return await asyncio.wait_for(read(*args), self.idle_timeout)
+            except asyncio.TimeoutError:
+                if conn.pending:
+                    continue  # not idle: the client is waiting on us
+                raise _IdleTimeout() from None
+
+    # -- binary protocol ---------------------------------------------------
+
+    async def _serve_binary(self, conn: _Connection) -> None:
+        await self._write(conn, wire.encode_framed(
+            wire.encode_hello(os.getpid(), self.banner)
+        ))
+        while not conn.closing:
+            try:
+                header = await self._read_with_idle(
+                    conn, conn.reader.readexactly, 4
+                )
+            except asyncio.IncompleteReadError as error:
+                if error.partial:
+                    raise wire.WireError(
+                        f"connection closed inside a frame header "
+                        f"({len(error.partial)}/4 byte(s))"
+                    ) from None
+                return  # clean EOF between frames
+            frame = await conn.reader.readexactly(wire.framed_length(header))
+            message = wire.decode(frame)
+            if message.type == wire.MSG_QUERY:
+                await self._handle_query(conn, message)
+            elif message.type == wire.MSG_PING:
+                await self._write(conn, wire.encode_framed(
+                    wire.encode_pong(message.seq, os.getpid())
+                ))
+            elif message.type == wire.MSG_STATS:
+                await self._handle_stats(conn)
+            elif message.type == wire.MSG_DRAIN:
+                # Client-initiated graceful close: flush what it is owed,
+                # acknowledge with its served count, stop reading.
+                await asyncio.wait_for(
+                    conn.flushed.wait(), self.write_timeout
+                )
+                await self._send_drained(conn)
+                return
+            else:
+                raise wire.WireError(
+                    f"client sent frame type {message.type} where a "
+                    "request was expected"
+                )
+
+    async def _handle_query(self, conn: _Connection, message) -> None:
+        if not self._admit():
+            logger.warning(
+                "overloaded client=%s seq=%d inflight=%d capacity=%d",
+                conn.peer, message.seq, self._inflight, self.max_inflight,
+            )
+            await self._write(conn, wire.encode_framed(
+                wire.encode_overloaded(
+                    message.seq, self._inflight, self.max_inflight
+                )
+            ))
+            return
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        job = _QueryJob(
+            message.query, message.key, message.ids_only, future, loop
+        )
+        conn.pending += 1
+        conn.flushed.clear()
+        self._jobs.put(job)
+        asyncio.ensure_future(
+            self._finish_query(conn, message.seq, message.key, future)
+        )
+
+    async def _finish_query(self, conn, seq, key, future) -> None:
+        started = time.perf_counter()
+        try:
+            result = await future
+        finally:
+            self._release()
+        status = "ok"
+        try:
+            if isinstance(result, Exception):
+                status = f"error:{type(result).__name__}"
+                frame = wire.encode_error(
+                    seq, type(result).__name__, str(result)
+                )
+                self._request_errors += 1
+                conn.errors += 1
+            elif result.is_node_set:
+                frame = wire.encode_result_ids(seq, result.ids)
+            else:
+                frame = wire.encode_result_value(seq, result.value)
+            if status == "ok":
+                self._served += 1
+                conn.served += 1
+            await self._write(conn, wire.encode_framed(frame))
+        finally:
+            conn.pending -= 1
+            if conn.pending == 0:
+                conn.flushed.set()
+            logger.info(
+                "query client=%s seq=%d key=%s status=%s wall_ms=%.2f",
+                conn.peer, seq, key, status,
+                (time.perf_counter() - started) * 1e3,
+            )
+
+    async def _handle_stats(self, conn: _Connection) -> None:
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._jobs.put(_StatsJob(future, loop))
+        payload = await future
+        if isinstance(payload, Exception):
+            frame = wire.encode_error(
+                0, type(payload).__name__, str(payload)
+            )
+        else:
+            frame = wire.encode_stats_reply(payload)
+        await self._write(conn, wire.encode_framed(frame))
+
+    async def _send_drained(self, conn: _Connection) -> None:
+        try:
+            if conn.mode == "binary":
+                await self._write(conn, wire.encode_framed(
+                    wire.encode_drained(conn.served, os.getpid())
+                ))
+            elif conn.mode == "json":
+                await self._write(
+                    conn,
+                    (json.dumps({"drained": conn.served}) + "\n").encode(),
+                )
+        except (ConnectionError, OSError):  # pragma: no cover - gone client
+            pass
+
+    # -- JSON shim ---------------------------------------------------------
+
+    async def _serve_json(self, conn: _Connection, first: bytes) -> None:
+        line = first + await conn.reader.readline()
+        while not conn.closing:
+            text = line.decode("utf-8", errors="replace").strip()
+            if text:
+                await self._handle_json_line(conn, text)
+            line = await self._read_with_idle(conn, conn.reader.readline)
+            if not line:
+                return  # EOF
+
+    async def _handle_json_line(self, conn: _Connection, text: str) -> None:
+        try:
+            request = json.loads(text)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as error:
+            await self._write_json(conn, {
+                "error": {"type": "WireError", "message": str(error)}
+            })
+            return
+        op = request.get("op")
+        if op == "ping":
+            await self._write_json(conn, {"pong": True, "pid": os.getpid()})
+            return
+        if op == "stats":
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            self._jobs.put(_StatsJob(future, loop))
+            payload = await future
+            if isinstance(payload, Exception):
+                payload = {"error": {
+                    "type": type(payload).__name__, "message": str(payload)
+                }}
+            else:
+                payload = {"stats": payload}
+            await self._write_json(conn, payload)
+            return
+        seq = request.get("seq")
+        key = request.get("key")
+        query = request.get("query")
+        if not isinstance(key, str) or not isinstance(query, str):
+            await self._write_json(conn, {"seq": seq, "error": {
+                "type": "WireError",
+                "message": 'request needs string "key" and "query" fields',
+            }})
+            return
+        if not self._admit():
+            logger.warning(
+                "overloaded client=%s seq=%s inflight=%d capacity=%d",
+                conn.peer, seq, self._inflight, self.max_inflight,
+            )
+            await self._write_json(conn, {
+                "seq": seq, "overloaded": True,
+                "inflight": self._inflight, "capacity": self.max_inflight,
+            })
+            return
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        job = _QueryJob(
+            query, key, bool(request.get("ids", False)), future, loop
+        )
+        conn.pending += 1
+        conn.flushed.clear()
+        self._jobs.put(job)
+        asyncio.ensure_future(
+            self._finish_json_query(conn, seq, key, future)
+        )
+
+    async def _finish_json_query(self, conn, seq, key, future) -> None:
+        started = time.perf_counter()
+        try:
+            result = await future
+        finally:
+            self._release()
+        status = "ok"
+        try:
+            if isinstance(result, Exception):
+                status = f"error:{type(result).__name__}"
+                payload = {"seq": seq, "key": key, "error": {
+                    "type": type(result).__name__, "message": str(result)
+                }}
+                self._request_errors += 1
+                conn.errors += 1
+            elif result.is_node_set:
+                payload = {"seq": seq, "key": key, "ids": result.ids}
+            else:
+                payload = {"seq": seq, "key": key, "value": result.value}
+            if status == "ok":
+                self._served += 1
+                conn.served += 1
+            await self._write_json(conn, payload)
+        finally:
+            conn.pending -= 1
+            if conn.pending == 0:
+                conn.flushed.set()
+            logger.info(
+                "query client=%s seq=%s key=%s status=%s wall_ms=%.2f",
+                conn.peer, seq, key, status,
+                (time.perf_counter() - started) * 1e3,
+            )
+
+    # -- writes ------------------------------------------------------------
+
+    async def _write_json(self, conn: _Connection, payload: dict) -> None:
+        await self._write(conn, (json.dumps(payload) + "\n").encode("utf-8"))
+
+    async def _write(self, conn: _Connection, data: bytes) -> None:
+        """One bounded write; a client that cannot drain it is aborted."""
+        if conn.closing:
+            return
+        async with conn.lock:
+            try:
+                conn.writer.write(data)
+                await asyncio.wait_for(
+                    conn.writer.drain(), self.write_timeout
+                )
+            except asyncio.TimeoutError:
+                self._aborted += 1
+                logger.warning(
+                    "slow-client-abort client=%s timeout=%.3gs",
+                    conn.peer, self.write_timeout,
+                )
+                self._close_connection(conn, abort=True)
+            except (ConnectionError, OSError):
+                self._close_connection(conn, abort=True)
+
+    def _close_connection(self, conn: _Connection, abort: bool = False) -> None:
+        if conn.closing:
+            return
+        conn.closing = True
+        self._connections.discard(conn)
+        transport = conn.writer.transport
+        try:
+            if abort and transport is not None:
+                transport.abort()
+            else:
+                conn.writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover - racing close
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "closed" if self._closed
+            else "draining" if self._draining
+            else "listening" if self._address else "new"
+        )
+        where = f" on {self._address[0]}:{self._address[1]}" if self._address else ""
+        return f"<XPathServer {state}{where}>"
+
+
+class _IdleTimeout(Exception):
+    """Internal: a connection crossed ``idle_timeout`` with nothing owed."""

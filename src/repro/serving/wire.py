@@ -31,6 +31,25 @@ Message bodies::
     PONG         u32 seq · u32 pid
     DRAIN        (empty body)
     DRAINED      u32 served · u32 pid
+    HELLO        u32 protocol version · u32 pid · u16 banner-len · banner
+    OVERLOADED   u32 seq · u32 inflight · u32 capacity
+
+``HELLO`` and ``OVERLOADED`` belong to the network tier
+(:mod:`repro.serving.server`): a server greets every accepted binary
+connection with HELLO (so clients can verify the protocol version before
+sending work), and answers a request that found the admission window full
+with OVERLOADED instead of queueing it unboundedly.
+
+Byte-stream framing
+-------------------
+
+Between pool and worker, frames travel over a ``multiprocessing``
+:class:`~multiprocessing.connection.Connection`, which length-prefixes
+each ``send_bytes`` on its own.  Over a raw byte stream (TCP), framing is
+explicit: every frame is preceded by a little-endian u32 length
+(:func:`encode_framed`), and lengths above :data:`MAX_FRAME` are a
+protocol error (:func:`framed_length`) — a malicious or corrupt peer
+cannot make the other side allocate gigabytes on faith.
 
 ``seq`` is the requester's correlation id: replies carry the seq of the
 query they answer, so a worker may answer a batch in any order (in
@@ -79,6 +98,15 @@ MSG_PING = 10
 MSG_PONG = 11
 MSG_DRAIN = 12
 MSG_DRAINED = 13
+MSG_HELLO = 14
+MSG_OVERLOADED = 15
+
+#: Protocol version a server advertises in its HELLO frame.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one length-prefixed frame crossing a byte stream
+#: (16 MiB ≈ a 4-million-id answer); larger lengths are a protocol error.
+MAX_FRAME = 1 << 24
 
 #: QUERY flag bit 0: the caller insists on an id-array answer (the
 #: semantics of ``evaluate_many_ids``); scalar results become errors.
@@ -116,6 +144,10 @@ class Message:
     hydrated: int = 0
     pid: int = 0
     served: int = 0
+    version: int = 0
+    inflight: int = 0
+    capacity: int = 0
+    banner: str = ""
 
     @property
     def ids_only(self) -> bool:
@@ -241,6 +273,52 @@ def encode_drain() -> bytes:
 def encode_drained(served: int, pid: int) -> bytes:
     """Encode the drain acknowledgement (total requests the worker served)."""
     return _frame(MSG_DRAINED, _U32.pack(served), _U32.pack(pid))
+
+
+def encode_hello(pid: int, banner: str = "", version: int = PROTOCOL_VERSION) -> bytes:
+    """Encode the server greeting a network connection receives on accept."""
+    banner_bytes = banner.encode("utf-8")
+    return _frame(
+        MSG_HELLO,
+        _U32.pack(version),
+        _U32.pack(pid),
+        _U16.pack(len(banner_bytes)),
+        banner_bytes,
+    )
+
+
+def encode_overloaded(seq: int, inflight: int, capacity: int) -> bytes:
+    """Encode an admission rejection: the request was never queued."""
+    return _frame(
+        MSG_OVERLOADED, _U32.pack(seq), _U32.pack(inflight), _U32.pack(capacity)
+    )
+
+
+# -- byte-stream framing (the network tier) ----------------------------------
+
+
+def encode_framed(frame: bytes) -> bytes:
+    """Length-prefix one frame for a raw byte stream (u32 little-endian)."""
+    if len(frame) > MAX_FRAME:
+        raise WireError(
+            f"frame of {len(frame)} byte(s) exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _U32.pack(len(frame)) + frame
+
+
+def framed_length(header: bytes) -> int:
+    """Decode and bounds-check a stream frame's 4-byte length prefix."""
+    if len(header) != 4:
+        raise WireError(
+            f"stream frame header is {len(header)} byte(s), expected 4"
+        )
+    (length,) = _U32.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(
+            f"stream frame announces {length} byte(s), above MAX_FRAME "
+            f"({MAX_FRAME})"
+        )
+    return length
 
 
 # -- decoding ----------------------------------------------------------------
@@ -376,4 +454,18 @@ def decode(frame: bytes) -> Message:
         pid = reader.u32()
         reader.done()
         return Message(MSG_DRAINED, served=served, pid=pid)
+    if msg_type == MSG_HELLO:
+        version = reader.u32()
+        pid = reader.u32()
+        banner = reader.text(reader.u16())
+        reader.done()
+        return Message(MSG_HELLO, version=version, pid=pid, banner=banner)
+    if msg_type == MSG_OVERLOADED:
+        seq = reader.u32()
+        inflight = reader.u32()
+        capacity = reader.u32()
+        reader.done()
+        return Message(
+            MSG_OVERLOADED, seq=seq, inflight=inflight, capacity=capacity
+        )
     raise WireError(f"unknown message type {msg_type}")

@@ -220,6 +220,48 @@ class TestLifecycle:
         with ShardedPool(store.root, workers=1, warm=False) as pool:
             assert pool.evaluate("count(//x)", "row").value == 4.0
 
+    def test_concurrent_drain_and_close_are_idempotent(self, store):
+        """Regression: drain()/close() racing from two threads must not
+        shut the workers down twice or deadlock.
+
+        This is exactly the network front door's exposure: a signal
+        handler calls close() while the serving thread calls drain().
+        Before the lifecycle lock, both threads could pass the closed
+        check and run _shutdown concurrently on the same pipes.
+        """
+        import threading
+
+        for _ in range(3):  # a few rounds to give the race a chance
+            pool = ShardedPool(store, workers=2, warm=False)
+            barrier = threading.Barrier(4)
+            outcomes = []
+
+            def race(method):
+                barrier.wait()
+                try:
+                    method()
+                    outcomes.append("ok")
+                except ServingError:
+                    outcomes.append("closed")  # lost the race: acceptable
+                except BaseException as error:  # the regression would land here
+                    outcomes.append(error)
+
+            threads = [
+                threading.Thread(target=race, args=(method,))
+                for method in (pool.drain, pool.close, pool.drain, pool.close)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+            assert not any(thread.is_alive() for thread in threads)
+            assert pool.closed
+            assert all(outcome in ("ok", "closed") for outcome in outcomes), outcomes
+            # exactly one thread ran the shutdown; close() after the fact
+            # observes a closed pool silently, drain() raises typed
+            assert outcomes.count("ok") >= 1
+            pool.close()  # still idempotent afterwards
+
 
 class TestEngineIntegration:
     def test_serve_requires_a_store(self):

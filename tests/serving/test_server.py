@@ -1,0 +1,490 @@
+"""Network front-door tests: handshake, protocols, admission, lifecycle.
+
+The server under test runs exactly as in production — background thread,
+real TCP sockets on loopback, a live worker pool behind it.  Admission
+tests hold the server's dispatch lock to freeze the pool deterministically
+(no sleeps, no load races); supervision tests inject worker faults through
+the environment the same way the pool's own suite does.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.evaluation import evaluate
+from repro.serving import (
+    ConnectionDrained,
+    Overloaded,
+    ServingClient,
+    ServingError,
+    ShardedPool,
+    XPathServer,
+    wire,
+)
+from repro.serving.client import json_roundtrip
+from repro.store import CorpusStore, StoreKeyError
+from repro.xmlmodel import parse_xml
+
+from tests.serving.faultinject import worker_fault
+
+DOCS = {
+    "letters": "<a><b/><b><c/></b><d><b/></d></a>",
+    "row": "<r><x/><x/><x/><x/></r>",
+}
+
+_PARSED = {key: parse_xml(xml) for key, xml in DOCS.items()}
+
+
+def _expected_ids(query, key):
+    document = _PARSED[key]
+    return [document.index.id_of(node) for node in evaluate(query, document)]
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    root = tmp_path_factory.mktemp("server-store")
+    store = CorpusStore(root)
+    for key, xml in DOCS.items():
+        store.put(xml, key=key)
+    return store
+
+
+@pytest.fixture(scope="module")
+def pool(store):
+    with ShardedPool(store, workers=2) as pool:
+        yield pool
+
+
+@pytest.fixture()
+def server(pool):
+    server = XPathServer(pool, idle_timeout=None)
+    with server as address:
+        yield server, address
+    # __exit__ drained; a second shutdown must be a no-op
+    server.shutdown()
+
+
+def _raw_binary_connection(address):
+    """A hand-rolled binary connection: preamble sent, HELLO consumed."""
+    sock = socket.create_connection(address, timeout=10.0)
+    sock.settimeout(10.0)
+    sock.sendall(wire.MAGIC)
+    hello = _read_frame(sock)
+    assert hello.type == wire.MSG_HELLO
+    return sock
+
+
+def _read_frame(sock):
+    def exactly(size):
+        data = b""
+        while len(data) < size:
+            chunk = sock.recv(size - len(data))
+            assert chunk, "server closed the connection mid-frame"
+            data += chunk
+        return data
+
+    return wire.decode(exactly(wire.framed_length(exactly(4))))
+
+
+class TestHandshake:
+    def test_hello_carries_version_pid_banner(self, server):
+        server_obj, (host, port) = server
+        with ServingClient(host, port) as client:
+            import os
+
+            assert client.server_pid == os.getpid()
+            assert client.banner == "repro-xpath"
+
+    def test_bad_preamble_closes_the_connection(self, server):
+        _, address = server
+        sock = socket.create_connection(address, timeout=5.0)
+        sock.settimeout(5.0)
+        sock.sendall(b"GET / HTTP/1.1\r\n\r\n")
+        assert sock.recv(1) == b""  # no HELLO, just EOF
+        sock.close()
+
+    def test_reply_frame_from_client_is_a_protocol_error(self, server):
+        _, address = server
+        sock = _raw_binary_connection(address)
+        sock.sendall(wire.encode_framed(wire.encode_result_ids(0, [1])))
+        assert sock.recv(1) == b""
+        sock.close()
+
+    def test_oversized_stream_frame_is_rejected(self, server):
+        _, address = server
+        sock = _raw_binary_connection(address)
+        sock.sendall((wire.MAX_FRAME + 1).to_bytes(4, "little"))
+        assert sock.recv(1) == b""
+        sock.close()
+
+
+class TestBinaryProtocol:
+    def test_node_set_query(self, server):
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            result = client.evaluate("//b", "letters")
+            assert result.is_node_set
+            assert result.ids == _expected_ids("//b", "letters")
+
+    def test_scalar_query(self, server):
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            result = client.evaluate("count(//x)", "row")
+            assert not result.is_node_set
+            assert result.value == 4.0
+
+    def test_mixed_batch_in_order(self, server):
+        _, (host, port) = server
+        requests = [
+            ("//b", "letters"),
+            ("count(//x)", "row"),
+            ("//b[child::c]", "letters"),
+        ] * 20
+        with ServingClient(host, port, window=8) as client:
+            results = client.evaluate_batch(requests)
+        for (query, key), result in zip(requests, results):
+            if result.is_node_set:
+                assert result.ids == _expected_ids(query, key)
+            else:
+                assert result.value == 4.0
+
+    def test_worker_errors_come_back_typed(self, server):
+        from repro.errors import XPathSyntaxError
+
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            with pytest.raises(XPathSyntaxError):
+                client.evaluate("//b[", "letters")
+
+    def test_unknown_key_fails_only_its_slot(self, server):
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            results = client.evaluate_batch(
+                [("//b", "letters"), ("//b", "missing"), ("count(//x)", "row")],
+                return_errors=True,
+            )
+        assert results[0].ids == _expected_ids("//b", "letters")
+        assert isinstance(results[1], StoreKeyError)
+        assert results[2].value == 4.0
+
+    def test_ids_mode_error_contract(self, server):
+        from repro.errors import XPathEvaluationError
+
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            with pytest.raises(XPathEvaluationError, match="not a node-set"):
+                client.evaluate("count(//x)", "row", ids=True)
+
+    def test_ping_answers_without_touching_the_pool(self, server):
+        import os
+
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            pid, rtt = client.ping(seq=17)
+            assert pid == os.getpid()
+            assert rtt < 5.0
+
+    def test_stats_over_the_wire(self, server):
+        _, (host, port) = server
+        with ServingClient(host, port) as client:
+            client.evaluate("//b", "letters")
+            stats = client.server_stats()
+        assert stats["server"]["served"] >= 1
+        assert stats["server"]["max_inflight"] > 0
+        assert stats["pool"]["workers"] == 2
+        assert stats["pool"]["served"] >= 1
+
+    def test_client_drain_receipt_counts_this_connection(self, server):
+        _, (host, port) = server
+        client = ServingClient(host, port)
+        client.evaluate("//b", "letters")
+        client.evaluate("count(//x)", "row")
+        assert client.drain() == 2
+        with pytest.raises(ServingError, match="closed"):
+            client.evaluate("//b", "letters")
+
+
+class TestJsonShim:
+    def test_query_and_scalar_lines(self, server):
+        _, (host, port) = server
+        replies = json_roundtrip(host, port, [
+            {"key": "letters", "query": "//b", "seq": 1},
+            {"key": "row", "query": "count(//x)", "seq": 2},
+        ])
+        by_seq = {reply["seq"]: reply for reply in replies}
+        assert by_seq[1]["ids"] == _expected_ids("//b", "letters")
+        assert by_seq[2]["value"] == 4.0
+
+    def test_error_lines_are_typed(self, server):
+        _, (host, port) = server
+        (reply,) = json_roundtrip(
+            host, port, [{"key": "letters", "query": "//b[", "seq": 9}]
+        )
+        assert reply["seq"] == 9
+        assert reply["error"]["type"] == "XPathSyntaxError"
+
+    def test_ping_and_stats_ops(self, server):
+        import os
+
+        _, (host, port) = server
+        replies = json_roundtrip(host, port, [{"op": "ping"}, {"op": "stats"}])
+        assert replies[0] == {"pong": True, "pid": os.getpid()}
+        assert replies[1]["stats"]["pool"]["workers"] == 2
+
+    def test_malformed_json_reports_and_continues(self, server):
+        _, (host, port) = server
+        replies = json_roundtrip(host, port, [
+            "{this is not json",  # '{' selects the shim, then fails to parse
+            {"key": "row", "query": "count(//x)", "seq": 2},
+        ])
+        assert replies[0]["error"]["type"] == "WireError"
+        assert replies[1]["value"] == 4.0
+
+    def test_missing_fields_are_request_errors(self, server):
+        _, (host, port) = server
+        (reply,) = json_roundtrip(host, port, [{"query": "//b"}])
+        assert "key" in reply["error"]["message"]
+
+
+class TestAdmissionControl:
+    def test_overload_rejections_are_typed_and_bounded(self, pool):
+        """Freeze the dispatcher; every admit beyond the bound must reject.
+
+        Holding the server's dispatch lock stalls the dispatcher thread
+        mid-conversation, so admitted requests cannot complete: the
+        (N+K)-request flood then deterministically yields N admissions
+        and K typed OVERLOADED rejections — nothing queues.
+        """
+        server = XPathServer(pool, max_inflight=4)
+        with server as address:
+            sock = _raw_binary_connection(address)
+            with server._dispatch_lock:
+                flood = b"".join(
+                    wire.encode_framed(wire.encode_query(seq, "letters", "//b"))
+                    for seq in range(12)
+                )
+                sock.sendall(flood)
+                rejected = []
+                while len(rejected) < 8:
+                    message = _read_frame(sock)
+                    assert message.type == wire.MSG_OVERLOADED
+                    assert message.capacity == 4
+                    assert message.inflight <= 4
+                    rejected.append(message.seq)
+            # lock released: the 4 admitted requests now complete
+            answered = [_read_frame(sock) for _ in range(4)]
+            assert {m.type for m in answered} == {wire.MSG_RESULT_IDS}
+            assert sorted(rejected) + sorted(m.seq for m in answered) == list(
+                range(4, 12)
+            ) + [0, 1, 2, 3]
+            assert server._peak_inflight <= 4
+            sock.close()
+
+    def test_sync_client_raises_typed_overloaded(self, pool):
+        # max_inflight=0 is maintenance mode: every request rejects, so
+        # the client-side typed raise is deterministic.
+        server = XPathServer(pool, max_inflight=0)
+        with server as (host, port):
+            with ServingClient(host, port) as client:
+                with pytest.raises(Overloaded) as info:
+                    client.evaluate_batch([("//b", "letters")] * 16, ids=True)
+                assert info.value.capacity == 0
+                # return_errors collects them instead of raising
+                results = client.evaluate_batch(
+                    [("//b", "letters")] * 4, return_errors=True
+                )
+                assert all(isinstance(r, Overloaded) for r in results)
+
+    def test_json_shim_reports_overload(self, pool):
+        server = XPathServer(pool, max_inflight=1)
+        with server as (host, port):
+            with server._dispatch_lock:
+                sock = socket.create_connection((host, port), timeout=10.0)
+                sock.settimeout(10.0)
+                lines = b"".join(
+                    json.dumps({"key": "letters", "query": "//b", "seq": i}).encode()
+                    + b"\n"
+                    for i in range(6)
+                )
+                sock.sendall(lines)
+                overloaded = 0
+                buffer = b""
+                while overloaded < 5:
+                    chunk = sock.recv(65536)
+                    assert chunk
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, _, buffer = buffer.partition(b"\n")
+                        reply = json.loads(line)
+                        assert reply.get("overloaded") is True
+                        assert reply["capacity"] == 1
+                        overloaded += 1
+            sock.close()
+
+    def test_draining_server_rejects_new_requests(self, pool):
+        server = XPathServer(pool)
+        with server as address:
+            sock = _raw_binary_connection(address)
+            server._draining = True  # drain takes effect at admission
+            try:
+                sock.sendall(
+                    wire.encode_framed(wire.encode_query(1, "letters", "//b"))
+                )
+                assert _read_frame(sock).type == wire.MSG_OVERLOADED
+            finally:
+                server._draining = False
+                sock.close()
+
+
+class TestLifecycle:
+    def test_idle_timeout_closes_quiet_connections(self, pool):
+        server = XPathServer(pool, idle_timeout=0.2)
+        with server as address:
+            sock = _raw_binary_connection(address)
+            started = time.monotonic()
+            assert sock.recv(1) == b""  # server hangs up on us
+            assert 0.05 < time.monotonic() - started < 5.0
+            assert server._idle_closed == 1
+            sock.close()
+
+    def test_idle_timeout_spares_connections_awaiting_responses(self, pool):
+        server = XPathServer(pool, idle_timeout=0.15)
+        with server as address:
+            sock = _raw_binary_connection(address)
+            with server._dispatch_lock:  # freeze: the response stays owed
+                sock.sendall(
+                    wire.encode_framed(wire.encode_query(5, "letters", "//b"))
+                )
+                time.sleep(0.5)  # several idle windows pass while waiting
+            message = _read_frame(sock)
+            assert (message.type, message.seq) == (wire.MSG_RESULT_IDS, 5)
+            sock.close()
+
+    def test_drain_sends_receipts_and_stops_listening(self, pool):
+        server = XPathServer(pool)
+        host, port = server.start_background()
+        client = ServingClient(host, port)
+        client.evaluate("//b", "letters")
+        server.shutdown(graceful=True)
+        # the connected client got a DRAINED receipt with its served count
+        message = client._read_message()
+        assert message.type == wire.MSG_DRAINED
+        assert message.served == 1
+        client.close()
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=1.0)
+
+    def test_shutdown_is_idempotent_and_threadsafe(self, pool):
+        server = XPathServer(pool)
+        server.start_background()
+        failures = []
+
+        def stop():
+            try:
+                server.shutdown(graceful=True)
+            except Exception as error:  # pragma: no cover - the regression
+                failures.append(error)
+
+        threads = [threading.Thread(target=stop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not failures
+        assert not pool.closed  # the pool was borrowed, never owned
+
+    def test_server_owns_pool_built_from_store(self, store):
+        server = XPathServer(store, workers=2)
+        with server as (host, port):
+            with ServingClient(host, port) as client:
+                assert client.evaluate("//b", "letters").ids == _expected_ids(
+                    "//b", "letters"
+                )
+            owned = server.pool
+        assert owned.closed  # drained with the server
+
+    def test_start_background_propagates_bind_errors(self, pool):
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        server = XPathServer(pool, port=port)
+        try:
+            with pytest.raises(OSError):
+                server.start_background()
+        finally:
+            blocker.close()
+
+
+class TestSupervisionEdges:
+    def test_worker_crash_mid_batch_is_invisible_to_network_clients(
+        self, store, tmp_path
+    ):
+        """Satellite: a worker dies mid-batch; the client sees only answers."""
+        requests = [
+            ("//b", "letters"),
+            ("count(//x)", "row"),
+            ("//b[child::c]", "letters"),
+        ] * 20
+        with worker_fault("exit", "query", n=7, tmp_path=tmp_path):
+            with ShardedPool(store, workers=2) as pool:
+                server = XPathServer(pool)
+                with server as (host, port):
+                    with ServingClient(host, port, window=16) as client:
+                        results = client.evaluate_batch(requests)
+                        stats = client.server_stats()
+        assert stats["pool"]["restarts"] >= 1  # the crash really happened
+        for (query, key), result in zip(requests, results):
+            if result.is_node_set:
+                assert result.ids == _expected_ids(query, key)
+            else:
+                assert result.value == 4.0
+
+    def test_drain_flushes_a_slow_client_before_the_receipt(self, pool):
+        """Satellite: drain waits for a client that is slow to read."""
+        server = XPathServer(pool, drain_timeout=10.0)
+        host, port = server.start_background()
+        sock = _raw_binary_connection((host, port))
+        sock.sendall(b"".join(
+            wire.encode_framed(wire.encode_query(seq, "letters", "//b"))
+            for seq in range(10)
+        ))
+        # Be a slow reader: give the responses time to be owed, then let
+        # the drain (started concurrently) race our delayed reads.
+        time.sleep(0.2)
+        drainer = threading.Thread(
+            target=server.shutdown, kwargs={"graceful": True}
+        )
+        drainer.start()
+        messages = []
+        while True:
+            time.sleep(0.05)  # still slow, one frame at a time
+            message = _read_frame(sock)
+            messages.append(message)
+            if message.type == wire.MSG_DRAINED:
+                break
+        drainer.join(30.0)
+        assert not drainer.is_alive()
+        answered = [m for m in messages if m.type == wire.MSG_RESULT_IDS]
+        assert sorted(m.seq for m in answered) == list(range(10))
+        assert messages[-1].served == 10
+        assert sock.recv(1) == b""  # connection closed after the receipt
+        sock.close()
+
+    def test_client_marks_unanswered_requests_on_drained(self):
+        """A DRAINED receipt mid-batch fails the unanswered tail, typed."""
+        from repro.serving.client import _BatchState
+
+        state = _BatchState([("//a", "k")] * 4, ids=False)
+        frames = state.frames()
+        next(frames)  # one request on the wire, three unsent
+        state.absorb(wire.decode(wire.encode_drained(1, 4242)))
+        assert state.drained
+        assert all(
+            isinstance(result, ConnectionDrained) for result in state.results
+        )
+        with pytest.raises(ConnectionDrained):
+            state.finish(return_errors=False)

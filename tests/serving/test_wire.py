@@ -1,6 +1,8 @@
 """Unit tests for the id-native wire format (framing, round-trips, errors)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.serving import wire
 
@@ -129,3 +131,211 @@ class TestMalformedFrames:
         frame[9] = ord("Z")  # magic(4) + type(1) + seq(4) → kind byte
         with pytest.raises(wire.WireError, match="unknown scalar kind"):
             wire.decode(bytes(frame))
+
+
+class TestNetworkFrames:
+    def test_hello_round_trip(self):
+        message = wire.decode(wire.encode_hello(4321, banner="repro-xpath"))
+        assert message.type == wire.MSG_HELLO
+        assert message.version == wire.PROTOCOL_VERSION
+        assert (message.pid, message.banner) == (4321, "repro-xpath")
+
+    def test_hello_custom_version(self):
+        assert wire.decode(wire.encode_hello(1, version=7)).version == 7
+
+    def test_overloaded_round_trip(self):
+        message = wire.decode(wire.encode_overloaded(9, 128, 128))
+        assert message.type == wire.MSG_OVERLOADED
+        assert (message.seq, message.inflight, message.capacity) == (9, 128, 128)
+
+    def test_stream_framing_round_trip(self):
+        frame = wire.encode_query(1, "k", "//a")
+        stream = wire.encode_framed(frame)
+        assert wire.framed_length(stream[:4]) == len(frame)
+        assert stream[4:] == frame
+
+    def test_stream_framing_rejects_oversized_frames(self):
+        with pytest.raises(wire.WireError, match="MAX_FRAME"):
+            wire.framed_length((wire.MAX_FRAME + 1).to_bytes(4, "little"))
+
+    def test_encode_framed_rejects_oversized_frames(self):
+        class _Huge(bytes):
+            def __len__(self):  # avoid materialising 16 MiB in the test
+                return wire.MAX_FRAME + 1
+
+        with pytest.raises(wire.WireError, match="MAX_FRAME"):
+            wire.encode_framed(_Huge())
+
+    def test_stream_header_must_be_four_bytes(self):
+        with pytest.raises(wire.WireError, match="expected 4"):
+            wire.framed_length(b"\x01\x00")
+
+
+# -- hypothesis fuzzing -------------------------------------------------------
+#
+# The decoder faces bytes from process and network boundaries; the
+# property it must uphold is: any input either decodes to a Message or
+# raises WireError — never another exception type, never a hang, and
+# valid frames never mis-decode (the round-trip property).
+
+_seqs = st.integers(min_value=0, max_value=2**32 - 1)
+_texts = st.text(max_size=40)
+_int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+_scalars = st.one_of(
+    st.booleans(),
+    st.floats(allow_nan=False),
+    st.text(max_size=60),
+)
+
+
+@st.composite
+def valid_frames(draw):
+    """One well-formed frame of any message type, fields randomised."""
+    kind = draw(st.sampled_from([
+        "query", "result_ids", "result_value", "error", "warm", "ready",
+        "stats", "stats_reply", "shutdown", "ping", "pong", "drain",
+        "drained", "hello", "overloaded",
+    ]))
+    if kind == "query":
+        return wire.encode_query(
+            draw(_seqs), draw(_texts), draw(_texts), ids_only=draw(st.booleans())
+        )
+    if kind == "result_ids":
+        return wire.encode_result_ids(
+            draw(_seqs), draw(st.lists(_int32s, max_size=50))
+        )
+    if kind == "result_value":
+        return wire.encode_result_value(draw(_seqs), draw(_scalars))
+    if kind == "error":
+        return wire.encode_error(draw(_seqs), draw(_texts), draw(_texts))
+    if kind == "warm":
+        return wire.encode_warm(draw(st.lists(_texts, max_size=8)))
+    if kind == "ready":
+        return wire.encode_ready(draw(_seqs), draw(_seqs))
+    if kind == "stats":
+        return wire.encode_stats_request()
+    if kind == "stats_reply":
+        return wire.encode_stats_reply(
+            draw(st.dictionaries(st.text(max_size=10), _seqs, max_size=5))
+        )
+    if kind == "shutdown":
+        return wire.encode_shutdown()
+    if kind == "ping":
+        return wire.encode_ping(draw(_seqs))
+    if kind == "pong":
+        return wire.encode_pong(draw(_seqs), draw(_seqs))
+    if kind == "drain":
+        return wire.encode_drain()
+    if kind == "drained":
+        return wire.encode_drained(draw(_seqs), draw(_seqs))
+    if kind == "hello":
+        return wire.encode_hello(draw(_seqs), banner=draw(_texts))
+    return wire.encode_overloaded(draw(_seqs), draw(_seqs), draw(_seqs))
+
+
+def _decode_is_total(data: bytes) -> None:
+    """decode() either returns a Message or raises WireError — nothing else."""
+    try:
+        message = wire.decode(data)
+    except wire.WireError:
+        return
+    assert isinstance(message, wire.Message)
+
+
+class TestDecoderFuzz:
+    @given(valid_frames())
+    @settings(max_examples=200, deadline=None)
+    def test_valid_frames_decode(self, frame):
+        message = wire.decode(frame)
+        assert isinstance(message, wire.Message)
+
+    @given(
+        valid_frames(),
+        st.lists(
+            st.tuples(st.integers(min_value=0), st.integers(0, 255)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_byte_mutations_never_crash(self, frame, mutations):
+        corrupted = bytearray(frame)
+        for offset, value in mutations:
+            corrupted[offset % len(corrupted)] = value
+        _decode_is_total(bytes(corrupted))
+
+    @given(valid_frames(), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_truncations_raise_wire_errors(self, frame, data):
+        cut = data.draw(st.integers(0, len(frame) - 1), label="cut")
+        with pytest.raises(wire.WireError):
+            wire.decode(frame[:cut])
+
+    @given(valid_frames(), st.binary(min_size=1, max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_appended_garbage_raises_wire_errors(self, frame, garbage):
+        # Empty-body frames followed by garbage must not silently decode;
+        # body-carrying frames must account for every byte (done()).
+        with pytest.raises(wire.WireError):
+            wire.decode(frame + garbage)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, data):
+        _decode_is_total(data)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_with_magic_never_crash(self, data):
+        _decode_is_total(wire.MAGIC + data)
+
+    @given(st.binary(min_size=4, max_size=4))
+    @settings(max_examples=100, deadline=None)
+    def test_stream_header_fuzz(self, header):
+        try:
+            length = wire.framed_length(header)
+        except wire.WireError:
+            return
+        assert 0 <= length <= wire.MAX_FRAME
+
+
+class TestEncodeDecodeRoundTripFuzz:
+    """Valid frames never mis-decode: every field survives the wire."""
+
+    @given(_seqs, _texts, _texts, st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_query_round_trip(self, seq, key, query, ids_only):
+        message = wire.decode(wire.encode_query(seq, key, query, ids_only))
+        assert (message.seq, message.key, message.query, message.ids_only) == (
+            seq, key, query, ids_only
+        )
+
+    @given(_seqs, st.lists(_int32s, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_result_ids_round_trip(self, seq, ids):
+        message = wire.decode(wire.encode_result_ids(seq, ids))
+        assert (message.seq, message.ids) == (seq, ids)
+
+    @given(_seqs, _scalars)
+    @settings(max_examples=100, deadline=None)
+    def test_result_value_round_trip(self, seq, value):
+        message = wire.decode(wire.encode_result_value(seq, value))
+        assert message.seq == seq
+        if isinstance(value, bool):
+            assert message.value is value
+        else:
+            assert message.value == value
+
+    @given(_seqs, _texts)
+    @settings(max_examples=100, deadline=None)
+    def test_hello_round_trip(self, pid, banner):
+        message = wire.decode(wire.encode_hello(pid, banner=banner))
+        assert (message.pid, message.banner) == (pid, banner)
+
+    @given(_seqs, _seqs, _seqs)
+    @settings(max_examples=100, deadline=None)
+    def test_overloaded_round_trip(self, seq, inflight, capacity):
+        message = wire.decode(wire.encode_overloaded(seq, inflight, capacity))
+        assert (message.seq, message.inflight, message.capacity) == (
+            seq, inflight, capacity
+        )
