@@ -1,0 +1,49 @@
+"""Project-native static analysis for the repro codebase.
+
+The serving stack's correctness rests on invariants no type system
+sees: a lock hierarchy, an exhaustively-dispatched wire taxonomy, an
+event loop that must never block, frozen mmap-shared arrays, a typed
+error contract, and a public API surface mirrored in three places.
+This package encodes each invariant as a stdlib-``ast`` checker —
+the tooling analogue of the source paper's own move of classifying a
+query *statically*, before running it.
+
+Run it as ``python -m repro.analysis [paths]`` or ``repro lint``; embed
+it via :func:`analyze_source` / :func:`analyze_sources`.  The rule
+catalogue, suppression syntax (``# repro: allow[<rule>] -- <reason>``)
+and the lock-hierarchy table live in ``docs/analysis.md``.
+"""
+
+from repro.analysis.framework import (
+    ALL_RULES,
+    Finding,
+    Rule,
+    analyze_source,
+    analyze_sources,
+    rule_names,
+)
+from repro.analysis.config import LOCK_ORDER, AnalysisConfig, default_config
+
+# Importing the checker modules registers them on ALL_RULES (the import
+# order here fixes the registry order, and with it report ordering for
+# equal (path, line) keys).
+from repro.analysis import locks as _locks  # noqa: F401
+from repro.analysis import wire_protocol as _wire  # noqa: F401
+from repro.analysis import async_blocking as _async  # noqa: F401
+from repro.analysis import immutability as _immutability  # noqa: F401
+from repro.analysis import exceptions as _exceptions  # noqa: F401
+from repro.analysis import api_surface as _api  # noqa: F401
+from repro.analysis.cli import main
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisConfig",
+    "Finding",
+    "LOCK_ORDER",
+    "Rule",
+    "analyze_source",
+    "analyze_sources",
+    "default_config",
+    "main",
+    "rule_names",
+]

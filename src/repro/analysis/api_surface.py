@@ -1,0 +1,172 @@
+"""Checker 6 — ``api-surface``: ``__all__``, re-exports and docs agree.
+
+Four consistency contracts over the public surface:
+
+* every name a public package lists in ``__all__`` is actually bound in
+  that package's ``__init__`` (import, def, class or assignment) — a
+  stale ``__all__`` entry breaks ``from repro import *`` and the docs;
+* every public (non-underscore) name the top-level ``repro`` package
+  imports is listed in its ``__all__`` — importing without exporting is
+  how re-export drift starts;
+* every name the top level re-exports *from* a public subpackage is in
+  that subpackage's own ``__all__`` — the two surfaces must advertise
+  the same contract;
+* every API name the docs' migration tables reference (a backticked
+  ``name(...)`` call or dotted ``repro.name``) still exists in the
+  exported surface — tables that teach a rename must not outlive it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Finding, Project, Rule, SourceFile, register
+
+_TABLE_CALL = re.compile(r"(?<=`)([A-Za-z_][A-Za-z0-9_]*)\(")
+_TABLE_DOTTED = re.compile(r"`repro\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _module_all(tree: ast.Module) -> Optional[dict[str, int]]:
+    """``__all__`` entries → line numbers, or None if not declared."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(node.value, (ast.List, ast.Tuple)):
+                    out = {}
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            out[element.value] = element.lineno
+                    return out
+    return None
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    """Every name bound at module level (imports, defs, assignments)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    for alias in child.names:
+                        bound.add((alias.asname or alias.name).split(".")[0])
+    bound.add("__version__")
+    return bound
+
+
+def _imports_by_module(tree: ast.Module) -> dict[str, list[tuple[str, int]]]:
+    """source module → [(imported public name, line)]."""
+    out: dict[str, list[tuple[str, int]]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            entries = out.setdefault(node.module, [])
+            for alias in node.names:
+                name = alias.asname or alias.name
+                if not name.startswith("_") and name != "*":
+                    entries.append((name, node.lineno))
+    return out
+
+
+@register
+class ApiSurface(Rule):
+    name = "api-surface"
+    description = (
+        "__all__ of public modules, top-level re-exports, and the docs' "
+        "migration tables must advertise the same surface"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        modules: dict[str, SourceFile] = {}
+        for suffix in config.public_modules:
+            found = project.find(suffix)
+            if found is not None and found.tree is not None:
+                modules[suffix] = found
+
+        exported: set[str] = set()
+        all_by_suffix: dict[str, dict[str, int]] = {}
+        for suffix, file in modules.items():
+            declared = _module_all(file.tree)
+            if declared is None:
+                yield self.finding(
+                    file.path, 1, "public module declares no __all__"
+                )
+                continue
+            all_by_suffix[suffix] = declared
+            exported.update(declared)
+            bound = _bound_names(file.tree)
+            for name, line in sorted(declared.items()):
+                if name not in bound:
+                    yield self.finding(
+                        file.path, line,
+                        f"__all__ names {name!r}, which the module neither "
+                        "defines nor imports",
+                    )
+
+        top = modules.get("repro/__init__.py")
+        if top is None:
+            return
+        top_all = all_by_suffix.get("repro/__init__.py", {})
+        for source, names in sorted(_imports_by_module(top.tree).items()):
+            sub_suffix = source.replace(".", "/") + "/__init__.py"
+            sub_all = all_by_suffix.get(sub_suffix)
+            for name, line in names:
+                if name not in top_all:
+                    yield self.finding(
+                        top.path, line,
+                        f"top-level repro imports {name!r} from {source} "
+                        "but does not list it in __all__",
+                    )
+                if sub_all is not None and name not in sub_all:
+                    yield self.finding(
+                        top.path, line,
+                        f"top-level repro re-exports {name!r}, which "
+                        f"{source} does not list in its own __all__",
+                    )
+
+        yield from self._check_docs(top, exported, config)
+
+    def _check_docs(
+        self, top: SourceFile, exported: set[str], config
+    ) -> Iterator[Finding]:
+        try:
+            root = Path(top.path).resolve().parents[2]
+        except IndexError:  # pragma: no cover - unusual layout
+            return
+        for relative in config.docs_api_tables:
+            doc = root / relative
+            if not doc.is_file():
+                continue
+            for number, line in enumerate(
+                doc.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if not line.lstrip().startswith("|"):
+                    continue
+                names = set(_TABLE_CALL.findall(line))
+                for name in _TABLE_DOTTED.findall(line):
+                    if name not in config.docs_api_ignore:
+                        names.add(name)
+                for name in sorted(names):
+                    if name not in exported:
+                        yield self.finding(
+                            relative, number,
+                            f"docs table references {name!r}, which no "
+                            "public __all__ exports",
+                        )

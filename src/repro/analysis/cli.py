@@ -1,0 +1,148 @@
+"""The ``python -m repro.analysis`` / ``repro lint`` command line.
+
+Reports every finding as ``path:line rule message`` (sorted, so output
+is deterministic) and exits 1 when any error-severity finding survives
+suppressions and the baseline, 0 on a clean tree, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import framework
+from repro.analysis.config import default_config
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "project-native static analysis: lock discipline, wire "
+            "exhaustiveness, async-blocking, immutability, exception "
+            "hygiene, API-surface drift"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only this rule (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline of accepted findings; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="accept every current finding into FILE and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--max-suppressions", type=int, default=None, metavar="N",
+        help="override the suppression budget",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list findings silenced by suppressions or the baseline",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in framework.ALL_RULES:
+            print(f"{rule.name}: {rule.description}")
+        print(
+            f"{framework.SUPPRESSION_RULE}: malformed/unknown/reason-less "
+            "suppression comments, and budget overruns"
+        )
+        return 0
+
+    rules = None
+    if args.rules:
+        wanted = set(args.rules)
+        known = set(framework.rule_names())
+        unknown = sorted(wanted - known)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}")
+        rules = [rule for rule in framework.ALL_RULES if rule.name in wanted]
+
+    config = default_config()
+    if args.max_suppressions is not None:
+        config = config.with_overrides(max_suppressions=args.max_suppressions)
+
+    try:
+        sources = framework.collect_files(args.paths)
+    except FileNotFoundError as error:
+        parser.error(str(error))
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = framework.load_baseline(args.baseline)
+        except FileNotFoundError:
+            parser.error(f"baseline file not found: {args.baseline!r}")
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            parser.error(f"unreadable baseline {args.baseline!r}: {error}")
+
+    project = framework.build_project(sources, config)
+    result = framework.run_rules(project, rules, baseline=baseline)
+
+    if args.write_baseline:
+        framework.write_baseline(args.write_baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "path": f.path, "line": f.line, "rule": f.rule,
+                            "message": f.message, "severity": f.severity,
+                        }
+                        for f in result.findings
+                    ],
+                    "suppressed": len(result.suppressed),
+                    "suppressions": len(result.suppressions),
+                },
+                indent=2,
+            )
+        )
+        return result.exit_code
+
+    for finding in result.findings:
+        print(finding.render())
+    if args.show_suppressed:
+        for finding in result.suppressed:
+            print(f"{finding.render()} [suppressed]")
+    tally = (
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.suppressions)} suppression(s) in force, "
+        f"{len(project.files)} file(s)"
+    )
+    print(tally, file=sys.stderr)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

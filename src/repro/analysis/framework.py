@@ -1,0 +1,402 @@
+"""The shared machinery of the project-native static analysis suite.
+
+Every checker in :mod:`repro.analysis` is a small class over the stdlib
+:mod:`ast` module that yields :class:`Finding` records; this module owns
+everything around them:
+
+* **source loading** — each analyzed file is parsed once into a
+  :class:`SourceFile` (text, AST, and its suppression comments) and the
+  whole run is wrapped in a :class:`Project` so cross-file rules (wire
+  exhaustiveness, API-surface drift) can see every file at once;
+* **suppressions** — ``# repro: allow[<rule>] -- <reason>`` on (or one
+  line above) a finding silences it; ``allow-file[<rule>]`` anywhere in a
+  file silences the rule for the whole file.  A written reason is
+  mandatory, unknown rule names and malformed comments are findings in
+  their own right, and the total number of suppressions in force is
+  budgeted (:attr:`~repro.analysis.config.AnalysisConfig.max_suppressions`);
+* **baselines** — a JSON file of known findings; only findings *not* in
+  the baseline fail the run, so the suite can be adopted on a codebase
+  with historical debt without suppressing anything in source;
+* **deterministic output** — findings sort by ``(path, line, rule,
+  message)`` and render as ``path:line rule message``, so two runs over
+  the same tree emit byte-identical reports.
+
+The checkers themselves live in sibling modules and register on
+:data:`ALL_RULES`; their shared configuration (the lock registry, the
+wire dispatch spec, the frozen-attribute facts) lives in
+:mod:`repro.analysis.config`.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.analysis.config import AnalysisConfig
+
+#: Severity levels, in increasing order of consequence.  ``error``
+#: findings fail the run; ``warning`` findings are reported but do not
+#: affect the exit code.
+SEVERITIES = ("warning", "error")
+
+#: The reserved rule name under which the framework reports problems with
+#: the suppression comments themselves (and budget overruns).  It is not
+#: itself suppressible — a broken escape hatch must not hide behind one.
+SUPPRESSION_RULE = "suppression"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule fired at ``path:line``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    def render(self) -> str:
+        """The canonical one-line report form, ``path:line rule message``."""
+        return f"{self.path}:{self.line} {self.rule} {self.message}"
+
+    def identity(self) -> tuple[str, str, str]:
+        """The line-number-free identity baselines match on."""
+        return (self.path, self.rule, self.message)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: allow[...]`` comment."""
+
+    path: str
+    line: int
+    rule: str
+    reason: str
+    file_scope: bool
+
+
+_REPRO_COMMENT = re.compile(r"#\s*repro:\s*(?P<body>.*\S)?\s*$")
+_ALLOW = re.compile(
+    r"^allow(?P<scope>-file)?\[(?P<rule>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+class SourceFile:
+    """One parsed source file plus its suppression state."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(text, filename=path)
+        except SyntaxError as error:
+            self.parse_error = error
+        self.suppressions: list[Suppression] = []
+        self.suppression_problems: list[Finding] = []
+        self._line_allows: dict[int, set[str]] = {}
+        self._file_allows: set[str] = set()
+
+    def _comments(self) -> Iterator[tuple[int, str]]:
+        """Real ``#`` comment tokens (never docstring or string contents)."""
+        reader = io.StringIO(self.text).readline
+        try:
+            for token in tokenize.generate_tokens(reader):
+                if token.type == tokenize.COMMENT:
+                    yield token.start[0], token.string
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # the parse-error finding already covers this file
+
+    def bind_suppressions(self, known_rules: Iterable[str]) -> None:
+        """Parse every ``# repro:`` comment against the known rule names."""
+        known = set(known_rules)
+        for number, comment in self._comments():
+            match = _REPRO_COMMENT.search(comment)
+            if match is None:
+                continue
+            body = match.group("body") or ""
+            problem = self._parse_one(number, body, known)
+            if problem is not None:
+                self.suppression_problems.append(
+                    Finding(self.path, number, SUPPRESSION_RULE, problem)
+                )
+
+    def _parse_one(self, number: int, body: str, known: set[str]) -> Optional[str]:
+        allow = _ALLOW.match(body)
+        if allow is None:
+            return (
+                f"malformed suppression {body!r} (expected "
+                "`# repro: allow[<rule>] -- <reason>`)"
+            )
+        rule = allow.group("rule").strip()
+        reason = allow.group("reason")
+        if rule not in known:
+            return f"suppression names unknown rule {rule!r}"
+        if rule == SUPPRESSION_RULE:
+            return "the suppression meta-rule cannot itself be suppressed"
+        if not reason:
+            return (
+                f"suppression for rule {rule!r} is missing its written "
+                "reason (`-- <reason>`)"
+            )
+        file_scope = allow.group("scope") is not None
+        self.suppressions.append(
+            Suppression(self.path, number, rule, reason, file_scope)
+        )
+        if file_scope:
+            self._file_allows.add(rule)
+        else:
+            self._line_allows.setdefault(number, set()).add(rule)
+        return None
+
+    def allows(self, rule: str, line: int) -> bool:
+        """True if ``rule`` is suppressed at ``line`` (same or previous line)."""
+        if rule in self._file_allows:
+            return True
+        for candidate in (line, line - 1):
+            if rule in self._line_allows.get(candidate, ()):
+                return True
+        return False
+
+
+class Project:
+    """Every file of one analysis run, plus the shared configuration."""
+
+    def __init__(self, files: list[SourceFile], config: "AnalysisConfig") -> None:
+        self.files = files
+        self.config = config
+        self._by_path = {file.path: file for file in files}
+
+    def find(self, suffix: str) -> Optional[SourceFile]:
+        """The file whose (posix) path ends with ``suffix``, if analyzed."""
+        for file in self.files:
+            if file.path.endswith(suffix):
+                return file
+        return None
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+
+class Rule:
+    """Base class of every checker.
+
+    Subclasses set :attr:`name` (the kebab-case id used in reports and
+    suppressions), :attr:`description`, and implement :meth:`check` over
+    the whole :class:`Project` (per-file rules simply loop).
+    """
+
+    name = "abstract"
+    description = ""
+    severity = "error"
+
+    def check(self, project: Project) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(path, line, self.name, message, self.severity)
+
+
+#: The registry every shipped checker appends itself to (import order in
+#: ``repro.analysis.__init__`` populates it deterministically).
+ALL_RULES: list[Rule] = []
+
+
+def register(rule_class: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator: instantiate and register a checker."""
+    ALL_RULES.append(rule_class())
+    return rule_class
+
+
+def rule_names() -> list[str]:
+    """Every registered rule name plus the framework's own rule names."""
+    return [rule.name for rule in ALL_RULES] + [SUPPRESSION_RULE, "syntax"]
+
+
+# -- file collection ---------------------------------------------------------
+
+
+def _normalize(path: Path) -> str:
+    return str(PurePosixPath(*path.parts))
+
+
+def collect_files(paths: Iterable[str]) -> list[tuple[str, str]]:
+    """Expand file/directory arguments into ``(display path, text)`` pairs.
+
+    Directories are walked recursively for ``*.py`` files; hidden
+    directories and ``__pycache__`` are skipped.  The returned order is
+    sorted, so analysis output is independent of filesystem order.
+    """
+    out: dict[str, str] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw!r}")
+        for candidate in candidates:
+            parts = candidate.parts
+            if any(part == "__pycache__" or part.startswith(".") for part in parts):
+                continue
+            display = _normalize(candidate)
+            if display not in out:
+                out[display] = candidate.read_text(encoding="utf-8")
+    return sorted(out.items())
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    """Load the identities of known findings from a baseline JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    records = data["findings"] if isinstance(data, dict) else data
+    out = set()
+    for record in records:
+        out.add((record["path"], record["rule"], record["message"]))
+    return out
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as the accepted baseline."""
+    records = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = json.dumps({"findings": records}, indent=2, sort_keys=True)
+    Path(path).write_text(payload + "\n", encoding="utf-8")
+
+
+# -- the driver --------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def build_project(
+    sources: Iterable[tuple[str, str]], config: "AnalysisConfig"
+) -> Project:
+    files = [SourceFile(path, text) for path, text in sources]
+    known = rule_names()
+    for file in files:
+        file.bind_suppressions(known)
+    return Project(files, config)
+
+
+def run_rules(
+    project: Project,
+    rules: Optional[Iterable[Rule]] = None,
+    baseline: Optional[set[tuple[str, str, str]]] = None,
+) -> RunResult:
+    """Run ``rules`` (default: all registered) over ``project``.
+
+    Findings suppressed in source move to :attr:`RunResult.suppressed`;
+    findings whose identity appears in ``baseline`` are dropped; what is
+    left, plus any problems with the suppression comments themselves and
+    any budget overrun, is the run's verdict, deterministically sorted.
+    """
+    active = list(ALL_RULES if rules is None else rules)
+    config = project.config
+    raw: list[Finding] = []
+    for file in project:
+        if file.parse_error is not None:
+            line = file.parse_error.lineno or 1
+            raw.append(
+                Finding(
+                    file.path, line, "syntax",
+                    f"file does not parse: {file.parse_error.msg}",
+                )
+            )
+    for rule in active:
+        raw.extend(rule.check(project))
+
+    result = RunResult()
+    for file in project:
+        result.findings.extend(file.suppression_problems)
+        result.suppressions.extend(file.suppressions)
+
+    budget = config.max_suppressions
+    in_force = sorted(result.suppressions, key=lambda s: (s.path, s.line))
+    if len(in_force) > budget:
+        over = in_force[budget]
+        result.findings.append(
+            Finding(
+                over.path, over.line, SUPPRESSION_RULE,
+                f"suppression budget exceeded: {len(in_force)} in force, "
+                f"budget is {budget}",
+            )
+        )
+
+    for finding in raw:
+        file = project._by_path.get(finding.path)
+        if file is not None and file.allows(finding.rule, finding.line):
+            result.suppressed.append(finding)
+        elif baseline and finding.identity() in baseline:
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort()
+    result.suppressed.sort()
+    return result
+
+
+def analyze_sources(
+    sources: dict[str, str],
+    rules: Optional[Iterable[str]] = None,
+    config: Optional["AnalysisConfig"] = None,
+) -> list[Finding]:
+    """Analyze in-memory ``{path: text}`` sources; returns sorted findings.
+
+    This is the embedding API the fixture tests and the executable
+    examples in ``docs/analysis.md`` use: no filesystem, no process exit,
+    just findings.  ``rules`` selects checkers by name (default: all).
+    """
+    from repro.analysis.config import default_config
+
+    selected: Optional[list[Rule]] = None
+    if rules is not None:
+        wanted = set(rules)
+        unknown = wanted - set(rule_names())
+        if unknown:
+            raise ValueError(f"unknown rule(s): {sorted(unknown)}")
+        selected = [rule for rule in ALL_RULES if rule.name in wanted]
+    project = build_project(
+        sorted(sources.items()), config or default_config()
+    )
+    return run_rules(project, selected).findings
+
+
+def analyze_source(
+    text: str,
+    path: str = "src/repro/example.py",
+    rules: Optional[Iterable[str]] = None,
+    config: Optional["AnalysisConfig"] = None,
+) -> list[Finding]:
+    """Analyze one in-memory source string (see :func:`analyze_sources`)."""
+    return analyze_sources({path: text}, rules=rules, config=config)

@@ -1,0 +1,79 @@
+"""Checker 4 — ``immutability``: frozen state is written only where born.
+
+``IdSet`` promises value semantics (its slots — ``universe``, ``_ids``,
+``_bits`` — are written in ``__init__`` and the lazy dual-representation
+getters, then never again), and the snapshot-backed ``DocumentIndex``
+arrays are shared zero-copy between processes by the mmap store: a write
+anywhere else corrupts every holder at once, across process boundaries.
+
+The rule is attribute-name based: each frozen attribute in
+``FROZEN_ATTRS`` carries the list of modules that constitute its
+hydration path (the owning module, plus ``store/codec.py`` for the
+arrays the snapshot decoder rebuilds through ``__new__``).  Assigning
+one of these names anywhere else — whatever the receiver expression —
+is a finding.  Deletion (``del x._bits``) counts as a write.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Project, Rule, register
+
+
+@register
+class Immutability(Rule):
+    name = "immutability"
+    description = (
+        "IdSet slots and snapshot-backed index arrays are assigned only "
+        "inside their declared hydration modules"
+    )
+
+    def _targets(self, node: ast.stmt) -> list[ast.expr]:
+        if isinstance(node, ast.Assign):
+            return list(node.targets)
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        if isinstance(node, ast.Delete):
+            return list(node.targets)
+        return []
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        for file in project:
+            if file.tree is None:
+                continue
+            # (node, name of the enclosing function, if any)
+            stack: list[tuple[ast.AST, str]] = [(file.tree, "")]
+            while stack:
+                node, function = stack.pop()
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    function = node.name
+                for child in ast.iter_child_nodes(node):
+                    stack.append((child, function))
+                if not isinstance(
+                    node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)
+                ):
+                    continue
+                for target in self._targets(node):
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    allowed = config.frozen_attrs.get(target.attr)
+                    if allowed is None:
+                        continue
+                    if any(file.path.endswith(suffix) for suffix in allowed):
+                        continue
+                    if (
+                        function in ("__init__", "__new__")
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in ("self", "cls")
+                    ):
+                        continue  # construction: the object is not shared yet
+                    verb = "deletes" if isinstance(node, ast.Delete) else "assigns"
+                    owners = ", ".join(allowed)
+                    yield self.finding(
+                        file.path, node.lineno,
+                        f"{verb} frozen attribute '.{target.attr}' outside "
+                        f"its hydration path ({owners})",
+                    )

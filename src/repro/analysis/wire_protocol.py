@@ -1,0 +1,111 @@
+"""Checker 2 — ``wire-exhaustive``: every frame type has a handler.
+
+The wire module (``serving/wire.py``) is the frame taxonomy: every
+module-level ``MSG_*`` constant is one frame type, and every
+``encode_*`` function is mapped to the constant it frames (by finding
+the ``MSG_*`` name its body references).  Each dispatch surface —
+``worker.py``, ``server.py``, ``client.py`` — must then *touch* every
+frame type: either compare against its constant in a dispatch arm, or
+produce it through its ``encode_*`` constructor.  Frame types a surface
+is specified not to speak (``WIRE_DISPATCH_EXEMPT`` — e.g. the worker
+never sees the network tier's ``HELLO``) are part of the protocol role
+spec, not suppressions.
+
+Net effect: adding ``MSG_NEW = 16`` to ``wire.py`` fails CI in all
+three dispatch modules until each one either handles the frame or the
+spec says it never will; deleting a handler arm fails the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Finding, Project, Rule, SourceFile, register
+
+
+def _constants(tree: ast.Module, prefix: str) -> dict[str, int]:
+    """Module-level ``MSG_*`` assignments → their line numbers."""
+    out: dict[str, int] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id.startswith(prefix):
+                    out[target.id] = node.lineno
+    return out
+
+
+def _encoder_map(tree: ast.Module, prefix: str) -> dict[str, str]:
+    """``encode_*`` function name → the ``MSG_*`` constant it frames."""
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not node.name.startswith("encode_"):
+            continue
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Name) and inner.id.startswith(prefix):
+                out[node.name] = inner.id
+                break
+    return out
+
+
+def _referenced(
+    file: SourceFile, prefix: str, encoders: dict[str, str]
+) -> set[str]:
+    """Every frame constant a dispatch module touches."""
+    touched: set[str] = set()
+    assert file.tree is not None
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Attribute) and node.attr.startswith(prefix):
+            touched.add(node.attr)
+        elif isinstance(node, ast.Name) and node.id.startswith(prefix):
+            touched.add(node.id)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name in encoders:
+                touched.add(encoders[name])
+    return touched
+
+
+@register
+class WireExhaustive(Rule):
+    name = "wire-exhaustive"
+    description = (
+        "every MSG_* frame constant must be handled (or spec-exempted) in "
+        "each dispatch module"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        config = project.config
+        wire = project.find(config.wire_module)
+        if wire is None or wire.tree is None:
+            return
+        constants = _constants(wire.tree, config.wire_prefix)
+        encoders = _encoder_map(wire.tree, config.wire_prefix)
+        for suffix, exempt in config.wire_dispatch_exempt.items():
+            module = project.find(suffix)
+            if module is None or module.tree is None:
+                continue
+            unknown = exempt - set(constants)
+            for name in sorted(unknown):
+                yield self.finding(
+                    wire.path, 1,
+                    f"dispatch spec for {suffix} exempts {name!r}, which "
+                    f"{config.wire_module} does not define",
+                )
+            touched = _referenced(module, config.wire_prefix, encoders)
+            for name, line in sorted(constants.items()):
+                if name in touched or name in exempt:
+                    continue
+                yield self.finding(
+                    module.path, 1,
+                    f"frame constant {name!r} (wire.py:{line}) is neither "
+                    "handled nor produced here, and the dispatch spec does "
+                    "not exempt it",
+                )

@@ -492,6 +492,13 @@ def _command_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported here so `repro query`-style invocations never pay for it.
+    from repro.analysis import main as analysis_main
+
+    return analysis_main(list(args.args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -741,13 +748,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_parser.set_defaults(func=_command_client)
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the project-native static analysis suite "
+        "(lock discipline, wire exhaustiveness, async-blocking, "
+        "immutability, exception hygiene, API-surface drift)",
+        add_help=False,  # repro.analysis owns its own --help/options
+    )
+    lint_parser.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="paths and options forwarded to `python -m repro.analysis`",
+    )
+    lint_parser.set_defaults(func=_command_lint)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "lint":
+        # Delegated before parsing: argparse's REMAINDER does not forward
+        # leading options (e.g. `repro lint --list-rules`), and the
+        # analysis CLI owns its whole option surface.
+        from repro.analysis import main as analysis_main
+
+        return analysis_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return args.func(args)
     except FileNotFoundError as error:

@@ -311,8 +311,9 @@ class XPathEngine:
         and re-indexing.  ``mmap=True`` makes hydrations map snapshot
         files zero-copy by default.
         """
-        self._store = store
-        self._store_mmap = mmap
+        with self._store_lock:
+            self._store = store
+            self._store_mmap = mmap
         return self
 
     @property

@@ -460,10 +460,18 @@ class ShardedPool:
         evaluation supervises.  Like every pool method, call it between
         batches (the pool is a single-dispatcher backend).
         """
-        self._require_open()
+        # Snapshot the roster under the lifecycle lock: the open check and
+        # the worker list must be one atomic observation, or a drain/close
+        # racing this probe can close pipes between the check and the
+        # sends.  (I/O happens outside the lock — a slow PONG must not
+        # block drain() for the whole probe timeout; a pipe torn down by a
+        # concurrent close surfaces as a typed ServingError below.)
+        with self._lifecycle_lock:
+            self._require_open()
+            roster = tuple(self._pool)
         deadline = time.monotonic() + timeout
         health = []
-        for worker in self._pool:
+        for worker in roster:
             if worker.failed:
                 health.append(False)
                 continue

@@ -89,6 +89,7 @@ import threading
 import time
 from typing import Optional, Union
 
+from repro.errors import ReproError
 from repro.serving import wire
 from repro.serving.pool import ServingError, ShardedPool
 
@@ -414,16 +415,22 @@ class XPathServer:
 
     def start_background(self) -> tuple[str, int]:
         """Run the server on its own thread + event loop; returns address."""
-        if self._thread is not None:
-            return self.address
-        self._thread_ready = threading.Event()
-        self._thread = threading.Thread(
-            target=self._thread_main, name="repro-xpath-server", daemon=True
-        )
-        self._thread.start()
+        # The thread handle is shared with shutdown(); publish it under
+        # the same lock so a concurrent start/shutdown pair can never
+        # observe (and join/None out) a half-started thread.
+        with self._shutdown_lock:
+            if self._thread is not None:
+                return self.address
+            self._thread_ready = threading.Event()
+            thread = threading.Thread(
+                target=self._thread_main, name="repro-xpath-server", daemon=True
+            )
+            self._thread = thread
+            thread.start()
         self._thread_ready.wait()
         if self._thread_error is not None:
-            self._thread = None
+            with self._shutdown_lock:
+                self._thread = None
             raise self._thread_error
         return self.address
 
@@ -530,7 +537,13 @@ class XPathServer:
                             ids=wants_ids,
                             return_errors=True,
                         )
-                except Exception as error:  # pool closed / ServingError
+                except ReproError as error:  # pool closed / ServingError
+                    results = [error] * len(group)
+                except Exception as error:
+                    # Outside the typed taxonomy: a bug, not a request
+                    # failure.  Log it (the loop must survive and the
+                    # waiters must still be resolved) and fail the batch.
+                    logger.exception("dispatcher batch failed untyped")
                     results = [error] * len(group)
                 for one, result in zip(group, results):
                     one.resolve(result)
@@ -539,7 +552,10 @@ class XPathServer:
                     with self._dispatch_lock:
                         payload = self._stats_payload()
                     one.resolve(payload)
+                except ReproError as error:
+                    one.resolve(error)
                 except Exception as error:
+                    logger.exception("stats collection failed untyped")
                     one.resolve(error)
 
     def _stats_payload(self) -> dict:

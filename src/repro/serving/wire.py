@@ -140,7 +140,7 @@ class Message:
     value: object = None
     error: Optional[tuple[str, str]] = None
     keys: tuple[str, ...] = ()
-    payload: Optional[dict] = None
+    payload: Optional[dict[str, object]] = None
     hydrated: int = 0
     pid: int = 0
     served: int = 0
@@ -188,7 +188,7 @@ def encode_result_ids(seq: int, ids: Sequence[int]) -> bytes:
     )
 
 
-def encode_result_value(seq: int, value) -> bytes:
+def encode_result_value(seq: int, value: object) -> bytes:
     """Encode a scalar answer (float, bool, or string)."""
     if isinstance(value, bool):  # before float: bool is an int subclass
         return _frame(
@@ -243,7 +243,7 @@ def encode_stats_request() -> bytes:
     return _frame(MSG_STATS)
 
 
-def encode_stats_reply(payload: dict) -> bytes:
+def encode_stats_reply(payload: dict[str, object]) -> bytes:
     """Encode a worker's counters as a JSON object."""
     data = json.dumps(payload, sort_keys=True).encode("utf-8")
     return _frame(MSG_STATS_REPLY, _U32.pack(len(data)), data)

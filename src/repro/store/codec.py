@@ -64,7 +64,7 @@ import hashlib
 import struct
 import sys
 from array import array
-from typing import Optional, Sequence
+from typing import Any, Sequence, cast
 
 from repro.errors import ReproError
 from repro.xmlmodel.document import Document
@@ -175,16 +175,15 @@ def dump_snapshot(document: Document) -> bytes:
     attr_values: list[int] = []
 
     for i, node in enumerate(nodes):
-        kind = _KIND_BY_TYPE[node.node_type]
-        kinds[i] = kind
-        if kind == _KIND_ELEMENT:
+        kinds[i] = _KIND_BY_TYPE[node.node_type]
+        if isinstance(node, ElementNode):
             names[i] = strings.intern(node.tag)
             for attribute in node.attributes:
                 attr_names.append(strings.intern(attribute.attr_name))
                 attr_values.append(strings.intern(attribute.value))
-        elif kind == _KIND_TEXT or kind == _KIND_COMMENT:
+        elif isinstance(node, (TextNode, CommentNode)):
             texts[i] = strings.intern(node.text)
-        elif kind == _KIND_PI:
+        elif isinstance(node, ProcessingInstructionNode):
             names[i] = strings.intern(node.target)
             texts[i] = strings.intern(node.data)
         attr_offsets[i + 1] = len(attr_names)
@@ -242,7 +241,7 @@ def dump_snapshot(document: Document) -> bytes:
     )
 
 
-def snapshot_hash(data) -> str:
+def snapshot_hash(data: Any) -> str:
     """The content key of snapshot bytes: their SHA-256 hex digest.
 
     Accepts any bytes-like object (bytes, memoryview, mmap).
@@ -253,7 +252,7 @@ def snapshot_hash(data) -> str:
 class _Reader:
     """Section access over snapshot bytes (zero-copy via memoryview)."""
 
-    def __init__(self, data) -> None:
+    def __init__(self, data: Any) -> None:
         view = memoryview(data)
         if len(view) < _HEADER.size:
             raise SnapshotError("snapshot truncated: no header")
@@ -282,11 +281,14 @@ class _Reader:
             raise SnapshotError(f"snapshot is missing section {tag!r}") from None
         return self.view[offset : offset + length]
 
-    def int32(self, tag: bytes, lazy: bool):
+    def int32(self, tag: bytes, lazy: bool) -> Any:
         return _as_int32(self.raw(tag), lazy)
 
 
-def _as_int32(view: memoryview, lazy: bool):
+# ``Any`` by design: the concrete type is residency-dependent (``array``
+# eagerly, an ``"i"``-cast ``memoryview`` lazily) and callers only rely on
+# len/index/slice/bisect, which both provide.
+def _as_int32(view: memoryview, lazy: bool) -> Any:
     """A view/copy of packed int32s that supports len/index/slice/bisect."""
     if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
         out = array("i", bytes(view))
@@ -308,12 +310,12 @@ def _decode_strings(view: memoryview) -> list[str]:
     ]
 
 
-def _decode_partitions(view: memoryview, lazy: bool) -> list[tuple[int, object]]:
+def _decode_partitions(view: memoryview, lazy: bool) -> list[tuple[int, Any]]:
     """Decode a TPRT/KPRT section into (key, sorted-id-sequence) pairs."""
     (count,) = _U32.unpack_from(view, 0)
     header = _as_int32(view[_U32.size : _U32.size + 8 * count], lazy=False)
     body = view[_U32.size + 8 * count :]
-    out: list[tuple[int, object]] = []
+    out: list[tuple[int, Any]] = []
     position = 0
     for part in range(count):
         key, length = header[2 * part], header[2 * part + 1]
@@ -322,7 +324,7 @@ def _decode_partitions(view: memoryview, lazy: bool) -> list[tuple[int, object]]
     return out
 
 
-def load_snapshot(data, lazy: bool = False) -> Document:
+def load_snapshot(data: Any, lazy: bool = False) -> Document:
     """Reconstruct a :class:`Document` (index included) from snapshot bytes.
 
     Parameters
@@ -364,6 +366,7 @@ def load_snapshot(data, lazy: bool = False) -> Document:
     attributes: list[AttributeNode] = []
     id_by_uid: dict[int, int] = {}
     order = 0
+    node: XMLNode
     for i in range(n):
         kind = kinds[i]
         if kind == _KIND_ELEMENT:
@@ -371,7 +374,8 @@ def load_snapshot(data, lazy: bool = False) -> Document:
             node.node_type = NodeType.ELEMENT
             node.tag = strings[names[i]]
             lo, hi = attr_offsets[i], attr_offsets[i + 1]
-            node.attributes = node_attributes = []
+            node_attributes: list[AttributeNode] = []
+            node.attributes = node_attributes
         elif kind == _KIND_TEXT:
             node = TextNode.__new__(TextNode)
             node.node_type = NodeType.TEXT
@@ -449,13 +453,14 @@ def load_snapshot(data, lazy: bool = False) -> Document:
     document._nodes = nodes
     document._attributes = attributes
     document._elements_by_tag = {
-        tag: [nodes[i] for i in partition]
+        # Tag partitions hold element ids only, so the cast is sound.
+        tag: cast("list[ElementNode]", [nodes[i] for i in partition])
         for tag, partition in index.ids_by_tag.items()
     }
     document._index = index
     return document
 
 
-def load_snapshot_with_hash(data, lazy: bool = False) -> tuple[Document, str]:
+def load_snapshot_with_hash(data: Any, lazy: bool = False) -> tuple[Document, str]:
     """:func:`load_snapshot` plus the content hash of ``data``."""
     return load_snapshot(data, lazy=lazy), snapshot_hash(data)

@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # import cycle: document.py imports this module
+    from repro.xmlmodel.document import Document
 
 
 class NodeType(enum.Enum):
@@ -56,7 +59,7 @@ class XMLNode:
         self.children: list[XMLNode] = []
         self.order: int = -1
         self.uid: int = next(_node_counter)
-        self.document = None  # set by Document.freeze()
+        self.document: Optional[Document] = None  # set by Document.freeze()
 
     # -- tree construction -------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Framework mechanics: suppressions, budget, baseline, determinism."""
+
+import pytest
+
+from repro.analysis import analyze_source, analyze_sources, default_config
+from repro.analysis.framework import (
+    Finding,
+    build_project,
+    load_baseline,
+    run_rules,
+    write_baseline,
+)
+
+# A one-line true positive for the immutability rule: `_bits` is an
+# IdSet slot and this path is not its hydration module.
+BAD = "value._bits = 1\n"
+BAD_PATH = "src/repro/evaluation/example.py"
+
+
+def findings_of(text, path=BAD_PATH, **kwargs):
+    return analyze_source(text, path=path, **kwargs)
+
+
+class TestFinding:
+    def test_render_is_path_line_rule_message(self):
+        finding = Finding("src/a.py", 3, "immutability", "boom")
+        assert finding.render() == "src/a.py:3 immutability boom"
+
+    def test_identity_drops_the_line_number(self):
+        finding = Finding("src/a.py", 3, "immutability", "boom")
+        assert finding.identity() == ("src/a.py", "immutability", "boom")
+
+    def test_orders_by_path_then_line(self):
+        unsorted = [
+            Finding("src/b.py", 1, "r", "m"),
+            Finding("src/a.py", 9, "r", "m"),
+            Finding("src/a.py", 2, "r", "m"),
+        ]
+        ordered = sorted(unsorted)
+        assert [(f.path, f.line) for f in ordered] == [
+            ("src/a.py", 2), ("src/a.py", 9), ("src/b.py", 1)
+        ]
+
+
+class TestSuppressions:
+    def test_unsuppressed_finding_fires(self):
+        assert len(findings_of(BAD)) == 1
+
+    def test_same_line_suppression_silences(self):
+        text = "value._bits = 1  # repro: allow[immutability] -- fixture\n"
+        assert findings_of(text) == []
+
+    def test_line_above_suppression_silences(self):
+        text = (
+            "# repro: allow[immutability] -- fixture\n"
+            "value._bits = 1\n"
+        )
+        assert findings_of(text) == []
+
+    def test_two_lines_above_does_not_reach(self):
+        text = (
+            "# repro: allow[immutability] -- fixture\n"
+            "\n"
+            "value._bits = 1\n"
+        )
+        assert len(findings_of(text)) == 1
+
+    def test_file_scope_suppression_silences_everywhere(self):
+        text = (
+            "# repro: allow-file[immutability] -- fixture\n"
+            "value._bits = 1\n"
+            "\n"
+            "other._bits = 2\n"
+        )
+        assert findings_of(text) == []
+
+    def test_malformed_comment_is_a_finding(self):
+        text = "x = 1  # repro: allow immutability\n"
+        [finding] = findings_of(text)
+        assert finding.rule == "suppression"
+        assert "malformed" in finding.message
+
+    def test_missing_reason_is_a_finding(self):
+        text = "value._bits = 1  # repro: allow[immutability]\n"
+        rules = {f.rule for f in findings_of(text)}
+        # The reason-less comment does not suppress, so both the meta
+        # finding and the original one survive.
+        assert rules == {"suppression", "immutability"}
+
+    def test_unknown_rule_is_a_finding(self):
+        text = "x = 1  # repro: allow[no-such-rule] -- why not\n"
+        [finding] = findings_of(text)
+        assert finding.rule == "suppression"
+        assert "unknown rule" in finding.message
+
+    def test_the_meta_rule_is_not_suppressible(self):
+        text = "x = 1  # repro: allow[suppression] -- nice try\n"
+        [finding] = findings_of(text)
+        assert finding.rule == "suppression"
+        assert "cannot itself be suppressed" in finding.message
+
+    def test_docstring_mentioning_the_syntax_is_not_a_comment(self):
+        text = '"""Docs show `# repro: allow[bogus]` examples."""\n'
+        assert findings_of(text) == []
+
+    def test_suppressing_a_different_rule_does_not_silence(self):
+        text = (
+            "value._bits = 1  # repro: allow[exception-hygiene] -- wrong\n"
+        )
+        [finding] = findings_of(text)
+        assert finding.rule == "immutability"
+
+
+class TestBudget:
+    def test_over_budget_is_a_finding(self):
+        config = default_config().with_overrides(max_suppressions=1)
+        text = (
+            "a._bits = 1  # repro: allow[immutability] -- one\n"
+            "b._bits = 2  # repro: allow[immutability] -- two\n"
+        )
+        [finding] = findings_of(text, config=config)
+        assert finding.rule == "suppression"
+        assert "budget exceeded: 2 in force, budget is 1" in finding.message
+        assert finding.line == 2  # anchored at the first one over budget
+
+    def test_within_budget_is_clean(self):
+        config = default_config().with_overrides(max_suppressions=2)
+        text = (
+            "a._bits = 1  # repro: allow[immutability] -- one\n"
+            "b._bits = 2  # repro: allow[immutability] -- two\n"
+        )
+        assert findings_of(text, config=config) == []
+
+
+class TestRunResult:
+    def run(self, sources):
+        project = build_project(sorted(sources.items()), default_config())
+        return run_rules(project)
+
+    def test_suppressed_findings_are_kept_aside(self):
+        text = "value._bits = 1  # repro: allow[immutability] -- fixture\n"
+        result = self.run({BAD_PATH: text})
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["immutability"]
+        assert len(result.suppressions) == 1
+
+    def test_exit_code_follows_error_findings(self):
+        assert self.run({BAD_PATH: BAD}).exit_code == 1
+        assert self.run({BAD_PATH: "x = 1\n"}).exit_code == 0
+
+    def test_syntax_error_is_reported_as_a_finding(self):
+        result = self.run({BAD_PATH: "def broken(:\n"})
+        assert [f.rule for f in result.findings] == ["syntax"]
+        assert result.exit_code == 1
+
+    def test_findings_are_deterministically_sorted(self):
+        sources = {
+            "src/repro/zz.py": BAD,
+            "src/repro/aa.py": BAD + "\n" + BAD,
+        }
+        result = self.run(sources)
+        assert result.findings == sorted(result.findings)
+        assert result.findings[0].path == "src/repro/aa.py"
+
+
+class TestBaseline:
+    def test_roundtrip_drops_known_findings(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        project = build_project([(BAD_PATH, BAD)], default_config())
+        first = run_rules(project)
+        assert first.exit_code == 1
+        write_baseline(str(baseline_file), first.findings)
+
+        known = load_baseline(str(baseline_file))
+        assert known == {f.identity() for f in first.findings}
+
+        again = run_rules(
+            build_project([(BAD_PATH, BAD)], default_config()),
+            baseline=known,
+        )
+        assert again.findings == []
+        assert [f.rule for f in again.suppressed] == ["immutability"]
+
+    def test_new_findings_still_fail_against_a_baseline(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        project = build_project([(BAD_PATH, BAD)], default_config())
+        write_baseline(str(baseline_file), run_rules(project).findings)
+        known = load_baseline(str(baseline_file))
+
+        fresh = BAD + "other.universe = None\n"
+        result = run_rules(
+            build_project([(BAD_PATH, fresh)], default_config()),
+            baseline=known,
+        )
+        assert result.exit_code == 1
+        assert ["universe" in f.message for f in result.findings] == [True]
+
+
+class TestEmbeddingApi:
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            analyze_source("x = 1\n", rules=["no-such-rule"])
+
+    def test_rule_selection_limits_the_run(self):
+        text = BAD + "try:\n    pass\nexcept:\n    pass\n"
+        only = analyze_sources({BAD_PATH: text}, rules=["immutability"])
+        assert {f.rule for f in only} == {"immutability"}
+        both = analyze_sources({BAD_PATH: text})
+        assert {"immutability", "exception-hygiene"} <= {f.rule for f in both}

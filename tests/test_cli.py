@@ -334,6 +334,28 @@ class TestServeCommand:
         assert "error=XPathEvaluationError" in capsys.readouterr().out
 
 
+class TestLintCommand:
+    """`repro lint` delegates wholesale to the repro.analysis CLI."""
+
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "clean.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def fine():\n    return 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path / "src")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_lint_finding_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "engine" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("value._bits = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path / "src")]) == 1
+        assert "immutability" in capsys.readouterr().out
+
+    def test_lint_forwards_leading_options(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "lock-discipline:" in capsys.readouterr().out
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
