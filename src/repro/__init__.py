@@ -19,8 +19,8 @@ See README.md for the overview, docs/engine.md for the session façade
 (lifecycle, thread-safety, migration from the free functions),
 docs/architecture.md for the data flow (parser → index → planner →
 evaluators) and the id-set representation, docs/complexity.md for the
-theorem-to-module map, and docs/benchmarks.md for running the experiment
-harness.
+theorem-to-module map, docs/telemetry.md for metrics and per-query
+tracing, and docs/benchmarks.md for running the experiment harness.
 """
 
 from repro.engine import (
@@ -68,6 +68,13 @@ from repro.store import (
     load_snapshot,
     snapshot_hash,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Trace,
+    render_json,
+    render_prometheus,
+)
 from repro.xmlmodel import (
     Document,
     DocumentBuilder,
@@ -79,7 +86,7 @@ from repro.xmlmodel import (
 )
 from repro.xpath import parse, unparse
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Classification",
@@ -93,6 +100,7 @@ __all__ = [
     "DocumentIndex",
     "EngineStats",
     "IdSet",
+    "MetricsRegistry",
     "NaiveEvaluator",
     "NodeSetCoreXPathEvaluator",
     "PlanCache",
@@ -104,7 +112,9 @@ __all__ = [
     "ServingTimeout",
     "ShardedPool",
     "SingletonSuccessChecker",
+    "SlowQueryLog",
     "StoreKey",
+    "Trace",
     "WorkerCrashed",
     "XPathEngine",
     "build_tree",
@@ -124,6 +134,8 @@ __all__ = [
     "parse_xml",
     "plan_query",
     "query_selects",
+    "render_json",
+    "render_prometheus",
     "serialize",
     "snapshot_hash",
     "unparse",

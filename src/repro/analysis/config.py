@@ -33,6 +33,7 @@ LOCK_ORDER: tuple[str, ...] = (
     "_dispatch_lock",   # XPathServer: pool dispatch serialisation
     "_lifecycle_lock",  # ShardedPool: open/closed transition
     "_env_lock",        # serving.pool module: worker-env mutation
+    "_telemetry_lock",  # telemetry: shard/child/family creation (leaf lock)
 )
 
 #: ``(class name, attribute)`` → guarding lock attribute.  Writes to these
@@ -60,6 +61,10 @@ SHARED_CLASS_ATTRS: Mapping[tuple[str, str], str] = {
     ("ShardedPool", "_closed"): "_lifecycle_lock",
     # serving/server.py — background-thread handle
     ("XPathServer", "_thread"): "_shutdown_lock",
+    # telemetry/metrics.py — the one unsharded metric value
+    ("Gauge", "_value"): "_telemetry_lock",
+    # telemetry/slowlog.py — mutable threshold (entries ride a deque)
+    ("SlowQueryLog", "_threshold"): "_telemetry_lock",
 }
 
 #: Attribute → guarding lock *on the same receiver*: ``obj.<attr> = …``
@@ -71,7 +76,12 @@ SHARED_RECEIVER_ATTRS: Mapping[str, str] = {
 }
 
 #: Path fragments the lock-discipline rule applies to.
-LOCK_SCOPE: tuple[str, ...] = ("repro/engine/", "repro/serving/", "repro/store/")
+LOCK_SCOPE: tuple[str, ...] = (
+    "repro/engine/",
+    "repro/serving/",
+    "repro/store/",
+    "repro/telemetry/",
+)
 
 #: Where the wire-format constants live.
 WIRE_MODULE = "repro/serving/wire.py"
@@ -83,8 +93,12 @@ WIRE_MODULE = "repro/serving/wire.py"
 #: produced via its ``encode_*`` constructor) in each module below.
 WIRE_DISPATCH_EXEMPT: Mapping[str, frozenset[str]] = {
     # The worker speaks only the pool<->worker dialect; HELLO/OVERLOADED
-    # belong to the network tier in front of it.
-    "repro/serving/worker.py": frozenset({"MSG_HELLO", "MSG_OVERLOADED"}),
+    # belong to the network tier in front of it, and METRICS exposition
+    # is served by the network server from its own registry (workers
+    # contribute through the STATS payload the pool merges).
+    "repro/serving/worker.py": frozenset(
+        {"MSG_HELLO", "MSG_OVERLOADED", "MSG_METRICS", "MSG_METRICS_REPLY"}
+    ),
     # The network server forwards queries to the pool, which owns the
     # pool-internal lifecycle frames.
     "repro/serving/server.py": frozenset(
@@ -172,18 +186,23 @@ PUBLIC_MODULES: tuple[str, ...] = (
     "repro/xmlmodel/__init__.py",
     "repro/planner/__init__.py",
     "repro/analysis/__init__.py",
+    "repro/telemetry/__init__.py",
 )
 
 #: Documentation files whose migration tables name ``repro.<name>``
 #: attributes; each such name must exist in the top-level ``__all__``.
-DOCS_API_TABLES: tuple[str, ...] = ("docs/engine.md", "README.md")
+DOCS_API_TABLES: tuple[str, ...] = (
+    "docs/engine.md",
+    "docs/telemetry.md",
+    "README.md",
+)
 
 #: ``repro.<name>`` mentions in docs tables that are modules or
 #: CLI-level names, not ``__all__`` entries.
 DOCS_API_IGNORE: frozenset[str] = frozenset(
     {
         "analysis", "cli", "engine", "errors", "evaluation", "planner",
-        "serving", "store", "xmlmodel", "xpath",
+        "serving", "store", "telemetry", "xmlmodel", "xpath",
     }
 )
 

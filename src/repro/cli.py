@@ -3,6 +3,7 @@
 Usage (also available as ``python -m repro``)::
 
     python -m repro query "//book[child::title]" catalogue.xml --stats
+    python -m repro query "//book[child::title]" catalogue.xml --profile
     python -m repro query "//book[child::title]" catalogue.xml --workers 4
     python -m repro eval "//book[child::title]" catalogue.xml --engine auto
     python -m repro classify "//a[not(b)]"
@@ -12,12 +13,16 @@ Usage (also available as ``python -m repro``)::
     python -m repro store ls --store ./corpus --workers 4
     python -m repro store query "//book" catalogue --store ./corpus --stats
     python -m repro serve --store ./corpus --workers 4 --stats
+    python -m repro serve --store ./corpus --metrics
 
 ``query`` evaluates through the session façade
 (:class:`repro.engine.XPathEngine`) and prints the full per-query
 metadata (engine chosen, fragment, plan-cache hit, wall time), plus —
 with ``--stats`` — the engine's counters (plan-cache hit rate, registry
-occupancy, per-engine dispatch counts); ``eval`` is the legacy
+occupancy, per-engine dispatch counts) and — with ``--profile`` — the
+per-stage span tree of :mod:`repro.telemetry` (``parse``/``plan``/
+``eval``, and the cross-process pool spans under ``--workers``);
+``eval`` is the legacy
 per-engine form; ``classify`` prints the Figure 1 fragment and combined
 complexity of a query together with the reasons it falls outside smaller
 fragments; ``plan`` shows how the query planner compiles a query
@@ -109,6 +114,16 @@ def _print_query_result(args: argparse.Namespace, result, engine) -> None:
         print("engine stats:")
         for line in engine.stats().describe().splitlines():
             print(f"  {line}")
+    _print_profile(args, result)
+
+
+def _print_profile(args: argparse.Namespace, result) -> None:
+    """The ``--profile`` span-tree block shared by the query commands."""
+    if not getattr(args, "profile", False) or result.trace is None:
+        return
+    print("profile  :")
+    for line in result.trace.describe().splitlines():
+        print(f"  {line}")
 
 
 def _print_sharded_result(args: argparse.Namespace, result, pool, key: str) -> None:
@@ -128,6 +143,7 @@ def _print_sharded_result(args: argparse.Namespace, result, pool, key: str) -> N
         print("serving stats:")
         for line in pool.stats().describe().splitlines():
             print(f"  {line}")
+    _print_profile(args, result)
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -136,7 +152,9 @@ def _command_query(args: argparse.Namespace) -> int:
     engine = default_engine()
     with open(args.document, "r", encoding="utf-8") as handle:
         doc = engine.add(handle.read())
-    result = engine.evaluate(args.query, doc, engine=args.engine)
+    result = engine.evaluate(
+        args.query, doc, engine=args.engine, trace=args.profile
+    )
     print(f"document : {args.document} ({doc.document.size} nodes)")
     _print_query_result(args, result, engine)
     return 0
@@ -169,7 +187,7 @@ def _command_query_sharded(args: argparse.Namespace) -> int:
         store = CorpusStore(root)
         entry = store.put(text, key=key)
         with ShardedPool(store, workers=args.workers) as pool:
-            result = pool.evaluate(args.query, key)
+            result = pool.evaluate(args.query, key, trace=args.profile)
             print(
                 f"document : {args.document} ({entry.nodes} nodes, "
                 "snapshot-hydrated in workers)"
@@ -307,7 +325,7 @@ def _command_store_query(args: argparse.Namespace) -> int:
         store = CorpusStore(args.store)
         entry = store.stat(args.key)  # fail on unknown keys before spawning
         with ShardedPool(store, workers=args.workers, mmap=True) as pool:
-            result = pool.evaluate(args.query, args.key)
+            result = pool.evaluate(args.query, args.key, trace=args.profile)
             print(
                 f"document : {args.key} ({entry.nodes} nodes, "
                 "snapshot-hydrated in workers)"
@@ -319,7 +337,9 @@ def _command_store_query(args: argparse.Namespace) -> int:
     # in-process callers of main().
     engine = XPathEngine().attach_store(CorpusStore(args.store), mmap=args.mmap)
     doc = engine.add_from_store(args.key)
-    result = engine.evaluate(args.query, doc, engine=args.engine)
+    result = engine.evaluate(
+        args.query, doc, engine=args.engine, trace=args.profile
+    )
     print(f"document : {args.key} ({doc.document.size} nodes, snapshot-hydrated)")
     _print_query_result(args, result, engine)
     return 0
@@ -388,6 +408,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             print("serving stats:")
             for stats_line in pool.stats().describe().splitlines():
                 print(f"  {stats_line}")
+        if args.metrics:
+            from repro.telemetry import render_prometheus
+
+            print(render_prometheus(pool.metric_families()), end="")
         print(f"served   : {served} request(s)", file=sys.stderr)
     return 0
 
@@ -430,6 +454,10 @@ def _serve_network(args: argparse.Namespace, pool, store) -> int:
         print("serving stats:")
         for stats_line in pool.stats().describe().splitlines():
             print(f"  {stats_line}")
+    if args.metrics:
+        from repro.telemetry import render_prometheus
+
+        print(render_prometheus(server.metric_families()), end="")
     return 0
 
 
@@ -535,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through N worker processes (cross-process sharded tier; "
         "snapshots the document into an ephemeral corpus store first)",
     )
+    query_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print the per-stage span tree "
+        "(parse→plan→eval→materialise; with --workers the cross-process "
+        "enqueue→dispatch→worker-eval→decode spans too)",
+    )
     query_parser.set_defaults(func=_command_query)
 
     eval_parser = subparsers.add_parser("eval", help="evaluate a query on an XML file")
@@ -637,6 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="serve through N worker processes (cross-process sharded tier)",
     )
+    store_query_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print the per-stage span tree for the query",
+    )
     store_query_parser.set_defaults(func=_command_store_query)
 
     serve_parser = subparsers.add_parser(
@@ -668,6 +708,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print the merged per-worker counters at shutdown",
+    )
+    serve_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus text exposition at shutdown "
+        "(with --listen: the server's families too, not just the pool's)",
     )
     serve_parser.add_argument(
         "--max-restarts",

@@ -69,6 +69,10 @@ from repro.fragments.classify import DEFAULT_NESTING_BOUND
 from repro.planner.cache import CacheStats, PlanCache
 from repro.planner.plan import QueryPlan
 from repro.store import StoreKey
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.render import render_kv_block
+from repro.telemetry.slowlog import DEFAULT_SLOW_THRESHOLD, SlowQueryLog
+from repro.telemetry.trace import Trace, maybe_span
 from repro.xmlmodel.document import Document
 from repro.xmlmodel.parser import parse_xml
 from repro.xpath.ast import XPathExpr
@@ -139,6 +143,7 @@ class QueryRequest:
     variables: Optional[Mapping[str, XPathValue]] = None
     engine: str = "auto"
     ids: bool = False
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -184,23 +189,25 @@ class EngineStats:
             " ".join(f"{name}={count}" for name, count in sorted(self.dispatch.items()))
             or "(none)"
         )
-        lines = [
-            f"plan cache          : {plans.size}/{plans.maxsize} plans, "
-            f"{plans.hits} hit(s), {plans.misses} miss(es), "
-            f"{plans.evictions} eviction(s), hit rate {plans.hit_rate:.0%}",
-            f"documents           : {docs.size}/{docs.maxsize} registered, "
-            f"{docs.adds} add(s), {docs.reuses} reuse(s), "
-            f"{docs.evictions} eviction(s)",
-            f"dispatch counts     : {dispatch}",
-            f"queries             : {self.queries} total, "
-            f"{self.coalesced} coalesced",
+        rows = [
+            ("plan cache",
+             f"{plans.size}/{plans.maxsize} plans, "
+             f"{plans.hits} hit(s), {plans.misses} miss(es), "
+             f"{plans.evictions} eviction(s), hit rate {plans.hit_rate:.0%}"),
+            ("documents",
+             f"{docs.size}/{docs.maxsize} registered, "
+             f"{docs.adds} add(s), {docs.reuses} reuse(s), "
+             f"{docs.evictions} eviction(s)"),
+            ("dispatch counts", dispatch),
+            ("queries", f"{self.queries} total, {self.coalesced} coalesced"),
         ]
         if self.store is not None:
-            lines.append(
-                f"store               : {self.store.hits} hit(s), "
-                f"{self.store.misses} miss(es), "
-                f"{self.store.loads} snapshot load(s)"
+            rows.append(
+                ("store",
+                 f"{self.store.hits} hit(s), {self.store.misses} miss(es), "
+                 f"{self.store.loads} snapshot load(s)")
             )
+        lines = [render_kv_block(rows)]
         if self.serving is not None:
             lines.append(self.serving.describe())
         return "\n".join(lines)
@@ -235,6 +242,14 @@ class XPathEngine:
         Arithmetic-nesting bound forwarded to the fragment classifiers.
     stripes:
         Number of per-document lock stripes in the registry.
+    slow_query_threshold:
+        Evaluations at or above this wall time (seconds) are recorded in
+        the engine's ring-buffer :attr:`slow_log`.
+
+    Counters live in a per-engine telemetry registry
+    (:class:`~repro.telemetry.MetricsRegistry`, per-thread shards, no
+    lock on the increment path); :meth:`stats` renders the registry as
+    the frozen :class:`EngineStats` view the pre-telemetry API promised.
     """
 
     def __init__(
@@ -245,16 +260,42 @@ class XPathEngine:
         nesting_bound: int = DEFAULT_NESTING_BOUND,
         stripes: int = 8,
         switch_interval: Optional[float] = CONCURRENT_SWITCH_INTERVAL,
+        slow_query_threshold: float = DEFAULT_SLOW_THRESHOLD,
     ) -> None:
         self.max_negation_depth = max_negation_depth
         self.switch_interval = switch_interval
         self._plan_cache = PlanCache(plan_cache_size, nesting_bound)
         self._plan_lock = threading.Lock()
         self._registry = DocumentRegistry(max_documents, stripes, engine=self)
-        self._stats_lock = threading.Lock()
-        self._dispatch: dict[str, int] = {}
-        self._queries = 0
-        self._coalesced = 0
+        self.metrics = MetricsRegistry()
+        self.slow_log = SlowQueryLog(threshold=slow_query_threshold)
+        self._queries_total = self.metrics.counter(
+            "repro_engine_queries_total",
+            "requests served (coalesced followers included)",
+        )
+        self._coalesced_total = self.metrics.counter(
+            "repro_engine_coalesced_total",
+            "requests that joined an identical in-flight evaluation",
+        )
+        self._dispatch_total = self.metrics.counter(
+            "repro_engine_dispatch_total",
+            "evaluations by the engine that answered",
+            labels=("engine",),
+        )
+        self._dispatch_children: dict[str, object] = {}
+        self._store_hits_total = self.metrics.counter(
+            "repro_engine_store_hits_total", "store hydration requests served"
+        )
+        self._store_misses_total = self.metrics.counter(
+            "repro_engine_store_misses_total",
+            "store hydration requests for unknown keys",
+        )
+        self._store_loads_total = self.metrics.counter(
+            "repro_engine_store_loads_total", "cold snapshot loads from disk"
+        )
+        self._query_seconds = self.metrics.histogram(
+            "repro_engine_query_seconds", "end-to-end evaluation wall time"
+        )
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
         self._store: "Optional[CorpusStore]" = None
@@ -346,8 +387,7 @@ class XPathEngine:
         try:
             entry = store.stat(key)
         except KeyError:
-            with self._stats_lock:
-                self._store_misses += 1
+            self._store_misses_total.inc()
             raise
         cache_key = (entry.hash, use_mmap)
         loaded = False
@@ -370,10 +410,9 @@ class XPathEngine:
                     self._store_docs[cache_key] = fresh
                     handle = self._registry.add(fresh)
                     loaded = True
-        with self._stats_lock:
-            self._store_hits += 1
-            if loaded:
-                self._store_loads += 1
+        self._store_hits_total.inc()
+        if loaded:
+            self._store_loads_total.inc()
         return handle if handle is not None else self._registry.add(document)
 
     # -- cross-process serving -------------------------------------------------
@@ -437,6 +476,7 @@ class XPathEngine:
         requests: Iterable[tuple],
         workers: int = 4,
         ids: bool = False,
+        trace: bool = False,
     ) -> list[QueryResult]:
         """Evaluate ``(query, store key)`` pairs on the worker pool.
 
@@ -446,12 +486,14 @@ class XPathEngine:
         count; starts one with ``workers`` processes otherwise.  Safe
         from any thread (batches from concurrent threads serialise on
         the engine's serving lock — the pool is one conversation).
+        ``trace=True`` asks the workers for per-stage span trees (see
+        :meth:`repro.serving.ShardedPool.evaluate_batch`).
         """
         with self._serving_lock:
             pool = self._serving
             if pool is None or pool.closed:
                 pool = self.serve(workers=workers)
-            return pool.evaluate_batch(requests, ids=ids)
+            return pool.evaluate_batch(requests, ids=ids, trace=trace)
 
     def serve_network(
         self,
@@ -539,11 +581,13 @@ class XPathEngine:
         with self._plan_lock:
             self._plan_cache.clear()
 
-    def _plan(self, query: Union[XPathExpr, str]) -> tuple[QueryPlan, bool]:
+    def _plan(
+        self, query: Union[XPathExpr, str], trace: Optional[Trace] = None
+    ) -> tuple[QueryPlan, bool]:
         key = query if isinstance(query, str) else query.unparse()
         with self._plan_lock:
             hit = key in self._plan_cache
-            return self._plan_cache.plan(query), hit
+            return self._plan_cache.plan(query, trace=trace), hit
 
     # -- evaluation ------------------------------------------------------------
 
@@ -555,14 +599,19 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]] = None,
         engine: str = "auto",
         ids: bool = False,
+        trace: bool = False,
     ) -> QueryResult:
         """Evaluate one query and return a :class:`QueryResult`.
 
         ``engine="auto"`` (the default) goes through the planner;
         explicit engine names reproduce the legacy per-engine semantics.
         ``ids=True`` keeps core-engine node-sets id-native end-to-end.
+        ``trace=True`` additionally records per-stage spans
+        (``parse→plan→eval→materialise``) on ``result.trace``.
         """
-        request = QueryRequest(query, document, context, variables, engine, ids)
+        request = QueryRequest(
+            query, document, context, variables, engine, ids, trace
+        )
         return self._evaluate_request(request, coalesce=False)
 
     def evaluate_detached(
@@ -574,6 +623,7 @@ class XPathEngine:
         engine: str = "auto",
         ids: bool = False,
         evaluators: Optional[dict] = None,
+        trace: bool = False,
     ) -> QueryResult:
         """Evaluate without registering ``document`` in the registry.
 
@@ -590,7 +640,9 @@ class XPathEngine:
         """
         if isinstance(document, DocHandle):
             document = document.document
-        request = QueryRequest(query, document, context, variables, engine, ids)
+        request = QueryRequest(
+            query, document, context, variables, engine, ids, trace
+        )
         return self._evaluate_now(
             request, document, {} if evaluators is None else evaluators
         )
@@ -602,6 +654,7 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]] = None,
         engine: str = "auto",
         ids: bool = False,
+        trace: bool = False,
     ) -> list[QueryResult]:
         """Evaluate a batch sequentially, sharing plans, indexes and pools.
 
@@ -610,7 +663,7 @@ class XPathEngine:
         form.  Results come back in input order.
         """
         items = self._resolve_requests(
-            self._as_request(item, context, variables, engine, ids)
+            self._as_request(item, context, variables, engine, ids, trace)
             for item in requests
         )
         return [self._evaluate_request(item, coalesce=False) for item in items]
@@ -623,6 +676,7 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]] = None,
         engine: str = "auto",
         ids: bool = False,
+        trace: bool = False,
     ) -> list[QueryResult]:
         """Evaluate a batch on a thread pool, coalescing identical requests.
 
@@ -644,7 +698,7 @@ class XPathEngine:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         items = self._resolve_requests(
-            self._as_request(item, context, variables, engine, ids)
+            self._as_request(item, context, variables, engine, ids, trace)
             for item in requests
         )
         if not items:
@@ -665,11 +719,14 @@ class XPathEngine:
     # -- statistics ------------------------------------------------------------
 
     def stats(self) -> EngineStats:
-        """Return a consistent snapshot of every engine counter.
+        """Return a point-in-time snapshot of every engine counter.
 
-        While a serving pool is live (:meth:`serve`), the snapshot's
-        ``serving`` field carries the merged per-worker counters — one
-        ``stats()`` call describes the whole process tree.
+        The counters live in this engine's telemetry registry
+        (:attr:`metrics`); this method renders them as the frozen
+        :class:`EngineStats` view.  While a serving pool is live
+        (:meth:`serve`), the snapshot's ``serving`` field carries the
+        merged per-worker counters — one ``stats()`` call describes the
+        whole process tree.
         """
         serving = None
         with self._serving_lock:
@@ -678,19 +735,21 @@ class XPathEngine:
                 serving = pool.stats()
         with self._plan_lock:
             plans = self._plan_cache.stats()
-        with self._stats_lock:
-            dispatch = dict(self._dispatch)
-            queries = self._queries
-            coalesced = self._coalesced
-            store = (
-                StoreStats(
-                    hits=self._store_hits,
-                    misses=self._store_misses,
-                    loads=self._store_loads,
-                )
-                if self._store is not None
-                else None
+        dispatch = {
+            child.labels["engine"]: int(child.value())
+            for child in self._dispatch_total.children()
+        }
+        queries = int(self._queries_total.value())
+        coalesced = int(self._coalesced_total.value())
+        store = (
+            StoreStats(
+                hits=int(self._store_hits_total.value()),
+                misses=int(self._store_misses_total.value()),
+                loads=int(self._store_loads_total.value()),
             )
+            if self._store is not None
+            else None
+        )
         return EngineStats(
             plans=plans,
             documents=self._registry.stats(),
@@ -710,11 +769,14 @@ class XPathEngine:
         variables: Optional[Mapping[str, XPathValue]],
         engine: str,
         ids: bool,
+        trace: bool = False,
     ) -> QueryRequest:
         if isinstance(item, QueryRequest):
             return item
         if isinstance(item, tuple) and len(item) == 2:
-            return QueryRequest(item[0], item[1], context, variables, engine, ids)
+            return QueryRequest(
+                item[0], item[1], context, variables, engine, ids, trace
+            )
         raise TypeError(
             "request must be a QueryRequest or a (query, document) pair, "
             f"got {item!r}"
@@ -741,9 +803,15 @@ class XPathEngine:
         return resolved
 
     def _record(self, engine: str) -> None:
-        with self._stats_lock:
-            self._dispatch[engine] = self._dispatch.get(engine, 0) + 1
-            self._queries += 1
+        # The labelled child is memoised in a plain dict: labels() itself
+        # is get-or-create and always returns the same object, so a racy
+        # double-store is benign, and the fast path is one dict hit.
+        child = self._dispatch_children.get(engine)
+        if child is None:
+            child = self._dispatch_total.labels(engine=engine)
+            self._dispatch_children[engine] = child
+        child.inc()
+        self._queries_total.inc()
 
     def _evaluate_request(self, request: QueryRequest, coalesce: bool) -> QueryResult:
         handle = self.add(request.document)
@@ -752,6 +820,9 @@ class XPathEngine:
             and request.engine == "auto"
             and request.context is None
             and not request.variables
+            # A traced request never coalesces: its spans must measure
+            # *this* request's evaluation, not a leader's.
+            and not request.trace
         ):
             key = (
                 handle.uid,
@@ -797,43 +868,69 @@ class XPathEngine:
         result = entry.result.as_coalesced()
         # A follower is a served request but not an evaluation: it counts
         # toward `queries`/`coalesced`, never toward `dispatch`.
-        with self._stats_lock:
-            self._queries += 1
-            self._coalesced += 1
+        self._queries_total.inc()
+        self._coalesced_total.inc()
         return result
+
+    def _finish(
+        self,
+        plan: QueryPlan,
+        engine: str,
+        document: Document,
+        cache_hit: bool,
+        start: float,
+        trace: Optional[Trace],
+        **payload,
+    ) -> QueryResult:
+        """Stamp wall time, feed the telemetry sinks, build the result.
+
+        Every evaluation path funnels through here, which is what makes
+        ``wall_time`` unconditionally populated (and the latency
+        histogram and slow-query log complete).
+        """
+        wall = perf_counter() - start
+        self._query_seconds.observe(wall)
+        self.slow_log.record(plan.query, engine, wall)
+        return QueryResult(
+            query=plan.query,
+            engine=engine,
+            document=document,
+            classification=plan.classification,
+            cache_hit=cache_hit,
+            wall_time=wall,
+            trace=trace,
+            **payload,
+        )
 
     def _evaluate_now(
         self, request: QueryRequest, document: Document, evaluators: dict
     ) -> QueryResult:
+        trace = Trace("engine") if request.trace else None
         start = perf_counter()
         if request.engine == "auto":
-            plan, cache_hit = self._plan(request.query)
+            plan, cache_hit = self._plan(request.query, trace)
             payload: dict[str, object] = {}
             if request.ids:
-                payload["ids"] = plan.run_ids(
-                    document,
-                    context=request.context,
-                    variables=request.variables,
-                    evaluators=evaluators,
-                )
+                with maybe_span(trace, "eval", engine=plan.engine):
+                    payload["ids"] = plan.run_ids(
+                        document,
+                        context=request.context,
+                        variables=request.variables,
+                        evaluators=evaluators,
+                    )
             else:
-                payload["value"] = plan.run(
-                    document,
-                    context=request.context,
-                    variables=request.variables,
-                    evaluators=evaluators,
-                )
+                with maybe_span(trace, "eval", engine=plan.engine):
+                    payload["value"] = plan.run(
+                        document,
+                        context=request.context,
+                        variables=request.variables,
+                        evaluators=evaluators,
+                    )
             self._record(plan.engine)
-            return QueryResult(
-                query=plan.query,
-                engine=plan.engine,
-                document=document,
-                classification=plan.classification,
-                cache_hit=cache_hit,
-                wall_time=perf_counter() - start,
-                **payload,
+            return self._finish(
+                plan, plan.engine, document, cache_hit, start, trace, **payload
             )
-        return self._evaluate_explicit(request, document, evaluators, start)
+        return self._evaluate_explicit(request, document, evaluators, start, trace)
 
     def _evaluate_explicit(
         self,
@@ -841,6 +938,7 @@ class XPathEngine:
         document: Document,
         evaluators: dict,
         start: float,
+        trace: Optional[Trace] = None,
     ) -> QueryResult:
         engine = request.engine
         if engine not in ENGINE_KINDS:
@@ -851,7 +949,7 @@ class XPathEngine:
         # The plan cache doubles as the parse cache: explicit-engine runs
         # reuse the cached AST (so pooled evaluators memoise on one expr
         # object per query text) and inherit the classification metadata.
-        plan, cache_hit = self._plan(request.query)
+        plan, cache_hit = self._plan(request.query, trace)
         context, variables = request.context, request.variables
         if engine == "core" and request.ids and context is None:
             # Keep the explicit core path id-native for ids=True, exactly
@@ -859,17 +957,12 @@ class XPathEngine:
             evaluator = evaluators.get("core")
             if evaluator is None:
                 evaluator = CoreXPathEvaluator(document)
-            ids = evaluator.evaluate_ids(plan.expr)
+            with maybe_span(trace, "eval", engine=engine):
+                ids = evaluator.evaluate_ids(plan.expr)
             evaluators["core"] = evaluator
             self._record(engine)
-            return QueryResult(
-                query=plan.query,
-                engine=engine,
-                document=document,
-                ids=ids,
-                classification=plan.classification,
-                cache_hit=cache_hit,
-                wall_time=perf_counter() - start,
+            return self._finish(
+                plan, engine, document, cache_hit, start, trace, ids=ids
             )
         if engine == "singleton":
             # The planner never dispatches to the checker, so its calling
@@ -880,24 +973,22 @@ class XPathEngine:
                     document, max_negation_depth=self.max_negation_depth
                 )
             kind = static_type(plan.expr)
-            if kind == NODESET:
-                value = checker.evaluate_nodes(plan.expr, context)
-            elif kind == "boolean":
-                value = checker.evaluate_boolean(plan.expr, context)
-            else:
-                value = checker.evaluate_number(plan.expr, context)
+            with maybe_span(trace, "eval", engine=engine):
+                if kind == NODESET:
+                    value = checker.evaluate_nodes(plan.expr, context)
+                elif kind == "boolean":
+                    value = checker.evaluate_boolean(plan.expr, context)
+                else:
+                    value = checker.evaluate_number(plan.expr, context)
             evaluators["singleton"] = checker
         else:
-            value = plan.run_engine(engine, document, context, variables, evaluators)
+            with maybe_span(trace, "eval", engine=engine):
+                value = plan.run_engine(
+                    engine, document, context, variables, evaluators
+                )
         self._record(engine)
-        return QueryResult(
-            query=plan.query,
-            engine=engine,
-            document=document,
-            value=value,
-            classification=plan.classification,
-            cache_hit=cache_hit,
-            wall_time=perf_counter() - start,
+        return self._finish(
+            plan, engine, document, cache_hit, start, trace, value=value
         )
 
 

@@ -15,9 +15,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import XPathEvaluationError
+from repro.telemetry.trace import maybe_span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.fragments.classify import Classification
+    from repro.telemetry.trace import Trace
     from repro.xmlmodel.document import Document
     from repro.xmlmodel.nodes import XMLNode
 
@@ -48,6 +50,10 @@ class QueryResult:
     wall_time:
         Evaluation wall time in seconds (parse/plan + run; excludes any
         time spent queueing in the thread pool).
+    trace:
+        The per-stage :class:`~repro.telemetry.Trace` span tree when the
+        request asked for one (``trace=True``); None otherwise.  Lazy
+        node materialisation appends a ``materialise`` span to it.
 
     The payload is reached through :attr:`value` (the legacy union),
     :attr:`nodes` (node-set results only) and :attr:`ids` (document-order
@@ -62,6 +68,7 @@ class QueryResult:
         "cache_hit",
         "coalesced",
         "wall_time",
+        "trace",
         "_document",
         "_value",
         "_ids",
@@ -78,6 +85,7 @@ class QueryResult:
         cache_hit: bool = False,
         coalesced: bool = False,
         wall_time: float = 0.0,
+        trace: Optional["Trace"] = None,
     ) -> None:
         if value is _UNSET and ids is None:
             raise ValueError("QueryResult needs a value or an id list")
@@ -87,6 +95,7 @@ class QueryResult:
         self.cache_hit = cache_hit
         self.coalesced = coalesced
         self.wall_time = wall_time
+        self.trace = trace
         self._document = document
         self._value = value
         self._ids = ids
@@ -107,7 +116,8 @@ class QueryResult:
         pay for node materialisation.
         """
         if self._value is _UNSET:
-            self._value = self._document.index.ids_to_node_list(self._ids)
+            with maybe_span(self.trace, "materialise"):
+                self._value = self._document.index.ids_to_node_list(self._ids)
         return self._value
 
     @property
@@ -159,6 +169,7 @@ class QueryResult:
             cache_hit=self.cache_hit,
             coalesced=True,
             wall_time=self.wall_time,
+            trace=self.trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

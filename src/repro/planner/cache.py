@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.fragments.classify import DEFAULT_NESTING_BOUND
 from repro.planner.plan import QueryPlan, plan_query
+from repro.telemetry.trace import Trace
 from repro.xpath.ast import XPathExpr
 
 
@@ -78,13 +80,19 @@ class PlanCache:
         self.evictions = 0
         self._plans: OrderedDict[str, QueryPlan] = OrderedDict()
 
-    def plan(self, query: XPathExpr | str) -> QueryPlan:
+    def plan(
+        self, query: XPathExpr | str, trace: Optional[Trace] = None
+    ) -> QueryPlan:
         """Return the plan for ``query``, compiling and caching on a miss.
 
         String queries are keyed verbatim; AST inputs are keyed by their
         canonical unparsed text.  The two share an entry only when the
         string already is the canonical form — an abbreviated string like
         ``//a`` and its parsed AST occupy separate entries.
+
+        ``trace`` (optional) records the planning stages: a cache hit is
+        one zero-cost ``plan`` marker span, a miss gets the real
+        ``parse``/``plan`` spans from :func:`plan_query`.
         """
         key = query if isinstance(query, str) else query.unparse()
         plans = self._plans
@@ -92,9 +100,11 @@ class PlanCache:
         if cached is not None:
             plans.move_to_end(key)
             self.hits += 1
+            if trace is not None:
+                trace.add_span("plan", duration=0.0, cache="hit")
             return cached
         self.misses += 1
-        compiled = plan_query(query, self.nesting_bound)
+        compiled = plan_query(query, self.nesting_bound, trace=trace)
         plans[key] = compiled
         if len(plans) > self.maxsize:
             plans.popitem(last=False)

@@ -50,6 +50,8 @@ from repro.fragments.classify import (
     Classification,
     classify,
 )
+from repro.telemetry.render import render_kv_block
+from repro.telemetry.trace import Trace, maybe_span
 from repro.xmlmodel.document import Document
 from repro.xmlmodel.nodes import XMLNode
 from repro.xpath.ast import XPathExpr
@@ -233,18 +235,19 @@ class QueryPlan:
 
     def explain(self) -> str:
         """Return a human-readable description of the plan."""
-        lines = [
-            f"query               : {self.query}",
-            f"most specific       : {self.classification.most_specific}",
-            f"combined complexity : {self.classification.combined_complexity}",
-            f"selected engine     : {self.engine}",
-            f"fallback chain      : {' -> '.join(self.fallbacks) or '(none)'}",
-        ]
-        return "\n".join(lines)
+        return render_kv_block([
+            ("query", self.query),
+            ("most specific", self.classification.most_specific),
+            ("combined complexity", self.classification.combined_complexity),
+            ("selected engine", self.engine),
+            ("fallback chain", " -> ".join(self.fallbacks) or "(none)"),
+        ])
 
 
 def plan_query(
-    query: XPathExpr | str, nesting_bound: int = DEFAULT_NESTING_BOUND
+    query: XPathExpr | str,
+    nesting_bound: int = DEFAULT_NESTING_BOUND,
+    trace: Optional[Trace] = None,
 ) -> QueryPlan:
     """Compile ``query`` into a :class:`QueryPlan` (uncached).
 
@@ -252,10 +255,19 @@ def plan_query(
     get the linear-time ``core`` engine; everything else gets the
     polynomial ``cvt`` engine.  ``naive`` is never selected as primary —
     it is the last-resort fallback only.
+
+    ``trace`` (optional) records the compile stages as ``parse`` and
+    ``plan`` spans.
     """
-    expr = parse(query) if isinstance(query, str) else query
-    text = query if isinstance(query, str) else expr.unparse()
-    classification = classify(expr, nesting_bound)
+    if isinstance(query, str):
+        with maybe_span(trace, "parse"):
+            expr = parse(query)
+        text = query
+    else:
+        expr = query
+        text = expr.unparse()
+    with maybe_span(trace, "plan"):
+        classification = classify(expr, nesting_bound)
     if "Core XPath" in classification.fragments:
         engine, fallbacks = "core", ("cvt", "naive")
     else:

@@ -30,11 +30,12 @@ import asyncio
 import json
 import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
 from repro.serving import wire
 from repro.serving.pool import ServingError, rebuild_error
+from repro.telemetry.trace import Trace
 
 #: Self-imposed pipelining bound: unanswered requests one client keeps
 #: on the wire before reading replies.
@@ -65,13 +66,16 @@ class RemoteResult:
 
     The network client is deliberately id-native end-to-end — there is
     no document on this side of the wire to materialise nodes from, so
-    the result is exactly what the frames carry.
+    the result is exactly what the frames carry.  ``trace`` carries the
+    full cross-tier span tree (``client`` at the root, the server's
+    TRACE frame as its child) when the request asked for one.
     """
 
     query: str
     key: str
     ids: Optional[list[int]] = None
     value: object = None
+    trace: Optional[Trace] = None
 
     @property
     def is_node_set(self) -> bool:
@@ -115,7 +119,9 @@ def _result_from(message: "wire.Message", query: str, key: str):
 class _BatchState:
     """Shared reply-correlation bookkeeping for both client flavours."""
 
-    def __init__(self, requests: Sequence[tuple], ids: bool) -> None:
+    def __init__(
+        self, requests: Sequence[tuple], ids: bool, trace: bool = False
+    ) -> None:
         self.items: list[tuple[str, str]] = []
         for request in requests:
             if not (isinstance(request, tuple) and len(request) == 2):
@@ -127,10 +133,13 @@ class _BatchState:
                 query = query.unparse()
             self.items.append((query, str(key)))
         self.ids = ids
+        self.trace = trace
         self.results: list = [None] * len(self.items)
         self.pending: set[int] = set()
         self.next_seq = 0
         self.drained = False
+        self.sent_at: dict[int, float] = {}
+        self.traces: dict[int, dict] = {}
 
     def frames(self):
         """Yield the remaining request frames (stream-framed), in order."""
@@ -139,8 +148,11 @@ class _BatchState:
             query, key = self.items[seq]
             self.next_seq += 1
             self.pending.add(seq)
+            self.sent_at[seq] = time.perf_counter()
             yield wire.encode_framed(
-                wire.encode_query(seq, key, query, ids_only=self.ids)
+                wire.encode_query(
+                    seq, key, query, ids_only=self.ids, trace=self.trace
+                )
             )
 
     def absorb(self, message: "wire.Message") -> None:
@@ -159,9 +171,32 @@ class _BatchState:
             raise ServingError(
                 f"server answered unknown request {message.seq}"
             )
+        if message.type == wire.MSG_TRACE:
+            # The span tree for a pending request: its result frame
+            # follows.  Stash it; do not resolve the seq.
+            self.traces[message.seq] = message.payload
+            return
         self.pending.discard(message.seq)
         query, key = self.items[message.seq]
-        self.results[message.seq] = _result_from(message, query, key)
+        result = _result_from(message, query, key)
+        if self.trace and isinstance(result, RemoteResult):
+            result = replace(
+                result, trace=self._client_trace(message.seq)
+            )
+        self.results[message.seq] = result
+
+    def _client_trace(self, seq: int) -> Trace:
+        """The ``client`` tier trace: one round-trip span + server child."""
+        trace = Trace("client")
+        sent = self.sent_at.get(seq)
+        duration = (
+            time.perf_counter() - sent if sent is not None else 0.0
+        )
+        trace.add_span("request", offset=0.0, duration=duration)
+        payload = self.traces.pop(seq, None)
+        if payload is not None:
+            trace.add_child(Trace.from_dict(payload))
+        return trace
 
     def finish(self, return_errors: bool):
         if not return_errors:
@@ -235,26 +270,33 @@ class ServingClient:
     # -- evaluation --------------------------------------------------------
 
     def evaluate(
-        self, query: Union[str, object], key: str, ids: bool = False
+        self,
+        query: Union[str, object],
+        key: str,
+        ids: bool = False,
+        trace: bool = False,
     ) -> RemoteResult:
         """Evaluate one query over the wire; raises typed errors."""
-        return self.evaluate_batch([(query, key)], ids=ids)[0]
+        return self.evaluate_batch([(query, key)], ids=ids, trace=trace)[0]
 
     def evaluate_batch(
         self,
         requests: Sequence[tuple],
         ids: bool = False,
         return_errors: bool = False,
+        trace: bool = False,
     ) -> list:
         """Pipeline ``(query, key)`` pairs; results come back in order.
 
         At most ``window`` requests ride the wire unanswered.  With
         ``return_errors=False`` (default) the first failing request (by
         input order) raises after the batch drains; with ``True`` its
-        slot carries the exception object instead.
+        slot carries the exception object instead.  ``trace=True`` asks
+        the server for per-stage spans: each result's ``trace`` is the
+        cross-tier span tree (client → server → pool → worker → engine).
         """
         self._require_open()
-        state = _BatchState(requests, ids)
+        state = _BatchState(requests, ids, trace)
         frames = state.frames()
         exhausted = False
         while not exhausted or state.pending:
@@ -297,6 +339,29 @@ class ServingClient:
                 f"server answered STATS with frame type {message.type}"
             )
         return message.payload
+
+    def server_metrics(self, format: str = "json") -> str:
+        """The server's METRICS exposition body as text.
+
+        ``format`` is ``"json"`` (the families document of
+        :func:`repro.telemetry.render_json`) or ``"prometheus"`` (the
+        classic text exposition format, scrape-ready).
+        """
+        self._require_open()
+        fmt = (
+            wire.METRICS_PROMETHEUS
+            if format == "prometheus"
+            else wire.METRICS_JSON
+        )
+        self._send_frame(wire.encode_metrics_request(fmt))
+        message = self._read_message()
+        if message.type != wire.MSG_METRICS_REPLY:
+            if message.type == wire.MSG_ERROR:
+                raise rebuild_error(*message.error)
+            raise ServingError(
+                f"server answered METRICS with frame type {message.type}"
+            )
+        return message.body
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -391,10 +456,14 @@ class AsyncServingClient:
         return wire.decode(frame)
 
     async def evaluate(
-        self, query: Union[str, object], key: str, ids: bool = False
+        self,
+        query: Union[str, object],
+        key: str,
+        ids: bool = False,
+        trace: bool = False,
     ) -> RemoteResult:
         """Evaluate one query over the wire; raises typed errors."""
-        results = await self.evaluate_batch([(query, key)], ids=ids)
+        results = await self.evaluate_batch([(query, key)], ids=ids, trace=trace)
         return results[0]
 
     async def evaluate_batch(
@@ -402,10 +471,11 @@ class AsyncServingClient:
         requests: Sequence[tuple],
         ids: bool = False,
         return_errors: bool = False,
+        trace: bool = False,
     ) -> list:
         """Pipeline ``(query, key)`` pairs; results come back in order."""
         self._require_open()
-        state = _BatchState(requests, ids)
+        state = _BatchState(requests, ids, trace)
         frames = state.frames()
         exhausted = False
         while not exhausted or state.pending:
@@ -449,6 +519,30 @@ class AsyncServingClient:
                 f"server answered STATS with frame type {message.type}"
             )
         return message.payload
+
+    async def server_metrics(self, format: str = "json") -> str:
+        """The server's METRICS exposition body as text.
+
+        ``format`` is ``"json"`` (the families document of
+        :func:`repro.telemetry.render_json`) or ``"prometheus"`` (the
+        classic text exposition format, scrape-ready).
+        """
+        self._require_open()
+        fmt = (
+            wire.METRICS_PROMETHEUS
+            if format == "prometheus"
+            else wire.METRICS_JSON
+        )
+        self._writer.write(wire.encode_framed(wire.encode_metrics_request(fmt)))
+        await self._writer.drain()
+        message = await self._read_message()
+        if message.type != wire.MSG_METRICS_REPLY:
+            if message.type == wire.MSG_ERROR:
+                raise rebuild_error(*message.error)
+            raise ServingError(
+                f"server answered METRICS with frame type {message.type}"
+            )
+        return message.body
 
     async def drain(self) -> int:
         """Client-initiated graceful close; returns requests served here."""

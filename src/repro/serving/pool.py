@@ -50,6 +50,7 @@ import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Union
 
 import repro
@@ -60,6 +61,10 @@ from repro.serving import wire
 from repro.serving.worker import worker_main
 from repro.store import CorpusStore, StoreKeyError, shard_of
 from repro.store import corpus as _corpus
+from repro.telemetry.exposition import counter_family, gauge_family
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.render import render_kv_block
+from repro.telemetry.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.xpath.ast import XPathExpr
@@ -242,18 +247,30 @@ class ServingStats:
         )
         plan_total = self.plan_hits + self.plan_misses
         hit_rate = self.plan_hits / plan_total if plan_total else 0.0
-        return "\n".join(
+        return render_kv_block(
             [
-                f"serving             : {self.workers} worker process(es), "
-                f"{self.served} request(s) served ({shares or 'none'})",
-                f"worker dispatch     : {dispatch}",
-                f"worker plan caches  : {self.plan_hits} hit(s), "
-                f"{self.plan_misses} miss(es), hit rate {hit_rate:.0%}",
-                f"worker documents    : {self.documents} hydrated, "
-                f"{self.store_loads} snapshot load(s)",
-                f"worker supervision  : {self.restarts} restart(s), "
-                f"{self.retries} retried request(s), {self.timeouts} "
-                f"timeout(s), {self.rejected} rejected batch(es)",
+                (
+                    "serving",
+                    f"{self.workers} worker process(es), "
+                    f"{self.served} request(s) served ({shares or 'none'})",
+                ),
+                ("worker dispatch", dispatch),
+                (
+                    "worker plan caches",
+                    f"{self.plan_hits} hit(s), {self.plan_misses} miss(es), "
+                    f"hit rate {hit_rate:.0%}",
+                ),
+                (
+                    "worker documents",
+                    f"{self.documents} hydrated, "
+                    f"{self.store_loads} snapshot load(s)",
+                ),
+                (
+                    "worker supervision",
+                    f"{self.restarts} restart(s), "
+                    f"{self.retries} retried request(s), {self.timeouts} "
+                    f"timeout(s), {self.rejected} rejected batch(es)",
+                ),
             ]
         )
 
@@ -398,10 +415,34 @@ class ShardedPool:
         # open→closed transition atomic, so exactly one caller runs
         # _shutdown and the others observe an already-closed pool.
         self._lifecycle_lock = threading.Lock()
-        self._restarts = 0
-        self._retries = 0
-        self._timeouts = 0
-        self._rejected = 0
+        # Supervision counters live in a telemetry registry so the ops
+        # endpoints can expose them without a parallel bookkeeping path;
+        # stats() renders the same counters into ServingStats.
+        self.metrics = MetricsRegistry()
+        self._restarts_total = self.metrics.counter(
+            "repro_pool_restarts_total",
+            "Worker processes restarted by the supervisor.",
+        )
+        self._retries_total = self.metrics.counter(
+            "repro_pool_retries_total",
+            "Requests replayed onto a restarted worker.",
+        )
+        self._timeouts_total = self.metrics.counter(
+            "repro_pool_timeouts_total",
+            "Requests that exceeded the wall-clock request timeout.",
+        )
+        self._rejected_total = self.metrics.counter(
+            "repro_pool_rejected_total",
+            "Batch slots rejected for unknown store keys.",
+        )
+        self._requests_total = self.metrics.counter(
+            "repro_pool_requests_total",
+            "Requests dispatched through evaluate_batch.",
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_pool_request_seconds",
+            "Per-request round-trip time through the worker pipe.",
+        )
         # content hash -> _LazyDocument, LRU-bounded (see _document)
         self._documents: "OrderedDict[str, _LazyDocument]" = OrderedDict()
         self._context = multiprocessing.get_context(self.start_method)
@@ -576,16 +617,21 @@ class ShardedPool:
     # -- evaluation --------------------------------------------------------
 
     def evaluate(
-        self, query: "Union[XPathExpr, str]", key: str, ids: bool = False
+        self,
+        query: "Union[XPathExpr, str]",
+        key: str,
+        ids: bool = False,
+        trace: bool = False,
     ) -> QueryResult:
         """Evaluate one query against the document stored under ``key``."""
-        return self.evaluate_batch([(query, key)], ids=ids)[0]
+        return self.evaluate_batch([(query, key)], ids=ids, trace=trace)[0]
 
     def evaluate_batch(
         self,
         requests: Iterable[tuple],
         ids: bool = False,
         return_errors: bool = False,
+        trace: bool = False,
     ) -> list[QueryResult]:
         """Evaluate ``(query, key)`` pairs across the shards.
 
@@ -606,8 +652,16 @@ class ShardedPool:
         exception object instead of a result, an unknown key fails only
         its own slot (still counted in ``rejected``), and the rest of
         the batch proceeds normally.
+
+        ``trace=True`` asks the workers for per-stage spans: each
+        result's ``trace`` is a ``pool``-tier span tree
+        (``enqueue → dispatch → decode``) with the worker's
+        ``worker-eval`` / engine spans attached as a child.
+        ``wall_time`` is always stamped (traced or not) with the
+        request's pipe round-trip time.
         """
         self._require_open()
+        batch_start = perf_counter()
         items = []
         for request in requests:
             if not (isinstance(request, tuple) and len(request) == 2):
@@ -628,7 +682,7 @@ class ShardedPool:
             try:
                 entries.append(self.store.stat(key))
             except StoreKeyError as error:
-                self._rejected += 1
+                self._rejected_total.inc()
                 if not return_errors:
                     raise
                 entries.append(error)
@@ -644,9 +698,12 @@ class ShardedPool:
                 continue
             hashes[seq] = entry.hash
             shard = shard_of(entry.hash, self.workers)
-            frame = wire.encode_query(seq, key, query, ids_only=ids)
+            frame = wire.encode_query(seq, key, query, ids_only=ids, trace=trace)
             queues[shard].append((frame, seq))
-        self._dispatch(queues, replies)
+        sent_at: dict[int, float] = {}
+        done_at: dict[int, float] = {}
+        traces: dict[int, dict] = {}
+        self._dispatch(queues, replies, sent_at, done_at, traces)
 
         results = []
         failure: Optional[tuple[int, Exception]] = None
@@ -656,27 +713,51 @@ class ShardedPool:
                 if failure is None:
                     failure = (seq, message)
                 results.append(message if return_errors else None)
-            elif message.type == wire.MSG_ERROR:
+                continue
+            if message.type == wire.MSG_ERROR:
                 error = rebuild_error(*message.error)
                 if failure is None:
                     failure = (seq, error)
                 results.append(error if return_errors else None)
-            elif message.type == wire.MSG_RESULT_IDS:
-                results.append(
-                    QueryResult(
-                        query=query,
-                        engine="sharded",
-                        document=self._document(hashes[seq]),
-                        ids=message.ids,
-                    )
+                continue
+            sent = sent_at.get(seq, batch_start)
+            done = done_at.get(seq, sent)
+            wall = done - sent
+            self._requests_total.inc()
+            self._request_seconds.observe(wall)
+            pool_trace = None
+            if trace:
+                pool_trace = Trace("pool")
+                pool_trace.add_span(
+                    "enqueue", offset=0.0, duration=sent - batch_start
+                )
+                pool_trace.add_span(
+                    "dispatch", offset=sent - batch_start, duration=wall
+                )
+            if message.type == wire.MSG_RESULT_IDS:
+                result = QueryResult(
+                    query=query,
+                    engine="sharded",
+                    document=self._document(hashes[seq]),
+                    ids=message.ids,
+                    wall_time=wall,
+                    trace=pool_trace,
                 )
             else:
-                results.append(
-                    QueryResult(
-                        query=query, engine="sharded", document=None,
-                        value=message.value,
-                    )
+                result = QueryResult(
+                    query=query, engine="sharded", document=None,
+                    value=message.value, wall_time=wall, trace=pool_trace,
                 )
+            if pool_trace is not None:
+                pool_trace.add_span(
+                    "decode",
+                    offset=done - batch_start,
+                    duration=perf_counter() - done,
+                )
+                worker_payload = traces.get(seq)
+                if worker_payload is not None:
+                    pool_trace.add_child(Trace.from_dict(worker_payload))
+            results.append(result)
         if failure is not None and not return_errors:
             raise failure[1]
         return results
@@ -727,11 +808,74 @@ class ShardedPool:
             documents=sum(stats.documents for stats in per_worker),
             store_loads=sum(stats.store_loads for stats in per_worker),
             per_worker=tuple(per_worker),
-            restarts=self._restarts,
-            retries=self._retries,
-            timeouts=self._timeouts,
-            rejected=self._rejected,
+            restarts=int(self._restarts_total.value()),
+            retries=int(self._retries_total.value()),
+            timeouts=int(self._timeouts_total.value()),
+            rejected=int(self._rejected_total.value()),
         )
+
+    def metric_families(self) -> list[dict]:
+        """Pool metrics plus derived worker families, for exposition.
+
+        Returns the family-dict exchange format of
+        :mod:`repro.telemetry.exposition`: the pool registry's counters
+        and latency histogram, then gauge/counter families derived from
+        a fresh :meth:`stats` round-trip (per-worker served counts and
+        the merged engine counters).  Like :meth:`stats`, call it
+        between batches — it talks to the workers.
+        """
+        stats = self.stats()
+        families = self.metrics.snapshot()
+        families.append(
+            gauge_family(
+                "repro_pool_workers", "Worker process slots.", self.workers
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_pool_workers_alive",
+                "Worker processes currently alive.",
+                sum(1 for row in stats.per_worker if row.alive),
+            )
+        )
+        families.append(
+            counter_family(
+                "repro_pool_worker_served_total",
+                "Requests served, by worker slot.",
+                [
+                    ({"worker": str(row.worker)}, row.served)
+                    for row in stats.per_worker
+                ],
+            )
+        )
+        families.append(
+            counter_family(
+                "repro_pool_worker_dispatch_total",
+                "Engine dispatch counts merged across workers.",
+                [
+                    ({"engine": name}, count)
+                    for name, count in sorted(stats.dispatch.items())
+                ],
+            )
+        )
+        families.append(
+            counter_family(
+                "repro_pool_worker_plan_cache_total",
+                "Merged worker plan-cache lookups, by outcome.",
+                [
+                    ({"outcome": "hit"}, stats.plan_hits),
+                    ({"outcome": "miss"}, stats.plan_misses),
+                ],
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_pool_worker_documents",
+                "Documents hydrated across the workers.",
+                stats.documents,
+            )
+        )
+        return families
 
     def _stats_roundtrip(self, worker: _Worker) -> dict:
         self._send(worker, wire.encode_stats_request())
@@ -819,7 +963,7 @@ class ShardedPool:
                 )
             )
             worker.restarts += 1
-            self._restarts += 1
+            self._restarts_total.inc()
             worker.process, worker.conn = self._spawn(worker.index)
             layout = self.store.shard_layout(self.workers)
             keys = [entry.key for entry in layout[worker.index]]
@@ -852,7 +996,14 @@ class ShardedPool:
             self._documents.move_to_end(content_hash)
         return document
 
-    def _dispatch(self, queues: list[deque], replies: list) -> None:
+    def _dispatch(
+        self,
+        queues: list[deque],
+        replies: list,
+        sent_at: dict[int, float],
+        done_at: dict[int, float],
+        traces: dict[int, dict],
+    ) -> None:
         """Stream queued frames to the workers and collect every reply.
 
         Windowed duplex pumping with supervision: each worker has at most
@@ -865,6 +1016,11 @@ class ShardedPool:
         past either bound the affected request's slot in ``replies``
         carries a typed :class:`WorkerCrashed` / :class:`ServingTimeout`
         (surfaced by input order after the batch drains), never a hang.
+
+        ``sent_at``/``done_at`` collect per-seq ``perf_counter`` stamps
+        (first send, reply arrival) for latency accounting; ``traces``
+        collects TRACE frame payloads by seq — a worker sends them
+        immediately before the result frame they annotate.
         """
         inflight: list[dict[int, bytes]] = [{} for _ in self._pool]
         attempts: dict[int, int] = {}
@@ -932,7 +1088,7 @@ class ShardedPool:
                     )
                 else:
                     replayable.append((frame, seq))
-                    self._retries += 1
+                    self._retries_total.inc()
             queues[worker.index].extendleft(reversed(replayable))
 
         while outstanding:
@@ -957,7 +1113,7 @@ class ShardedPool:
                         continue
                     for seq in sorted(overdue):
                         del window[seq]
-                        self._timeouts += 1
+                        self._timeouts_total.inc()
                         fail(
                             seq,
                             ServingTimeout(
@@ -986,6 +1142,7 @@ class ShardedPool:
                     queue.popleft()
                     inflight[worker.index][seq] = frame
                     attempts[seq] = attempts.get(seq, 0) + 1
+                    sent_at.setdefault(seq, perf_counter())
                     if (
                         self.request_timeout is not None
                         and seq not in deadlines
@@ -1024,7 +1181,8 @@ class ShardedPool:
                     handle_death(worker)
                     continue
                 if message.type not in (
-                    wire.MSG_RESULT_IDS, wire.MSG_RESULT_VALUE, wire.MSG_ERROR
+                    wire.MSG_RESULT_IDS, wire.MSG_RESULT_VALUE,
+                    wire.MSG_ERROR, wire.MSG_TRACE,
                 ):
                     raise ServingError(
                         f"worker {worker.index} sent frame type "
@@ -1035,8 +1193,15 @@ class ShardedPool:
                         f"worker {worker.index} answered unknown request "
                         f"{message.seq}"
                     )
+                if message.type == wire.MSG_TRACE:
+                    # The span tree for a request still in flight: its
+                    # result frame follows on the same pipe.  Absorb it
+                    # without resolving the seq.
+                    traces[message.seq] = message.payload
+                    continue
                 del inflight[worker.index][message.seq]
                 deadlines.pop(message.seq, None)
+                done_at[message.seq] = perf_counter()
                 replies[message.seq] = message
                 outstanding -= 1
 

@@ -22,12 +22,17 @@ A connection declares its protocol with its first byte:
   ``ERROR`` / ``OVERLOADED`` carrying the same ``seq`` — responses may
   interleave across a pipelined window, correlation is the client's job
   (:class:`repro.serving.client.ServingClient` does it).  ``PING``,
-  ``STATS`` and ``DRAIN`` work over the same connection.
+  ``STATS``, ``METRICS`` and ``DRAIN`` work over the same connection; a
+  QUERY carrying ``FLAG_TRACE`` gets a ``TRACE`` frame (the request's
+  span tree) immediately before its result frame.
 * ``{`` — the **JSON shim** for curl/netcat-style clients: one JSON
-  object per line in (``{"key": K, "query": Q}``, optional ``"ids"`` and
-  ``"seq"``; ``{"op": "ping"}``; ``{"op": "stats"}``), one JSON object
-  per line out (``{"seq":…, "ids": […]}`` / ``{"value": …}`` /
-  ``{"error": {"type":…, "message":…}}`` / ``{"overloaded": true, …}``).
+  object per line in (``{"key": K, "query": Q}``, optional ``"ids"``,
+  ``"trace"`` and ``"seq"``; ``{"op": "ping"}``; ``{"op": "stats"}``;
+  ``{"op": "metrics"}`` with optional ``"format": "prometheus"``;
+  ``{"op": "trace"}`` for the ring buffer of completed traced
+  requests), one JSON object per line out (``{"seq":…, "ids": […]}`` /
+  ``{"value": …}`` / ``{"error": {"type":…, "message":…}}`` /
+  ``{"overloaded": true, …}``).
 
 Admission control and backpressure
 ----------------------------------
@@ -72,6 +77,9 @@ Operations
 answers a JSON payload merging the server's own counters (connections,
 served, overloaded rejections, in-flight peak) with the pool's merged
 per-worker counters — one round-trip describes the whole process tree.
+``METRICS`` answers the same counters (plus latency histograms) in
+Prometheus text or JSON exposition format, assembled from the server,
+pool and worker telemetry registries (:mod:`repro.telemetry`).
 Every request emits one structured log record on the
 ``repro.serving.server`` logger (``query client=… seq=… key=… status=…
 wall_ms=…``), datatracker-style: greppable key=value pairs, one line per
@@ -87,11 +95,19 @@ import os
 import queue
 import threading
 import time
+from collections import deque
 from typing import Optional, Union
 
 from repro.errors import ReproError
 from repro.serving import wire
 from repro.serving.pool import ServingError, ShardedPool
+from repro.telemetry.exposition import (
+    gauge_family,
+    render_json,
+    render_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Trace, maybe_span
 
 logger = logging.getLogger("repro.serving.server")
 
@@ -99,16 +115,21 @@ logger = logging.getLogger("repro.serving.server")
 #: arithmetic is unavailable (never hit in practice).
 DEFAULT_BATCH_MAX = 128
 
+#: Completed traced requests kept in the server's trace ring buffer
+#: (retrieved with the JSON shim's ``{"op": "trace"}``).
+TRACE_BUFFER = 64
+
 
 class _QueryJob:
     """One admitted request travelling to the dispatcher thread."""
 
-    __slots__ = ("query", "key", "ids", "future", "loop")
+    __slots__ = ("query", "key", "ids", "trace", "future", "loop")
 
-    def __init__(self, query, key, ids, future, loop) -> None:
+    def __init__(self, query, key, ids, trace, future, loop) -> None:
         self.query = query
         self.key = key
         self.ids = ids
+        self.trace = trace
         self.future = future
         self.loop = loop
 
@@ -123,6 +144,24 @@ class _StatsJob:
     __slots__ = ("future", "loop")
 
     def __init__(self, future, loop) -> None:
+        self.future = future
+        self.loop = loop
+
+    def resolve(self, result) -> None:
+        self.loop.call_soon_threadsafe(_set_future, self.future, result)
+
+
+class _MetricsJob:
+    """A METRICS request travelling to the dispatcher thread.
+
+    Resolved off the loop like :class:`_StatsJob` — assembling the
+    exposition talks to the pool (a single-dispatcher backend).
+    """
+
+    __slots__ = ("format", "future", "loop")
+
+    def __init__(self, format, future, loop) -> None:
+        self.format = format
         self.future = future
         self.loop = loop
 
@@ -239,14 +278,43 @@ class XPathServer:
         self._closed = False
         self._inflight = 0
         self._idle_event: Optional[asyncio.Event] = None
-        # counters (mutated on the loop thread only)
-        self._connections_total = 0
-        self._served = 0
-        self._request_errors = 0
-        self._overloaded = 0
-        self._idle_closed = 0
-        self._aborted = 0
+        # Counters live in a telemetry registry (incremented on the loop
+        # thread, read for STATS/METRICS on the dispatcher thread — the
+        # registry's per-thread shards make that safe).  _inflight and
+        # _peak_inflight stay plain ints: they gate admission on the loop
+        # thread and are exposed as derived gauges.
+        self.metrics = MetricsRegistry()
+        self._connections_count = self.metrics.counter(
+            "repro_server_connections_total",
+            "Client connections accepted since start.",
+        )
+        self._served_total = self.metrics.counter(
+            "repro_server_requests_total",
+            "Requests answered with a result frame.",
+        )
+        self._errors_total = self.metrics.counter(
+            "repro_server_request_errors_total",
+            "Requests answered with an error frame.",
+        )
+        self._overloaded_total = self.metrics.counter(
+            "repro_server_overloaded_total",
+            "Requests rejected by admission control.",
+        )
+        self._idle_closed_total = self.metrics.counter(
+            "repro_server_idle_closed_total",
+            "Connections closed for crossing the idle timeout.",
+        )
+        self._aborted_total = self.metrics.counter(
+            "repro_server_aborted_total",
+            "Connections aborted as wedged (write timeout or broken pipe).",
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_server_request_seconds",
+            "Per-request wall time from dispatch to response write.",
+        )
         self._peak_inflight = 0
+        # Completed traced requests (span-tree dicts), loop thread only.
+        self._traces: "deque[dict]" = deque(maxlen=TRACE_BUFFER)
         # background-thread plumbing
         self._shutdown_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
@@ -333,7 +401,7 @@ class XPathServer:
         owns it.  Idempotent.
         """
         if self._closed:
-            return self._served
+            return int(self._served_total.value())
         deadline = time.monotonic() + (
             self.drain_timeout if timeout is None else timeout
         )
@@ -370,7 +438,9 @@ class XPathServer:
             self._close_connection(conn)
         logger.info(
             "drained served=%d overloaded=%d connections=%d",
-            self._served, self._overloaded, self._connections_total,
+            int(self._served_total.value()),
+            int(self._overloaded_total.value()),
+            int(self._connections_count.value()),
         )
         await self._stop_dispatcher()
         if self._own_pool and self._pool is not None and not self._pool.closed:
@@ -378,7 +448,7 @@ class XPathServer:
                 None, self._pool.drain
             )
         self._finish_close()
-        return self._served
+        return int(self._served_total.value())
 
     async def aclose(self) -> None:
         """Fast shutdown: abort connections, stop the dispatcher and pool."""
@@ -491,7 +561,7 @@ class XPathServer:
     def _admit(self) -> bool:
         """Admit one request under the in-flight bound (loop thread only)."""
         if self._draining or self._inflight >= self.max_inflight:
-            self._overloaded += 1
+            self._overloaded_total.inc()
             return False
         self._inflight += 1
         if self._inflight > self._peak_inflight:
@@ -523,10 +593,15 @@ class XPathServer:
                     break
                 batch.append(extra)
             stats_jobs = [j for j in batch if isinstance(j, _StatsJob)]
-            for wants_ids in (False, True):
+            metrics_jobs = [j for j in batch if isinstance(j, _MetricsJob)]
+            for wants_ids, wants_trace in (
+                (False, False), (True, False), (False, True), (True, True)
+            ):
                 group = [
                     j for j in batch
-                    if isinstance(j, _QueryJob) and j.ids is wants_ids
+                    if isinstance(j, _QueryJob)
+                    and j.ids is wants_ids
+                    and j.trace is wants_trace
                 ]
                 if not group:
                     continue
@@ -536,6 +611,7 @@ class XPathServer:
                             [(j.query, j.key) for j in group],
                             ids=wants_ids,
                             return_errors=True,
+                            trace=wants_trace,
                         )
                 except ReproError as error:  # pool closed / ServingError
                     results = [error] * len(group)
@@ -557,6 +633,16 @@ class XPathServer:
                 except Exception as error:
                     logger.exception("stats collection failed untyped")
                     one.resolve(error)
+            for one in metrics_jobs:
+                try:
+                    with self._dispatch_lock:
+                        body = self._metrics_payload(one.format)
+                    one.resolve(body)
+                except ReproError as error:
+                    one.resolve(error)
+                except Exception as error:
+                    logger.exception("metrics collection failed untyped")
+                    one.resolve(error)
 
     def _stats_payload(self) -> dict:
         """The STATS answer: server counters + the pool's merged counters."""
@@ -564,16 +650,16 @@ class XPathServer:
         return {
             "server": {
                 "pid": os.getpid(),
-                "served": self._served,
-                "errors": self._request_errors,
-                "overloaded": self._overloaded,
-                "connections_total": self._connections_total,
+                "served": int(self._served_total.value()),
+                "errors": int(self._errors_total.value()),
+                "overloaded": int(self._overloaded_total.value()),
+                "connections_total": int(self._connections_count.value()),
                 "connections_active": len(self._connections),
                 "inflight": self._inflight,
                 "inflight_peak": self._peak_inflight,
                 "max_inflight": self.max_inflight,
-                "idle_closed": self._idle_closed,
-                "aborted": self._aborted,
+                "idle_closed": int(self._idle_closed_total.value()),
+                "aborted": int(self._aborted_total.value()),
                 "draining": self._draining,
             },
             "pool": {
@@ -589,12 +675,60 @@ class XPathServer:
             },
         }
 
+    def metric_families(self) -> list[dict]:
+        """Server + pool metric families, ready for exposition.
+
+        The server registry's counters and latency histogram, the
+        admission gauges, then the pool's :meth:`~repro.serving
+        .ShardedPool.metric_families` — one concatenated list covering
+        the whole process tree.  Talks to the pool; call it from the
+        dispatcher thread (or any other pool-safe context).
+        """
+        families = self.metrics.snapshot()
+        families.append(
+            gauge_family(
+                "repro_server_inflight",
+                "Requests admitted and not yet answered.",
+                self._inflight,
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_server_inflight_peak",
+                "High-water mark of admitted requests.",
+                self._peak_inflight,
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_server_max_inflight",
+                "Admission-control capacity.",
+                self.max_inflight or 0,
+            )
+        )
+        families.append(
+            gauge_family(
+                "repro_server_connections_active",
+                "Client connections currently open.",
+                len(self._connections),
+            )
+        )
+        families.extend(self._pool.metric_families())
+        return families
+
+    def _metrics_payload(self, format: int) -> str:
+        """Render the METRICS exposition body (dispatcher thread)."""
+        families = self.metric_families()
+        if format == wire.METRICS_PROMETHEUS:
+            return render_prometheus(families)
+        return render_json(families)
+
     # -- connections -------------------------------------------------------
 
     async def _handle_connection(self, reader, writer) -> None:
         conn = _Connection(reader, writer)
         self._connections.add(conn)
-        self._connections_total += 1
+        self._connections_count.inc()
         try:
             first = await self._read_with_idle(conn, reader.readexactly, 1)
             if first == wire.MAGIC[:1]:
@@ -624,7 +758,7 @@ class XPathServer:
             wire.WireError,
         ) as error:
             if isinstance(error, _IdleTimeout):
-                self._idle_closed += 1
+                self._idle_closed_total.inc()
                 logger.info("idle-close client=%s", conn.peer)
             elif isinstance(error, wire.WireError):
                 logger.warning(
@@ -687,6 +821,8 @@ class XPathServer:
                 ))
             elif message.type == wire.MSG_STATS:
                 await self._handle_stats(conn)
+            elif message.type == wire.MSG_METRICS:
+                await self._handle_metrics(conn, message.flags)
             elif message.type == wire.MSG_DRAIN:
                 # Client-initiated graceful close: flush what it is owed,
                 # acknowledge with its served count, stop reading.
@@ -702,7 +838,10 @@ class XPathServer:
                 )
 
     async def _handle_query(self, conn: _Connection, message) -> None:
-        if not self._admit():
+        server_trace = Trace("server") if message.wants_trace else None
+        with maybe_span(server_trace, "admit"):
+            admitted = self._admit()
+        if not admitted:
             logger.warning(
                 "overloaded client=%s seq=%d inflight=%d capacity=%d",
                 conn.peer, message.seq, self._inflight, self.max_inflight,
@@ -716,16 +855,19 @@ class XPathServer:
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         job = _QueryJob(
-            message.query, message.key, message.ids_only, future, loop
+            message.query, message.key, message.ids_only,
+            message.wants_trace, future, loop,
         )
         conn.pending += 1
         conn.flushed.clear()
         self._jobs.put(job)
         asyncio.ensure_future(
-            self._finish_query(conn, message.seq, message.key, future)
+            self._finish_query(
+                conn, message.seq, message.key, future, server_trace
+            )
         )
 
-    async def _finish_query(self, conn, seq, key, future) -> None:
+    async def _finish_query(self, conn, seq, key, future, server_trace=None) -> None:
         started = time.perf_counter()
         try:
             result = await future
@@ -733,22 +875,50 @@ class XPathServer:
             self._release()
         status = "ok"
         try:
+            if server_trace is not None:
+                server_trace.add_span(
+                    "server-dispatch",
+                    offset=started - server_trace.started,
+                    duration=time.perf_counter() - started,
+                )
+                if (
+                    not isinstance(result, Exception)
+                    and result.trace is not None
+                ):
+                    server_trace.add_child(result.trace)
             if isinstance(result, Exception):
                 status = f"error:{type(result).__name__}"
                 frame = wire.encode_error(
                     seq, type(result).__name__, str(result)
                 )
-                self._request_errors += 1
+                self._errors_total.inc()
                 conn.errors += 1
             elif result.is_node_set:
                 frame = wire.encode_result_ids(seq, result.ids)
             else:
                 frame = wire.encode_result_value(seq, result.value)
             if status == "ok":
-                self._served += 1
+                self._served_total.inc()
                 conn.served += 1
+            write_begun = time.perf_counter()
+            if server_trace is not None and status == "ok":
+                # The trace frame precedes its result frame, mirroring
+                # the worker→pool hop.
+                await self._write(conn, wire.encode_framed(
+                    wire.encode_trace(seq, server_trace.to_dict())
+                ))
             await self._write(conn, wire.encode_framed(frame))
+            if server_trace is not None:
+                # The write span lands only in the server-side ring
+                # buffer: it cannot precede the writes it measures.
+                server_trace.add_span(
+                    "write",
+                    offset=write_begun - server_trace.started,
+                    duration=time.perf_counter() - write_begun,
+                )
+                self._traces.append(server_trace.to_dict())
         finally:
+            self._request_seconds.observe(time.perf_counter() - started)
             conn.pending -= 1
             if conn.pending == 0:
                 conn.flushed.set()
@@ -769,6 +939,17 @@ class XPathServer:
             )
         else:
             frame = wire.encode_stats_reply(payload)
+        await self._write(conn, wire.encode_framed(frame))
+
+    async def _handle_metrics(self, conn: _Connection, format: int) -> None:
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._jobs.put(_MetricsJob(format, future, loop))
+        body = await future
+        if isinstance(body, Exception):
+            frame = wire.encode_error(0, type(body).__name__, str(body))
+        else:
+            frame = wire.encode_metrics_reply(format, body)
         await self._write(conn, wire.encode_framed(frame))
 
     async def _send_drained(self, conn: _Connection) -> None:
@@ -824,6 +1005,31 @@ class XPathServer:
                 payload = {"stats": payload}
             await self._write_json(conn, payload)
             return
+        if op == "metrics":
+            fmt = (
+                wire.METRICS_PROMETHEUS
+                if request.get("format") == "prometheus"
+                else wire.METRICS_JSON
+            )
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            self._jobs.put(_MetricsJob(fmt, future, loop))
+            body = await future
+            if isinstance(body, Exception):
+                payload = {"error": {
+                    "type": type(body).__name__, "message": str(body)
+                }}
+            elif fmt == wire.METRICS_PROMETHEUS:
+                # Prometheus text rides inside the JSON line as a string.
+                payload = {"metrics": body}
+            else:
+                payload = {"metrics": json.loads(body)}
+            await self._write_json(conn, payload)
+            return
+        if op == "trace":
+            # The ring buffer of completed traced requests, newest last.
+            await self._write_json(conn, {"traces": list(self._traces)})
+            return
         seq = request.get("seq")
         key = request.get("key")
         query = request.get("query")
@@ -833,7 +1039,11 @@ class XPathServer:
                 "message": 'request needs string "key" and "query" fields',
             }})
             return
-        if not self._admit():
+        wants_trace = bool(request.get("trace", False))
+        server_trace = Trace("server") if wants_trace else None
+        with maybe_span(server_trace, "admit"):
+            admitted = self._admit()
+        if not admitted:
             logger.warning(
                 "overloaded client=%s seq=%s inflight=%d capacity=%d",
                 conn.peer, seq, self._inflight, self.max_inflight,
@@ -846,16 +1056,19 @@ class XPathServer:
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         job = _QueryJob(
-            query, key, bool(request.get("ids", False)), future, loop
+            query, key, bool(request.get("ids", False)), wants_trace,
+            future, loop,
         )
         conn.pending += 1
         conn.flushed.clear()
         self._jobs.put(job)
         asyncio.ensure_future(
-            self._finish_json_query(conn, seq, key, future)
+            self._finish_json_query(conn, seq, key, future, server_trace)
         )
 
-    async def _finish_json_query(self, conn, seq, key, future) -> None:
+    async def _finish_json_query(
+        self, conn, seq, key, future, server_trace=None
+    ) -> None:
         started = time.perf_counter()
         try:
             result = await future
@@ -863,22 +1076,44 @@ class XPathServer:
             self._release()
         status = "ok"
         try:
+            if server_trace is not None:
+                server_trace.add_span(
+                    "server-dispatch",
+                    offset=started - server_trace.started,
+                    duration=time.perf_counter() - started,
+                )
+                if (
+                    not isinstance(result, Exception)
+                    and result.trace is not None
+                ):
+                    server_trace.add_child(result.trace)
             if isinstance(result, Exception):
                 status = f"error:{type(result).__name__}"
                 payload = {"seq": seq, "key": key, "error": {
                     "type": type(result).__name__, "message": str(result)
                 }}
-                self._request_errors += 1
+                self._errors_total.inc()
                 conn.errors += 1
             elif result.is_node_set:
                 payload = {"seq": seq, "key": key, "ids": result.ids}
             else:
                 payload = {"seq": seq, "key": key, "value": result.value}
             if status == "ok":
-                self._served += 1
+                self._served_total.inc()
                 conn.served += 1
+            if server_trace is not None and status == "ok":
+                payload["trace"] = server_trace.to_dict()
+            write_begun = time.perf_counter()
             await self._write_json(conn, payload)
+            if server_trace is not None:
+                server_trace.add_span(
+                    "write",
+                    offset=write_begun - server_trace.started,
+                    duration=time.perf_counter() - write_begun,
+                )
+                self._traces.append(server_trace.to_dict())
         finally:
+            self._request_seconds.observe(time.perf_counter() - started)
             conn.pending -= 1
             if conn.pending == 0:
                 conn.flushed.set()
@@ -904,7 +1139,7 @@ class XPathServer:
                     conn.writer.drain(), self.write_timeout
                 )
             except asyncio.TimeoutError:
-                self._aborted += 1
+                self._aborted_total.inc()
                 logger.warning(
                     "slow-client-abort client=%s timeout=%.3gs",
                     conn.peer, self.write_timeout,

@@ -33,12 +33,25 @@ Message bodies::
     DRAINED      u32 served · u32 pid
     HELLO        u32 protocol version · u32 pid · u16 banner-len · banner
     OVERLOADED   u32 seq · u32 inflight · u32 capacity
+    TRACE        u32 seq · u32 json-len · utf-8 JSON trace tree
+    METRICS      u8 format (0 JSON, 1 Prometheus text)
+    METRICS_REPLY u8 format · u32 len · utf-8 exposition body
 
 ``HELLO`` and ``OVERLOADED`` belong to the network tier
 (:mod:`repro.serving.server`): a server greets every accepted binary
 connection with HELLO (so clients can verify the protocol version before
 sending work), and answers a request that found the admission window full
 with OVERLOADED instead of queueing it unboundedly.
+
+``TRACE`` is the telemetry side-channel: a QUERY flagged with
+:data:`FLAG_TRACE` asks the answering side to time its stages
+(:class:`repro.telemetry.Trace`) and send them back as one TRACE frame
+carrying the *same seq*, emitted immediately **before** the result frame
+for that seq — the seq is the span context that attributes worker-side
+timings back to the originating request across both hops
+(worker→pool and server→client).  ``METRICS``/``METRICS_REPLY`` are the
+ops endpoint: a client asks the server for its merged metrics registry
+in JSON (format 0) or Prometheus text (format 1).
 
 Byte-stream framing
 -------------------
@@ -100,9 +113,16 @@ MSG_DRAIN = 12
 MSG_DRAINED = 13
 MSG_HELLO = 14
 MSG_OVERLOADED = 15
+MSG_TRACE = 16
+MSG_METRICS = 17
+MSG_METRICS_REPLY = 18
 
 #: Protocol version a server advertises in its HELLO frame.
 PROTOCOL_VERSION = 1
+
+#: METRICS format codes (the u8 body of a METRICS request).
+METRICS_JSON = 0
+METRICS_PROMETHEUS = 1
 
 #: Upper bound on one length-prefixed frame crossing a byte stream
 #: (16 MiB ≈ a 4-million-id answer); larger lengths are a protocol error.
@@ -111,6 +131,10 @@ MAX_FRAME = 1 << 24
 #: QUERY flag bit 0: the caller insists on an id-array answer (the
 #: semantics of ``evaluate_many_ids``); scalar results become errors.
 FLAG_IDS = 0x01
+
+#: QUERY flag bit 1: the caller wants per-stage timings — the answering
+#: side precedes its result frame with a TRACE frame of the same seq.
+FLAG_TRACE = 0x02
 
 _HEADER = struct.Struct("<4sB")
 _U8 = struct.Struct("<B")
@@ -148,11 +172,17 @@ class Message:
     inflight: int = 0
     capacity: int = 0
     banner: str = ""
+    body: str = ""
 
     @property
     def ids_only(self) -> bool:
         """True if a QUERY frame set :data:`FLAG_IDS`."""
         return bool(self.flags & FLAG_IDS)
+
+    @property
+    def wants_trace(self) -> bool:
+        """True if a QUERY frame set :data:`FLAG_TRACE`."""
+        return bool(self.flags & FLAG_TRACE)
 
 
 # -- encoding ----------------------------------------------------------------
@@ -162,14 +192,17 @@ def _frame(msg_type: int, *chunks: bytes) -> bytes:
     return b"".join((_HEADER.pack(MAGIC, msg_type), *chunks))
 
 
-def encode_query(seq: int, key: str, query: str, ids_only: bool = False) -> bytes:
+def encode_query(
+    seq: int, key: str, query: str, ids_only: bool = False, trace: bool = False
+) -> bytes:
     """Encode one query request frame."""
     key_bytes = key.encode("utf-8")
     query_bytes = query.encode("utf-8")
+    flags = (FLAG_IDS if ids_only else 0) | (FLAG_TRACE if trace else 0)
     return _frame(
         MSG_QUERY,
         _U32.pack(seq),
-        _U8.pack(FLAG_IDS if ids_only else 0),
+        _U8.pack(flags),
         _U16.pack(len(key_bytes)),
         _U32.pack(len(query_bytes)),
         key_bytes,
@@ -292,6 +325,27 @@ def encode_overloaded(seq: int, inflight: int, capacity: int) -> bytes:
     return _frame(
         MSG_OVERLOADED, _U32.pack(seq), _U32.pack(inflight), _U32.pack(capacity)
     )
+
+
+def encode_trace(seq: int, trace: dict[str, object]) -> bytes:
+    """Encode one request's span tree (sent just before its result frame)."""
+    data = json.dumps(trace, sort_keys=True).encode("utf-8")
+    return _frame(MSG_TRACE, _U32.pack(seq), _U32.pack(len(data)), data)
+
+
+def encode_metrics_request(format: int = METRICS_JSON) -> bytes:
+    """Encode a metrics-exposition request (JSON or Prometheus text)."""
+    if format not in (METRICS_JSON, METRICS_PROMETHEUS):
+        raise WireError(f"unknown metrics format {format!r}")
+    return _frame(MSG_METRICS, _U8.pack(format))
+
+
+def encode_metrics_reply(format: int, body: str) -> bytes:
+    """Encode the rendered exposition body of a METRICS request."""
+    if format not in (METRICS_JSON, METRICS_PROMETHEUS):
+        raise WireError(f"unknown metrics format {format!r}")
+    data = body.encode("utf-8")
+    return _frame(MSG_METRICS_REPLY, _U8.pack(format), _U32.pack(len(data)), data)
 
 
 # -- byte-stream framing (the network tier) ----------------------------------
@@ -468,4 +522,28 @@ def decode(frame: bytes) -> Message:
         return Message(
             MSG_OVERLOADED, seq=seq, inflight=inflight, capacity=capacity
         )
+    if msg_type == MSG_TRACE:
+        seq = reader.u32()
+        size = reader.u32()
+        try:
+            payload = json.loads(reader.text(size))
+        except json.JSONDecodeError as error:
+            raise WireError(f"undecodable trace payload: {error}") from error
+        if not isinstance(payload, dict):
+            raise WireError("trace payload must be a JSON object")
+        reader.done()
+        return Message(MSG_TRACE, seq=seq, payload=payload)
+    if msg_type == MSG_METRICS:
+        format = reader.u8()
+        if format not in (METRICS_JSON, METRICS_PROMETHEUS):
+            raise WireError(f"unknown metrics format {format!r}")
+        reader.done()
+        return Message(MSG_METRICS, flags=format)
+    if msg_type == MSG_METRICS_REPLY:
+        format = reader.u8()
+        if format not in (METRICS_JSON, METRICS_PROMETHEUS):
+            raise WireError(f"unknown metrics format {format!r}")
+        body = reader.text(reader.u32())
+        reader.done()
+        return Message(MSG_METRICS_REPLY, flags=format, body=body)
     raise WireError(f"unknown message type {msg_type}")

@@ -168,9 +168,13 @@ def worker_main(
             conn.send_bytes(wire.encode_drained(served, os.getpid()))
             break
         if message.type == wire.MSG_QUERY:
-            reply = _answer(engine, message)
+            reply, trace_frame = _answer(engine, message)
             if fault is not None:
                 fault.hit("query", conn, reply)
+            if trace_frame is not None:
+                # The trace frame precedes its result frame so the pool
+                # can attach the span tree before it resolves the seq.
+                conn.send_bytes(trace_frame)
             conn.send_bytes(reply)
             served += 1
         elif message.type == wire.MSG_WARM:
@@ -194,33 +198,59 @@ def worker_main(
     conn.close()
 
 
-def _answer(engine: "XPathEngine", message: wire.Message) -> bytes:
-    """Evaluate one QUERY message and encode its reply frame.
+def _answer(
+    engine: "XPathEngine", message: wire.Message
+) -> tuple[bytes, Optional[bytes]]:
+    """Evaluate one QUERY message and encode its reply frame(s).
 
     Node-set results go out as sorted int32 id arrays, scalars as typed
     scalars; under :data:`~repro.serving.wire.FLAG_IDS` the evaluation
     itself runs id-native (``evaluate_many_ids`` semantics — a scalar
     query is an error).  Any exception becomes an ``ERROR`` frame.
+
+    Returns ``(reply, trace_frame)``: under
+    :data:`~repro.serving.wire.FLAG_TRACE` the second element is a TRACE
+    frame carrying the ``worker`` span tree (with the engine's trace as
+    a child) to send *before* the reply; otherwise it is None.  Errors
+    carry no trace frame.
     """
     from repro.store import StoreKey
+    from repro.telemetry.trace import Trace, maybe_span
     from repro.xpath.functions import NODESET, static_type
 
+    trace = Trace("worker") if message.wants_trace else None
     try:
         handle = engine.add(StoreKey(message.key))
         if message.ids_only:
-            result = engine.evaluate(message.query, handle, ids=True)
+            with maybe_span(trace, "worker-eval"):
+                result = engine.evaluate(
+                    message.query, handle, ids=True, trace=message.wants_trace
+                )
         else:
             # Pick the id-native path whenever the query's static type
             # says the answer is a node-set, so node objects are never
             # materialised just to be re-encoded as ids.
             plan = engine.get_plan(message.query)
             wants_ids = static_type(plan.expr) == NODESET
-            result = engine.evaluate(message.query, handle, ids=wants_ids)
+            with maybe_span(trace, "worker-eval"):
+                result = engine.evaluate(
+                    message.query,
+                    handle,
+                    ids=wants_ids,
+                    trace=message.wants_trace,
+                )
         if result.is_node_set:
-            return wire.encode_result_ids(message.seq, result.ids)
-        return wire.encode_result_value(message.seq, result.value)
+            reply = wire.encode_result_ids(message.seq, result.ids)
+        else:
+            reply = wire.encode_result_value(message.seq, result.value)
     except Exception as error:  # noqa: BLE001 - every query error crosses the wire
-        return wire.encode_error(message.seq, type(error).__name__, str(error))
+        return wire.encode_error(message.seq, type(error).__name__, str(error)), None
+    trace_frame = None
+    if trace is not None:
+        if result.trace is not None:
+            trace.add_child(result.trace)
+        trace_frame = wire.encode_trace(message.seq, trace.to_dict())
+    return reply, trace_frame
 
 
 def _stats_payload(engine: "XPathEngine", worker_id: int, served: int) -> dict:

@@ -1,0 +1,63 @@
+"""``repro.telemetry`` — metrics, traces and profiling for every tier.
+
+The observability layer the serving stack reports through (see
+``docs/telemetry.md``):
+
+* :mod:`repro.telemetry.metrics` — dependency-free ``Counter`` /
+  ``Gauge`` / ``Histogram`` primitives with per-thread shards, grouped
+  by a :class:`MetricsRegistry` per component;
+* :mod:`repro.telemetry.trace` — per-query :class:`Trace` span trees
+  (``parse→plan→eval→materialise`` in the engine, the dispatch stages
+  in the pool and server), serialisable across the RPW1 wire;
+* :mod:`repro.telemetry.exposition` — Prometheus-text and JSON
+  rendering of registry snapshots;
+* :mod:`repro.telemetry.slowlog` — the ring-buffer slow-query log;
+* :mod:`repro.telemetry.render` — the shared ``describe()`` block
+  renderer.
+"""
+
+from repro.telemetry.exposition import (
+    counter_family,
+    gauge_family,
+    render_json,
+    render_prometheus,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.telemetry.render import KV_LABEL_WIDTH, render_kv_block, render_kv_line
+from repro.telemetry.slowlog import (
+    DEFAULT_SLOW_CAPACITY,
+    DEFAULT_SLOW_THRESHOLD,
+    SlowQueryLog,
+)
+from repro.telemetry.trace import Span, Trace, maybe_span
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SLOW_CAPACITY",
+    "DEFAULT_SLOW_THRESHOLD",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "KV_LABEL_WIDTH",
+    "MetricFamily",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "counter_family",
+    "gauge_family",
+    "maybe_span",
+    "render_json",
+    "render_kv_block",
+    "render_kv_line",
+    "render_prometheus",
+]

@@ -1,0 +1,100 @@
+"""Metrics exposition: Prometheus text format and a JSON mirror.
+
+Both renderers consume the family-dict exchange format of
+:meth:`repro.telemetry.metrics.MetricsRegistry.snapshot` — a list of
+``{"name", "kind", "help", "samples"}`` dicts — so tiers can merge
+registries (and hand-built derived families) by list concatenation
+before rendering.
+
+The text renderer emits the classic Prometheus exposition format:
+``# HELP`` / ``# TYPE`` headers, ``name{label="value"} value`` samples,
+and the ``_bucket``/``_sum``/``_count`` triplet for histograms with
+cumulative ``le`` buckets ending at ``+Inf``.
+
+>>> families = [{
+...     "name": "repro_demo_total", "kind": "counter", "help": "a demo",
+...     "samples": [{"labels": {"tier": "engine"}, "value": 3}],
+... }]
+>>> print(render_prometheus(families), end="")
+# HELP repro_demo_total a demo
+# TYPE repro_demo_total counter
+repro_demo_total{tier="engine"} 3
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Union
+
+Numberish = Union[int, float]
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _labels(labels: dict, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape(value)}"' for name, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _number(value: Numberish) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _le(bound: Union[float, str]) -> str:
+    return bound if isinstance(bound, str) else _number(bound)
+
+
+def render_prometheus(families: Iterable[dict]) -> str:
+    """Render family dicts as Prometheus exposition text."""
+    lines: List[str] = []
+    for family in families:
+        name, kind = family["name"], family["kind"]
+        lines.append(f"# HELP {name} {_escape(family.get('help', ''))}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for bound, cumulative in sample["buckets"]:
+                    suffix = _labels(labels, f'le="{_le(bound)}"')
+                    lines.append(f"{name}_bucket{suffix} {cumulative}")
+                lines.append(f"{name}_sum{_labels(labels)} {_number(sample['sum'])}")
+                lines.append(f"{name}_count{_labels(labels)} {sample['count']}")
+            else:
+                lines.append(f"{name}{_labels(labels)} {_number(sample['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(families: Iterable[dict]) -> str:
+    """Render family dicts as a stable JSON document."""
+    return json.dumps({"families": list(families)}, sort_keys=True)
+
+
+def gauge_family(name: str, help: str, value: Numberish, **labels: str) -> dict:
+    """A hand-built one-sample gauge family (for derived metrics)."""
+    return {
+        "name": name, "kind": "gauge", "help": help,
+        "samples": [{"labels": labels, "value": value}],
+    }
+
+
+def counter_family(name: str, help: str, samples: Iterable[tuple]) -> dict:
+    """A hand-built counter family from ``(labels dict, value)`` pairs."""
+    return {
+        "name": name, "kind": "counter", "help": help,
+        "samples": [
+            {"labels": dict(labels), "value": value} for labels, value in samples
+        ],
+    }

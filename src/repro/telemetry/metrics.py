@@ -1,0 +1,361 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The design target is the engine's hot path: an increment must not
+contend with other threads.  :class:`Counter` and :class:`Histogram`
+therefore keep **per-thread shards** — each thread owns a private
+accumulator cell created once (under the registry lock) and bumped
+thereafter without any synchronisation; :meth:`Counter.value` and
+:meth:`Histogram.merged` sum the shards on demand.  Shards of finished
+threads are retained on purpose, so counts never vanish when a worker
+thread exits.  The price is that a snapshot taken *while* another
+thread increments may miss that last increment — monotone counters make
+this harmless, and the merged totals are exact once writers quiesce
+(the Hypothesis suite pins merged-shards ≡ single-threaded counts).
+
+:class:`Gauge` is the one primitive with a true read-modify-write
+(``set``/``inc``/``dec`` from any thread), so it is guarded by the
+``_telemetry_lock`` the lock-discipline checker knows about — the
+innermost lock of the project hierarchy.
+
+A :class:`MetricsRegistry` names the metrics of one component (the
+engine, the pool, the server each own one; tests get isolation for
+free).  Families are get-or-create by name and may carry label names;
+``family.labels(engine="core")`` returns the labelled child, created on
+first use.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> queries = registry.counter("repro_engine_queries_total", "queries served")
+>>> queries.inc(); queries.inc(2)
+>>> queries.value()
+3
+>>> dispatch = registry.counter(
+...     "repro_engine_dispatch_total", "per-engine answers", labels=("engine",)
+... )
+>>> dispatch.labels(engine="core").inc()
+>>> latency = registry.histogram("repro_engine_query_seconds", "query wall time")
+>>> latency.observe(0.004)
+>>> latency.merged().count
+1
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+#: Fixed log-scale latency buckets (seconds): 100 µs to 5 s in 1-2.5-5
+#: decades, the range of a Python XPath evaluation.  ``+Inf`` is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class HistogramSnapshot(NamedTuple):
+    """The merged view of one histogram child: per-bucket counts + totals."""
+
+    buckets: Tuple[float, ...]
+    counts: Tuple[int, ...]  # one slot per bucket, plus the +Inf overflow slot
+    total: float
+    count: int
+
+    def cumulative(self) -> List[Tuple[Union[float, str], int]]:
+        """``[(le, cumulative count), ...]`` with the ``"+Inf"`` row last."""
+        rows: List[Tuple[Union[float, str], int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            running += bucket_count
+            rows.append((bound, running))
+        rows.append(("+Inf", self.count))
+        return rows
+
+
+class Counter:
+    """A monotone counter with per-thread shards (see the module docstring)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labels", "_telemetry_lock", "_shards")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self._telemetry_lock = lock if lock is not None else threading.Lock()
+        self._shards: Dict[int, List[Number]] = {}
+
+    def _shard(self) -> List[Number]:
+        ident = threading.get_ident()
+        shard = self._shards.get(ident)
+        if shard is None:
+            with self._telemetry_lock:
+                shard = self._shards.setdefault(ident, [0])
+        return shard
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (no lock taken on the per-thread fast path)."""
+        self._shard()[0] += amount
+
+    def value(self) -> Number:
+        """The merged total across every shard ever created."""
+        return sum(shard[0] for shard in list(self._shards.values()))
+
+
+class Gauge:
+    """A settable value; every mutation holds the telemetry lock."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labels", "_telemetry_lock", "_value")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self._telemetry_lock = lock if lock is not None else threading.Lock()
+        self._value: Number = 0
+
+    def set(self, value: Number) -> None:
+        with self._telemetry_lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._telemetry_lock:
+            self._value = self._value + amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.inc(-amount)
+
+    def value(self) -> Number:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with per-thread shards.
+
+    A shard is ``[counts, total, count]`` where ``counts`` has one slot
+    per bucket plus the ``+Inf`` overflow slot; ``observe`` is two list
+    writes and one ``bisect`` — no lock after the shard exists.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "labels", "buckets", "_telemetry_lock", "_shards")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        lock: Optional[threading.Lock] = None,
+    ) -> None:
+        if tuple(sorted(buckets)) != tuple(buckets) or not buckets:
+            raise ValueError("histogram buckets must be non-empty and sorted")
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self._telemetry_lock = lock if lock is not None else threading.Lock()
+        self._shards: Dict[int, list] = {}
+
+    def _shard(self) -> list:
+        ident = threading.get_ident()
+        shard = self._shards.get(ident)
+        if shard is None:
+            with self._telemetry_lock:
+                shard = self._shards.setdefault(
+                    ident, [[0] * (len(self.buckets) + 1), 0.0, 0]
+                )
+        return shard
+
+    def observe(self, value: float) -> None:
+        """Record one observation into this thread's shard."""
+        shard = self._shard()
+        shard[0][bisect_left(self.buckets, value)] += 1
+        shard[1] += value
+        shard[2] += 1
+
+    def merged(self) -> HistogramSnapshot:
+        """Sum every per-thread shard into one snapshot."""
+        counts = [0] * (len(self.buckets) + 1)
+        total = 0.0
+        count = 0
+        for shard in list(self._shards.values()):
+            for i, bucket_count in enumerate(shard[0]):
+                counts[i] += bucket_count
+            total += shard[1]
+            count += shard[2]
+        return HistogramSnapshot(self.buckets, tuple(counts), total, count)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with labelled children, get-or-create per label set."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets",
+                 "_telemetry_lock", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        lock: threading.Lock,
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.buckets = buckets
+        self._telemetry_lock = lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: str):
+        """Return the child for ``labels`` (created on first use)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            with self._telemetry_lock:
+                child = self._children.get(key)
+                if child is None:
+                    values = dict(zip(self.label_names, key))
+                    if self.kind == "histogram":
+                        child = Histogram(
+                            self.name, self.help, values,
+                            buckets=self.buckets, lock=self._telemetry_lock,
+                        )
+                    else:
+                        child = _KINDS[self.kind](
+                            self.name, self.help, values,
+                            lock=self._telemetry_lock,
+                        )
+                    self._children[key] = child
+        return child
+
+    def children(self) -> list:
+        """Every child created so far, sorted by label values."""
+        return [child for _, child in sorted(self._children.items())]
+
+
+class MetricsRegistry:
+    """The named metrics of one component (engine, pool, server, ...).
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same object, asking with a different
+    kind or label set raises.  With ``labels=()`` (the default) the call
+    returns the single unlabelled child directly; with label names it
+    returns the :class:`MetricFamily`, whose ``labels(...)`` method
+    hands out children.
+    """
+
+    def __init__(self) -> None:
+        self._telemetry_lock = threading.Lock()
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            with self._telemetry_lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name, kind, help, label_names,
+                        self._telemetry_lock, buckets,
+                    )
+                    self._families[name] = family
+        if family.kind != kind or family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} "
+                f"with labels {family.label_names}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Tuple[str, ...] = ()):
+        family = self._family(name, "counter", help, tuple(labels))
+        return family if labels else family.labels()
+
+    def gauge(self, name: str, help: str = "", labels: Tuple[str, ...] = ()):
+        family = self._family(name, "gauge", help, tuple(labels))
+        return family if labels else family.labels()
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Tuple[str, ...] = (),
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        family = self._family(name, "histogram", help, tuple(labels), tuple(buckets))
+        return family if labels else family.labels()
+
+    def families(self) -> List[MetricFamily]:
+        return [family for _, family in sorted(self._families.items())]
+
+    def snapshot(self) -> List[dict]:
+        """A JSON-able view: one dict per family, exposition-ready.
+
+        This is the exchange format of :mod:`repro.telemetry.exposition`
+        — tiers that derive metrics from remote counters (the server
+        folding in per-worker engine stats) build the same dicts by hand
+        and concatenate.
+        """
+        out: List[dict] = []
+        for family in self.families():
+            samples = []
+            for child in family.children():
+                if family.kind == "histogram":
+                    merged = child.merged()
+                    samples.append({
+                        "labels": dict(child.labels),
+                        "buckets": [
+                            [bound, cum] for bound, cum in merged.cumulative()
+                        ],
+                        "sum": merged.total,
+                        "count": merged.count,
+                    })
+                else:
+                    samples.append({
+                        "labels": dict(child.labels),
+                        "value": child.value(),
+                    })
+            out.append({
+                "name": family.name,
+                "kind": family.kind,
+                "help": family.help,
+                "samples": samples,
+            })
+        return out

@@ -1,0 +1,32 @@
+"""The one key/value block renderer every ``describe()`` shares.
+
+``EngineStats.describe()``, ``ServingStats.describe()`` and
+``QueryPlan.explain()`` all print the same shape — a left-aligned label
+column padded to 20 characters, a colon, the value — and each used to
+hand-roll the padding.  They now all call :func:`render_kv_block`, so
+the column width is one constant and the blocks compose (the serving
+block appended under the engine block stays aligned).
+
+>>> print(render_kv_block([("plan cache", "3/512 plans"), ("queries", "7")]))
+plan cache          : 3/512 plans
+queries             : 7
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+#: Label column width of every stats/explain block in the project.
+KV_LABEL_WIDTH = 20
+
+
+def render_kv_line(label: str, text: str, width: int = KV_LABEL_WIDTH) -> str:
+    """One ``label : text`` row, label padded to ``width`` characters."""
+    return f"{label:<{width}}: {text}"
+
+
+def render_kv_block(
+    rows: Iterable[Tuple[str, str]], width: int = KV_LABEL_WIDTH
+) -> str:
+    """Render ``(label, text)`` rows as an aligned block."""
+    return "\n".join(render_kv_line(label, text, width) for label, text in rows)

@@ -1,0 +1,87 @@
+"""A ring-buffer slow-query log with a configurable threshold.
+
+Every evaluated query's wall time is offered to the log; only those at
+or above the threshold are kept, in a bounded ``deque`` (oldest entries
+roll off).  Recording is a threshold compare plus one ``deque.append``
+— both safe from concurrent evaluation threads without a lock — while
+the threshold itself is mutable state and is written under the
+telemetry lock.
+
+>>> log = SlowQueryLog(threshold=0.01, capacity=2)
+>>> log.record("//fast", "core", 0.001)
+False
+>>> log.record("//slow", "cvt", 0.5)
+True
+>>> [entry["query"] for entry in log.entries()]
+['//slow']
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import time
+from typing import Deque, Dict, List
+
+#: Default slow-query threshold (seconds).
+DEFAULT_SLOW_THRESHOLD = 0.1
+
+#: Default ring-buffer capacity (entries kept).
+DEFAULT_SLOW_CAPACITY = 64
+
+
+class SlowQueryLog:
+    """Bounded log of the slowest recent queries (see module docstring)."""
+
+    __slots__ = ("capacity", "_telemetry_lock", "_threshold", "_entries")
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_SLOW_THRESHOLD,
+        capacity: int = DEFAULT_SLOW_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be at least 1")
+        self.capacity = capacity
+        self._telemetry_lock = threading.Lock()
+        self._threshold = float(threshold)
+        self._entries: Deque[Dict[str, object]] = deque(maxlen=capacity)
+
+    @property
+    def threshold(self) -> float:
+        """The current threshold in seconds."""
+        return self._threshold
+
+    def set_threshold(self, seconds: float) -> None:
+        """Change the threshold (affects future ``record`` calls only)."""
+        with self._telemetry_lock:
+            self._threshold = float(seconds)
+
+    def record(
+        self, query: str, engine: str, wall_time: float, **extra: object
+    ) -> bool:
+        """Offer one evaluation; keep it if at/above threshold.
+
+        Returns True when the entry was recorded.
+        """
+        if wall_time < self._threshold:
+            return False
+        entry: Dict[str, object] = {
+            "query": query,
+            "engine": engine,
+            "wall_time": wall_time,
+            "when": time(),
+        }
+        entry.update(extra)
+        self._entries.append(entry)
+        return True
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Newest-last snapshot of the retained entries."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

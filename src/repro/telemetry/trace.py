@@ -1,0 +1,182 @@
+"""Per-query trace spans: where one request's wall time went.
+
+A :class:`Trace` is the timing record of one request inside one tier
+(``engine``, ``worker``, ``pool``, ``server``, ``client``): a flat list
+of named :class:`Span` rows (offset + duration relative to the trace
+start) plus child traces from the tiers below.  Tiers nest by
+attachment, not by clock agreement — a worker's trace is serialised
+with :meth:`Trace.to_dict`, crosses the wire as the RPW1 ``TRACE``
+frame keyed by the request's ``seq``, and is re-attached under the
+pool's trace with :meth:`Trace.add_child`, so every offset stays
+relative to the tier that measured it (no cross-process clock games).
+
+Traces are single-request, single-threaded objects: recording takes no
+locks and costs two ``perf_counter`` calls per span.
+
+Examples
+--------
+>>> trace = Trace("engine")
+>>> with trace.span("plan"):
+...     pass
+>>> with trace.span("eval", engine="core"):
+...     pass
+>>> [name for name, _ in trace.named_spans()]
+['engine.plan', 'engine.eval']
+>>> restored = Trace.from_dict(trace.to_dict())
+>>> [name for name, _ in restored.named_spans()]
+['engine.plan', 'engine.eval']
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Span:
+    """One named stage: ``offset`` seconds after its trace began, for
+    ``duration`` seconds, with optional string metadata."""
+
+    __slots__ = ("name", "offset", "duration", "meta")
+
+    def __init__(
+        self,
+        name: str,
+        offset: float,
+        duration: float,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.offset = offset
+        self.duration = duration
+        self.meta = dict(meta or {})
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "offset": self.offset,
+                     "duration": self.duration}
+        if self.meta:
+            out["meta"] = self.meta
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        return cls(
+            str(payload.get("name", "")),
+            float(payload.get("offset", 0.0)),
+            float(payload.get("duration", 0.0)),
+            payload.get("meta"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} +{self.offset:.6f}s {self.duration:.6f}s>"
+
+
+class Trace:
+    """The span record of one request within one tier (see module doc)."""
+
+    __slots__ = ("tier", "started", "spans", "children")
+
+    def __init__(self, tier: str) -> None:
+        self.tier = tier
+        self.started = perf_counter()
+        self.spans: List[Span] = []
+        self.children: List["Trace"] = []
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[None]:
+        """Record the ``with`` body as one span."""
+        begun = perf_counter()
+        try:
+            yield
+        finally:
+            self.spans.append(
+                Span(name, begun - self.started, perf_counter() - begun, meta)
+            )
+
+    def add_span(
+        self,
+        name: str,
+        offset: Optional[float] = None,
+        duration: float = 0.0,
+        **meta: object,
+    ) -> Span:
+        """Record a span from externally measured timestamps.
+
+        ``offset`` defaults to "now" relative to the trace start — for
+        marker spans whose duration was measured elsewhere.
+        """
+        if offset is None:
+            offset = perf_counter() - self.started
+        span = Span(name, offset, duration, meta)
+        self.spans.append(span)
+        return span
+
+    def add_child(self, child: "Trace") -> "Trace":
+        self.children.append(child)
+        return child
+
+    @property
+    def duration(self) -> float:
+        """The latest span end across this tier and its children."""
+        ends = [span.offset + span.duration for span in self.spans]
+        ends.extend(child.duration for child in self.children)
+        return max(ends, default=0.0)
+
+    def named_spans(self) -> List[Tuple[str, Span]]:
+        """Flatten to ``("tier.name", span)`` rows, children included."""
+        rows = [(f"{self.tier}.{span.name}", span) for span in self.spans]
+        for child in self.children:
+            rows.extend(child.named_spans())
+        return rows
+
+    def to_dict(self) -> dict:
+        """A JSON-able form (the RPW1 ``TRACE`` frame payload)."""
+        return {
+            "tier": self.tier,
+            "spans": [span.to_dict() for span in self.spans],
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Trace":
+        trace = cls(str(payload.get("tier", "")))
+        trace.spans = [Span.from_dict(row) for row in payload.get("spans", [])]
+        trace.children = [
+            cls.from_dict(row) for row in payload.get("children", [])
+        ]
+        return trace
+
+    def describe(self, indent: int = 0) -> str:
+        """Render the per-stage breakdown the CLI's ``--profile`` prints."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.tier} [{self.duration * 1e3:.2f} ms]"]
+        for span in self.spans:
+            meta = "".join(
+                f" {key}={value}" for key, value in sorted(span.meta.items())
+            )
+            lines.append(
+                f"{pad}  {span.name:<12} {span.duration * 1e3:9.3f} ms "
+                f"@ +{span.offset * 1e3:.3f} ms{meta}"
+            )
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Trace {self.tier} spans={len(self.spans)} "
+            f"children={len(self.children)}>"
+        )
+
+
+def maybe_span(trace: Optional[Trace], name: str, **meta: object):
+    """``trace.span(name)`` when tracing, a free no-op context otherwise.
+
+    This is what keeps tracing strictly opt-in on the hot path: callers
+    write one ``with maybe_span(trace, "eval"):`` and pay nothing when
+    ``trace`` is None.
+    """
+    if trace is None:
+        return nullcontext()
+    return trace.span(name, **meta)

@@ -46,6 +46,10 @@ DOCTESTED_MODULES = (
     "repro.planner.plan",
     "repro.serving.wire",
     "repro.store.corpus",
+    "repro.telemetry.exposition",
+    "repro.telemetry.metrics",
+    "repro.telemetry.slowlog",
+    "repro.telemetry.trace",
     "repro.xmlmodel.document",
     "repro.xmlmodel.idset",
     "repro.xmlmodel.index",

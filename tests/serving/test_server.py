@@ -347,7 +347,7 @@ class TestLifecycle:
             started = time.monotonic()
             assert sock.recv(1) == b""  # server hangs up on us
             assert 0.05 < time.monotonic() - started < 5.0
-            assert server._idle_closed == 1
+            assert int(server._idle_closed_total.value()) == 1
             sock.close()
 
     def test_idle_timeout_spares_connections_awaiting_responses(self, pool):

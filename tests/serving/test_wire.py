@@ -99,6 +99,43 @@ class TestControlFrames:
         assert wire.decode(wire.encode_shutdown()).type == wire.MSG_SHUTDOWN
 
 
+class TestTelemetryFrames:
+    def test_query_trace_flag(self):
+        message = wire.decode(wire.encode_query(3, "k", "//a", trace=True))
+        assert message.wants_trace
+        assert message.flags & wire.FLAG_TRACE
+        assert not wire.decode(wire.encode_query(3, "k", "//a")).wants_trace
+
+    def test_trace_round_trip(self):
+        payload = {
+            "tier": "worker",
+            "spans": [{"name": "worker-eval", "offset": 0.0, "duration": 0.01}],
+            "children": [{"tier": "engine", "spans": [], "children": []}],
+        }
+        message = wire.decode(wire.encode_trace(11, payload))
+        assert message.type == wire.MSG_TRACE
+        assert message.seq == 11
+        assert message.payload == payload
+
+    def test_metrics_request_round_trip(self):
+        message = wire.decode(wire.encode_metrics_request(wire.METRICS_JSON))
+        assert message.type == wire.MSG_METRICS
+        assert message.flags == wire.METRICS_JSON
+        prometheus = wire.decode(
+            wire.encode_metrics_request(wire.METRICS_PROMETHEUS)
+        )
+        assert prometheus.flags == wire.METRICS_PROMETHEUS
+
+    def test_metrics_reply_round_trip(self):
+        body = '# HELP c_total hélp\n# TYPE c_total counter\nc_total 3\n'
+        message = wire.decode(
+            wire.encode_metrics_reply(wire.METRICS_PROMETHEUS, body)
+        )
+        assert message.type == wire.MSG_METRICS_REPLY
+        assert message.flags == wire.METRICS_PROMETHEUS
+        assert message.body == body
+
+
 class TestMalformedFrames:
     def test_bad_magic(self):
         with pytest.raises(wire.WireError, match="magic"):
@@ -194,11 +231,13 @@ def valid_frames(draw):
     kind = draw(st.sampled_from([
         "query", "result_ids", "result_value", "error", "warm", "ready",
         "stats", "stats_reply", "shutdown", "ping", "pong", "drain",
-        "drained", "hello", "overloaded",
+        "drained", "hello", "overloaded", "trace", "metrics",
+        "metrics_reply",
     ]))
     if kind == "query":
         return wire.encode_query(
-            draw(_seqs), draw(_texts), draw(_texts), ids_only=draw(st.booleans())
+            draw(_seqs), draw(_texts), draw(_texts),
+            ids_only=draw(st.booleans()), trace=draw(st.booleans()),
         )
     if kind == "result_ids":
         return wire.encode_result_ids(
@@ -230,6 +269,17 @@ def valid_frames(draw):
         return wire.encode_drained(draw(_seqs), draw(_seqs))
     if kind == "hello":
         return wire.encode_hello(draw(_seqs), banner=draw(_texts))
+    if kind == "trace":
+        return wire.encode_trace(
+            draw(_seqs),
+            {"tier": draw(_texts), "spans": [], "children": []},
+        )
+    if kind == "metrics":
+        return wire.encode_metrics_request(
+            draw(st.sampled_from([wire.METRICS_JSON, wire.METRICS_PROMETHEUS]))
+        )
+    if kind == "metrics_reply":
+        return wire.encode_metrics_reply(wire.METRICS_JSON, draw(_texts))
     return wire.encode_overloaded(draw(_seqs), draw(_seqs), draw(_seqs))
 
 

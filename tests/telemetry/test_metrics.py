@@ -1,0 +1,247 @@
+"""Unit and property tests for the metrics primitives.
+
+The load-bearing promise is the sharding one: per-thread counter and
+histogram shards, merged on read, must agree exactly with what a single
+thread would have counted — the Hypothesis group below drives random
+increment schedules across real threads and pins the equivalence.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+    render_json,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c_total")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_shards_survive_thread_exit(self):
+        counter = Counter("c_total")
+
+        def work():
+            counter.inc(3)
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        counter.inc()
+        assert counter.value() == 4
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value() == 7
+
+
+class TestHistogram:
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(0.5, 0.1))
+
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = Histogram("h_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)  # overflows into +Inf
+        merged = histogram.merged()
+        assert merged.count == 3
+        assert merged.total == pytest.approx(5.55)
+        assert merged.cumulative() == [(0.1, 1), (1.0, 2), ("+Inf", 3)]
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        histogram = Histogram("h_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.1)
+        assert histogram.merged().cumulative()[0] == (0.1, 1)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_child(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total")
+        assert first is second
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        with pytest.raises(ValueError):
+            registry.gauge("c_total")
+
+    def test_label_set_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("engine",))
+        with pytest.raises(ValueError):
+            registry.counter("c_total")
+
+    def test_labelled_children_are_distinct_and_cached(self):
+        registry = MetricsRegistry()
+        family = registry.counter("dispatch_total", labels=("engine",))
+        family.labels(engine="core").inc()
+        family.labels(engine="cvt").inc(2)
+        assert family.labels(engine="core").value() == 1
+        assert family.labels(engine="cvt").value() == 2
+        with pytest.raises(ValueError):
+            family.labels(nope="x")
+
+    def test_snapshot_is_exposition_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts").inc(2)
+        registry.histogram("h_seconds", "times", buckets=(1.0,)).observe(0.5)
+        families = registry.snapshot()
+        by_name = {family["name"]: family for family in families}
+        assert by_name["c_total"]["samples"] == [{"labels": {}, "value": 2}]
+        histogram = by_name["h_seconds"]["samples"][0]
+        assert histogram["buckets"] == [[1.0, 1], ["+Inf", 1]]
+        assert histogram["count"] == 1
+
+
+class TestExposition:
+    def test_prometheus_text_shape(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "a counter", labels=("tier",))
+        family.labels(tier="engine").inc(3)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{tier="engine"} 3' in text
+
+    def test_prometheus_text_parses(self):
+        """Every non-comment line is ``name[{labels}] value``; histogram
+        bucket counts are monotone and end at +Inf == count."""
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        hist = registry.histogram("h_seconds", buckets=DEFAULT_LATENCY_BUCKETS)
+        hist.observe(0.003)
+        hist.observe(7.0)
+        text = render_prometheus(registry.snapshot())
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part, line
+            float(value_part)  # parses as a number
+            if "{" in name_part:
+                assert name_part.endswith("}"), line
+            if name_part.startswith("h_seconds_bucket"):
+                buckets.append(int(value_part))
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 2
+
+    def test_json_document_round_trips(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        document = json.loads(render_json(registry.snapshot()))
+        assert document["families"][0]["name"] == "g"
+        assert document["families"][0]["samples"][0]["value"] == 1.5
+
+
+class TestSlowQueryLog:
+    def test_threshold_and_capacity(self):
+        log = SlowQueryLog(threshold=0.1, capacity=2)
+        assert not log.record("//fast", "core", 0.01)
+        assert log.record("//slow1", "core", 0.2)
+        assert log.record("//slow2", "core", 0.3)
+        assert log.record("//slow3", "core", 0.4)
+        assert [entry["query"] for entry in log.entries()] == [
+            "//slow2", "//slow3",
+        ]
+
+    def test_set_threshold_applies_to_future_records(self):
+        log = SlowQueryLog(threshold=1.0)
+        assert not log.record("//q", "core", 0.5)
+        log.set_threshold(0.1)
+        assert log.record("//q", "core", 0.5)
+        assert log.threshold == 0.1
+
+
+class TestMergedShardsProperty:
+    """Merged per-thread shards ≡ the single-threaded count (satellite 4)."""
+
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=100), max_size=20),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counter_merge_equals_serial_sum(self, schedules):
+        counter = Counter("c_total")
+
+        def work(amounts):
+            for amount in amounts:
+                counter.inc(amount)
+
+        threads = [
+            threading.Thread(target=work, args=(amounts,))
+            for amounts in schedules
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == sum(sum(amounts) for amounts in schedules)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(
+                    min_value=0.0, max_value=10.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+                max_size=15,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_merge_equals_serial_observation(self, schedules):
+        sharded = Histogram("h_seconds")
+        serial = Histogram("h_seconds")
+
+        def work(values):
+            for value in values:
+                sharded.observe(value)
+
+        threads = [
+            threading.Thread(target=work, args=(values,))
+            for values in schedules
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for values in schedules:
+            for value in values:
+                serial.observe(value)
+        merged, expected = sharded.merged(), serial.merged()
+        assert merged.counts == expected.counts
+        assert merged.count == expected.count
+        assert merged.total == pytest.approx(expected.total)

@@ -1,0 +1,85 @@
+"""Unit tests for the per-query trace span trees."""
+
+from repro.telemetry import Trace, maybe_span
+
+
+class TestTrace:
+    def test_span_contextmanager_records_offset_and_duration(self):
+        trace = Trace("engine")
+        with trace.span("plan"):
+            pass
+        with trace.span("eval", engine="core"):
+            pass
+        assert [span.name for span in trace.spans] == ["plan", "eval"]
+        plan, eval_span = trace.spans
+        assert plan.offset >= 0.0 and plan.duration >= 0.0
+        assert eval_span.offset >= plan.offset
+        assert eval_span.meta == {"engine": "core"}
+
+    def test_span_records_even_when_the_body_raises(self):
+        trace = Trace("engine")
+        try:
+            with trace.span("eval"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [span.name for span in trace.spans] == ["eval"]
+
+    def test_add_span_with_external_timestamps(self):
+        trace = Trace("pool")
+        span = trace.add_span("dispatch", offset=0.25, duration=0.5, worker=1)
+        assert (span.offset, span.duration) == (0.25, 0.5)
+        assert span.meta == {"worker": 1}
+        marker = trace.add_span("decode")  # offset defaults to "now"
+        assert marker.offset >= 0.0 and marker.duration == 0.0
+
+    def test_named_spans_flatten_children_with_tier_prefixes(self):
+        pool = Trace("pool")
+        pool.add_span("dispatch", offset=0.0, duration=1.0)
+        worker = Trace("worker")
+        worker.add_span("worker-eval", offset=0.0, duration=0.5)
+        pool.add_child(worker)
+        assert [name for name, _ in pool.named_spans()] == [
+            "pool.dispatch", "worker.worker-eval",
+        ]
+
+    def test_duration_is_the_latest_end_across_the_tree(self):
+        pool = Trace("pool")
+        pool.add_span("dispatch", offset=0.0, duration=1.0)
+        worker = Trace("worker")
+        worker.add_span("worker-eval", offset=0.5, duration=2.0)
+        pool.add_child(worker)
+        assert pool.duration == 2.5
+
+    def test_dict_round_trip_preserves_the_tree(self):
+        pool = Trace("pool")
+        pool.add_span("dispatch", offset=0.1, duration=0.2, worker=0)
+        worker = Trace("worker")
+        worker.add_span("worker-eval", offset=0.0, duration=0.15)
+        pool.add_child(worker)
+        restored = Trace.from_dict(pool.to_dict())
+        assert restored.to_dict() == pool.to_dict()
+        assert [name for name, _ in restored.named_spans()] == [
+            "pool.dispatch", "worker.worker-eval",
+        ]
+
+    def test_describe_renders_every_tier(self):
+        pool = Trace("pool")
+        pool.add_span("dispatch", offset=0.0, duration=0.001)
+        pool.add_child(Trace("worker"))
+        text = pool.describe()
+        assert "pool [" in text
+        assert "dispatch" in text
+        assert "worker [" in text
+
+
+class TestMaybeSpan:
+    def test_none_trace_is_a_free_no_op(self):
+        with maybe_span(None, "eval"):
+            pass  # nothing to assert beyond "no crash, no trace needed"
+
+    def test_real_trace_records(self):
+        trace = Trace("engine")
+        with maybe_span(trace, "eval", engine="core"):
+            pass
+        assert [span.name for span in trace.spans] == ["eval"]
