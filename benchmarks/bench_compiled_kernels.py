@@ -1,0 +1,114 @@
+"""E20 — vectorized kernel backend vs. the pure-Python reference.
+
+The kernel backends (:mod:`repro.xmlmodel.kernels`) implement the same
+id-set algebra and axis kernels twice: ``pure`` as flat Python loops
+(the differential baseline) and ``vectorized`` as numpy array
+operations.  This bench runs E14's 10k-node documents (deep chain, wide
+flat tree, complete binary tree) through E14's mixed Core XPath workload
+under each backend and asserts the acceptance floor: on both the 10k
+chain and the 10k wide document the vectorized backend must finish the
+workload at least 3× faster than pure.
+
+Agreement is asserted unconditionally — every query's id list must be
+identical under both backends — while the wall-clock floor is gated
+exactly like E14/E17/E18: skipped on shared CI runners unless forced
+with ``BENCH_SPEEDUP_STRICT=1``.
+"""
+
+import os
+import time
+
+import pytest
+
+pytest.importorskip("numpy", reason="E20 compares the numpy-backed kernels")
+
+from benchmarks.bench_idnative_core import _DOCUMENTS, _WORKLOAD, _best_time
+from benchmarks.conftest import report
+from repro.evaluation.core import CoreXPathEvaluator
+from repro.xmlmodel.kernels import use_backend
+
+#: Acceptance floor asserted on the 10k-node shapes (vectorized vs pure).
+SPEEDUP_FLOOR = 3.0
+
+_DOCUMENT_CACHE = {}
+
+
+def _document(shape):
+    if shape not in _DOCUMENT_CACHE:
+        document = _DOCUMENTS[shape]()
+        document.index  # prebuild: the index is shared per-document state
+        _DOCUMENT_CACHE[shape] = document
+    return _DOCUMENT_CACHE[shape]
+
+
+def _run_workload_ids(document):
+    # A fresh evaluator per run so condition-set caches are not carried
+    # between timed runs; the id-native path keeps every set inside the
+    # kernel backend until the final tolist boundary.
+    evaluator = CoreXPathEvaluator(document)
+    return [evaluator.evaluate_ids(query) for query in _WORKLOAD]
+
+
+@pytest.mark.parametrize("backend", ("pure", "vectorized"))
+@pytest.mark.parametrize("shape", sorted(_DOCUMENTS))
+def test_kernel_workload_timings(benchmark, shape, backend):
+    """pytest-benchmark timings for the E14 workload under each backend."""
+    document = _document(shape)
+    with use_backend(backend):
+        _run_workload_ids(document)  # warm the per-backend kernel state
+        benchmark(_run_workload_ids, document)
+
+
+def test_vectorized_speedup_floor_and_agreement():
+    """Acceptance floor: ≥3× on both 10k shapes, identical ids everywhere."""
+    rows = []
+    ratios = {}
+    for shape in sorted(_DOCUMENTS):
+        document = _document(shape)
+        with use_backend("pure"):
+            pure_results = _run_workload_ids(document)
+            pure_time = _best_time(lambda: _run_workload_ids(document))
+        with use_backend("vectorized"):
+            vectorized_results = _run_workload_ids(document)
+            vectorized_time = _best_time(lambda: _run_workload_ids(document))
+        for query, got, expected in zip(
+            _WORKLOAD, vectorized_results, pure_results
+        ):
+            assert got == expected, (shape, query)
+        ratio = pure_time / vectorized_time if vectorized_time else float("inf")
+        ratios[shape] = ratio
+        rows.append(
+            f"{shape:>14}  {pure_time * 1e3:9.2f} ms  "
+            f"{vectorized_time * 1e3:9.2f} ms  {ratio:6.1f}x"
+        )
+    header = f"{'document':>14}  {'pure':>12}  {'vectorized':>12}  {'ratio':>7}"
+    report(
+        "E20 — vectorized vs pure kernel backend (E14 workload, ids path)",
+        "\n".join([header] + rows),
+    )
+    # Same gating as E14: agreement always, wall-clock floor only off-CI
+    # (or when forced via BENCH_SPEEDUP_STRICT=1).
+    strict = os.environ.get(
+        "BENCH_SPEEDUP_STRICT", "0" if os.environ.get("CI") else "1"
+    )
+    if strict.lower() not in ("", "0", "false", "no"):
+        assert ratios["chain-10k"] >= SPEEDUP_FLOOR, ratios
+        assert ratios["wide-10k"] >= SPEEDUP_FLOOR, ratios
+
+
+def test_backends_agree_on_evaluate_nodes():
+    """The node materialisation boundary is backend-independent too."""
+    for shape in sorted(_DOCUMENTS):
+        document = _document(shape)
+        with use_backend("pure"):
+            pure_nodes = [
+                CoreXPathEvaluator(document).evaluate_nodes(query)
+                for query in _WORKLOAD
+            ]
+        with use_backend("vectorized"):
+            vectorized_nodes = [
+                CoreXPathEvaluator(document).evaluate_nodes(query)
+                for query in _WORKLOAD
+            ]
+        for query, got, expected in zip(_WORKLOAD, vectorized_nodes, pure_nodes):
+            assert got == expected, (shape, query)

@@ -184,6 +184,7 @@ PUBLIC_MODULES: tuple[str, ...] = (
     "repro/serving/__init__.py",
     "repro/store/__init__.py",
     "repro/xmlmodel/__init__.py",
+    "repro/xmlmodel/kernels/__init__.py",
     "repro/planner/__init__.py",
     "repro/analysis/__init__.py",
     "repro/telemetry/__init__.py",
@@ -194,6 +195,7 @@ PUBLIC_MODULES: tuple[str, ...] = (
 DOCS_API_TABLES: tuple[str, ...] = (
     "docs/engine.md",
     "docs/telemetry.md",
+    "docs/kernels.md",
     "README.md",
 )
 

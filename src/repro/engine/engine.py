@@ -74,6 +74,7 @@ from repro.telemetry.render import render_kv_block
 from repro.telemetry.slowlog import DEFAULT_SLOW_THRESHOLD, SlowQueryLog
 from repro.telemetry.trace import Trace, maybe_span
 from repro.xmlmodel.document import Document
+from repro.xmlmodel.kernels import active_backend
 from repro.xmlmodel.parser import parse_xml
 from repro.xpath.ast import XPathExpr
 from repro.xpath.functions import NODESET, static_type
@@ -181,6 +182,7 @@ class EngineStats:
     coalesced: int = 0
     store: Optional[StoreStats] = None
     serving: "Optional[ServingStats]" = None
+    kernel_backend: str = "pure"
 
     def describe(self) -> str:
         """Render the snapshot as the CLI's ``--stats`` block."""
@@ -200,6 +202,7 @@ class EngineStats:
              f"{docs.evictions} eviction(s)"),
             ("dispatch counts", dispatch),
             ("queries", f"{self.queries} total, {self.coalesced} coalesced"),
+            ("kernel backend", self.kernel_backend),
         ]
         if self.store is not None:
             rows.append(
@@ -758,6 +761,7 @@ class XPathEngine:
             coalesced=coalesced,
             store=store,
             serving=serving,
+            kernel_backend=active_backend().name,
         )
 
     # -- internals -------------------------------------------------------------

@@ -67,6 +67,16 @@ class FragmentViolationError(ReproError):
         super().__init__(f"query is not in fragment {fragment}: {details}")
 
 
+class KernelBackendError(ReproError):
+    """Raised when a kernel backend cannot be resolved.
+
+    Selection happens at import of :mod:`repro.xmlmodel.kernels`: an
+    unknown ``REPRO_KERNEL_BACKEND`` value, or an explicit request for
+    the vectorized backend when numpy is not importable, raises this
+    error rather than silently degrading.
+    """
+
+
 class CircuitError(ReproError):
     """Raised for malformed Boolean circuits (cycles, missing gates, bad arity)."""
 

@@ -137,7 +137,7 @@ class CoreXPathEvaluator:
                     f"{[i for i in members if not 0 <= i < universe][:5]}"
                 )
             starts = IdSet.from_iterable(members, universe)
-        return list(self._evaluate_union(expr, starts).ids)
+        return self._evaluate_union(expr, starts).tolist()
 
     def condition_nodes(self, condition: XPathExpr | str) -> list[XMLNode]:
         """Return, in document order, the nodes at which ``condition`` holds.

@@ -447,6 +447,7 @@ def load_snapshot(data: Any, lazy: bool = False) -> Document:
         for kind_byte, partition in _decode_partitions(reader.raw(b"KPRT"), lazy)
     }
     index._test_idsets = {}
+    index._kernel_states = {}
     index._id_by_uid = id_by_uid
 
     document.root = root

@@ -10,8 +10,9 @@ An :class:`IdSet` is immutable and keeps up to two interchangeable
 materialisations of the same membership:
 
 * ``ids`` — the members as a sorted sequence (a ``list`` or, for
-  contiguous intervals such as a ``descendant`` result, a ``range``).
-  This is what the axis kernels iterate.
+  contiguous intervals such as a ``descendant`` result, a ``range``; the
+  vectorized kernel backend stores numpy arrays here).  This is what the
+  axis kernels iterate.
 * ``bits`` — the members as a Python ``int`` bitmask (bit ``i`` set iff
   ``i`` is a member).  Boolean algebra on bitmasks runs at C speed
   regardless of cardinality, which is what makes ``and``/``or``/``not``
@@ -28,11 +29,21 @@ bitmasks; otherwise it runs on the sorted members directly.  Complements
 always use bitmasks.  The rule is documented (and relied upon) in
 ``docs/architecture.md``.
 
+**Kernel backends.**  The strategy choice lives here, but the work of
+each strategy leg is delegated to the process-wide kernel backend
+(:mod:`repro.xmlmodel.kernels`): sparse merges and the ids↔bits
+conversions run as pure-Python loops under the ``pure`` backend and as
+numpy array operations under ``vectorized``.  Bitmask boolean algebra is
+shared — Python ``int`` bitwise operations already run at C speed.
+Whatever the backend, membership results are identical; only the
+concrete sequence type behind :attr:`IdSet.ids` differs (see
+``docs/kernels.md``).
+
 >>> a = IdSet.from_range(2, 6, universe=8)     # {2, 3, 4, 5}
 >>> b = IdSet.from_iterable([0, 3, 5], universe=8)
->>> list((a & b).ids)
+>>> (a & b).tolist()
 [3, 5]
->>> list(a.complement().ids)
+>>> a.complement().tolist()
 [0, 1, 6, 7]
 >>> len(a | b), 4 in (a | b)
 (5, True)
@@ -41,42 +52,15 @@ always use bitmasks.  The rule is documented (and relied upon) in
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, Iterator, Sequence, Union
+from typing import Iterable, Iterator
+
+from repro.xmlmodel.kernels import SortedIds, active_backend
+
+__all__ = ["DENSITY_FACTOR", "IdSet", "SortedIds"]
 
 #: A set counts as dense once it holds at least ``universe / DENSITY_FACTOR``
 #: members; dense operands push binary set algebra onto the bitmask path.
 DENSITY_FACTOR = 8
-
-#: Bit positions set in each possible byte value — the unpack table used to
-#: convert a bitmask back into sorted ids eight members at a time.
-_BYTE_IDS = tuple(
-    tuple(bit for bit in range(8) if value >> bit & 1) for value in range(256)
-)
-
-SortedIds = Union[Sequence[int], range]
-
-
-def _bits_from_ids(ids: Sequence[int], universe: int) -> int:
-    if isinstance(ids, range):
-        if len(ids) == 0:
-            return 0
-        return ((1 << len(ids)) - 1) << ids[0]
-    buffer = bytearray((universe + 7) >> 3)
-    for i in ids:
-        buffer[i >> 3] |= 1 << (i & 7)
-    return int.from_bytes(buffer, "little")
-
-
-def _ids_from_bits(bits: int, universe: int) -> list[int]:
-    out: list[int] = []
-    append = out.append
-    base = 0
-    for byte in bits.to_bytes((universe + 7) >> 3, "little"):
-        if byte:
-            for bit in _BYTE_IDS[byte]:
-                append(base + bit)
-        base += 8
-    return out
 
 
 class IdSet:
@@ -142,20 +126,39 @@ class IdSet:
     def ids(self) -> SortedIds:
         """The members as a sorted sequence (materialised lazily)."""
         if self._ids is None:
-            self._ids = _ids_from_bits(self._bits, self.universe)  # type: ignore[arg-type]
+            self._ids = active_backend().ids_from_bits(
+                self._bits, self.universe  # type: ignore[arg-type]
+            )
         return self._ids
 
     @property
     def bits(self) -> int:
         """The members as a bitmask (materialised lazily)."""
         if self._bits is None:
-            self._bits = _bits_from_ids(self._ids, self.universe)  # type: ignore[arg-type]
+            self._bits = active_backend().bits_from_ids(
+                self._ids, self.universe  # type: ignore[arg-type]
+            )
         return self._bits
 
     @property
     def is_dense(self) -> bool:
         """True if algebra involving this set takes the bitmask path."""
         return self._bits is not None or len(self) * DENSITY_FACTOR >= self.universe
+
+    def tolist(self) -> list[int]:
+        """The members as a plain ``list`` of Python ints.
+
+        This is the API-boundary conversion: whichever sequence type the
+        active kernel backend produced (list, ``range``, ``array``,
+        numpy array, memoryview), the result is an ordinary sorted list
+        safe to serialise or hand to non-kernel code.
+        """
+        members = self.ids
+        converter = getattr(members, "tolist", None)
+        if converter is not None:
+            result: list[int] = converter()
+            return result
+        return list(members)
 
     # -- protocol -------------------------------------------------------------
 
@@ -205,9 +208,9 @@ class IdSet:
         self._check_universe(other)
         if self.is_dense or other.is_dense:
             return IdSet.from_bits(self.bits & other.bits, self.universe)
-        small, large = sorted((self.ids, other.ids), key=len)
-        members = frozenset(large)
-        return IdSet.from_sorted([i for i in small if i in members], self.universe)
+        return IdSet.from_sorted(
+            active_backend().intersect_sorted(self.ids, other.ids), self.universe
+        )
 
     def __or__(self, other: "IdSet") -> "IdSet":
         self._check_universe(other)
@@ -218,7 +221,7 @@ class IdSet:
         if self.is_dense or other.is_dense:
             return IdSet.from_bits(self.bits | other.bits, self.universe)
         return IdSet.from_sorted(
-            sorted(set(self.ids).union(other.ids)), self.universe
+            active_backend().union_sorted(self.ids, other.ids), self.universe
         )
 
     def __sub__(self, other: "IdSet") -> "IdSet":
@@ -226,9 +229,8 @@ class IdSet:
         if self.is_dense or other.is_dense:
             mask = (1 << self.universe) - 1
             return IdSet.from_bits(self.bits & (mask ^ other.bits), self.universe)
-        members = frozenset(other.ids)
         return IdSet.from_sorted(
-            [i for i in self.ids if i not in members], self.universe
+            active_backend().difference_sorted(self.ids, other.ids), self.universe
         )
 
     def complement(self) -> "IdSet":

@@ -40,10 +40,11 @@ not tree nodes and keep using the object walk.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import XPathEvaluationError
 from repro.xmlmodel.idset import IdSet
+from repro.xmlmodel.kernels import KernelBackend, active_backend
 from repro.xmlmodel.nodes import ElementNode, XMLNode
 
 #: The plain-``set``-of-ints form used by the PR-1 node-set axis path;
@@ -89,6 +90,7 @@ class DocumentIndex:
         "element_ids",
         "_ids_by_kind",
         "_test_idsets",
+        "_kernel_states",
         "_id_by_uid",
     )
 
@@ -105,7 +107,8 @@ class DocumentIndex:
         self.ids_by_tag: dict[str, list[int]] = {}
         self.element_ids: list[int] = []
         self._ids_by_kind: dict[str, list[int]] = {}
-        self._test_idsets: dict[str, IdSet] = {}
+        self._test_idsets: dict[Tuple[str, str], IdSet] = {}
+        self._kernel_states: dict[str, Any] = {}
         self._id_by_uid: dict[int, int] = {}
 
         id_by_uid = self._id_by_uid
@@ -493,12 +496,16 @@ class DocumentIndex:
 
         Ids are pre-order ranks, so ascending id order *is* document
         order — no sort is needed.  This is the single node
-        materialisation of the id-native evaluation path.
+        materialisation of the id-native evaluation path (and a Python-int
+        boundary: backend array results are converted here in bulk).
         """
         nodes = self.nodes
         members = ids.ids
         if isinstance(members, range):
             return nodes[members.start : members.stop]
+        converter = getattr(members, "tolist", None)
+        if converter is not None:
+            members = converter()
         return [nodes[i] for i in members]
 
     def axis_idset(self, axis: str, ids: IdSet) -> IdSet:
@@ -511,112 +518,88 @@ class DocumentIndex:
             ) from None
         return function(self, ids)
 
+    def _kernel(self) -> Tuple[KernelBackend, Any]:
+        """The active backend plus this index's per-backend kernel state.
+
+        State (numpy array copies for the vectorized backend, the index
+        itself for pure) is built on first use and cached per backend
+        name, so in-process backend switches (``use_backend``) never see
+        a stale or foreign state.
+        """
+        backend = active_backend()
+        state = self._kernel_states.get(backend.name)
+        if state is None:
+            state = backend.index_state(self)
+            self._kernel_states[backend.name] = state
+        return backend, state
+
     def _idset_self(self, ids: IdSet) -> IdSet:
         return ids
 
     def _idset_child(self, ids: IdSet) -> IdSet:
-        first_child = self.first_child
-        next_sibling = self.next_sibling
-        out: list[int] = []
-        append = out.append
-        for i in ids:
-            j = first_child[i]
-            while j != -1:
-                append(j)
-                j = next_sibling[j]
-        # Children of distinct parents are distinct, so only sorting is
-        # needed (sibling runs interleave when one member sits inside
-        # another member's subtree).
-        out.sort()
-        return IdSet.from_sorted(out, self.size)
+        if not ids:
+            return IdSet.empty(self.size)
+        backend, state = self._kernel()
+        return IdSet.from_sorted(backend.child(state, ids.ids), self.size)
 
     def _idset_parent(self, ids: IdSet) -> IdSet:
-        return IdSet.from_sorted(sorted(self._parent_ids(ids)), self.size)
-
-    def _descendant_parts(self, ids: IdSet, include_self: bool) -> list[range]:
-        """The laminar-interval decomposition of a (or-self) descendant set.
-
-        Members are visited in ascending id order; a member inside the
-        interval already covered is skipped outright, so the returned
-        ranges are disjoint and ascending.
-        """
-        subtree_end = self.subtree_end
-        parts: list[range] = []
-        covered_end = -1
-        for i in ids:
-            if i <= covered_end:
-                continue
-            covered_end = subtree_end[i]
-            lo = i if include_self else i + 1
-            if lo <= covered_end:
-                parts.append(range(lo, covered_end + 1))
-        return parts
-
-    def _idset_from_parts(self, parts: list[range]) -> IdSet:
-        if not parts:
+        if not ids:
             return IdSet.empty(self.size)
-        if len(parts) == 1:
-            only = parts[0]
-            return IdSet.from_range(only.start, only.stop, self.size)
-        out: list[int] = []
-        for part in parts:
-            out.extend(part)
-        return IdSet.from_sorted(out, self.size)
+        backend, state = self._kernel()
+        return IdSet.from_sorted(backend.parent(state, ids.ids), self.size)
 
     def _idset_descendant(self, ids: IdSet) -> IdSet:
-        return self._idset_from_parts(self._descendant_parts(ids, False))
+        if not ids:
+            return IdSet.empty(self.size)
+        backend, state = self._kernel()
+        return IdSet.from_sorted(
+            backend.descendant(state, ids.ids, False), self.size
+        )
 
     def _idset_descendant_or_self(self, ids: IdSet) -> IdSet:
-        return self._idset_from_parts(self._descendant_parts(ids, True))
+        if not ids:
+            return IdSet.empty(self.size)
+        backend, state = self._kernel()
+        return IdSet.from_sorted(
+            backend.descendant(state, ids.ids, True), self.size
+        )
 
     def _idset_ancestor(self, ids: IdSet) -> IdSet:
-        # Same parent-chain sweep as the raw-id kernel; only the wrapper differs.
-        return IdSet.from_sorted(sorted(self._ancestor_ids(ids)), self.size)
+        if not ids:
+            return IdSet.empty(self.size)
+        backend, state = self._kernel()
+        return IdSet.from_sorted(backend.ancestor(state, ids.ids), self.size)
 
     def _idset_ancestor_or_self(self, ids: IdSet) -> IdSet:
         return ids | self._idset_ancestor(ids)
 
     def _idset_following_sibling(self, ids: IdSet) -> IdSet:
+        if not ids:
+            return IdSet.empty(self.size)
+        backend, state = self._kernel()
         return IdSet.from_sorted(
-            sorted(self._following_sibling_ids(ids)), self.size
+            backend.following_sibling(state, ids.ids), self.size
         )
 
     def _idset_preceding_sibling(self, ids: IdSet) -> IdSet:
+        if not ids:
+            return IdSet.empty(self.size)
+        backend, state = self._kernel()
         return IdSet.from_sorted(
-            sorted(self._preceding_sibling_ids(ids)), self.size
+            backend.preceding_sibling(state, ids.ids), self.size
         )
 
     def _idset_following(self, ids: IdSet) -> IdSet:
-        """following(S) = the contiguous interval past the earliest subtree end."""
         if not ids:
             return IdSet.empty(self.size)
-        subtree_end = self.subtree_end
-        cutoff = min(subtree_end[i] for i in ids)
-        return IdSet.from_range(cutoff + 1, self.size, self.size)
+        backend, state = self._kernel()
+        return IdSet.from_sorted(backend.following(state, ids.ids), self.size)
 
     def _idset_preceding(self, ids: IdSet) -> IdSet:
-        """preceding(S) = [0, max S) minus the ancestors of max S.
-
-        An id ``j < c`` has ``subtree_end[j] >= c`` exactly when it is an
-        ancestor of ``c``, so the preceding set is the prefix interval with
-        the ancestor chain punched out — O(depth) ranges.
-        """
         if not ids:
             return IdSet.empty(self.size)
-        members = ids.ids
-        cutoff = members[-1]
-        parent = self.parent
-        chain = []
-        j = parent[cutoff]
-        while j != -1:
-            chain.append(j)
-            j = parent[j]
-        chain.reverse()
-        bounds = chain + [cutoff]
-        parts = [
-            range(bounds[t] + 1, bounds[t + 1]) for t in range(len(bounds) - 1)
-        ]
-        return self._idset_from_parts([part for part in parts if len(part)])
+        backend, state = self._kernel()
+        return IdSet.from_sorted(backend.preceding(state, ids.ids), self.size)
 
     _AXIS_IDSET_FUNCTIONS = {
         "self": _idset_self,
@@ -641,28 +624,35 @@ class DocumentIndex:
         document: names, ``*``, ``node()``, ``text()``, ``comment()`` and
         ``processing-instruction()``.  Returns ``None`` for tests that need
         per-node inspection (``processing-instruction('target')``).  The
-        IdSets are cached, so their bitmask materialisation is shared by
-        every query on this document.
+        IdSets are cached per kernel backend (the vectorized backend
+        pre-converts partitions to arrays via ``prepare_sorted``), so
+        their materialisations are shared by every query on this document.
         """
-        cached = self._test_idsets.get(node_test)
+        backend = active_backend()
+        key = (backend.name, node_test)
+        cached = self._test_idsets.get(key)
         if cached is not None:
             return cached
         if node_test == "node()":
             result = IdSet.full(self.size)
         elif node_test == "*":
-            result = IdSet.from_sorted(self.element_ids, self.size)
+            result = IdSet.from_sorted(
+                backend.prepare_sorted(self.element_ids), self.size
+            )
         elif node_test in ("text()", "comment()", "processing-instruction()"):
             kind = node_test[:-2]
             result = IdSet.from_sorted(
-                self._ids_by_kind.get(kind, []), self.size
+                backend.prepare_sorted(self._ids_by_kind.get(kind, [])),
+                self.size,
             )
         elif node_test.endswith(")"):
             return None  # parametrised test: filter per node
         else:
             result = IdSet.from_sorted(
-                self.ids_by_tag.get(node_test, []), self.size
+                backend.prepare_sorted(self.ids_by_tag.get(node_test, [])),
+                self.size,
             )
-        self._test_idsets[node_test] = result
+        self._test_idsets[key] = result
         return result
 
     def filter_idset(self, ids: IdSet, axis: str, node_test: str) -> IdSet:

@@ -53,6 +53,7 @@ DOCTESTED_MODULES = (
     "repro.xmlmodel.document",
     "repro.xmlmodel.idset",
     "repro.xmlmodel.index",
+    "repro.xmlmodel.kernels",
 )
 
 

@@ -35,11 +35,11 @@ class TestMaterialisations:
     def test_bits_roundtrip(self):
         members = [0, 7, 8, 63, 64, 99]
         s = IdSet.from_sorted(members, universe=100)
-        assert IdSet.from_bits(s.bits, 100).ids == members
+        assert IdSet.from_bits(s.bits, 100).tolist() == members
 
     def test_ids_from_bits_is_sorted(self):
         bits = (1 << 0) | (1 << 42) | (1 << 13)
-        assert IdSet.from_bits(bits, 64).ids == [0, 13, 42]
+        assert IdSet.from_bits(bits, 64).tolist() == [0, 13, 42]
 
     def test_density_threshold(self):
         universe = 8 * DENSITY_FACTOR

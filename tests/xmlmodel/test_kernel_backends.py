@@ -1,0 +1,158 @@
+"""Backend selection: env override, numpy fallback, and surfacing.
+
+The selection contract (``docs/kernels.md``): ``REPRO_KERNEL_BACKEND``
+wins and is resolved strictly (unknown names and an unsatisfiable
+``vectorized`` raise :class:`~repro.errors.KernelBackendError`); without
+an override the probe picks ``vectorized`` when numpy imports and falls
+back to ``pure`` when it does not; and selecting ``pure`` — explicitly
+or by fallback — never imports numpy at all.
+"""
+
+import importlib
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro.xmlmodel.kernels as kernels
+from repro.errors import KernelBackendError
+
+
+def _reload(env_value, hide_numpy=False):
+    """Re-run import-time selection under a controlled environment.
+
+    Reloading re-executes the module body in the same module ``__dict__``,
+    so function references imported elsewhere observe the re-selected
+    ``_active`` global.  ``sys.modules["numpy"] = None`` is the standard
+    way to make ``import numpy`` raise ImportError in-process.
+    """
+    saved_env = os.environ.get(kernels.BACKEND_ENV_VAR)
+    saved_numpy = sys.modules.get("numpy")
+    try:
+        if env_value is None:
+            os.environ.pop(kernels.BACKEND_ENV_VAR, None)
+        else:
+            os.environ[kernels.BACKEND_ENV_VAR] = env_value
+        if hide_numpy:
+            sys.modules["numpy"] = None
+        importlib.reload(kernels)
+        return kernels.active_backend().name
+    finally:
+        if saved_env is None:
+            os.environ.pop(kernels.BACKEND_ENV_VAR, None)
+        else:
+            os.environ[kernels.BACKEND_ENV_VAR] = saved_env
+        if hide_numpy:
+            if saved_numpy is None:
+                sys.modules.pop("numpy", None)
+            else:
+                sys.modules["numpy"] = saved_numpy
+        importlib.reload(kernels)
+
+
+class TestEnvOverride:
+    def test_pure_is_honored(self):
+        assert _reload("pure") == "pure"
+
+    def test_vectorized_is_honored(self):
+        pytest.importorskip("numpy")
+        assert _reload("vectorized") == "vectorized"
+
+    def test_whitespace_is_stripped(self):
+        assert _reload("  pure  ") == "pure"
+
+    def test_empty_value_means_auto(self):
+        expected = "vectorized" if "vectorized" in kernels.available_backends() else "pure"
+        assert _reload("") == expected
+
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(KernelBackendError, match="unknown kernel backend"):
+            _reload("cython")
+
+    def test_vectorized_without_numpy_raises(self):
+        with pytest.raises(KernelBackendError, match="requires numpy"):
+            _reload("vectorized", hide_numpy=True)
+
+
+class TestAutoSelection:
+    def test_numpy_present_picks_vectorized(self):
+        pytest.importorskip("numpy")
+        assert _reload(None) == "vectorized"
+
+    def test_numpy_missing_falls_back_to_pure(self):
+        assert _reload(None, hide_numpy=True) == "pure"
+
+    def test_available_backends_reports_numpy_gate(self):
+        names = kernels.available_backends()
+        assert names[0] == "pure"
+        assert set(names) <= set(kernels.BACKEND_NAMES)
+
+
+class TestPurePathNeverImportsNumpy:
+    def test_subprocess_pure_keeps_numpy_unimported(self):
+        """Under =pure, evaluating a full query must not pull numpy in."""
+        code = (
+            "import sys\n"
+            "from repro.xmlmodel import parse_xml\n"
+            "from repro.evaluation.api import evaluate\n"
+            "doc = parse_xml('<a><b><c/></b><c/></a>')\n"
+            "nodes = evaluate('//c', doc, engine='core')\n"
+            "assert len(nodes) == 2, nodes\n"
+            "from repro.xmlmodel.kernels import active_backend\n"
+            "assert active_backend().name == 'pure'\n"
+            "assert 'numpy' not in sys.modules, 'pure path imported numpy'\n"
+            "print('OK')\n"
+        )
+        env = dict(os.environ)
+        env[kernels.BACKEND_ENV_VAR] = "pure"
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "OK"
+
+
+class TestUseBackend:
+    def test_swap_and_restore(self):
+        before = kernels.active_backend().name
+        with kernels.use_backend("pure") as backend:
+            assert backend.name == "pure"
+            assert kernels.active_backend() is backend
+        assert kernels.active_backend().name == before
+
+    def test_restores_on_error(self):
+        before = kernels.active_backend().name
+        with pytest.raises(RuntimeError):
+            with kernels.use_backend("pure"):
+                raise RuntimeError("boom")
+        assert kernels.active_backend().name == before
+
+    def test_unknown_name_raises_without_swapping(self):
+        before = kernels.active_backend().name
+        with pytest.raises(KernelBackendError):
+            with kernels.use_backend("gpu"):
+                pass  # pragma: no cover - never entered
+        assert kernels.active_backend().name == before
+
+
+class TestSurfacing:
+    def test_engine_stats_reports_backend(self):
+        from repro.engine import XPathEngine
+
+        engine = XPathEngine()
+        engine.evaluate("//a", "<a/>")
+        stats = engine.stats()
+        assert stats.kernel_backend == kernels.active_backend().name
+        assert f"kernel backend     {stats.kernel_backend}" in stats.describe() or (
+            "kernel backend" in stats.describe()
+        )
+
+    def test_stats_follows_use_backend(self):
+        from repro.engine import XPathEngine
+
+        engine = XPathEngine()
+        with kernels.use_backend("pure"):
+            assert engine.stats().kernel_backend == "pure"
